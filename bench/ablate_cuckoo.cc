@@ -1,0 +1,65 @@
+// Ablation: cuckoo hash-table way count and occupancy vs overflow rate.
+//
+// The distinct/group-by operators never chain collisions: entries that lose
+// the (bounded) kick fight go to an overflow buffer that must be
+// post-processed by the client in software (Section 5.4). This bench shows
+// why the design uses several ways ("to greatly reduce the collision
+// likelihood, we implement cuckoo hashing, with several hash tables"): at a
+// fixed load factor, more ways collapse the overflow rate.
+
+#include <cstdio>
+
+#include "benchlib/experiment.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "hash/cuckoo_table.h"
+
+namespace farview {
+namespace {
+
+void Run() {
+  bench::SeriesPrinter overflow(
+      "Ablation: cuckoo overflow rate [%] vs load factor and ways",
+      "load factor", {"1 way", "2 ways", "4 ways", "8 ways"});
+  bench::SeriesPrinter kicks(
+      "Ablation: cuckoo kicks per insert vs load factor and ways",
+      "load factor", {"1 way", "2 ways", "4 ways", "8 ways"});
+
+  const uint64_t kTotalSlots = 1 << 16;
+  for (double load : {0.25, 0.5, 0.7, 0.85, 0.95}) {
+    std::vector<double> overflow_row;
+    std::vector<double> kicks_row;
+    for (int ways : {1, 2, 4, 8}) {
+      CuckooTable table(ways, kTotalSlots / static_cast<uint64_t>(ways), 8,
+                        0);
+      Rng rng(static_cast<uint64_t>(load * 100) * 17 +
+              static_cast<uint64_t>(ways));
+      const uint64_t inserts =
+          static_cast<uint64_t>(load * static_cast<double>(kTotalSlots));
+      for (uint64_t i = 0; i < inserts; ++i) {
+        uint8_t key[8];
+        StoreLE64(key, rng.Next());
+        table.Upsert(key, nullptr);
+      }
+      overflow_row.push_back(100.0 *
+                             static_cast<double>(table.overflow_size()) /
+                             static_cast<double>(inserts));
+      kicks_row.push_back(static_cast<double>(table.total_kicks()) /
+                          static_cast<double>(inserts));
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f", load);
+    overflow.Row(label, overflow_row);
+    kicks.Row(label, kicks_row);
+  }
+  overflow.Print();
+  kicks.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: RoCE packet size and credit window vs Farview read performance.
+//
+// The paper fixes the packet size at 1 kB (Section 6.2) and uses
+// credit-based flow control (Section 4.3). This bench shows the trade-off
+// space: small packets raise per-packet overhead (lower throughput), large
+// packets raise store-and-forward latency for small transfers; a too-small
+// credit window throttles the stream to window/RTT.
+
+#include "benchlib/experiment.h"
+#include "net/network_stack.h"
+#include "sim/engine.h"
+
+namespace farview {
+namespace {
+
+SimTime ReadTime(const NetConfig& cfg, uint64_t bytes) {
+  sim::Engine e;
+  NetworkStack net(&e, cfg);
+  SimTime done = 0;
+  net.DeliverRequest([&] {
+    auto tx = net.OpenStream(1, [&](uint64_t, bool last, SimTime t) {
+      if (last) done = t;
+    });
+    tx->Push(bytes);
+    tx->Finish();
+  });
+  e.Run();
+  return done;
+}
+
+void Run() {
+  bench::SeriesPrinter throughput(
+      "Ablation: packet size vs 16 MiB read throughput [GB/s]",
+      "packet size", {"throughput"});
+  bench::SeriesPrinter latency(
+      "Ablation: packet size vs 2 KiB read response time [us]",
+      "packet size", {"response"});
+  for (uint32_t packet : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    NetConfig cfg;
+    cfg.packet_bytes = packet;
+    throughput.Row(bench::AxisBytes(packet),
+                   {AchievedGBps(16 * kMiB, ReadTime(cfg, 16 * kMiB))});
+    latency.Row(bench::AxisBytes(packet),
+                {ToMicros(ReadTime(cfg, 2 * kKiB))});
+  }
+  throughput.Print();
+  latency.Print();
+
+  bench::SeriesPrinter window(
+      "Ablation: credit window vs 4 MiB read throughput [GB/s]",
+      "window [pkts]", {"throughput"});
+  for (int w : {1, 2, 4, 8, 16, 32, 64}) {
+    NetConfig cfg;
+    cfg.credit_window_packets = w;
+    window.Row(std::to_string(w),
+               {AchievedGBps(4 * kMiB, ReadTime(cfg, 4 * kMiB))});
+  }
+  window.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

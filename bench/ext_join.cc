@@ -1,0 +1,74 @@
+// Extension benchmark: small-table join offload (the paper's conclusion:
+// "performing joins against small tables in the memory by reading the small
+// table into the FPGA and matching the tuples read from memory against it").
+//
+// A star-schema shape: a fact table in disaggregated memory is joined
+// against a small dimension table. Offloading the join ships only the
+// matching joined rows; the baselines read the full fact table into the CPU
+// first. Sweeps the join selectivity (fraction of fact keys present in the
+// dimension).
+
+#include <memory>
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+/// Dimension with keys 0..keys-1 and one payload column.
+std::shared_ptr<Table> MakeDimension(uint64_t keys) {
+  Result<Schema> schema = Schema::Create({
+      {"k", DataType::kInt64, 8},
+      {"v", DataType::kInt64, 8},
+  });
+  auto t = std::make_shared<Table>(std::move(schema).value());
+  for (uint64_t r = 0; r < keys; ++r) {
+    t->AppendRow();
+    t->SetInt64(r, 0, static_cast<int64_t>(r));
+    t->SetInt64(r, 1, static_cast<int64_t>(r * 3 + 1));
+  }
+  return t;
+}
+
+void Run() {
+  bench::SeriesPrinter series(
+      "Extension: small-table join offload, response time [ms] "
+      "(8 MiB fact table, dimension on chip)",
+      "join selectivity", {"FV", "LCPU", "RCPU"});
+  const uint64_t rows = (8 * kMiB) / 64;
+  LocalEngine lcpu;
+  RemoteEngine rcpu;
+  // Fact keys uniform in [0,1024); dimension holds the first `keys` of
+  // them, so selectivity = keys/1024.
+  for (uint64_t keys : {64ull, 256ull, 512ull, 1024ull}) {
+    TableGenerator gen(keys);
+    Result<Table> fact = gen.Uniform(Schema::DefaultWideRow(), rows, 1024);
+    if (!fact.ok()) return;
+    std::shared_ptr<Table> dim = MakeDimension(keys);
+    const QuerySpec spec = QuerySpec::Join(dim, 0, 0);
+
+    bench::FvFixture fx;
+    const FTable ft = fx.Upload("fact", fact.value());
+    Result<FvResult> fv = fx.client().FvJoinSmall(ft, 0, *dim, 0);
+    Result<BaselineResult> l = lcpu.Execute(fact.value(), spec);
+    Result<BaselineResult> r = rcpu.Execute(fact.value(), spec);
+    if (!fv.ok() || !l.ok() || !r.ok()) return;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%",
+                  100.0 * static_cast<double>(keys) / 1024.0);
+    series.Row(label,
+               {ToMillis(fv.value().Elapsed()), ToMillis(l.value().elapsed),
+                ToMillis(r.value().elapsed)});
+  }
+  series.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension benchmark: the cost-based optimizer's decisions vs brute-force
+// measurement. For a matrix of query shapes and table shapes, the harness
+// simulates every physical variant (plain offload, vectorized, smart
+// addressing, local CPU) and checks which one the optimizer would pick.
+// Prints measured times with the optimizer's choice marked.
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "optimizer/optimizer.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool vectorized;
+  bool smart_addressing;
+};
+
+void Run() {
+  std::printf(
+      "\n== Extension: optimizer decisions vs measured execution ==\n");
+  const Optimizer opt(FarviewConfig(), CpuModelConfig{});
+  LocalEngine lcpu;
+
+  struct Case {
+    const char* label;
+    int cols;           // schema width in 8 B columns
+    uint64_t rows;
+    QuerySpec spec;
+    double selectivity;
+    uint64_t distinct;
+  };
+  QuerySpec narrow_proj;
+  narrow_proj.projection = {8, 9, 10};
+  std::vector<Case> cases;
+  cases.push_back({"project 24B of 512B rows", 64, 1 << 16, narrow_proj,
+                   1.0, 0});
+  cases.push_back({"project 24B of 256B rows", 32, 1 << 16, narrow_proj,
+                   1.0, 0});
+  cases.push_back(
+      {"select 25% of 64B rows", 8, 1 << 18,
+       QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 25)}), 0.25, 0});
+  cases.push_back(
+      {"select 100% of 64B rows", 8, 1 << 18,
+       QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 100)}), 1.0, 0});
+  cases.push_back(
+      {"tiny table select", 8, 64,
+       QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 50)}), 0.5, 0});
+
+  for (const Case& c : cases) {
+    const Schema schema = Schema::DefaultWideRow(c.cols);
+    TableStats stats;
+    stats.num_rows = c.rows;
+    stats.tuple_bytes = schema.tuple_width();
+    stats.selectivity = c.selectivity;
+    stats.distinct_keys = c.distinct;
+    const PhysicalPlan plan = opt.Plan(c.spec, schema, stats);
+
+    // Measure the offload variants.
+    TableGenerator gen(c.rows);
+    Result<Table> t = gen.Uniform(schema, c.rows, 100);
+    if (!t.ok()) return;
+    std::printf("%-28s -> plan: %s\n", c.label, plan.Explain().c_str());
+
+    const Variant variants[] = {
+        {"plain", false, false},
+        {"vectorized", true, false},
+        {"smart-addr", false, true},
+    };
+    for (const Variant& v : variants) {
+      uint32_t sa_offset = 0, sa_bytes = 0;
+      if (v.smart_addressing &&
+          !Optimizer::SmartAddressingWindow(c.spec, schema, &sa_offset,
+                                            &sa_bytes)) {
+        continue;  // not applicable
+      }
+      bench::FvFixture fx;
+      const FTable ft = fx.Upload("t", t.value());
+      Result<Pipeline> p =
+          v.smart_addressing
+              ? PipelineBuilder(schema.Project(c.spec.projection)).Build()
+              : c.spec.BuildPipeline(schema);
+      if (!p.ok()) return;
+      if (!fx.client().LoadPipeline(std::move(p).value()).ok()) return;
+      FvRequest req = fx.client().ScanRequest(ft, v.vectorized);
+      if (v.smart_addressing) {
+        req.smart_addressing = true;
+        req.sa_offset = sa_offset;
+        req.sa_access_bytes = sa_bytes;
+      }
+      Result<FvResult> r = fx.client().FarviewRequest(req);
+      if (!r.ok()) return;
+      const bool chosen =
+          plan.placement == PhysicalPlan::Placement::kFarview &&
+          plan.vectorized == v.vectorized &&
+          plan.smart_addressing == v.smart_addressing;
+      std::printf("    %-12s measured %9.3f ms%s\n", v.name,
+                  ToMillis(r.value().Elapsed()), chosen ? "   <= chosen" : "");
+    }
+    Result<BaselineResult> l = lcpu.Execute(t.value(), c.spec);
+    if (!l.ok()) return;
+    std::printf("    %-12s measured %9.3f ms%s\n", "local-cpu",
+                ToMillis(l.value().elapsed),
+                plan.placement == PhysicalPlan::Placement::kLocalCpu
+                    ? "   <= chosen"
+                    : "");
+  }
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10 reproduction: regular expression matching for different string
+// sizes; the pattern matches 50% of the generated strings.
+//
+// Expected shape (Section 6.6): FV sustains line rate independent of the
+// pattern; the CPU baselines (RE2-class software matching) pay per byte and
+// lose, with RCPU additionally paying the network.
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+void Run() {
+  bench::SeriesPrinter series(
+      "Figure 10: regex matching response time [ms] (50% match rate)",
+      "string size", {"FV", "LCPU", "RCPU"});
+  const uint64_t kTotalBytes = 8 * kMiB;  // fixed data volume per point
+  LocalEngine lcpu;
+  RemoteEngine rcpu;
+  for (uint32_t width : {16u, 32u, 64u, 128u, 256u}) {
+    const uint64_t rows = kTotalBytes / width;
+    TableGenerator gen(width);
+    Result<Table> t = gen.Strings(rows, width, "xq", 0.5);
+    if (!t.ok()) return;
+    const QuerySpec spec = QuerySpec::Regex(0, "xq");
+
+    bench::FvFixture fx;
+    const FTable ft = fx.Upload("s", t.value());
+    Result<Pipeline> p = spec.BuildPipeline(ft.schema);
+    if (!p.ok()) return;
+    if (!fx.client().LoadPipeline(std::move(p).value()).ok()) return;
+    Result<FvResult> fv =
+        fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+    Result<BaselineResult> l = lcpu.Execute(t.value(), spec);
+    Result<BaselineResult> r = rcpu.Execute(t.value(), spec);
+    if (!fv.ok() || !l.ok() || !r.ok()) return;
+    series.Row(std::to_string(width) + " B",
+               {ToMillis(fv.value().Elapsed()), ToMillis(l.value().elapsed),
+                ToMillis(r.value().elapsed)});
+  }
+  series.Print();
+
+  // Complexity independence: the same data with increasingly complex
+  // patterns — FV's response time must stay flat (Section 6.6: performance
+  // "does not depend on the complexity of the regular expression used").
+  bench::SeriesPrinter flat(
+      "Figure 10 (inset): FV response time vs pattern complexity [ms]",
+      "pattern", {"FV"});
+  TableGenerator gen(99);
+  Result<Table> t = gen.Strings(kTotalBytes / 64, 64, "xq", 0.5);
+  if (!t.ok()) return;
+  bench::FvFixture fx;
+  const FTable ft = fx.Upload("s", t.value());
+  // Patterns of increasing structural complexity with an *identical* match
+  // set (the strings are lowercase, so the upper-case alternatives never
+  // fire): differences can only come from pattern complexity, and the FPGA
+  // engine shows none.
+  for (const std::string& pattern :
+       {std::string("xq"), std::string("x(q)"), std::string("x[q]"),
+        std::string("(x|X)(q|Q)"), std::string("xqq*|xq")}) {
+    Result<Pipeline> p =
+        PipelineBuilder(ft.schema).RegexSelect(0, pattern).Build();
+    if (!p.ok()) return;
+    if (!fx.client().LoadPipeline(std::move(p).value()).ok()) return;
+    Result<FvResult> fv =
+        fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+    if (!fv.ok()) return;
+    flat.Row(pattern, {ToMillis(fv.value().Elapsed())});
+  }
+  flat.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6 reproduction: RDMA read throughput (a) and response time (b) as
+// a function of transfer size, Farview (FV) vs a commercial NIC (RNIC).
+//
+// Setup mirrors Section 6.2: single dynamic region, 1 kB packets, transfer
+// size swept until the network saturates. FV reads stream from on-board
+// FPGA DRAM through the 100 Gbps stack; RNIC reads cross PCIe on the remote
+// host, capping at ~11 GB/s, but enjoy a lower base latency.
+
+#include "benchlib/experiment.h"
+#include "net/rnic_model.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+void Run() {
+  bench::SeriesPrinter throughput(
+      "Figure 6(a): RDMA read throughput [GB/s]", "transfer",
+      {"FV", "RNIC"});
+  bench::SeriesPrinter response("Figure 6(b): RDMA read response time [us]",
+                                "transfer", {"FV", "RNIC"});
+
+  for (uint64_t size = 1 * kKiB; size <= 16 * kMiB; size *= 2) {
+    // FV: full node path (memory stack -> network stack -> client).
+    bench::FvFixture fx;
+    TableGenerator gen(size);
+    Result<Table> t =
+        gen.Uniform(Schema::DefaultWideRow(), size / 64, 100);
+    if (!t.ok()) return;
+    const FTable ft = fx.Upload("t", t.value());
+    Result<FvResult> read = fx.client().TableRead(ft);
+    if (!read.ok()) return;
+    const SimTime fv_time = read.value().Elapsed();
+
+    // RNIC: closed-form commercial NIC model.
+    sim::Engine engine;
+    RnicModel rnic(&engine, NetConfig());
+    const SimTime rnic_time = rnic.ReadResponseTime(size);
+
+    throughput.Row(bench::AxisBytes(size),
+                   {AchievedGBps(size, fv_time),
+                    AchievedGBps(size, rnic_time)});
+    response.Row(bench::AxisBytes(size),
+                 {ToMicros(fv_time), ToMicros(rnic_time)});
+  }
+  throughput.Print();
+  response.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7 reproduction: standard projection vs smart addressing.
+//
+// The query projects three contiguous 8-byte columns. FV-t256B and FV-t512B
+// stream whole 256 B / 512 B tuples and project on the data path; FV-SA
+// issues per-tuple reads of only the 24 projected bytes from the 512 B
+// tuples (Section 5.2). The expected shape: FV-t256B < FV-SA < FV-t512B —
+// the crossover between streaming and smart addressing falls between 256 B
+// and 512 B tuples.
+
+#include "benchlib/experiment.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+/// Streams whole tuples of `cols` 8 B columns and projects columns 8..10.
+SimTime StandardProjection(uint64_t rows, int cols, uint64_t seed) {
+  bench::FvFixture fx;
+  const Schema schema = Schema::DefaultWideRow(cols);
+  TableGenerator gen(seed);
+  Result<Table> t = gen.Uniform(schema, rows, 100);
+  if (!t.ok()) return 0;
+  const FTable ft = fx.Upload("t", t.value());
+  Result<Pipeline> p = PipelineBuilder(schema).Project({8, 9, 10}).Build();
+  if (!p.ok()) return 0;
+  if (!fx.client().LoadPipeline(std::move(p).value()).ok()) return 0;
+  Result<FvResult> r = fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  return r.ok() ? r.value().Elapsed() : 0;
+}
+
+/// Smart addressing over 512 B tuples: fetch only bytes [64, 88) per tuple.
+SimTime SmartAddressing(uint64_t rows, uint64_t seed) {
+  bench::FvFixture fx;
+  const Schema schema = Schema::DefaultWideRow(64);  // 512 B
+  TableGenerator gen(seed);
+  Result<Table> t = gen.Uniform(schema, rows, 100);
+  if (!t.ok()) return 0;
+  const FTable ft = fx.Upload("t", t.value());
+  const Schema projected = schema.Project({8, 9, 10});
+  Result<Pipeline> p = PipelineBuilder(projected).Build();
+  if (!p.ok()) return 0;
+  if (!fx.client().LoadPipeline(std::move(p).value()).ok()) return 0;
+  FvRequest req = fx.client().ScanRequest(ft);
+  req.smart_addressing = true;
+  req.sa_access_bytes = 24;
+  req.sa_offset = 64;
+  Result<FvResult> r = fx.client().FarviewRequest(req);
+  return r.ok() ? r.value().Elapsed() : 0;
+}
+
+void Run() {
+  bench::SeriesPrinter series(
+      "Figure 7: standard projection vs smart addressing [ms] "
+      "(project 3x8B columns)",
+      "rows", {"FV-SA(512B)", "FV-t256B", "FV-t512B"});
+  for (uint64_t rows = 1 << 12; rows <= 1 << 17; rows *= 2) {
+    const SimTime sa = SmartAddressing(rows, rows);
+    const SimTime t256 = StandardProjection(rows, 32, rows + 1);
+    const SimTime t512 = StandardProjection(rows, 64, rows + 2);
+    series.Row(std::to_string(rows),
+               {ToMillis(sa), ToMillis(t256), ToMillis(t512)});
+  }
+  series.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8 reproduction: selection response time at 100% / 50% / 25%
+// selectivity for FV, FV-V (vectorized), LCPU and RCPU.
+//
+// Query: SELECT * FROM S WHERE S.a < X AND S.b < Y over 64 B tuples, table
+// size swept. Expected shapes (Section 6.4):
+//  - FV and FV-V beat LCPU and RCPU everywhere; RCPU is the slowest;
+//  - at 100% both FV variants are network-bound and equal;
+//  - at 50% FV-V edges ahead (memory feeds parallel pipes);
+//  - at 25% the scalar pipe binds FV and FV-V is ~2x faster.
+
+#include <cmath>
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+void RunSelectivity(int percent) {
+  bench::SeriesPrinter series(
+      "Figure 8(" + std::string(percent == 100  ? "a"
+                                : percent == 50 ? "b"
+                                                : "c") +
+          "): selection response time [ms], selectivity " +
+          std::to_string(percent) + "%",
+      "table size", {"FV", "FV-V", "LCPU", "RCPU"});
+
+  LocalEngine lcpu;
+  RemoteEngine rcpu;
+  for (uint64_t size = 1 * kMiB; size <= 32 * kMiB; size *= 4) {
+    const uint64_t rows = size / 64;
+    TableGenerator gen(size + static_cast<uint64_t>(percent));
+    Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), rows, 100);
+    if (!t.ok()) return;
+    // Two-predicate conjunction whose combined selectivity is `percent`:
+    // P(a < x) * P(b < y) with x = y = sqrt(s) * 100.
+    const double s = percent / 100.0;
+    const int64_t threshold =
+        static_cast<int64_t>(std::lround(std::sqrt(s) * 100.0));
+    const QuerySpec spec = QuerySpec::Select(
+        {Predicate::Int(0, CompareOp::kLt, threshold),
+         Predicate::Int(1, CompareOp::kLt, threshold)});
+
+    bench::FvFixture fx;
+    const FTable ft = fx.Upload("s", t.value());
+    Result<Pipeline> p1 = spec.BuildPipeline(ft.schema);
+    if (!p1.ok()) return;
+    if (!fx.client().LoadPipeline(std::move(p1).value()).ok()) return;
+    Result<FvResult> fv =
+        fx.client().FarviewRequest(fx.client().ScanRequest(ft, false));
+    Result<FvResult> fvv =
+        fx.client().FarviewRequest(fx.client().ScanRequest(ft, true));
+    Result<BaselineResult> l = lcpu.Execute(t.value(), spec);
+    Result<BaselineResult> r = rcpu.Execute(t.value(), spec);
+    if (!fv.ok() || !fvv.ok() || !l.ok() || !r.ok()) return;
+
+    series.Row(bench::AxisBytes(size),
+               {ToMillis(fv.value().Elapsed()), ToMillis(fvv.value().Elapsed()),
+                ToMillis(l.value().elapsed), ToMillis(r.value().elapsed)});
+  }
+  series.Print();
+}
+
+}  // namespace
+}  // namespace farview
+
+int main() {
+  farview::RunSelectivity(100);
+  farview::RunSelectivity(50);
+  farview::RunSelectivity(25);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Secure string search: regular expression matching on encrypted strings.
+//
+// The table rests AES-128-CTR encrypted in disaggregated memory
+// (Cypherbase-style, Section 5.5: the memory node is the trusted module).
+// The offloaded pipeline decrypts *on the data path*, applies the regex
+// selection, and ships only matching rows — the paper's "regular expression
+// matching on encrypted strings, which requires decryption early in the
+// pipeline" scenario. Plaintext never rests in remote DRAM, and
+// non-matching rows never cross the network.
+//
+// Build & run:  ./build/examples/secure_regex
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/engines.h"
+#include "crypto/aes_ctr.h"
+#include "fv/client.h"
+#include "fv/farview_node.h"
+#include "table/generator.h"
+
+using namespace farview;
+
+int main() {
+  const uint64_t kRows = 100000;
+  const uint32_t kWidth = 64;
+  const std::string kPattern = "xq[a-m]*z?";  // contains the "xq" needle
+
+  // Plaintext strings, 30% of which contain the needle.
+  TableGenerator gen(2026);
+  Result<Table> plain = gen.Strings(kRows, kWidth, "xq", 0.30);
+  if (!plain.ok()) return 1;
+
+  // Encrypt before upload: only ciphertext leaves the client.
+  uint8_t key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                     0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  uint8_t nonce[16] = {0xf0, 0xf1, 0xf2, 0xf3};
+  Table encrypted = plain.value();
+  AesCtr(key, nonce).Apply(encrypted.mutable_data(), encrypted.size_bytes(),
+                           0);
+
+  sim::Engine engine;
+  FarviewNode node(&engine, FarviewConfig());
+  FarviewClient client(&node, 1);
+  if (!client.OpenConnection().ok()) return 1;
+
+  FTable ft;
+  ft.name = "secrets";
+  ft.schema = plain.value().schema();
+  ft.num_rows = kRows;
+  if (!client.AllocTableMem(&ft).ok()) return 1;
+  if (!client.TableWrite(ft, encrypted).ok()) return 1;
+
+  // Pipeline: decrypt -> regex select. Deployed into the dynamic region.
+  Result<Pipeline> p = PipelineBuilder(ft.schema)
+                           .Decrypt(key, nonce)
+                           .RegexSelect(0, kPattern)
+                           .Build();
+  if (!p.ok()) {
+    std::printf("pipeline: %s\n", p.status().ToString().c_str());
+    return 1;
+  }
+  if (!client.LoadPipeline(std::move(p).value()).ok()) return 1;
+  Result<FvResult> fv = client.FarviewRequest(client.ScanRequest(ft));
+  if (!fv.ok()) {
+    std::printf("query failed: %s\n", fv.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reference: the same query via the baseline engine over the ciphertext.
+  QuerySpec spec = QuerySpec::Decrypt(key, nonce);
+  spec.regex_column = 0;
+  spec.regex_pattern = kPattern;
+  LocalEngine lcpu;
+  Result<BaselineResult> ref = lcpu.Execute(encrypted, spec);
+  if (!ref.ok()) return 1;
+
+  std::printf("regex '%s' over %llu encrypted strings (%u B each)\n",
+              kPattern.c_str(), static_cast<unsigned long long>(kRows),
+              kWidth);
+  std::printf("  matches: %llu (%.1f%%), results match LCPU oracle: %s\n",
+              static_cast<unsigned long long>(fv.value().rows),
+              100.0 * static_cast<double>(fv.value().rows) /
+                  static_cast<double>(kRows),
+              fv.value().data == ref.value().data ? "yes" : "NO (bug!)");
+  std::printf("  response time: FV %.2f ms (decrypt+match at line rate) vs "
+              "LCPU %.2f ms (software AES + RE2-class matching)\n",
+              ToMillis(fv.value().Elapsed()), ToMillis(ref.value().elapsed));
+
+  // Show a couple of matches (decrypted only at the client).
+  Result<Table> rows = Table::FromBytes(ft.schema, fv.value().data);
+  if (!rows.ok()) return 1;
+  for (uint64_t r = 0; r < 2 && r < rows.value().num_rows(); ++r) {
+    std::printf("  match: %.*s\n", 24,
+                reinterpret_cast<const char*>(rows.value().Row(r).data()));
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every
+# table/figure series into test_output.txt / bench_output.txt (and CSVs
+# under results/ if desired).
+#
+# Usage:  scripts/reproduce.sh [--csv]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+if [[ "${1:-}" == "--csv" ]]; then
+  mkdir -p results
+  export FV_BENCH_CSV_DIR="$PWD/results"
+fi
+
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

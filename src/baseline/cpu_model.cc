@@ -1,0 +1,84 @@
+#include "baseline/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace farview {
+
+SimTime CpuCostModel::StreamPhase(uint64_t bytes_in, uint64_t rows,
+                                  uint64_t bytes_out) const {
+  return TransferTime(bytes_in, config_.dram_read_bytes_per_sec) +
+         static_cast<SimTime>(rows) * config_.per_tuple_cost +
+         TransferTime(bytes_out, config_.dram_write_bytes_per_sec);
+}
+
+SimTime CpuCostModel::HashOpCost(uint64_t table_bytes) const {
+  if (table_bytes <= config_.l2_bytes) return config_.hash_op_l2;
+  if (table_bytes <= config_.l3_bytes) return config_.hash_op_l3;
+  return config_.hash_op_dram;
+}
+
+SimTime CpuCostModel::HashPhase(uint64_t rows, uint64_t distinct,
+                                uint32_t entry_payload_bytes,
+                                double interference) const {
+  if (rows == 0) return 0;
+  distinct = std::min(distinct, rows);
+  const uint64_t entry_bytes =
+      entry_payload_bytes + config_.hash_entry_overhead_bytes;
+
+  // Walk the growth epochs: between resizes the table size (and hence the
+  // per-op tier) is fixed, so each epoch contributes
+  //   ops_in_epoch × op_cost(table_bytes).
+  // Probes (rows - distinct of them are hits) are spread uniformly over the
+  // insert sequence: each epoch gets its proportional share.
+  SimTime total = 0;
+  uint64_t capacity = config_.hash_initial_capacity;
+  uint64_t inserted = 0;
+  const double probes_per_insert =
+      distinct == 0 ? 0.0
+                    : static_cast<double>(rows) / static_cast<double>(distinct);
+  while (inserted < distinct) {
+    const uint64_t threshold = static_cast<uint64_t>(
+        std::floor(static_cast<double>(capacity) * config_.hash_max_load));
+    const uint64_t epoch_inserts =
+        std::min(distinct - inserted,
+                 threshold > inserted ? threshold - inserted : 0);
+    if (epoch_inserts == 0) {
+      // Table is full at this capacity: resize and continue.
+      total += TransferTime(inserted * entry_bytes,
+                            config_.resize_copy_bytes_per_sec);
+      capacity *= 2;
+      continue;
+    }
+    const uint64_t table_bytes = capacity * entry_bytes;
+    const uint64_t epoch_ops = static_cast<uint64_t>(
+        std::llround(static_cast<double>(epoch_inserts) * probes_per_insert));
+    total += static_cast<SimTime>(
+        static_cast<double>(std::max(epoch_ops, epoch_inserts)) *
+        static_cast<double>(HashOpCost(table_bytes)) * interference);
+    inserted += epoch_inserts;
+  }
+  return total;
+}
+
+SimTime CpuCostModel::RegexPhase(uint64_t bytes) const {
+  return static_cast<SimTime>(bytes) * config_.regex_cost_per_byte;
+}
+
+SimTime CpuCostModel::CryptoPhase(uint64_t bytes) const {
+  return static_cast<SimTime>(bytes) * config_.aes_cost_per_byte;
+}
+
+double CpuCostModel::SharedReadRate(int processes) const {
+  const double fair =
+      config_.socket_dram_bytes_per_sec / std::max(processes, 1);
+  return std::min(config_.dram_read_bytes_per_sec, fair);
+}
+
+double CpuCostModel::SharedWriteRate(int processes) const {
+  const double fair =
+      config_.socket_dram_bytes_per_sec / std::max(processes, 1);
+  return std::min(config_.dram_write_bytes_per_sec, fair);
+}
+
+}  // namespace farview

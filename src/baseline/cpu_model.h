@@ -1,0 +1,112 @@
+#ifndef FARVIEW_BASELINE_CPU_MODEL_H_
+#define FARVIEW_BASELINE_CPU_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace farview {
+
+/// Calibration constants for the CPU baselines (LCPU: Xeon Gold 6248,
+/// RCPU: Xeon Gold 6154 — Section 6.1). The experiments run with cold
+/// caches over base tables far larger than LLC, so streaming costs are
+/// DRAM-bound; hash-heavy operators additionally pay per-access latencies
+/// that grow as the hash table spills through the cache hierarchy — the
+/// "dramatic" baseline slowdowns of Figure 9.
+///
+/// Values are first-order figures for Skylake-SP-class parts; they are
+/// deliberately favourable to the CPU (the paper stresses it used "all
+/// available compiler and code optimizations").
+struct CpuModelConfig {
+  /// Effective single-thread streaming read bandwidth while processing
+  /// (load + predicate work overlapped; ~60% of a core's raw stream rate).
+  double dram_read_bytes_per_sec = 8.0e9;
+
+  /// Effective single-thread write-back bandwidth for materialized results.
+  double dram_write_bytes_per_sec = 8.0e9;
+
+  /// Per-tuple CPU work for predicate evaluation / tuple bookkeeping.
+  SimTime per_tuple_cost = 1500;  // 1.5 ns
+
+  // --- Hash-table costs (distinct / group by) -----------------------------
+
+  /// Per-operation base cost while the table fits in L2.
+  SimTime hash_op_l2 = 18 * kNanosecond;
+  /// Per-operation cost once the table spills to L3.
+  SimTime hash_op_l3 = 42 * kNanosecond;
+  /// Per-operation cost once the table spills to DRAM (random access).
+  SimTime hash_op_dram = 95 * kNanosecond;
+
+  uint64_t l2_bytes = 1 * kMiB;
+  uint64_t l3_bytes = 27 * kMiB;  // shared LLC slice available to one core
+
+  /// Bytes of hash-map storage per resident entry (key + payload + control;
+  /// a Swiss-table-like flat map).
+  uint32_t hash_entry_overhead_bytes = 16;
+
+  /// Copy bandwidth during geometric rehashing (random-ish access pattern).
+  double resize_copy_bytes_per_sec = 4.0e9;
+
+  /// Initial hash-map capacity and growth policy (doubling at 87.5% load,
+  /// matching flat-map implementations like parallel-hashmap).
+  uint64_t hash_initial_capacity = 16;
+  double hash_max_load = 0.875;
+
+  // --- Specialized per-byte costs -----------------------------------------
+
+  /// RE2-class regex scanning cost per input byte (DFA walk + loads).
+  SimTime regex_cost_per_byte = 1600;  // 1.6 ns/B ≈ 0.6 GB/s
+
+  /// AES-128-CTR with AES-NI, including loads/stores (Crypto++ class).
+  SimTime aes_cost_per_byte = 900;  // 0.9 ns/B ≈ 1.1 GB/s
+
+  // --- Multi-process interference (Figure 12) -----------------------------
+
+  /// Aggregate DRAM bandwidth of the socket shared by concurrent processes.
+  double socket_dram_bytes_per_sec = 20.0e9;
+
+  /// Multiplier on hash-op costs when several processes thrash the shared
+  /// LLC ("compete for access both to the DRAM and the shared caches").
+  double cache_interference_factor = 1.5;
+};
+
+/// Time-accounting helpers shared by the LCPU and RCPU engines.
+class CpuCostModel {
+ public:
+  explicit CpuCostModel(const CpuModelConfig& config = {})
+      : config_(config) {}
+
+  const CpuModelConfig& config() const { return config_; }
+
+  /// Streaming a table through predicate/projection work and materializing
+  /// `bytes_out`, single process.
+  SimTime StreamPhase(uint64_t bytes_in, uint64_t rows,
+                      uint64_t bytes_out) const;
+
+  /// Hash phase over `rows` probes of which `distinct` insert new keys of
+  /// `entry_payload_bytes` each (key+aggregates), including geometric
+  /// resizes. `interference` scales per-op costs (multi-process runs).
+  SimTime HashPhase(uint64_t rows, uint64_t distinct,
+                    uint32_t entry_payload_bytes,
+                    double interference = 1.0) const;
+
+  /// Scanning `bytes` through the software regex engine.
+  SimTime RegexPhase(uint64_t bytes) const;
+
+  /// Decrypting/encrypting `bytes` on the CPU.
+  SimTime CryptoPhase(uint64_t bytes) const;
+
+  /// Effective per-process read bandwidth when `processes` stream together.
+  double SharedReadRate(int processes) const;
+  double SharedWriteRate(int processes) const;
+
+ private:
+  /// Per-op hash cost for a table currently occupying `table_bytes`.
+  SimTime HashOpCost(uint64_t table_bytes) const;
+
+  CpuModelConfig config_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_BASELINE_CPU_MODEL_H_

@@ -1,0 +1,75 @@
+#ifndef FARVIEW_BASELINE_ENGINES_H_
+#define FARVIEW_BASELINE_ENGINES_H_
+
+#include <cstdint>
+
+#include "baseline/cpu_model.h"
+#include "baseline/query_spec.h"
+#include "common/status.h"
+#include "net/net_config.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// Outcome of a baseline query execution: the functional result (identical
+/// layout to the Farview result, so tests can compare them byte for byte)
+/// plus the modeled response time and its breakdown.
+struct BaselineResult {
+  Schema output_schema;
+  ByteBuffer data;
+  uint64_t rows = 0;
+
+  /// Modeled end-to-end response time.
+  SimTime elapsed = 0;
+
+  // Breakdown (sums to `elapsed`).
+  SimTime stream_time = 0;   ///< DRAM read + per-tuple work + result write
+  SimTime hash_time = 0;     ///< distinct / group-by hash phase
+  SimTime regex_time = 0;    ///< software regex scan
+  SimTime crypto_time = 0;   ///< software AES
+  SimTime network_time = 0;  ///< RCPU only: shipping results to the client
+};
+
+/// LCPU baseline (Section 6.1): "a buffer cache implemented in local
+/// (client) memory, where the processing is done on the local CPU." The
+/// query runs functionally through the same operator pipeline as Farview;
+/// time comes from the calibrated CPU cost model.
+class LocalEngine {
+ public:
+  explicit LocalEngine(const CpuModelConfig& config = {}) : model_(config) {}
+
+  /// Runs `spec` over `input`. `concurrent_processes` > 1 models this
+  /// process running alongside n-1 identical ones (shared DRAM bandwidth,
+  /// cache interference) — the MPI setup of the multi-client experiment;
+  /// the returned `elapsed` is then the completion time of the batch.
+  Result<BaselineResult> Execute(const Table& input, const QuerySpec& spec,
+                                 int concurrent_processes = 1) const;
+
+  const CpuCostModel& model() const { return model_; }
+
+ protected:
+  CpuCostModel model_;
+};
+
+/// RCPU baseline (Section 6.1): "a remote buffer cache implemented on the
+/// memory of a different machine and reachable through a commercial NIC via
+/// two-sided RDMA operations." Server-side work is priced like LCPU; the
+/// result then crosses the commercial NIC (PCIe-bound) to the client.
+class RemoteEngine : public LocalEngine {
+ public:
+  explicit RemoteEngine(const CpuModelConfig& cpu = {},
+                        const NetConfig& net = {})
+      : LocalEngine(cpu), net_(net) {}
+
+  Result<BaselineResult> Execute(const Table& input, const QuerySpec& spec,
+                                 int concurrent_processes = 1) const;
+
+  const NetConfig& net_config() const { return net_; }
+
+ private:
+  NetConfig net_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_BASELINE_ENGINES_H_

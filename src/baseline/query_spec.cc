@@ -1,0 +1,101 @@
+#include "baseline/query_spec.h"
+
+namespace farview {
+
+Status QuerySpec::Validate(const Schema& input) const {
+  if (!distinct_keys.empty() && !group_keys.empty()) {
+    return Status::InvalidArgument(
+        "distinct and group-by are mutually exclusive");
+  }
+  if (group_keys.empty() != aggregates.empty()) {
+    // Standalone aggregation (no keys) is expressed with group_keys empty
+    // and aggregates non-empty; that is allowed. Only keys-without-aggs is
+    // malformed.
+    if (!group_keys.empty()) {
+      return Status::InvalidArgument("group-by requires aggregates");
+    }
+  }
+  for (const Predicate& p : predicates) {
+    FV_RETURN_IF_ERROR(p.Validate(input));
+  }
+  (void)input;
+  return Status::OK();
+}
+
+Result<Pipeline> QuerySpec::BuildPipeline(const Schema& input) const {
+  FV_RETURN_IF_ERROR(Validate(input));
+  PipelineBuilder builder(input);
+  if (decrypt) {
+    builder.Decrypt(aes_key.data(), aes_nonce.data());
+  }
+  if (regex_column.has_value()) {
+    builder.RegexSelect(*regex_column, regex_pattern, regex_full_match);
+  }
+  if (!predicates.empty()) {
+    builder.Select(predicates);
+  }
+  if (join_build != nullptr) {
+    builder.HashJoinSmall(join_probe_key, *join_build, join_build_key,
+                          join_config);
+  }
+  if (!projection.empty()) {
+    builder.Project(projection);
+  }
+  if (!distinct_keys.empty()) {
+    builder.Distinct(distinct_keys, grouping);
+  }
+  if (!group_keys.empty()) {
+    builder.GroupBy(group_keys, aggregates, grouping);
+  } else if (!aggregates.empty()) {
+    builder.Aggregate(aggregates);
+  }
+  return builder.Build();
+}
+
+QuerySpec QuerySpec::Select(std::vector<Predicate> preds,
+                            std::vector<int> projection) {
+  QuerySpec q;
+  q.predicates = std::move(preds);
+  q.projection = std::move(projection);
+  return q;
+}
+
+QuerySpec QuerySpec::Distinct(std::vector<int> keys) {
+  QuerySpec q;
+  q.distinct_keys = std::move(keys);
+  return q;
+}
+
+QuerySpec QuerySpec::GroupBy(std::vector<int> keys,
+                             std::vector<AggSpec> aggs) {
+  QuerySpec q;
+  q.group_keys = std::move(keys);
+  q.aggregates = std::move(aggs);
+  return q;
+}
+
+QuerySpec QuerySpec::Regex(int column, std::string pattern) {
+  QuerySpec q;
+  q.regex_column = column;
+  q.regex_pattern = std::move(pattern);
+  return q;
+}
+
+QuerySpec QuerySpec::Decrypt(const uint8_t key[16], const uint8_t nonce[16]) {
+  QuerySpec q;
+  q.decrypt = true;
+  std::copy(key, key + 16, q.aes_key.begin());
+  std::copy(nonce, nonce + 16, q.aes_nonce.begin());
+  return q;
+}
+
+QuerySpec QuerySpec::Join(std::shared_ptr<const Table> build, int probe_key,
+                          int build_key) {
+  QuerySpec q;
+  q.join_build = std::move(build);
+  q.join_probe_key = probe_key;
+  q.join_build_key = build_key;
+  return q;
+}
+
+}  // namespace farview

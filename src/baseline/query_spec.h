@@ -1,0 +1,80 @@
+#ifndef FARVIEW_BASELINE_QUERY_SPEC_H_
+#define FARVIEW_BASELINE_QUERY_SPEC_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/grouping.h"
+#include "operators/pipeline.h"
+#include "operators/predicate.h"
+#include "table/schema.h"
+
+namespace farview {
+
+/// A declarative description of the query shapes the evaluation uses —
+/// selection / projection / distinct / group-by / regex / decrypt and their
+/// combinations. Both the Farview side (compiled into an operator pipeline)
+/// and the CPU baselines (executed by the software engines) consume the
+/// same spec, which guarantees the result comparisons in the tests compare
+/// identical semantics.
+struct QuerySpec {
+  /// WHERE conjunction (empty: no filter).
+  std::vector<Predicate> predicates;
+
+  /// SELECT column list (empty: SELECT *). Applied after `predicates`.
+  std::vector<int> projection;
+
+  /// SELECT DISTINCT keys (empty: none). Mutually exclusive with grouping.
+  std::vector<int> distinct_keys;
+
+  /// GROUP BY keys + aggregates (both empty: none).
+  std::vector<int> group_keys;
+  std::vector<AggSpec> aggregates;
+
+  /// Regex filter: column + pattern. `regex_full_match` anchors the match
+  /// at both ends (SQL LIKE semantics after wildcard translation).
+  std::optional<int> regex_column;
+  std::string regex_pattern;
+  bool regex_full_match = false;
+
+  /// Decrypt the stream before processing (table stored AES-CTR encrypted).
+  bool decrypt = false;
+  std::array<uint8_t, 16> aes_key{};
+  std::array<uint8_t, 16> aes_nonce{};
+
+  /// Small-table equi-join: probe rows join against `join_build` on
+  /// `join_probe_key == join_build_key`. Applied after selection, before
+  /// projection (projection indices refer to the joined layout).
+  std::shared_ptr<const Table> join_build;
+  int join_probe_key = -1;
+  int join_build_key = -1;
+  JoinConfig join_config;
+
+  /// Hash-structure sizing for distinct/group-by.
+  GroupingConfig grouping;
+
+  /// Compiles the spec into a Farview operator pipeline over `input`.
+  /// Operator order: decrypt → regex → select → project → distinct/group.
+  Result<Pipeline> BuildPipeline(const Schema& input) const;
+
+  /// Validates mutual exclusions and column references.
+  Status Validate(const Schema& input) const;
+
+  // Convenience constructors for the common experiment shapes.
+  static QuerySpec Select(std::vector<Predicate> preds,
+                          std::vector<int> projection = {});
+  static QuerySpec Distinct(std::vector<int> keys);
+  static QuerySpec GroupBy(std::vector<int> keys, std::vector<AggSpec> aggs);
+  static QuerySpec Regex(int column, std::string pattern);
+  static QuerySpec Decrypt(const uint8_t key[16], const uint8_t nonce[16]);
+  static QuerySpec Join(std::shared_ptr<const Table> build, int probe_key,
+                        int build_key);
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_BASELINE_QUERY_SPEC_H_

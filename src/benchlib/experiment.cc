@@ -1,0 +1,123 @@
+#include "benchlib/experiment.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace farview::bench {
+
+FvFixture::FvFixture(const FarviewConfig& config) {
+  node_ = std::make_unique<FarviewNode>(&engine_, config);
+  clients_.push_back(std::make_unique<FarviewClient>(
+      node_.get(), static_cast<int>(clients_.size()) + 1));
+  client_ = clients_.back().get();
+  const Status s = client_->OpenConnection();
+  FV_CHECK(s.ok()) << s.ToString();
+}
+
+FTable FvFixture::Upload(const std::string& name, const Table& rows) {
+  FTable ft;
+  ft.name = name;
+  ft.schema = rows.schema();
+  ft.num_rows = rows.num_rows();
+  Status s = client_->AllocTableMem(&ft);
+  FV_CHECK(s.ok()) << s.ToString();
+  Result<SimTime> w = client_->TableWrite(ft, rows);
+  FV_CHECK(w.ok()) << w.status().ToString();
+  return ft;
+}
+
+FarviewClient& FvFixture::AddClient() {
+  clients_.push_back(std::make_unique<FarviewClient>(
+      node_.get(), static_cast<int>(clients_.size()) + 1));
+  FarviewClient* c = clients_.back().get();
+  const Status s = c->OpenConnection();
+  FV_CHECK(s.ok()) << s.ToString();
+  return *c;
+}
+
+SeriesPrinter::SeriesPrinter(std::string title, std::string x_label,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      columns_(std::move(columns)) {}
+
+void SeriesPrinter::Row(const std::string& x,
+                        const std::vector<double>& values) {
+  FV_CHECK(values.size() == columns_.size())
+      << "row has " << values.size() << " values for " << columns_.size()
+      << " columns";
+  rows_.push_back(RowData{x, values});
+}
+
+std::string SeriesPrinter::ToString() const {
+  std::string out = "\n== " + title_ + " ==\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-16s", x_label_.c_str());
+  out += buf;
+  for (const std::string& c : columns_) {
+    std::snprintf(buf, sizeof(buf), " %14s", c.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (const RowData& r : rows_) {
+    std::snprintf(buf, sizeof(buf), "%-16s", r.x.c_str());
+    out += buf;
+    for (double v : r.values) {
+      std::snprintf(buf, sizeof(buf), " %14.3f", v);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SeriesPrinter::ToCsv() const {
+  std::string out = x_label_;
+  for (const std::string& c : columns_) {
+    out += ",";
+    out += c;
+  }
+  out += "\n";
+  char buf[64];
+  for (const RowData& r : rows_) {
+    out += r.x;
+    for (double v : r.values) {
+      std::snprintf(buf, sizeof(buf), ",%.6f", v);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void SeriesPrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  const char* dir = std::getenv("FV_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  // Slugify the title for the file name.
+  std::string slug;
+  for (const char c : title_) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    FV_LOG(kWarning) << "cannot write " << path;
+    return;
+  }
+  const std::string csv = ToCsv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+}
+
+std::string AxisBytes(uint64_t bytes) { return FormatBytes(bytes); }
+
+}  // namespace farview::bench

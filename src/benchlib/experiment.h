@@ -1,0 +1,83 @@
+#ifndef FARVIEW_BENCHLIB_EXPERIMENT_H_
+#define FARVIEW_BENCHLIB_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/engines.h"
+#include "fv/client.h"
+#include "fv/farview_node.h"
+#include "sim/engine.h"
+#include "table/generator.h"
+
+namespace farview::bench {
+
+/// One Farview node plus one connected client, ready for experiments. Each
+/// fixture owns its simulation engine, so experiments are isolated and
+/// deterministic. (The paper averages over many runs because real hardware
+/// jitters; the simulator is exact, so experiment drivers report the single
+/// deterministic value and note this in EXPERIMENTS.md.)
+class FvFixture {
+ public:
+  explicit FvFixture(const FarviewConfig& config = FarviewConfig());
+
+  sim::Engine& engine() { return engine_; }
+  FarviewNode& node() { return *node_; }
+  FarviewClient& client() { return *client_; }
+
+  /// Allocates Farview memory for `rows`, writes it, and returns the FTable
+  /// handle. Dies on failure (bench setup errors are bugs).
+  FTable Upload(const std::string& name, const Table& rows);
+
+  /// Adds another connected client (multi-client experiments).
+  FarviewClient& AddClient();
+
+ private:
+  sim::Engine engine_;
+  std::unique_ptr<FarviewNode> node_;
+  std::vector<std::unique_ptr<FarviewClient>> clients_;
+  FarviewClient* client_;
+};
+
+/// Prints experiment series as aligned text tables, one row per sweep point
+/// — the textual equivalent of the paper's figures. Values are given in the
+/// unit named by the header.
+class SeriesPrinter {
+ public:
+  /// `title` names the figure/table ("Figure 8(a): ..."); `x_label` the
+  /// sweep axis; `columns` the series names (FV, FV-V, LCPU, ...).
+  SeriesPrinter(std::string title, std::string x_label,
+                std::vector<std::string> columns);
+
+  /// Adds one sweep point.
+  void Row(const std::string& x, const std::vector<double>& values);
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders the series as CSV (header row, then one line per sweep point).
+  std::string ToCsv() const;
+
+  /// Renders and writes to stdout. When the environment variable
+  /// `FV_BENCH_CSV_DIR` is set, also writes `<dir>/<slug-of-title>.csv` so
+  /// experiment series can be plotted without scraping stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  struct RowData {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::vector<RowData> rows_;
+};
+
+/// Formats a byte count for sweep-axis labels ("64 KiB").
+std::string AxisBytes(uint64_t bytes);
+
+}  // namespace farview::bench
+
+#endif  // FARVIEW_BENCHLIB_EXPERIMENT_H_

@@ -1,0 +1,79 @@
+#ifndef FARVIEW_COMMON_BYTES_H_
+#define FARVIEW_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace farview {
+
+/// Byte buffer used throughout for raw tuple data; rows are stored in
+/// little-endian fixed-width layout (see src/table/row_layout.h).
+using ByteBuffer = std::vector<uint8_t>;
+
+/// Reads a little-endian 64-bit unsigned integer at `p`.
+inline uint64_t LoadLE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // This codebase targets little-endian hosts (checked at startup
+             // of the test suite); serialized layout is little-endian.
+}
+
+/// Writes a little-endian 64-bit unsigned integer at `p`.
+inline void StoreLE64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Reads a little-endian signed 64-bit integer at `p`.
+inline int64_t LoadLE64Signed(const uint8_t* p) {
+  return static_cast<int64_t>(LoadLE64(p));
+}
+
+/// Writes a little-endian signed 64-bit integer at `p`.
+inline void StoreLE64Signed(uint8_t* p, int64_t v) {
+  StoreLE64(p, static_cast<uint64_t>(v));
+}
+
+/// Reads an IEEE-754 double stored in 8 little-endian bytes at `p`.
+inline double LoadDouble(const uint8_t* p) {
+  double d;
+  std::memcpy(&d, p, sizeof(d));
+  return d;
+}
+
+/// Writes an IEEE-754 double into 8 little-endian bytes at `p`.
+inline void StoreDouble(uint8_t* p, double d) { std::memcpy(p, &d, sizeof(d)); }
+
+/// Reads a little-endian 32-bit unsigned integer at `p`.
+inline uint32_t LoadLE32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Writes a little-endian 32-bit unsigned integer at `p`.
+inline void StoreLE32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Rounds `v` up to the next multiple of `alignment` (a power of two).
+inline uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+/// Rounds `v` down to a multiple of `alignment` (a power of two).
+inline uint64_t AlignDown(uint64_t v, uint64_t alignment) {
+  return v & ~(alignment - 1);
+}
+
+/// True when `v` is a power of two (and nonzero).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of `unit`-sized pieces needed to cover `total` (ceiling division).
+inline uint64_t CeilDiv(uint64_t total, uint64_t unit) {
+  return (total + unit - 1) / unit;
+}
+
+/// Renders a byte count as a human-readable string ("64 B", "2.0 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace farview
+
+#endif  // FARVIEW_COMMON_BYTES_H_

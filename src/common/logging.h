@@ -1,0 +1,74 @@
+#ifndef FARVIEW_COMMON_LOGGING_H_
+#define FARVIEW_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace farview {
+
+/// Severity for log records. `kFatal` aborts the process after logging —
+/// reserved for invariant violations that indicate a bug, never for
+/// recoverable errors (those return a Status).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                      kFatal = 4 };
+
+/// Returns the global minimum severity; records below it are dropped.
+LogLevel GetLogLevel();
+
+/// Sets the global minimum severity. Thread-compatible: intended to be set
+/// once at startup (tests lower it to kDebug, benches raise it to kWarning).
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log record and emits it on destruction. Used only via the
+/// FV_LOG macro below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed expression to void so it can appear on the false
+/// branch of the FV_LOG ternary. `&` binds looser than `<<`, so the whole
+/// streaming chain is evaluated first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace farview
+
+/// Streams a log record at the given severity:
+///   FV_LOG(kInfo) << "loaded " << n << " pages";
+#define FV_LOG(severity)                                                     \
+  (::farview::LogLevel::severity < ::farview::GetLogLevel() &&              \
+   ::farview::LogLevel::severity != ::farview::LogLevel::kFatal)            \
+      ? (void)0                                                             \
+      : ::farview::internal::Voidify() &                                    \
+            ::farview::internal::LogMessage(::farview::LogLevel::severity,  \
+                                            __FILE__, __LINE__)             \
+                .stream()
+
+/// Checks an invariant; logs and aborts on violation. Active in all builds:
+/// simulator invariants guard timing correctness, which benches rely on.
+#define FV_CHECK(cond)                                                      \
+  while (!(cond))                                                           \
+  ::farview::internal::LogMessage(::farview::LogLevel::kFatal, __FILE__,    \
+                                  __LINE__)                                 \
+          .stream()                                                         \
+      << "Check failed: " #cond " "
+
+#endif  // FARVIEW_COMMON_LOGGING_H_

@@ -1,0 +1,22 @@
+#include "common/units.h"
+
+#include <cmath>
+
+namespace farview {
+
+SimTime TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  const double seconds = static_cast<double>(bytes) / bytes_per_sec;
+  // Round up to a whole picosecond, with a small epsilon so that exact
+  // results (e.g. 1 B at 1 GB/s = exactly 1000 ps) are not bumped up by
+  // binary floating-point representation error.
+  return static_cast<SimTime>(
+      std::ceil(seconds * static_cast<double>(kSecond) - 1e-6));
+}
+
+double AchievedGBps(uint64_t bytes, SimTime t) {
+  if (t <= 0) return 0.0;
+  return static_cast<double>(bytes) / ToSeconds(t) / 1e9;
+}
+
+}  // namespace farview

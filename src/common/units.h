@@ -1,0 +1,72 @@
+#ifndef FARVIEW_COMMON_UNITS_H_
+#define FARVIEW_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace farview {
+
+// ---------------------------------------------------------------------------
+// Byte units
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+// ---------------------------------------------------------------------------
+// Simulated time. The simulation clock counts picoseconds in a signed 64-bit
+// integer, which covers ~106 days of simulated time — far beyond any
+// experiment — while keeping sub-nanosecond precision for bandwidth math
+// (one 64 B beat at 18 GB/s is ~3.5 ns; rounding to whole nanoseconds
+// accumulates >10% error over a burst).
+// ---------------------------------------------------------------------------
+
+/// Simulated time point / duration in picoseconds.
+using SimTime = int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1000 * kPicosecond;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a SimTime duration to fractional microseconds (for reporting).
+inline constexpr double ToMicros(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts a SimTime duration to fractional milliseconds (for reporting).
+inline constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a SimTime duration to fractional seconds (for reporting).
+inline constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth helpers. Bandwidths are expressed in bytes per second (double);
+// transfer times are rounded up to whole picoseconds so that a transfer is
+// never reported faster than the line rate.
+// ---------------------------------------------------------------------------
+
+/// Bytes per second corresponding to `gbps` gigabits per second (decimal,
+/// as network rates are quoted: 100 Gbps = 12.5e9 B/s).
+inline constexpr double GbpsToBytesPerSec(double gbps) {
+  return gbps * 1e9 / 8.0;
+}
+
+/// Bytes per second corresponding to `gb` gigabytes per second (decimal, as
+/// memory-channel rates are quoted in the paper: 18 GB/s = 18e9 B/s).
+inline constexpr double GBpsToBytesPerSec(double gb) { return gb * 1e9; }
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole picosecond.
+SimTime TransferTime(uint64_t bytes, double bytes_per_sec);
+
+/// Achieved bandwidth in GB/s (decimal) for `bytes` over duration `t`.
+double AchievedGBps(uint64_t bytes, SimTime t);
+
+}  // namespace farview
+
+#endif  // FARVIEW_COMMON_UNITS_H_

@@ -1,0 +1,149 @@
+#include "compress/lz.h"
+
+#include <cstring>
+#include <vector>
+
+namespace farview {
+namespace {
+
+constexpr uint64_t kMinMatch = 4;
+constexpr uint64_t kMaxOffset = 65535;
+constexpr int kHashBits = 14;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emits a length using the nibble + 255-extension encoding.
+void EmitLength(ByteBuffer* out, uint64_t value) {
+  while (value >= 255) {
+    out->push_back(255);
+    value -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+ByteBuffer LzCompress(const uint8_t* data, uint64_t len) {
+  ByteBuffer out;
+  out.reserve(len / 2 + 16);
+  // Hash table of last positions for 4-byte windows; 0 means empty, stored
+  // positions are +1.
+  std::vector<uint64_t> table(1u << kHashBits, 0);
+
+  uint64_t pos = 0;
+  uint64_t literal_start = 0;
+
+  auto emit_sequence = [&out](const uint8_t* lit, uint64_t nlit,
+                              uint64_t match_len, uint64_t offset) {
+    const uint64_t lit_nibble = nlit >= 15 ? 15 : nlit;
+    const bool has_match = match_len >= kMinMatch;
+    const uint64_t match_code = has_match ? match_len - kMinMatch : 0;
+    const uint64_t match_nibble = match_code >= 15 ? 15 : match_code;
+    out.push_back(static_cast<uint8_t>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) EmitLength(&out, nlit - 15);
+    out.insert(out.end(), lit, lit + nlit);
+    if (has_match) {
+      out.push_back(static_cast<uint8_t>(offset & 0xff));
+      out.push_back(static_cast<uint8_t>(offset >> 8));
+      if (match_nibble == 15) EmitLength(&out, match_code - 15);
+    }
+  };
+
+  while (pos + kMinMatch <= len) {
+    const uint32_t h = Hash4(data + pos);
+    const uint64_t candidate_plus1 = table[h];
+    table[h] = pos + 1;
+    if (candidate_plus1 != 0) {
+      const uint64_t candidate = candidate_plus1 - 1;
+      const uint64_t offset = pos - candidate;
+      if (offset > 0 && offset <= kMaxOffset &&
+          std::memcmp(data + candidate, data + pos, kMinMatch) == 0) {
+        // Extend the match.
+        uint64_t match_len = kMinMatch;
+        while (pos + match_len < len &&
+               data[candidate + match_len] == data[pos + match_len]) {
+          ++match_len;
+        }
+        emit_sequence(data + literal_start, pos - literal_start, match_len,
+                      offset);
+        pos += match_len;
+        literal_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  // Trailing literals (possibly the whole input).
+  emit_sequence(data + literal_start, len - literal_start, 0, 0);
+  return out;
+}
+
+Result<ByteBuffer> LzDecompress(const uint8_t* data, uint64_t len,
+                                uint64_t expected_len) {
+  ByteBuffer out;
+  out.reserve(expected_len);
+  uint64_t pos = 0;
+
+  auto read_extended = [&](uint64_t base) -> Result<uint64_t> {
+    uint64_t value = base;
+    if (base == 15) {
+      for (;;) {
+        if (pos >= len) return Status::InvalidArgument("truncated length");
+        const uint8_t b = data[pos++];
+        value += b;
+        if (b != 255) break;
+      }
+    }
+    return value;
+  };
+
+  while (pos < len) {
+    const uint8_t token = data[pos++];
+    FV_ASSIGN_OR_RETURN(const uint64_t nlit, read_extended(token >> 4));
+    if (pos + nlit > len) {
+      return Status::InvalidArgument("truncated literals");
+    }
+    out.insert(out.end(), data + pos, data + pos + nlit);
+    pos += nlit;
+    if (pos >= len) {
+      // Final sequence: no match part. A nonzero match nibble here is
+      // malformed.
+      if ((token & 0x0f) != 0) {
+        return Status::InvalidArgument("dangling match token");
+      }
+      break;
+    }
+    if (pos + 2 > len) {
+      return Status::InvalidArgument("truncated offset");
+    }
+    const uint64_t offset = static_cast<uint64_t>(data[pos]) |
+                            (static_cast<uint64_t>(data[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::InvalidArgument("match offset out of range");
+    }
+    FV_ASSIGN_OR_RETURN(const uint64_t match_code,
+                        read_extended(token & 0x0f));
+    const uint64_t match_len = match_code + kMinMatch;
+    // Byte-by-byte copy: matches may overlap their own output (RLE).
+    uint64_t src = out.size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+    if (out.size() > expected_len) {
+      return Status::InvalidArgument("decompressed size exceeds expected");
+    }
+  }
+  if (out.size() != expected_len) {
+    return Status::InvalidArgument(
+        "decompressed size mismatch: got " + std::to_string(out.size()) +
+        ", expected " + std::to_string(expected_len));
+  }
+  return out;
+}
+
+}  // namespace farview

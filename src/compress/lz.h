@@ -1,0 +1,49 @@
+#ifndef FARVIEW_COMPRESS_LZ_H_
+#define FARVIEW_COMPRESS_LZ_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace farview {
+
+/// A from-scratch byte-oriented LZ77 codec (LZ4-style token format),
+/// backing the compression system-support operator the paper suggests
+/// alongside encryption ("one could provide additional system support
+/// operators such as compression, decompression", Section 5.5).
+///
+/// Format (per sequence):
+///   token byte: high nibble = literal count, low nibble = match length - 4
+///               (15 in either nibble = continued in extension bytes of
+///                255 each, last one < 255)
+///   literal bytes
+///   2-byte little-endian match offset (1..65535), then the match
+/// The final sequence may omit the match (input exhausted after literals);
+/// its token's low nibble is 0 and no offset follows.
+///
+/// The compressor uses a hash table over 4-byte windows — greedy, single
+/// pass, no entropy stage — matching what a line-rate FPGA implementation
+/// can do (cf. LZ4's design goals).
+///
+/// `LzCompress` never fails; incompressible input grows by at most
+/// ~ len/255 + 16 bytes.
+ByteBuffer LzCompress(const uint8_t* data, uint64_t len);
+
+/// Decompresses into exactly `expected_len` bytes; fails on malformed or
+/// truncated input.
+Result<ByteBuffer> LzDecompress(const uint8_t* data, uint64_t len,
+                                uint64_t expected_len);
+
+/// Convenience overloads.
+inline ByteBuffer LzCompress(const ByteBuffer& data) {
+  return LzCompress(data.data(), data.size());
+}
+inline Result<ByteBuffer> LzDecompress(const ByteBuffer& data,
+                                       uint64_t expected_len) {
+  return LzDecompress(data.data(), data.size(), expected_len);
+}
+
+}  // namespace farview
+
+#endif  // FARVIEW_COMPRESS_LZ_H_

@@ -1,0 +1,45 @@
+#include "crypto/aes_ctr.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace farview {
+
+AesCtr::AesCtr(const uint8_t key[Aes128::kKeySize],
+               const uint8_t nonce[kNonceSize])
+    : cipher_(key) {
+  std::memcpy(nonce_.data(), nonce, kNonceSize);
+}
+
+void AesCtr::KeystreamBlock(uint64_t counter, uint8_t out[16]) const {
+  // Counter block: the nonce with the counter added big-endian into the low
+  // 8 bytes (standard CTR increment).
+  uint8_t block[16];
+  std::memcpy(block, nonce_.data(), 16);
+  uint64_t base = 0;
+  for (int i = 8; i < 16; ++i) base = (base << 8) | block[i];
+  const uint64_t value = base + counter;
+  for (int i = 0; i < 8; ++i) {
+    block[15 - i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  cipher_.EncryptBlock(block, out);
+}
+
+void AesCtr::Apply(uint8_t* data, uint64_t len, uint64_t offset) const {
+  uint64_t pos = 0;
+  while (pos < len) {
+    const uint64_t abs = offset + pos;
+    const uint64_t block_index = abs / Aes128::kBlockSize;
+    const uint64_t in_block = abs % Aes128::kBlockSize;
+    uint8_t ks[16];
+    KeystreamBlock(block_index, ks);
+    const uint64_t n =
+        std::min<uint64_t>(len - pos, Aes128::kBlockSize - in_block);
+    for (uint64_t i = 0; i < n; ++i) {
+      data[pos + i] ^= ks[in_block + i];
+    }
+    pos += n;
+  }
+}
+
+}  // namespace farview

@@ -1,0 +1,206 @@
+#include "fv/client.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview {
+
+FarviewClient::FarviewClient(FarviewNode* node, int client_id)
+    : node_(node), client_id_(client_id) {
+  FV_CHECK(node_ != nullptr);
+}
+
+FarviewClient::~FarviewClient() { CloseConnection(); }
+
+Status FarviewClient::OpenConnection() {
+  if (qp_ != nullptr) {
+    return Status::FailedPrecondition("connection already open");
+  }
+  FV_ASSIGN_OR_RETURN(qp_, node_->Connect(client_id_));
+  return Status::OK();
+}
+
+void FarviewClient::CloseConnection() {
+  if (qp_ == nullptr) return;
+  const Status s = node_->Disconnect(qp_->qp_id);
+  FV_CHECK(s.ok()) << s.ToString();
+  qp_ = nullptr;
+}
+
+Status FarviewClient::AllocTableMem(FTable* table) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  if (table->name.empty() || table->num_rows == 0) {
+    return Status::InvalidArgument("table needs a name and a row count");
+  }
+  FV_ASSIGN_OR_RETURN(table->vaddr,
+                      node_->AllocTableMem(*qp_, table->SizeBytes()));
+  TableEntry entry;
+  entry.name = table->name;
+  entry.schema = table->schema;
+  entry.virtual_address = table->vaddr;
+  entry.num_rows = table->num_rows;
+  entry.size_bytes = table->SizeBytes();
+  return catalog_.Register(std::move(entry));
+}
+
+Status FarviewClient::FreeTableMem(FTable* table) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  FV_RETURN_IF_ERROR(node_->FreeTableMem(*qp_, table->vaddr));
+  if (catalog_.Contains(table->name)) {
+    FV_RETURN_IF_ERROR(catalog_.Drop(table->name));
+  }
+  table->vaddr = 0;
+  return Status::OK();
+}
+
+Result<TableEntry> FarviewClient::ShareTable(const FTable& table) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  FV_RETURN_IF_ERROR(node_->ShareTableMem(*qp_, table.vaddr));
+  return catalog_.Lookup(table.name);
+}
+
+Status FarviewClient::ImportTable(const TableEntry& entry) {
+  return catalog_.Register(entry);
+}
+
+Result<SimTime> FarviewClient::TableWrite(const FTable& table,
+                                          const Table& rows) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  if (!rows.schema().Equals(table.schema)) {
+    return Status::InvalidArgument("row data does not match table schema");
+  }
+  if (rows.num_rows() != table.num_rows) {
+    return Status::InvalidArgument("row count does not match table");
+  }
+  std::optional<Result<SimTime>> out;
+  node_->TableWrite(qp_->qp_id, table.vaddr, rows.data(), rows.size_bytes(),
+                    [&out](Result<SimTime> r) { out.emplace(std::move(r)); });
+  node_->engine()->Run();
+  FV_CHECK(out.has_value()) << "TableWrite did not complete";
+  return std::move(*out);
+}
+
+Result<FvResult> FarviewClient::TableRead(const FTable& table) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  std::optional<Result<FvResult>> out;
+  node_->TableRead(qp_->qp_id, table.vaddr, table.SizeBytes(),
+                   [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
+  node_->engine()->Run();
+  FV_CHECK(out.has_value()) << "TableRead did not complete";
+  return std::move(*out);
+}
+
+Status FarviewClient::LoadPipeline(Pipeline pipeline) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  std::optional<Status> out;
+  node_->LoadPipeline(qp_->qp_id, std::move(pipeline),
+                      [&out](Status s) { out.emplace(std::move(s)); });
+  node_->engine()->Run();
+  FV_CHECK(out.has_value()) << "LoadPipeline did not complete";
+  return *out;
+}
+
+Result<FvResult> FarviewClient::FarviewRequest(const FvRequest& request) {
+  if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
+  std::optional<Result<FvResult>> out;
+  node_->FarviewRequest(qp_->qp_id, request, [&out](Result<FvResult> r) {
+    out.emplace(std::move(r));
+  });
+  node_->engine()->Run();
+  FV_CHECK(out.has_value()) << "FarviewRequest did not complete";
+  return std::move(*out);
+}
+
+void FarviewClient::FarviewRequestAsync(
+    const FvRequest& request, std::function<void(Result<FvResult>)> done) {
+  FV_CHECK(qp_ != nullptr) << "not connected";
+  node_->FarviewRequest(qp_->qp_id, request, std::move(done));
+}
+
+void FarviewClient::LoadPipelineAsync(Pipeline pipeline,
+                                      std::function<void(Status)> done) {
+  FV_CHECK(qp_ != nullptr) << "not connected";
+  node_->LoadPipeline(qp_->qp_id, std::move(pipeline), std::move(done));
+}
+
+FvRequest FarviewClient::ScanRequest(const FTable& table,
+                                     bool vectorized) const {
+  FvRequest req;
+  req.vaddr = table.vaddr;
+  req.len = table.SizeBytes();
+  req.tuple_bytes = table.schema.tuple_width();
+  req.vectorized = vectorized;
+  return req;
+}
+
+Result<FvResult> FarviewClient::FvSelect(const FTable& table,
+                                         std::vector<Predicate> predicates,
+                                         std::vector<int> projection,
+                                         bool vectorized) {
+  PipelineBuilder builder(table.schema);
+  builder.Select(std::move(predicates));
+  if (!projection.empty()) builder.Project(std::move(projection));
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline, builder.Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table, vectorized));
+}
+
+Result<FvResult> FarviewClient::FvDistinct(const FTable& table,
+                                           std::vector<int> key_columns,
+                                           const GroupingConfig& config) {
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline,
+                      PipelineBuilder(table.schema)
+                          .Distinct(std::move(key_columns), config)
+                          .Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table));
+}
+
+Result<FvResult> FarviewClient::FvGroupBy(const FTable& table,
+                                          std::vector<int> key_columns,
+                                          std::vector<AggSpec> aggs,
+                                          const GroupingConfig& config) {
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline,
+                      PipelineBuilder(table.schema)
+                          .GroupBy(std::move(key_columns), std::move(aggs),
+                                   config)
+                          .Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table));
+}
+
+Result<FvResult> FarviewClient::FvRegexSelect(const FTable& table, int column,
+                                              const std::string& pattern) {
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline,
+                      PipelineBuilder(table.schema)
+                          .RegexSelect(column, pattern)
+                          .Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table));
+}
+
+Result<FvResult> FarviewClient::FvJoinSmall(const FTable& table,
+                                            int probe_key, const Table& build,
+                                            int build_key) {
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline,
+                      PipelineBuilder(table.schema)
+                          .HashJoinSmall(probe_key, build, build_key)
+                          .Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table));
+}
+
+Result<FvResult> FarviewClient::FvDecryptRead(const FTable& table,
+                                              const uint8_t key[16],
+                                              const uint8_t nonce[16]) {
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline,
+                      PipelineBuilder(table.schema)
+                          .Decrypt(key, nonce)
+                          .Build());
+  FV_RETURN_IF_ERROR(LoadPipeline(std::move(pipeline)));
+  return FarviewRequest(ScanRequest(table));
+}
+
+}  // namespace farview

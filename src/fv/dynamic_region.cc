@@ -1,0 +1,296 @@
+#include "fv/dynamic_region.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "operators/batch.h"
+
+namespace farview {
+
+DynamicRegion::DynamicRegion(int region_id, sim::Engine* engine,
+                             const FarviewConfig& config, Mmu* mmu,
+                             MemoryController* memctl, NetworkStack* net)
+    : region_id_(region_id),
+      engine_(engine),
+      config_(config),
+      mmu_(mmu),
+      memctl_(memctl),
+      net_(net) {
+  FV_CHECK(engine_ && mmu_ && memctl_ && net_);
+}
+
+void DynamicRegion::LoadPipeline(Pipeline pipeline,
+                                 std::function<void(Status)> done) {
+  if (busy_ || reconfiguring_) {
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      done(Status::Unavailable("region busy; cannot reconfigure"));
+    });
+    return;
+  }
+  reconfiguring_ = true;
+  // Partial reconfiguration: the bitstream for the pre-compiled pipeline is
+  // loaded without disturbing other regions (Section 3.2).
+  engine_->ScheduleAfter(
+      config_.region_reconfig_time,
+      [this, p = std::make_shared<Pipeline>(std::move(pipeline)),
+       done = std::move(done)]() mutable {
+        pipeline_.emplace(std::move(*p));
+        reconfiguring_ = false;
+        done(Status::OK());
+      });
+}
+
+/// Per-request execution state, kept alive by shared_ptr across the event
+/// callbacks of the three stacks.
+struct DynamicRegion::ExecState {
+  int client_id = -1;
+  int qp_id = -1;
+  FvRequest req;
+  bool plain_read = false;
+
+  /// Functionally materialized input stream (whole tuples, or the
+  /// smart-addressing extraction), consumed in order by the datapath.
+  ByteBuffer stream;
+  uint64_t stream_cursor = 0;
+
+  /// Private datapath server for this request (rate depends on
+  /// vectorization).
+  std::unique_ptr<sim::Server> pipe;
+
+  std::shared_ptr<NetworkStack::TxStream> tx;
+  std::unique_ptr<StreamParser> parser;
+
+  uint64_t mem_bursts_total = 0;
+  uint64_t mem_bursts_done = 0;
+  uint64_t pipe_chunks_done = 0;
+  bool input_done = false;
+  bool failed = false;
+
+  FvResult result;
+  std::function<void(Result<FvResult>)> on_result;
+};
+
+void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
+                            std::function<void(Result<FvResult>)> on_result) {
+  auto fail = [this, &on_result](Status s) {
+    engine_->ScheduleAfter(0, [s, on_result = std::move(on_result)]() {
+      on_result(s);
+    });
+  };
+  if (busy_ || reconfiguring_) {
+    fail(Status::Unavailable("region busy"));
+    return;
+  }
+  if (!pipeline_.has_value()) {
+    fail(Status::FailedPrecondition("no pipeline loaded"));
+    return;
+  }
+  if (request.tuple_bytes == 0 || request.len % request.tuple_bytes != 0) {
+    fail(Status::InvalidArgument("length is not a whole number of tuples"));
+    return;
+  }
+  const uint32_t stream_tuple =
+      request.smart_addressing ? request.sa_access_bytes : request.tuple_bytes;
+  if (stream_tuple != pipeline_->input_schema().tuple_width()) {
+    fail(Status::InvalidArgument(
+        "pipeline input width does not match the requested tuple layout"));
+    return;
+  }
+  if (request.smart_addressing) {
+    if (request.vectorized) {
+      fail(Status::InvalidArgument(
+          "smart addressing and vectorization are mutually exclusive"));
+      return;
+    }
+    if (request.sa_access_bytes == 0 ||
+        request.sa_offset + request.sa_access_bytes > request.tuple_bytes) {
+      fail(Status::InvalidArgument("smart-addressing window out of tuple"));
+      return;
+    }
+  }
+
+  auto st = std::make_shared<ExecState>();
+  st->client_id = client_id;
+  st->qp_id = qp_id;
+  st->req = request;
+  st->on_result = std::move(on_result);
+  st->result.issued_at = engine_->Now();
+
+  // Functional materialization of the input stream (and access check).
+  // `on_result` now lives in the state object, so failures from here on
+  // must route through it, not through `fail`.
+  auto fail_st = [this, st](Status s) {
+    engine_->ScheduleAfter(0, [st, s]() { st->on_result(s); });
+  };
+  const uint64_t rows = request.len / request.tuple_bytes;
+  if (request.smart_addressing) {
+    st->stream.resize(rows * request.sa_access_bytes);
+    for (uint64_t r = 0; r < rows; ++r) {
+      const Status s = mmu_->Read(
+          client_id,
+          request.vaddr + r * request.tuple_bytes + request.sa_offset,
+          request.sa_access_bytes,
+          st->stream.data() + r * request.sa_access_bytes);
+      if (!s.ok()) {
+        fail_st(s);
+        return;
+      }
+    }
+  } else {
+    st->stream.resize(request.len);
+    const Status s =
+        mmu_->Read(client_id, request.vaddr, request.len, st->stream.data());
+    if (!s.ok()) {
+      fail_st(s);
+      return;
+    }
+  }
+
+  busy_ = true;
+  pipeline_->Reset();
+  st->parser = std::make_unique<StreamParser>(&pipeline_->input_schema());
+  st->pipe = std::make_unique<sim::Server>(
+      engine_, "region" + std::to_string(region_id_) + "_pipe",
+      config_.PipeRate(request.vectorized));
+
+  st->tx = net_->OpenStream(
+      qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
+        st->result.bytes_on_wire += bytes;
+        if (st->result.first_byte_at == 0) st->result.first_byte_at = t;
+        if (last) {
+          st->result.completed_at = t;
+          busy_ = false;
+          ++requests_served_;
+          st->on_result(std::move(st->result));
+        }
+      });
+
+  // Timing: drive the memory stack; each completed burst is handed to the
+  // datapath; each datapath completion processes the next chunk of the
+  // functional stream.
+  auto on_mem_burst = [this, st](uint64_t bytes, bool last, SimTime) {
+    if (st->failed) return;
+    ++st->mem_bursts_done;
+    if (last) st->input_done = true;
+    const SimTime fill = st->pipe_chunks_done == 0 && st->mem_bursts_done == 1
+                             ? config_.pipeline_fill_latency
+                             : 0;
+    st->pipe->Submit(st->qp_id, bytes, fill, [this, st, bytes](SimTime) {
+      OnBurstProcessed(st, bytes);
+    });
+  };
+
+  if (request.smart_addressing) {
+    memctl_->ScatteredRead(qp_id, request.vaddr, rows,
+                           request.sa_access_bytes, request.tuple_bytes,
+                           on_mem_burst);
+  } else {
+    memctl_->StreamRead(qp_id, request.vaddr, request.len, on_mem_burst);
+  }
+}
+
+void DynamicRegion::OnBurstProcessed(std::shared_ptr<ExecState> st,
+                                     uint64_t bytes) {
+  if (st->failed) return;
+  ++st->pipe_chunks_done;
+  // Functional processing: the next `bytes` of the stream clear the
+  // datapath now.
+  const uint64_t n =
+      std::min<uint64_t>(bytes, st->stream.size() - st->stream_cursor);
+  Batch batch = st->parser->Push(st->stream.data() + st->stream_cursor, n);
+  st->stream_cursor += n;
+  Result<Batch> out = pipeline_->Process(std::move(batch));
+  if (!out.ok()) {
+    st->failed = true;
+    busy_ = false;
+    st->on_result(out.status());
+    return;
+  }
+  st->result.data.insert(st->result.data.end(), out.value().data.begin(),
+                         out.value().data.end());
+  st->result.rows += out.value().num_rows;
+  if (out.value().size_bytes() > 0) {
+    st->tx->Push(out.value().size_bytes());
+  }
+  if (st->input_done && st->pipe_chunks_done == st->mem_bursts_done &&
+      st->stream_cursor == st->stream.size()) {
+    FinishStream(st);
+  }
+}
+
+void DynamicRegion::FinishStream(std::shared_ptr<ExecState> st) {
+  Result<Batch> flushed = pipeline_->Flush();
+  if (!flushed.ok()) {
+    st->failed = true;
+    busy_ = false;
+    st->on_result(flushed.status());
+    return;
+  }
+  const Batch& fb = flushed.value();
+  // Blocking operators pay the flush-phase latency: one queue lookup per
+  // group per cycle (Section 5.4).
+  SimTime flush_latency = 0;
+  if (fb.num_rows > 0 && pipeline_->IsBlocking()) {
+    flush_latency = static_cast<SimTime>(fb.num_rows) * config_.flush_per_group;
+  }
+  st->result.data.insert(st->result.data.end(), fb.data.begin(),
+                         fb.data.end());
+  st->result.rows += fb.num_rows;
+  const uint64_t flush_bytes = fb.size_bytes();
+  engine_->ScheduleAfter(flush_latency, [st, flush_bytes]() {
+    if (flush_bytes > 0) st->tx->Push(flush_bytes);
+    st->tx->Finish();
+  });
+}
+
+void DynamicRegion::ExecuteRead(int client_id, int qp_id, uint64_t vaddr,
+                                uint64_t len,
+                                std::function<void(Result<FvResult>)>
+                                    on_result) {
+  auto fail = [this, &on_result](Status s) {
+    engine_->ScheduleAfter(0, [s, on_result = std::move(on_result)]() {
+      on_result(s);
+    });
+  };
+  if (busy_) {
+    fail(Status::Unavailable("region busy"));
+    return;
+  }
+  auto st = std::make_shared<ExecState>();
+  st->client_id = client_id;
+  st->qp_id = qp_id;
+  st->plain_read = true;
+  st->on_result = std::move(on_result);
+  st->result.issued_at = engine_->Now();
+  st->stream.resize(len);
+  const Status s = mmu_->Read(client_id, vaddr, len, st->stream.data());
+  if (!s.ok()) {
+    engine_->ScheduleAfter(0, [s, st]() { st->on_result(s); });
+    return;
+  }
+  st->result.data = st->stream;
+
+  busy_ = true;
+  st->tx = net_->OpenStream(
+      qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
+        st->result.bytes_on_wire += bytes;
+        if (st->result.first_byte_at == 0) st->result.first_byte_at = t;
+        if (last) {
+          st->result.completed_at = t;
+          busy_ = false;
+          ++requests_served_;
+          st->on_result(std::move(st->result));
+        }
+      });
+
+  // Blue bypass path (Figure 3): memory bursts stream straight to the
+  // network stack, no datapath stage.
+  memctl_->StreamRead(qp_id, vaddr, len,
+                      [st](uint64_t bytes, bool last, SimTime) {
+                        if (bytes > 0) st->tx->Push(bytes);
+                        if (last) st->tx->Finish();
+                      });
+}
+
+}  // namespace farview

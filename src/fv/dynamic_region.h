@@ -1,0 +1,101 @@
+#ifndef FARVIEW_FV_DYNAMIC_REGION_H_
+#define FARVIEW_FV_DYNAMIC_REGION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "fv/fv_config.h"
+#include "fv/request.h"
+#include "mem/memory_controller.h"
+#include "mem/mmu.h"
+#include "net/network_stack.h"
+#include "operators/pipeline.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace farview {
+
+/// One virtual dynamic region of the operator stack (Sections 3.2, 4.5).
+///
+/// A region is assigned to one connection, holds at most one loaded operator
+/// pipeline (swappable at runtime with a milliseconds-scale partial
+/// reconfiguration), and serves one request at a time. Request execution
+/// follows Figure 3:
+///
+///   memory stack ──bursts──▶ reorder ──▶ pipe (datapath @16 GB/s/pipe)
+///        ▲                                   │ operators (functional)
+///   read requests                            ▼
+///        └──────────── region ──────▶ network stack TxStream ──▶ client
+///
+/// Timing: bursts queue on the shared DRAM channel servers (striped), then
+/// on the region's private datapath server (rate = 16 GB/s × pipes), then
+/// the produced payload queues on the shared egress link. Functional bytes
+/// are read through the MMU when each burst clears the datapath — in
+/// stream order, which the reorder step guarantees (the hardware's
+/// inter-stack queues do the same).
+class DynamicRegion {
+ public:
+  DynamicRegion(int region_id, sim::Engine* engine,
+                const FarviewConfig& config, Mmu* mmu,
+                MemoryController* memctl, NetworkStack* net);
+
+  DynamicRegion(const DynamicRegion&) = delete;
+  DynamicRegion& operator=(const DynamicRegion&) = delete;
+
+  /// Loads (or swaps) the operator pipeline; completes after the partial
+  /// reconfiguration delay. Fails if a request is in flight.
+  void LoadPipeline(Pipeline pipeline, std::function<void(Status)> done);
+
+  /// True when a pipeline is loaded.
+  bool HasPipeline() const { return pipeline_.has_value(); }
+
+  /// The loaded pipeline (must exist).
+  const Pipeline& pipeline() const { return *pipeline_; }
+
+  /// Executes a Farview-verb request through the loaded pipeline. The
+  /// request must already be at the node (ingress latency paid by the
+  /// caller). `on_result` runs when the last byte lands in client memory.
+  /// `client_id` scopes MMU access rights; `qp_id` labels shared-resource
+  /// arbitration.
+  void Execute(int client_id, int qp_id, const FvRequest& request,
+               std::function<void(Result<FvResult>)> on_result);
+
+  /// Executes a plain RDMA read (the blue bypass path of Figure 3): memory
+  /// streamed straight to the network, no operators.
+  void ExecuteRead(int client_id, int qp_id, uint64_t vaddr, uint64_t len,
+                   std::function<void(Result<FvResult>)> on_result);
+
+  bool busy() const { return busy_; }
+  int region_id() const { return region_id_; }
+
+  /// Requests served since construction.
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct ExecState;
+
+  /// Burst `index` cleared the datapath: run the functional pipeline over
+  /// its bytes and push output to the network; finish after the last.
+  void OnBurstProcessed(std::shared_ptr<ExecState> st, uint64_t index);
+
+  void FinishStream(std::shared_ptr<ExecState> st);
+
+  int region_id_;
+  sim::Engine* engine_;
+  FarviewConfig config_;
+  Mmu* mmu_;
+  MemoryController* memctl_;
+  NetworkStack* net_;
+
+  std::optional<Pipeline> pipeline_;
+  std::unique_ptr<sim::Server> datapath_;
+  bool busy_ = false;
+  bool reconfiguring_ = false;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_DYNAMIC_REGION_H_

@@ -1,0 +1,236 @@
+#include "fv/farview_node.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview {
+
+FarviewNode::FarviewNode(sim::Engine* engine, const FarviewConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  phys_ = std::make_unique<PhysicalMemory>(config_.dram.TotalCapacity(),
+                                           Mmu::kPageSize);
+  mmu_ = std::make_unique<Mmu>(phys_.get());
+  memctl_ = std::make_unique<MemoryController>(engine_, config_.dram);
+  net_ = std::make_unique<NetworkStack>(engine_, config_.net);
+  ingress_ = std::make_unique<sim::Server>(
+      engine_, "fv_ingress", config_.net.link_rate_bytes_per_sec,
+      config_.net.fv_per_packet_overhead);
+  region_taken_.assign(static_cast<size_t>(config_.num_regions), false);
+  for (int r = 0; r < config_.num_regions; ++r) {
+    regions_.push_back(std::make_unique<DynamicRegion>(
+        r, engine_, config_, mmu_.get(), memctl_.get(), net_.get()));
+  }
+}
+
+Result<QPair*> FarviewNode::Connect(int client_id) {
+  int region = -1;
+  for (size_t r = 0; r < region_taken_.size(); ++r) {
+    if (!region_taken_[r]) {
+      region = static_cast<int>(r);
+      break;
+    }
+  }
+  if (region < 0) {
+    return Status::Unavailable("all dynamic regions are assigned");
+  }
+  region_taken_[static_cast<size_t>(region)] = true;
+  auto qp = std::make_unique<QPair>();
+  qp->qp_id = next_qp_id_++;
+  qp->client_id = client_id;
+  qp->region_id = region;
+  qp->connected = true;
+  QPair* raw = qp.get();
+  qpairs_.emplace(raw->qp_id, std::move(qp));
+  return raw;
+}
+
+Result<QPair*> FarviewNode::ConnectShared(int client_id) {
+  auto qp = std::make_unique<QPair>();
+  qp->qp_id = next_qp_id_++;
+  qp->client_id = client_id;
+  qp->region_id = -1;
+  qp->connected = true;
+  QPair* raw = qp.get();
+  qpairs_.emplace(raw->qp_id, std::move(qp));
+  return raw;
+}
+
+Status FarviewNode::Disconnect(int qp_id) {
+  auto it = qpairs_.find(qp_id);
+  if (it == qpairs_.end()) {
+    return Status::NotFound("unknown queue pair");
+  }
+  if (it->second->region_id >= 0) {
+    region_taken_[static_cast<size_t>(it->second->region_id)] = false;
+  }
+  qpairs_.erase(it);
+  return Status::OK();
+}
+
+QPair* FarviewNode::FindQPair(int qp_id) {
+  auto it = qpairs_.find(qp_id);
+  return it == qpairs_.end() ? nullptr : it->second.get();
+}
+
+Result<DynamicRegion*> FarviewNode::RegionFor(int qp_id) {
+  QPair* qp = FindQPair(qp_id);
+  if (qp == nullptr) {
+    return Status::NotFound("unknown queue pair");
+  }
+  if (qp->region_id < 0) {
+    return Status::FailedPrecondition(
+        "shared connection has no dedicated region; submit through a "
+        "RegionScheduler");
+  }
+  return regions_[static_cast<size_t>(qp->region_id)].get();
+}
+
+Result<uint64_t> FarviewNode::AllocTableMem(const QPair& qp, uint64_t bytes) {
+  return mmu_->Alloc(qp.client_id, bytes);
+}
+
+Status FarviewNode::FreeTableMem(const QPair& qp, uint64_t vaddr) {
+  return mmu_->Free(qp.client_id, vaddr);
+}
+
+Status FarviewNode::ShareTableMem(const QPair& qp, uint64_t vaddr) {
+  return mmu_->Share(qp.client_id, vaddr);
+}
+
+void FarviewNode::LoadPipeline(int qp_id, Pipeline pipeline,
+                               std::function<void(Status)> done) {
+  Result<DynamicRegion*> region = RegionFor(qp_id);
+  if (!region.ok()) {
+    engine_->ScheduleAfter(0, [s = region.status(),
+                               done = std::move(done)]() { done(s); });
+    return;
+  }
+  // Like any client-initiated operation, the reconfiguration command
+  // crosses the network before the region acts on it.
+  DynamicRegion* r = region.value();
+  net_->DeliverRequest(
+      [r, p = std::make_shared<Pipeline>(std::move(pipeline)),
+       done = std::move(done)]() mutable {
+        r->LoadPipeline(std::move(*p), std::move(done));
+      });
+}
+
+void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
+                             uint64_t len,
+                             std::function<void(Result<SimTime>)> done) {
+  QPair* qp = FindQPair(qp_id);
+  if (qp == nullptr) {
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      done(Status::NotFound("unknown queue pair"));
+    });
+    return;
+  }
+  // Functional write now (and access validation); timing below.
+  const Status s = mmu_->Write(qp->client_id, vaddr, len, data);
+  if (!s.ok()) {
+    engine_->ScheduleAfter(0, [s, done = std::move(done)]() { done(s); });
+    return;
+  }
+  qp->bytes_written_to_memory += len;
+  ++qp->requests_issued;
+
+  // Timing: request latency, then the payload crosses the ingress link in
+  // packets, then streams into DRAM; completion (write acknowledgment back
+  // at the client) after the final memory burst plus the return latency.
+  const int flow = qp_id;
+  engine_->ScheduleAfter(
+      config_.net.fv_request_latency, [this, flow, vaddr, len,
+                                       done = std::move(done)]() mutable {
+        const uint64_t packet = config_.net.packet_bytes;
+        uint64_t sent = 0;
+        auto done_holder =
+            std::make_shared<std::function<void(Result<SimTime>)>>(
+                std::move(done));
+        do {
+          const uint64_t n = std::min<uint64_t>(packet, len - sent);
+          const bool last = sent + n >= len;
+          ingress_->Submit(
+              flow, n, [this, flow, vaddr, len, last, done_holder](SimTime) {
+                if (!last) return;
+                // All packets arrived; stream the payload into memory.
+                memctl_->StreamWrite(
+                    flow, vaddr, len,
+                    [this, done_holder](uint64_t, bool mem_last, SimTime) {
+                      if (!mem_last) return;
+                      engine_->ScheduleAfter(
+                          config_.net.fv_delivery_latency,
+                          [this, done_holder]() {
+                            (*done_holder)(engine_->Now());
+                          });
+                    });
+              });
+          sent += n;
+        } while (sent < len);
+      });
+}
+
+void FarviewNode::TableRead(int qp_id, uint64_t vaddr, uint64_t len,
+                            std::function<void(Result<FvResult>)> done) {
+  Result<DynamicRegion*> region = RegionFor(qp_id);
+  if (!region.ok()) {
+    engine_->ScheduleAfter(0, [s = region.status(),
+                               done = std::move(done)]() { done(s); });
+    return;
+  }
+  QPair* qp = FindQPair(qp_id);
+  ++qp->requests_issued;
+  const SimTime issued = engine_->Now();
+  const int client = qp->client_id;
+  DynamicRegion* r = region.value();
+  net_->DeliverRequest([this, r, client, qp_id, vaddr, len, issued, qp,
+                        done = std::move(done)]() mutable {
+    r->ExecuteRead(client, qp_id, vaddr, len,
+                   [issued, qp, done = std::move(done)](
+                       Result<FvResult> res) mutable {
+                     if (res.ok()) {
+                       res.value().issued_at = issued;
+                       qp->bytes_sent_to_client += res.value().bytes_on_wire;
+                     }
+                     done(std::move(res));
+                   });
+  });
+}
+
+void FarviewNode::FarviewRequest(int qp_id, const FvRequest& request,
+                                 std::function<void(Result<FvResult>)> done) {
+  Result<DynamicRegion*> region = RegionFor(qp_id);
+  if (!region.ok()) {
+    engine_->ScheduleAfter(0, [s = region.status(),
+                               done = std::move(done)]() { done(s); });
+    return;
+  }
+  QPair* qp = FindQPair(qp_id);
+  ++qp->requests_issued;
+  const SimTime issued = engine_->Now();
+  const int client = qp->client_id;
+  DynamicRegion* r = region.value();
+  net_->DeliverRequest([this, r, client, qp_id, request, issued, qp,
+                        done = std::move(done)]() mutable {
+    r->Execute(client, qp_id, request,
+               [issued, qp, done = std::move(done)](
+                   Result<FvResult> res) mutable {
+                 if (res.ok()) {
+                   res.value().issued_at = issued;
+                   qp->bytes_sent_to_client += res.value().bytes_on_wire;
+                 }
+                 done(std::move(res));
+               });
+  });
+}
+
+ResourceUsage FarviewNode::CurrentResources() const {
+  std::vector<const Pipeline*> loaded;
+  for (const auto& r : regions_) {
+    if (r->HasPipeline()) loaded.push_back(&r->pipeline());
+  }
+  return ResourceModel::Total(static_cast<int>(regions_.size()), loaded);
+}
+
+}  // namespace farview

@@ -1,0 +1,120 @@
+#ifndef FARVIEW_FV_FARVIEW_NODE_H_
+#define FARVIEW_FV_FARVIEW_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fv/dynamic_region.h"
+#include "fv/fv_config.h"
+#include "fv/request.h"
+#include "fv/resource_model.h"
+#include "mem/memory_controller.h"
+#include "mem/mmu.h"
+#include "mem/physical_memory.h"
+#include "net/network_stack.h"
+#include "net/qpair.h"
+#include "sim/engine.h"
+
+namespace farview {
+
+/// A complete Farview node (Figure 2): the memory stack (physical DRAM,
+/// MMU, channel controllers), the network stack (RDMA, packetization,
+/// credits), and the operator stack (N dynamic regions), wired together over
+/// one simulation engine.
+///
+/// Clients connect to obtain a queue pair bound to a dynamic region, then
+/// drive the paper's data API (Section 4.2) through `FarviewClient` or
+/// directly via the async methods here.
+class FarviewNode {
+ public:
+  FarviewNode(sim::Engine* engine, const FarviewConfig& config);
+
+  FarviewNode(const FarviewNode&) = delete;
+  FarviewNode& operator=(const FarviewNode&) = delete;
+
+  /// Opens a connection for `client_id`: assigns a free dynamic region and
+  /// returns the queue pair. Fails when all regions are taken.
+  Result<QPair*> Connect(int client_id);
+
+  /// Opens a connection *without* a dedicated region (`region_id == -1`).
+  /// Such connections can use the control path and memory management but
+  /// must execute requests through a `RegionScheduler`, which multiplexes
+  /// the regions — the elasticity extension (the paper defers "query
+  /// processing elasticity" to future work).
+  Result<QPair*> ConnectShared(int client_id);
+
+  /// Tears down a connection, freeing its region. Memory allocations
+  /// survive (they belong to the client, not the connection).
+  Status Disconnect(int qp_id);
+
+  // --- Control path (immediate, like the paper's management interface) ---
+
+  /// Allocates `bytes` of disaggregated memory on behalf of the connection's
+  /// client; returns the virtual address.
+  Result<uint64_t> AllocTableMem(const QPair& qp, uint64_t bytes);
+  Status FreeTableMem(const QPair& qp, uint64_t vaddr);
+
+  /// Makes an allocation readable by all clients (shared buffer pool).
+  Status ShareTableMem(const QPair& qp, uint64_t vaddr);
+
+  /// Loads an operator pipeline into the connection's region (partial
+  /// reconfiguration; completes asynchronously).
+  void LoadPipeline(int qp_id, Pipeline pipeline,
+                    std::function<void(Status)> done);
+
+  // --- Data path (asynchronous; completion at client-side delivery) ------
+
+  /// One-sided RDMA write of `len` bytes into Farview memory.
+  void TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
+                  uint64_t len, std::function<void(Result<SimTime>)> done);
+
+  /// One-sided RDMA read (no operators; Figure 3's bypass path).
+  void TableRead(int qp_id, uint64_t vaddr, uint64_t len,
+                 std::function<void(Result<FvResult>)> done);
+
+  /// The Farview verb: execute the loaded pipeline over a read stream.
+  void FarviewRequest(int qp_id, const FvRequest& request,
+                      std::function<void(Result<FvResult>)> done);
+
+  // --- Introspection ------------------------------------------------------
+
+  sim::Engine* engine() { return engine_; }
+  const FarviewConfig& config() const { return config_; }
+  Mmu& mmu() { return *mmu_; }
+  MemoryController& memory_controller() { return *memctl_; }
+  NetworkStack& network() { return *net_; }
+  DynamicRegion& region(int i) { return *regions_[static_cast<size_t>(i)]; }
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+
+  /// Queue pair lookup (nullptr when unknown).
+  QPair* FindQPair(int qp_id);
+
+  /// Device resource usage for the currently loaded pipelines.
+  ResourceUsage CurrentResources() const;
+
+  /// Number of connected clients.
+  int num_connections() const { return static_cast<int>(qpairs_.size()); }
+
+ private:
+  /// Region assigned to a queue pair, or error.
+  Result<DynamicRegion*> RegionFor(int qp_id);
+
+  sim::Engine* engine_;
+  FarviewConfig config_;
+  std::unique_ptr<PhysicalMemory> phys_;
+  std::unique_ptr<Mmu> mmu_;
+  std::unique_ptr<MemoryController> memctl_;
+  std::unique_ptr<NetworkStack> net_;
+  /// Ingress link (client→node data for writes); separate from egress.
+  std::unique_ptr<sim::Server> ingress_;
+  std::vector<std::unique_ptr<DynamicRegion>> regions_;
+  std::vector<bool> region_taken_;
+  std::map<int, std::unique_ptr<QPair>> qpairs_;
+  int next_qp_id_ = 1;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_FARVIEW_NODE_H_

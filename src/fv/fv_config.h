@@ -1,0 +1,55 @@
+#ifndef FARVIEW_FV_FV_CONFIG_H_
+#define FARVIEW_FV_FV_CONFIG_H_
+
+#include "common/units.h"
+#include "mem/dram_config.h"
+#include "net/net_config.h"
+
+namespace farview {
+
+/// Top-level configuration of a Farview node, defaults matching the paper's
+/// prototype (Alveo u250, 2 DRAM channels, 6 dynamic regions, 100 Gbps).
+struct FarviewConfig {
+  DramConfig dram;
+  NetConfig net;
+
+  /// Number of virtual dynamic regions ("We use six dynamic regions in our
+  /// experiments; Farview has been tested with up to ten", Section 6.1).
+  int num_regions = 6;
+
+  /// Ingest rate of one (non-vectorized) operator pipeline: the dynamic
+  /// region datapath is 64 bytes wide and the operator stack runs at
+  /// 250 MHz (Section 4.1), i.e. one tuple-width word per cycle = 16 GB/s.
+  double pipe_rate_bytes_per_sec = GBpsToBytesPerSec(16.0);
+
+  /// Number of parallel pipes in the vectorized processing model — "the
+  /// number of parallel operators is chosen based on the number of memory
+  /// channels" (Section 5.3).
+  int vector_pipes = 2;
+
+  /// Partial reconfiguration time for swapping a region's operator pipeline
+  /// ("on the order of milliseconds", Section 3.2).
+  SimTime region_reconfig_time = 5 * kMillisecond;
+
+  /// Pipeline fill latency: cycles for the first word to traverse the
+  /// operator pipeline (deep pipelining; tens of stages at 250 MHz).
+  SimTime pipeline_fill_latency = 200 * kNanosecond;
+
+  /// Per-group cost of the GROUP BY flush phase: the queue is drained one
+  /// lookup per cycle at 250 MHz (Section 5.4).
+  SimTime flush_per_group = 4 * kNanosecond;
+
+  /// Burst size used by region reads (one memory stripe per burst, so
+  /// channel arbitration and pipe submission stay aligned).
+  uint64_t BurstBytes() const { return dram.stripe_bytes; }
+
+  /// Effective pipe rate for a request.
+  double PipeRate(bool vectorized) const {
+    return vectorized ? pipe_rate_bytes_per_sec * vector_pipes
+                      : pipe_rate_bytes_per_sec;
+  }
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_FV_CONFIG_H_

@@ -1,0 +1,119 @@
+#include "fv/region_scheduler.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview {
+
+RegionScheduler::RegionScheduler(FarviewNode* node) : node_(node) {
+  FV_CHECK(node_ != nullptr);
+  for (int r = 0; r < node_->num_regions(); ++r) {
+    regions_.push_back(RegionSlot{&node_->region(r), "", false});
+  }
+  FV_CHECK(!regions_.empty());
+}
+
+void RegionScheduler::Submit(int client_id, int qp_id,
+                             const std::string& pipeline_key,
+                             PipelineFactory factory,
+                             const FvRequest& request,
+                             std::function<void(Result<FvResult>)> done) {
+  // The submission crosses the network like any other request; scheduling
+  // happens at the node.
+  Job job{client_id, qp_id, pipeline_key, std::move(factory), request,
+          std::move(done)};
+  node_->network().DeliverRequest(
+      [this, job = std::move(job)]() mutable {
+        queue_.push_back(std::move(job));
+        Dispatch();
+      });
+}
+
+void RegionScheduler::Dispatch() {
+  // Affinity pass: jobs whose pipeline is already resident on a free
+  // region run without reconfiguration.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    bool started = false;
+    for (size_t s = 0; s < regions_.size(); ++s) {
+      if (!regions_[s].busy && !regions_[s].loaded_key.empty() &&
+          regions_[s].loaded_key == it->pipeline_key) {
+        Job job = std::move(*it);
+        it = queue_.erase(it);
+        ++affinity_hits_;
+        RunOn(s, std::move(job));
+        started = true;
+        break;
+      }
+    }
+    if (!started) ++it;
+  }
+  // FIFO pass: the oldest job takes any free region (paying a reconfig).
+  while (!queue_.empty()) {
+    size_t free_slot = regions_.size();
+    for (size_t s = 0; s < regions_.size(); ++s) {
+      if (!regions_[s].busy) {
+        free_slot = s;
+        break;
+      }
+    }
+    if (free_slot == regions_.size()) break;  // all busy
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    RunOn(free_slot, std::move(job));
+  }
+}
+
+void RegionScheduler::RunOn(size_t slot_index, Job job) {
+  RegionSlot& slot = regions_[slot_index];
+  FV_CHECK(!slot.busy);
+  slot.busy = true;
+  const bool cached =
+      !slot.loaded_key.empty() && slot.loaded_key == job.pipeline_key;
+
+  auto shared_job = std::make_shared<Job>(std::move(job));
+  auto execute = [this, slot_index, shared_job]() {
+    regions_[slot_index].region->Execute(
+        shared_job->client_id, shared_job->qp_id, shared_job->request,
+        [this, slot_index, shared_job](Result<FvResult> r) {
+          regions_[slot_index].busy = false;
+          ++jobs_completed_;
+          // Free the region before notifying so the callback can submit
+          // follow-up work that lands on it.
+          Dispatch();
+          shared_job->done(std::move(r));
+        });
+  };
+
+  if (cached) {
+    execute();
+    return;
+  }
+
+  // Reconfigure: build the pipeline now and load it.
+  Result<Pipeline> pipeline = shared_job->factory();
+  if (!pipeline.ok()) {
+    slot.busy = false;
+    node_->engine()->ScheduleAfter(
+        0, [shared_job, s = pipeline.status()]() { shared_job->done(s); });
+    Dispatch();
+    return;
+  }
+  ++reconfigurations_;
+  slot.loaded_key.clear();  // unknown contents while reconfiguring
+  slot.region->LoadPipeline(
+      std::move(pipeline).value(),
+      [this, slot_index, shared_job, execute](Status status) {
+        if (!status.ok()) {
+          regions_[slot_index].busy = false;
+          Dispatch();
+          shared_job->done(status);
+          return;
+        }
+        regions_[slot_index].loaded_key = shared_job->pipeline_key;
+        execute();
+      });
+}
+
+}  // namespace farview

@@ -1,0 +1,90 @@
+#ifndef FARVIEW_FV_REGION_SCHEDULER_H_
+#define FARVIEW_FV_REGION_SCHEDULER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fv/farview_node.h"
+
+namespace farview {
+
+/// Elastic region scheduling — the paper defers "query processing
+/// elasticity" to future work; this is that extension.
+///
+/// Instead of binding one connection to one dynamic region for its
+/// lifetime, shared connections (FarviewNode::ConnectShared) submit jobs to
+/// the scheduler, which multiplexes all regions:
+///
+///  - jobs wait in a FIFO queue when every region is busy, so any number
+///    of clients can share the node;
+///  - each region remembers which pipeline it has loaded (keyed by a
+///    caller-supplied signature); a job whose pipeline is already resident
+///    on a free region skips the milliseconds-scale partial
+///    reconfiguration — the scheduler prefers such affinity matches;
+///  - pipelines are built lazily (via a factory) only when a region
+///    actually needs reconfiguring.
+class RegionScheduler {
+ public:
+  /// The scheduler takes over all currently-unassigned regions of `node`.
+  explicit RegionScheduler(FarviewNode* node);
+
+  RegionScheduler(const RegionScheduler&) = delete;
+  RegionScheduler& operator=(const RegionScheduler&) = delete;
+
+  /// Builder invoked when a region must be (re)configured for a job.
+  using PipelineFactory = std::function<Result<Pipeline>()>;
+
+  /// Submits a job on behalf of the shared connection `qp_id` owned by
+  /// `client_id`. `pipeline_key` identifies the pipeline configuration for
+  /// affinity scheduling (same key ⇒ same bitstream). `done` is called with
+  /// the result (or the error) when the job finishes.
+  void Submit(int client_id, int qp_id, const std::string& pipeline_key,
+              PipelineFactory factory, const FvRequest& request,
+              std::function<void(Result<FvResult>)> done);
+
+  /// Jobs currently waiting for a region.
+  size_t queued_jobs() const { return queue_.size(); }
+
+  /// Completed jobs and reconfigurations performed.
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  uint64_t reconfigurations() const { return reconfigurations_; }
+  uint64_t affinity_hits() const { return affinity_hits_; }
+
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+
+ private:
+  struct Job {
+    int client_id;
+    int qp_id;
+    std::string pipeline_key;
+    PipelineFactory factory;
+    FvRequest request;
+    std::function<void(Result<FvResult>)> done;
+  };
+
+  struct RegionSlot {
+    DynamicRegion* region;
+    std::string loaded_key;  ///< empty: nothing loaded yet
+    bool busy = false;
+  };
+
+  /// Starts queued jobs on free regions (affinity first).
+  void Dispatch();
+
+  /// Runs `job` on slot `s` (which is free and reserved by the caller).
+  void RunOn(size_t slot_index, Job job);
+
+  FarviewNode* node_;
+  std::vector<RegionSlot> regions_;
+  std::deque<Job> queue_;
+  uint64_t jobs_completed_ = 0;
+  uint64_t reconfigurations_ = 0;
+  uint64_t affinity_hits_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_REGION_SCHEDULER_H_

@@ -1,0 +1,64 @@
+#ifndef FARVIEW_FV_REQUEST_H_
+#define FARVIEW_FV_REQUEST_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace farview {
+
+/// Parameters of the Farview one-sided verb (Section 4.2's
+/// `farviewRequest(QPair* qp, FTable *ft, int n_param, int* params)`): where
+/// to read, how tuples are laid out, and how the region should drive memory.
+/// The operator-specific parameters (predicates, projections, keys) were
+/// baked into the loaded pipeline, as in the pre-compiled hardware designs.
+struct FvRequest {
+  /// Virtual address of the first tuple in disaggregated memory.
+  uint64_t vaddr = 0;
+
+  /// Total bytes to read (whole tuples).
+  uint64_t len = 0;
+
+  /// Width of one tuple in the base table.
+  uint32_t tuple_bytes = 0;
+
+  /// Vectorized processing model (FV-V, Section 5.3): parallel pipes fed by
+  /// parallel memory channels.
+  bool vectorized = false;
+
+  /// Smart addressing (Section 5.2): issue per-tuple reads of only the
+  /// projected columns instead of streaming whole tuples. When set,
+  /// `sa_access_bytes` is the contiguous bytes fetched per tuple and
+  /// `sa_offset` their offset within the tuple.
+  bool smart_addressing = false;
+  uint32_t sa_access_bytes = 0;
+  uint32_t sa_offset = 0;
+};
+
+/// Completion record of a Farview request, as observed by the client.
+struct FvResult {
+  /// Result rows, packed in the pipeline's output layout, exactly as they
+  /// landed in client memory.
+  ByteBuffer data;
+  uint64_t rows = 0;
+
+  /// Simulated time the request was issued / the last byte arrived.
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+
+  /// Arrival of the first result packet at the client (equals
+  /// `completed_at` for empty results). Streaming pipelines deliver early;
+  /// blocking ones (group-by/aggregate) only after consuming the input.
+  SimTime first_byte_at = 0;
+
+  SimTime Elapsed() const { return completed_at - issued_at; }
+  SimTime TimeToFirstByte() const { return first_byte_at - issued_at; }
+
+  /// Payload bytes that crossed the network.
+  uint64_t bytes_on_wire = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_REQUEST_H_

@@ -1,0 +1,124 @@
+#include "fv/resource_model.h"
+
+#include <cstdio>
+
+namespace farview {
+namespace {
+
+/// Paper Table 1, per-operator rows (costs are per dynamic region). "<1%"
+/// entries are carried as 0.8% so that sums remain conservative.
+constexpr double kSmall = 0.8;
+
+}  // namespace
+
+ResourceUsage ResourceModel::BaseSystem(int num_regions) {
+  // The paper reports 24/23/29/0 for the full 6-region deployment. The
+  // shell (management, network stack, memory controllers, MMU) dominates;
+  // each region's static harness adds roughly equal slices of the rest.
+  // Split: shell 12/11/17, per-region 2/2/2 — chosen so 6 regions reproduce
+  // Table 1 exactly and 10 regions (the paper's empirical maximum) still
+  // fit comfortably.
+  ResourceUsage u{12.0, 11.0, 17.0, 0.0};
+  u.lut_pct += 2.0 * num_regions;
+  u.reg_pct += 2.0 * num_regions;
+  u.bram_pct += 2.0 * num_regions;
+  return u;
+}
+
+ResourceUsage ResourceModel::OperatorUsage(const std::string& kind) {
+  if (kind == "projection" || kind == "selection" || kind == "aggregate") {
+    return ResourceUsage{kSmall, kSmall, 0.0, 0.0};
+  }
+  if (kind == "regex") {
+    return ResourceUsage{2.3, kSmall, 0.0, 0.0};
+  }
+  if (kind == "distinct" || kind == "group_by") {
+    return ResourceUsage{2.1, 1.3, 8.0, 0.0};
+  }
+  if (kind == "hash_join") {
+    // Same BRAM hash structure as distinct/group-by plus the wider
+    // build-payload datapath (an extension beyond the paper's Table 1).
+    return ResourceUsage{2.5, 1.5, 8.0, 0.0};
+  }
+  if (kind == "crypto") {
+    return ResourceUsage{3.6, kSmall, 0.0, 0.0};
+  }
+  if (kind == "packing" || kind == "sending") {
+    return ResourceUsage{kSmall, kSmall, 0.0, 0.0};
+  }
+  return ResourceUsage{};
+}
+
+ResourceUsage ResourceModel::PipelineUsage(const Pipeline& pipeline) {
+  ResourceUsage u;
+  for (size_t i = 0; i < pipeline.num_operators(); ++i) {
+    u += OperatorUsage(pipeline.op(i).name());
+  }
+  // The sender unit always accompanies a deployed pipeline (Section 5.5).
+  u += OperatorUsage("sending");
+  return u;
+}
+
+ResourceUsage ResourceModel::Total(
+    int num_regions, const std::vector<const Pipeline*>& loaded) {
+  ResourceUsage u = BaseSystem(num_regions);
+  for (const Pipeline* p : loaded) {
+    if (p != nullptr) u += PipelineUsage(*p);
+  }
+  return u;
+}
+
+bool ResourceModel::Fits(const ResourceUsage& usage) {
+  return usage.lut_pct < 100.0 && usage.reg_pct < 100.0 &&
+         usage.bram_pct < 100.0 && usage.dsp_pct < 100.0;
+}
+
+std::string ResourceModel::FormatTable1(int num_regions) {
+  char line[160];
+  std::string out;
+  out += "Table 1: Resource overhead of Farview\n";
+  std::snprintf(line, sizeof(line), "%-34s %9s %6s %11s %5s\n",
+                "Configuration", "CLB LUTs", "Regs", "BRAM tiles", "DSPs");
+  out += line;
+  const ResourceUsage base = BaseSystem(num_regions);
+  std::snprintf(line, sizeof(line), "%-34s %8.0f%% %5.0f%% %10.0f%% %4.0f%%\n",
+                (std::to_string(num_regions) + " regions").c_str(),
+                base.lut_pct, base.reg_pct, base.bram_pct, base.dsp_pct);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-34s %9s %6s %11s %5s\n",
+                "Operators (per dynamic region)", "CLB LUTs", "Regs",
+                "BRAM tiles", "DSPs");
+  out += line;
+  struct Row {
+    const char* label;
+    const char* kind;
+  };
+  const Row rows[] = {
+      {"Projection/Selection/Aggregation", "selection"},
+      {"Regular expression", "regex"},
+      {"Distinct/Group by", "distinct"},
+      {"En(de)cryption", "crypto"},
+      {"Packing/Sending", "packing"},
+  };
+  for (const Row& r : rows) {
+    const ResourceUsage u = OperatorUsage(r.kind);
+    auto cell = [](double v) {
+      char buf[16];
+      if (v <= 0) {
+        std::snprintf(buf, sizeof(buf), "0%%");
+      } else if (v < 1.0) {
+        std::snprintf(buf, sizeof(buf), "<1%%");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+      }
+      return std::string(buf);
+    };
+    std::snprintf(line, sizeof(line), "%-34s %9s %6s %11s %5s\n", r.label,
+                  cell(u.lut_pct).c_str(), cell(u.reg_pct).c_str(),
+                  cell(u.bram_pct).c_str(), cell(u.dsp_pct).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace farview

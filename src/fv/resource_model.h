@@ -1,0 +1,63 @@
+#ifndef FARVIEW_FV_RESOURCE_MODEL_H_
+#define FARVIEW_FV_RESOURCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "operators/pipeline.h"
+
+namespace farview {
+
+/// FPGA resource usage as a fraction of the Alveo u250, in percent of CLB
+/// LUTs, registers, BRAM tiles and DSPs — the accounting of Table 1.
+struct ResourceUsage {
+  double lut_pct = 0;
+  double reg_pct = 0;
+  double bram_pct = 0;
+  double dsp_pct = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    lut_pct += o.lut_pct;
+    reg_pct += o.reg_pct;
+    bram_pct += o.bram_pct;
+    dsp_pct += o.dsp_pct;
+    return *this;
+  }
+};
+
+/// Per-operator and whole-node resource accounting, reproducing Table 1.
+///
+/// Table 1 is an inventory of the paper's synthesized design, not a runtime
+/// measurement, so the model carries the paper's per-operator costs and
+/// composes them: shell + N regions for the deployed base system, plus the
+/// per-region cost of whatever pipeline is loaded. The estimates let the
+/// benches check that proposed pipelines fit the device — the same check the
+/// authors' flow performs at synthesis.
+class ResourceModel {
+ public:
+  /// Usage of the base system (management logic, network + memory stacks,
+  /// and the static portion of `num_regions` dynamic regions). The paper's
+  /// 6-region deployment totals 24/23/29/0 percent.
+  static ResourceUsage BaseSystem(int num_regions);
+
+  /// Usage of one operator instance inside a dynamic region, by operator
+  /// kind name (as returned by Operator::name()).
+  static ResourceUsage OperatorUsage(const std::string& kind);
+
+  /// Usage of a full pipeline within one region (sum of its operators).
+  static ResourceUsage PipelineUsage(const Pipeline& pipeline);
+
+  /// Whole-device usage: base system + the given per-region pipelines.
+  static ResourceUsage Total(int num_regions,
+                             const std::vector<const Pipeline*>& loaded);
+
+  /// True when `usage` fits the device (every column < 100%).
+  static bool Fits(const ResourceUsage& usage);
+
+  /// Renders Table 1 (base system + per-operator rows).
+  static std::string FormatTable1(int num_regions);
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_RESOURCE_MODEL_H_

@@ -1,0 +1,40 @@
+#include "hash/hash.h"
+
+#include <cstring>
+
+namespace farview {
+
+uint64_t MixHash64(uint64_t x, uint64_t seed) {
+  uint64_t z = x + seed * 0x9e3779b97f4a7c15ull + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashBytes(const uint8_t* data, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * m);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    k *= m;
+    k ^= k >> 47;
+    k *= m;
+    h ^= k;
+    h *= m;
+    data += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, data, len);
+    h ^= tail;
+    h *= m;
+  }
+  h ^= h >> 47;
+  h *= m;
+  h ^= h >> 47;
+  return h;
+}
+
+}  // namespace farview

@@ -1,0 +1,25 @@
+#ifndef FARVIEW_HASH_HASH_H_
+#define FARVIEW_HASH_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace farview {
+
+/// 64-bit finalizer-style mixer (splitmix64 finalizer). Fast and well
+/// distributed; used as the per-way hash family of the cuckoo table — the
+/// FPGA computes one independent hash per cuckoo way (Section 5.4).
+uint64_t MixHash64(uint64_t x, uint64_t seed);
+
+/// Hashes `len` bytes with a given seed (Murmur-inspired block mixer).
+/// Distinct seeds give effectively independent hash functions.
+uint64_t HashBytes(const uint8_t* data, size_t len, uint64_t seed);
+
+/// Combines two hashes into one (order dependent).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return MixHash64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)), 1);
+}
+
+}  // namespace farview
+
+#endif  // FARVIEW_HASH_HASH_H_

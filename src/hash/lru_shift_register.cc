@@ -1,0 +1,33 @@
+#include "hash/lru_shift_register.h"
+
+#include <cstring>
+
+namespace farview {
+
+bool LruShiftRegister::Touch(const uint8_t* key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (std::memcmp(it->data(), key, key_width_) == 0) {
+      // Hit: move to most-recent position (true LRU).
+      ByteBuffer k = std::move(*it);
+      entries_.erase(it);
+      entries_.push_front(std::move(k));
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  entries_.emplace_front(key, key + key_width_);
+  if (entries_.size() > static_cast<size_t>(depth_)) {
+    entries_.pop_back();
+  }
+  return false;
+}
+
+bool LruShiftRegister::Contains(const uint8_t* key) const {
+  for (const ByteBuffer& e : entries_) {
+    if (std::memcmp(e.data(), key, key_width_) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace farview

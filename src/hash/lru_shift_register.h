@@ -1,0 +1,57 @@
+#ifndef FARVIEW_HASH_LRU_SHIFT_REGISTER_H_
+#define FARVIEW_HASH_LRU_SHIFT_REGISTER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bytes.h"
+
+namespace farview {
+
+/// Shift-register LRU cache of recent keys (Section 5.4, Figure 5).
+///
+/// The fully-pipelined hash table has multi-cycle lookup/update latency, so
+/// two equal keys arriving back-to-back would both miss and both be emitted
+/// as "distinct" — a data hazard. The hardware hides this with a true-LRU
+/// cache of the most recent keys implemented as a shift register (standard
+/// LRU bookkeeping would be too slow at line rate). Capacity equals the
+/// pipeline depth that must be covered (it "depends on the number of cuckoo
+/// hash tables").
+///
+/// This model is exact: Touch() reports whether the key was among the last
+/// `depth` distinct keys observed, with true LRU replacement.
+class LruShiftRegister {
+ public:
+  explicit LruShiftRegister(int depth, uint32_t key_width)
+      : depth_(depth), key_width_(key_width) {}
+
+  /// Observes `key`. Returns true if it was already resident (a hit: the
+  /// pipelined hash table would not yet reflect this key, so the operator
+  /// must treat it as seen). Hit or miss, the key becomes most-recent; on a
+  /// miss with a full register the least-recent key shifts out.
+  bool Touch(const uint8_t* key);
+
+  /// True when `key` is resident, without updating recency.
+  bool Contains(const uint8_t* key) const;
+
+  void Clear() { entries_.clear(); }
+
+  int depth() const { return depth_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  int depth_;
+  uint32_t key_width_;
+  /// Most-recent at front. A deque of small fixed-width keys; depth is a
+  /// hardware pipeline depth (≤ tens), so linear scans are exact and cheap,
+  /// mirroring the parallel comparators of the shift register.
+  std::deque<ByteBuffer> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_HASH_LRU_SHIFT_REGISTER_H_

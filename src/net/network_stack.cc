@@ -1,0 +1,112 @@
+#include "net/network_stack.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "net/qpair.h"
+
+namespace farview {
+
+const char* VerbToString(Verb v) {
+  switch (v) {
+    case Verb::kRead:
+      return "READ";
+    case Verb::kWrite:
+      return "WRITE";
+    case Verb::kFarview:
+      return "FARVIEW";
+  }
+  return "?";
+}
+
+NetworkStack::NetworkStack(sim::Engine* engine, const NetConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  FV_CHECK(config_.packet_bytes > 0);
+  FV_CHECK(config_.credit_window_packets > 0);
+  link_ = std::make_unique<sim::Server>(engine_, "fv_link",
+                                        config_.link_rate_bytes_per_sec,
+                                        config_.fv_per_packet_overhead);
+}
+
+void NetworkStack::DeliverRequest(std::function<void()> at_node) {
+  engine_->ScheduleAfter(config_.fv_request_latency, std::move(at_node));
+}
+
+std::shared_ptr<NetworkStack::TxStream> NetworkStack::OpenStream(
+    int qp_id, std::function<void(uint64_t, bool, SimTime)> on_delivered) {
+  auto stream =
+      std::make_shared<TxStream>(this, qp_id, std::move(on_delivered));
+  stream->self_ = stream;
+  return stream;
+}
+
+NetworkStack::TxStream::TxStream(
+    NetworkStack* stack, int qp_id,
+    std::function<void(uint64_t, bool, SimTime)> on_delivered)
+    : stack_(stack), qp_id_(qp_id), on_delivered_(std::move(on_delivered)) {}
+
+void NetworkStack::TxStream::Push(uint64_t bytes) {
+  FV_CHECK(!finished_) << "Push after Finish";
+  pending_bytes_ += bytes;
+  bytes_pushed_ += bytes;
+  TrySend();
+}
+
+void NetworkStack::TxStream::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  TrySend();
+}
+
+void NetworkStack::TxStream::TrySend() {
+  const NetConfig& cfg = stack_->config_;
+  while (!last_packet_formed_ &&
+         in_flight_packets_ < cfg.credit_window_packets) {
+    uint64_t payload = 0;
+    bool last = false;
+    if (pending_bytes_ >= cfg.packet_bytes) {
+      payload = cfg.packet_bytes;
+    } else if (finished_) {
+      // Final (possibly partial, possibly empty) packet. An empty last
+      // packet models the zero-length RDMA write that signals completion
+      // for fully-filtered results.
+      payload = pending_bytes_;
+      last = true;
+    } else {
+      break;  // wait for more payload
+    }
+    pending_bytes_ -= payload;
+    if (finished_ && pending_bytes_ == 0 && payload != 0 && !last) {
+      last = true;  // exact multiple of the packet size
+    }
+    if (last) last_packet_formed_ = true;
+    ++in_flight_packets_;
+    ++packets_sent_;
+    stack_->total_packets_++;
+    stack_->total_payload_bytes_ += payload;
+
+    // Serialize on the shared link (round-robin with other QPs), then
+    // propagate to the client; the ack returns a credit later.
+    stack_->link_->Submit(
+        qp_id_, payload,
+        [this, payload, last, keep = self_](SimTime) {
+          sim::Engine* eng = stack_->engine_;
+          eng->ScheduleAfter(
+              stack_->config_.fv_delivery_latency,
+              [this, payload, last, keep]() {
+                if (on_delivered_) {
+                  on_delivered_(payload, last, stack_->engine_->Now());
+                }
+                if (last) self_.reset();  // all packets delivered in order
+              });
+          eng->ScheduleAfter(stack_->config_.ack_latency,
+                             [this, keep]() {
+                               --in_flight_packets_;
+                               TrySend();
+                             });
+        });
+  }
+}
+
+}  // namespace farview

@@ -1,0 +1,100 @@
+#ifndef FARVIEW_NET_NETWORK_STACK_H_
+#define FARVIEW_NET_NETWORK_STACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/units.h"
+#include "net/net_config.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace farview {
+
+/// Timing model of Farview's RDMA network stack (Section 4.3): a shared
+/// 100 Gbps egress link with round-robin fair sharing between queue pairs,
+/// 1 kB packetization, credit-based flow control, and a fixed-latency
+/// request ingress path.
+///
+/// Out-of-order execution at packet granularity shows up in this model as
+/// packet-level interleaving of different flows on the shared link server —
+/// one flow's long transfer cannot stall another's packets, which is the
+/// stall-freedom property the paper's out-of-order extension provides.
+class NetworkStack {
+ public:
+  NetworkStack(sim::Engine* engine, const NetConfig& config);
+
+  NetworkStack(const NetworkStack&) = delete;
+  NetworkStack& operator=(const NetworkStack&) = delete;
+
+  /// Client→Farview request path: runs `at_node` after the ingress latency.
+  void DeliverRequest(std::function<void()> at_node);
+
+  /// An open response stream Farview→client for one request. The node
+  /// pushes payload bytes as the operator pipeline emits them; the stream
+  /// packetizes, respects the credit window, and reports delivered packets
+  /// at the client. Deleting the stream before `Finish()` abandons it.
+  class TxStream {
+   public:
+    /// `on_delivered(bytes, last, t)` runs at the simulated instant packet
+    /// payloads land in client memory. `last` fires exactly once.
+    TxStream(NetworkStack* stack, int qp_id,
+             std::function<void(uint64_t, bool, SimTime)> on_delivered);
+
+    TxStream(const TxStream&) = delete;
+    TxStream& operator=(const TxStream&) = delete;
+
+    /// Makes `bytes` of payload available for sending.
+    void Push(uint64_t bytes);
+
+    /// Declares the payload complete; a final (possibly partial or empty)
+    /// packet carries `last = true`.
+    void Finish();
+
+    uint64_t bytes_pushed() const { return bytes_pushed_; }
+    uint64_t packets_sent() const { return packets_sent_; }
+
+   private:
+    void TrySend();
+
+    NetworkStack* stack_;
+    int qp_id_;
+    std::function<void(uint64_t, bool, SimTime)> on_delivered_;
+    uint64_t pending_bytes_ = 0;
+    uint64_t bytes_pushed_ = 0;
+    uint64_t packets_sent_ = 0;
+    int in_flight_packets_ = 0;
+    bool finished_ = false;
+    bool last_packet_formed_ = false;
+    /// Keeps `this` alive until all completions ran (streams are owned by
+    /// shared_ptr via OpenStream).
+    std::shared_ptr<TxStream> self_;
+
+    friend class NetworkStack;
+  };
+
+  /// Opens a response stream for queue pair `qp_id`.
+  std::shared_ptr<TxStream> OpenStream(
+      int qp_id, std::function<void(uint64_t, bool, SimTime)> on_delivered);
+
+  const NetConfig& config() const { return config_; }
+  sim::Engine* engine() { return engine_; }
+
+  /// The shared egress link (for tests / utilization stats).
+  sim::Server& link() { return *link_; }
+
+  uint64_t total_payload_bytes() const { return total_payload_bytes_; }
+  uint64_t total_packets() const { return total_packets_; }
+
+ private:
+  sim::Engine* engine_;
+  NetConfig config_;
+  std::unique_ptr<sim::Server> link_;
+  uint64_t total_payload_bytes_ = 0;
+  uint64_t total_packets_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_NET_NETWORK_STACK_H_

@@ -1,0 +1,88 @@
+#include "net/rnic_model.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace farview {
+
+RnicModel::RnicModel(sim::Engine* engine, const NetConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  pipe_ = std::make_unique<sim::Server>(engine_, "rnic_pipe",
+                                        config_.rnic_rate_bytes_per_sec);
+}
+
+SimTime RnicModel::PageHandlingCost(uint64_t bytes) const {
+  const uint64_t packets = std::max<uint64_t>(
+      1, CeilDiv(bytes, config_.packet_bytes));
+  const uint64_t charged =
+      std::min<uint64_t>(packets,
+                         static_cast<uint64_t>(config_.rnic_page_window));
+  return static_cast<SimTime>(charged) * config_.rnic_per_packet_page_cost;
+}
+
+SimTime RnicModel::ReadResponseTime(uint64_t bytes) const {
+  return config_.rnic_request_latency +
+         TransferTime(bytes, config_.rnic_rate_bytes_per_sec) +
+         PageHandlingCost(bytes) + config_.rnic_delivery_latency;
+}
+
+void RnicModel::Read(int flow, uint64_t bytes,
+                     std::function<void(SimTime)> done) {
+  const SimTime page_cost = PageHandlingCost(bytes);
+  engine_->ScheduleAfter(
+      config_.rnic_request_latency, [this, flow, bytes, page_cost,
+                                     done = std::move(done)]() mutable {
+        // Serve in stripe-sized chunks so concurrent flows share the pipe
+        // fairly; the final chunk carries the delivery latency.
+        const uint64_t chunk = 4 * kKiB;
+        uint64_t remaining = bytes;
+        bool first = true;
+        auto outstanding = std::make_shared<uint64_t>(0);
+        auto done_holder =
+            std::make_shared<std::function<void(SimTime)>>(std::move(done));
+        do {
+          const uint64_t n = std::min(remaining, chunk);
+          remaining -= n;
+          ++*outstanding;
+          const bool is_last = remaining == 0;
+          pipe_->Submit(
+              flow, n, first ? page_cost : 0,
+              [this, outstanding, is_last, done_holder](SimTime) {
+                --*outstanding;
+                if (is_last) {
+                  FV_CHECK(*outstanding == 0);
+                  engine_->ScheduleAfter(config_.rnic_delivery_latency,
+                                         [this, done_holder]() {
+                                           (*done_holder)(engine_->Now());
+                                         });
+                }
+              });
+          first = false;
+        } while (remaining > 0);
+      });
+}
+
+void RnicModel::Send(int flow, uint64_t bytes,
+                     std::function<void(SimTime)> done) {
+  // Two-sided send: same pipe, request latency on the sender side and
+  // delivery latency at the receiver, no page-handling (the payload is
+  // already staged in registered buffers).
+  engine_->ScheduleAfter(
+      config_.rnic_request_latency,
+      [this, flow, bytes, done = std::move(done)]() mutable {
+        pipe_->Submit(flow, bytes, 0,
+                      [this, done = std::move(done)](SimTime) mutable {
+                        engine_->ScheduleAfter(
+                            config_.rnic_delivery_latency,
+                            [this, done = std::move(done)]() {
+                              done(engine_->Now());
+                            });
+                      });
+      });
+}
+
+}  // namespace farview

@@ -1,0 +1,62 @@
+#ifndef FARVIEW_NET_RNIC_MODEL_H_
+#define FARVIEW_NET_RNIC_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/units.h"
+#include "net/net_config.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace farview {
+
+/// Timing model of a commercial RDMA NIC (ConnectX-5) serving one-sided
+/// reads from the memory of a remote host — the paper's RNIC baseline and
+/// the transport of the RCPU baseline.
+///
+/// Differences from the Farview stack captured here (Section 6.2):
+///  - lower base latency ("specialized circuitry running at a higher clock
+///    rate, which provides better performance for small packets");
+///  - memory reached over PCIe, capping payload bandwidth at ~11 GB/s;
+///  - host-side page handling charges a per-packet cost for up to a
+///    pipeline window of packets, after which it overlaps with the wire.
+class RnicModel {
+ public:
+  RnicModel(sim::Engine* engine, const NetConfig& config);
+
+  RnicModel(const RnicModel&) = delete;
+  RnicModel& operator=(const RnicModel&) = delete;
+
+  /// Response time of a one-sided read of `bytes`, measured at the client
+  /// from verb post to last byte in client memory (uncontended closed
+  /// form — used by the RDMA microbenchmarks).
+  SimTime ReadResponseTime(uint64_t bytes) const;
+
+  /// Simulated one-sided read for use inside larger experiments: shares the
+  /// PCIe/NIC pipe between flows round-robin and invokes `done` when the
+  /// last byte lands. Base latencies and the page-handling cost are applied
+  /// per request.
+  void Read(int flow, uint64_t bytes, std::function<void(SimTime)> done);
+
+  /// One-way message send of `bytes` (two-sided semantics: used by the RCPU
+  /// baseline to ship results to the client).
+  void Send(int flow, uint64_t bytes, std::function<void(SimTime)> done);
+
+  const NetConfig& config() const { return config_; }
+  sim::Server& pipe() { return *pipe_; }
+
+ private:
+  /// Page-handling cost charged to a request of `bytes`.
+  SimTime PageHandlingCost(uint64_t bytes) const;
+
+  sim::Engine* engine_;
+  NetConfig config_;
+  /// Serial resource representing the PCIe+NIC pipeline (payload rate).
+  std::unique_ptr<sim::Server> pipe_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_NET_RNIC_MODEL_H_

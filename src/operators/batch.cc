@@ -1,0 +1,39 @@
+#include "operators/batch.h"
+
+#include <algorithm>
+
+namespace farview {
+
+Batch StreamParser::Push(const uint8_t* data, uint64_t len) {
+  const uint32_t tw = schema_->tuple_width();
+  Batch out;
+  out.schema = schema_;
+
+  uint64_t consumed = 0;
+  // Complete a buffered partial tuple first.
+  if (!partial_.empty()) {
+    const uint64_t need = tw - partial_.size();
+    const uint64_t take = std::min(need, len);
+    partial_.insert(partial_.end(), data, data + take);
+    consumed = take;
+    if (partial_.size() < tw) return out;  // still partial
+    out.data = std::move(partial_);
+    partial_.clear();
+    out.num_rows = 1;
+  }
+
+  const uint64_t remaining = len - consumed;
+  const uint64_t whole = remaining / tw;
+  const uint64_t whole_bytes = whole * tw;
+  out.data.insert(out.data.end(), data + consumed,
+                  data + consumed + whole_bytes);
+  out.num_rows += whole;
+
+  const uint64_t tail = remaining - whole_bytes;
+  if (tail > 0) {
+    partial_.assign(data + consumed + whole_bytes, data + len);
+  }
+  return out;
+}
+
+}  // namespace farview

@@ -1,0 +1,65 @@
+#ifndef FARVIEW_OPERATORS_BATCH_H_
+#define FARVIEW_OPERATORS_BATCH_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// A run of whole tuples moving through an operator pipeline. Operators are
+/// fed batches rather than single tuples purely as a software convenience;
+/// the simulated hardware consumes one tuple per cycle regardless (timing is
+/// the Farview node's concern, not the operators').
+struct Batch {
+  /// Row layout of `data`. Points into the owning pipeline/operator; valid
+  /// for the lifetime of the query.
+  const Schema* schema = nullptr;
+  ByteBuffer data;
+  uint64_t num_rows = 0;
+
+  uint64_t size_bytes() const { return data.size(); }
+  bool empty() const { return num_rows == 0; }
+
+  TupleView Row(uint64_t r) const {
+    return TupleView(schema, data.data() + r * schema->tuple_width());
+  }
+
+  /// An empty batch with the given layout.
+  static Batch Empty(const Schema* schema) {
+    Batch b;
+    b.schema = schema;
+    return b;
+  }
+};
+
+/// Reassembles whole tuples from an arbitrary byte stream.
+///
+/// Data arrives from the memory stack in stripe-sized bursts whose
+/// boundaries do not align with tuple boundaries; the projection operator
+/// "parses the incoming data stream based on query parameters describing
+/// the tuples and their size" (Section 5.2). This parser keeps the partial
+/// trailing tuple between pushes.
+class StreamParser {
+ public:
+  explicit StreamParser(const Schema* schema) : schema_(schema) {}
+
+  /// Appends `len` raw bytes and returns a batch of all now-complete rows.
+  Batch Push(const uint8_t* data, uint64_t len);
+
+  /// Bytes of the trailing partial tuple currently buffered.
+  uint64_t pending_bytes() const { return partial_.size(); }
+
+  /// Discards buffered state (between queries).
+  void Reset() { partial_.clear(); }
+
+ private:
+  const Schema* schema_;
+  ByteBuffer partial_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_BATCH_H_

@@ -1,0 +1,61 @@
+#ifndef FARVIEW_OPERATORS_COMPRESS_OP_H_
+#define FARVIEW_OPERATORS_COMPRESS_OP_H_
+
+#include "compress/lz.h"
+#include "operators/operator.h"
+
+namespace farview {
+
+/// Result-compression system-support operator (Section 5.5 suggests
+/// compression alongside encryption as "additional system support
+/// operators"). Placed as the last data-path stage, it packs the result
+/// rows into self-describing LZ frames so that fewer bytes cross the
+/// network; the client inflates them with `DecompressFrames`.
+///
+/// Frame format (little-endian): [u32 raw_size][u32 compressed_size]
+/// [compressed payload]. One frame per processed batch; empty batches emit
+/// nothing.
+///
+/// Like the AES engine, a line-rate FPGA LZ pipeline adds no throughput
+/// penalty on the data path; the win is network bytes (the benefit, like
+/// selection, depends on the data — here its compressibility).
+class CompressOp : public Operator {
+ public:
+  explicit CompressOp(const Schema& input);
+
+  Result<Batch> Process(Batch in) override;
+  Result<Batch> Flush() override { return Batch::Empty(&output_schema_); }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "compress"; }
+  void Reset() override {
+    stats_.Clear();
+    raw_bytes_ = 0;
+    compressed_bytes_ = 0;
+  }
+
+  /// Achieved compression ratio so far (raw / compressed; 1.0 when empty).
+  double Ratio() const {
+    return compressed_bytes_ == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes_) /
+                     static_cast<double>(compressed_bytes_);
+  }
+
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t compressed_bytes() const { return compressed_bytes_; }
+
+  /// Inflates a concatenation of frames back into rows of `row_schema`.
+  static Result<Table> DecompressFrames(const ByteBuffer& frames,
+                                        const Schema& row_schema);
+
+ private:
+  Schema input_schema_;
+  /// Opaque byte stream: 1-byte CHAR rows so batch bookkeeping stays valid.
+  Schema output_schema_;
+  uint64_t raw_bytes_ = 0;
+  uint64_t compressed_bytes_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_COMPRESS_OP_H_

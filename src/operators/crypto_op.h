@@ -1,0 +1,53 @@
+#ifndef FARVIEW_OPERATORS_CRYPTO_OP_H_
+#define FARVIEW_OPERATORS_CRYPTO_OP_H_
+
+#include <memory>
+
+#include "crypto/aes_ctr.h"
+#include "operators/operator.h"
+
+namespace farview {
+
+/// AES-128-CTR encryption/decryption operator (Section 5.5).
+///
+/// Placed early in a pipeline it decrypts table data read from memory so
+/// downstream operators can evaluate predicates ("regular expression
+/// matching on encrypted strings, which requires decryption early in the
+/// pipeline"); placed last it encrypts results for transmission. CTR mode
+/// keys the stream by the absolute byte offset within the table, so the
+/// operator tracks how many bytes it has seen.
+class CryptoOp : public Operator {
+ public:
+  /// `initial_offset` is the table-relative byte offset at which this read
+  /// stream begins (reads from the start of a table pass 0).
+  static Result<OperatorPtr> Create(const Schema& schema,
+                                    const uint8_t key[16],
+                                    const uint8_t nonce[16],
+                                    uint64_t initial_offset = 0);
+
+  Result<Batch> Process(Batch in) override;
+  Result<Batch> Flush() override { return Batch::Empty(&schema_); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "crypto"; }
+  void Reset() override {
+    stats_.Clear();
+    offset_ = initial_offset_;
+  }
+
+ private:
+  CryptoOp(const Schema& schema, const uint8_t key[16],
+           const uint8_t nonce[16], uint64_t initial_offset)
+      : schema_(schema),
+        ctr_(key, nonce),
+        initial_offset_(initial_offset),
+        offset_(initial_offset) {}
+
+  Schema schema_;
+  AesCtr ctr_;
+  uint64_t initial_offset_;
+  uint64_t offset_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_CRYPTO_OP_H_

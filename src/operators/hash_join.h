@@ -1,0 +1,69 @@
+#ifndef FARVIEW_OPERATORS_HASH_JOIN_H_
+#define FARVIEW_OPERATORS_HASH_JOIN_H_
+
+#include <memory>
+
+#include "hash/cuckoo_table.h"
+#include "operators/operator.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// Small-table hash join operator — the extension sketched in the paper's
+/// conclusion: "performing joins against small tables in the memory by
+/// reading the small table into the FPGA and matching the tuples read from
+/// memory against it."
+///
+/// The *build* side (small, e.g. a dimension table) is shipped with the
+/// request and loaded into the region's on-chip cuckoo table; the *probe*
+/// side (the base table in disaggregated memory) streams through and emits
+/// one joined tuple per match. Output layout: probe columns followed by the
+/// build side's non-key columns.
+///
+/// Hardware constraints modeled:
+///  - the build side must fit the BRAM hash structure: rows beyond the
+///    cuckoo capacity make Create fail (kOutOfRange), as a synthesis-time
+///    check would;
+///  - equi-join on single 8-byte keys (one comparator circuit);
+///  - duplicate build keys are rejected (the BRAM table holds one payload
+///    per key; a multi-match join would need chaining the hardware avoids).
+/// Sizing of the on-chip build table for HashJoinOp. Smaller than the
+/// grouping default: the payload is a whole build-side row.
+struct JoinConfig {
+  int cuckoo_ways = 4;
+  uint64_t slots_per_way = 1ull << 14;  // 64 K build rows max
+};
+
+class HashJoinOp : public Operator {
+ public:
+  /// Joins probe rows (layout `probe`) with `build` on
+  /// `probe.probe_key_col == build.build_key_col`. The key columns must be
+  /// 8-byte numeric. `build` is copied into on-chip state.
+  static Result<OperatorPtr> Create(const Schema& probe, int probe_key_col,
+                                    const Table& build, int build_key_col,
+                                    const JoinConfig& config = {});
+
+  Result<Batch> Process(Batch in) override;
+  Result<Batch> Flush() override { return Batch::Empty(&output_schema_); }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "hash_join"; }
+  void Reset() override { stats_.Clear(); }
+
+  /// Number of build rows resident on chip.
+  uint64_t build_rows() const { return table_->size(); }
+
+ private:
+  HashJoinOp(Schema probe, int probe_key_col, Schema build_payload,
+             Schema output, std::unique_ptr<CuckooTable> table);
+
+  Schema probe_schema_;
+  int probe_key_col_;
+  /// Build-side columns carried into the output (all but the key).
+  Schema build_payload_schema_;
+  Schema output_schema_;
+  std::unique_ptr<CuckooTable> table_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_HASH_JOIN_H_

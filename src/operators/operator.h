@@ -1,0 +1,80 @@
+#ifndef FARVIEW_OPERATORS_OPERATOR_H_
+#define FARVIEW_OPERATORS_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "operators/batch.h"
+
+namespace farview {
+
+/// Per-operator counters, consumed by the Farview node's timing model and
+/// by the resource/efficiency benches.
+struct OperatorStats {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  void Clear() { *this = OperatorStats{}; }
+};
+
+/// A streaming operator block (Section 5.1): "operator pipelines are
+/// constructed from individual blocks that implement a given operator and
+/// provide standard interfaces to combine them into pipelines."
+///
+/// The software contract mirrors the hardware streaming contract:
+///  - `Process` consumes a batch and emits the resulting batch immediately
+///    (bump-in-the-wire operators emit as they consume);
+///  - `Flush` signals end-of-stream; blocking operators (group by,
+///    aggregation) emit their result here, streaming operators emit nothing;
+///  - operators are configured at construction — the hardware pipelines are
+///    pre-compiled with predicates hardwired into matching circuits — and
+///    `Reset` rearms them for the next request on the same region.
+///
+/// Operators are purely functional; all timing lives in the Farview node.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Processes one input batch, returning output rows produced so far.
+  virtual Result<Batch> Process(Batch in) = 0;
+
+  /// Ends the stream; returns any rows the operator was holding back.
+  virtual Result<Batch> Flush() = 0;
+
+  /// Layout of batches this operator emits.
+  virtual const Schema& output_schema() const = 0;
+
+  /// Operator kind name for logs / resource accounting ("selection", ...).
+  virtual std::string name() const = 0;
+
+  /// Rearms the operator for a fresh stream.
+  virtual void Reset() = 0;
+
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  /// Subclass helper: account a processed batch pair.
+  void Account(const Batch& in, const Batch& out) {
+    stats_.rows_in += in.num_rows;
+    stats_.bytes_in += in.size_bytes();
+    stats_.rows_out += out.num_rows;
+    stats_.bytes_out += out.size_bytes();
+  }
+  /// Subclass helper: account flush-phase output.
+  void AccountOut(const Batch& out) {
+    stats_.rows_out += out.num_rows;
+    stats_.bytes_out += out.size_bytes();
+  }
+
+  OperatorStats stats_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_OPERATOR_H_

@@ -1,0 +1,16 @@
+#include "operators/packing.h"
+
+namespace farview {
+
+Result<Batch> PackingOp::Process(Batch in) {
+  total_payload_ += in.size_bytes();
+  stats_.rows_in += in.num_rows;
+  stats_.rows_out += in.num_rows;
+  stats_.bytes_in += in.size_bytes();
+  stats_.bytes_out += in.size_bytes();
+  return std::move(in);
+}
+
+Result<Batch> PackingOp::Flush() { return Batch::Empty(&schema_); }
+
+}  // namespace farview

@@ -1,0 +1,42 @@
+#ifndef FARVIEW_OPERATORS_PACKING_H_
+#define FARVIEW_OPERATORS_PACKING_H_
+
+#include "operators/operator.h"
+
+namespace farview {
+
+/// Packing operator (Section 5.5): the last data-path stage before the
+/// sender. Annotated columns are already materialized contiguously by the
+/// upstream operators; what remains of the hardware packer's job is aligning
+/// the result stream into 64-byte words for the output queue. Functionally a
+/// pass-through; it tracks how many padding bytes the 64 B alignment of the
+/// final word costs (`padding_bytes`), which the node charges on the wire.
+class PackingOp : public Operator {
+ public:
+  static constexpr uint32_t kWordBytes = 64;
+
+  explicit PackingOp(const Schema& schema) : schema_(schema) {}
+
+  Result<Batch> Process(Batch in) override;
+  Result<Batch> Flush() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "packing"; }
+  void Reset() override {
+    stats_.Clear();
+    total_payload_ = 0;
+  }
+
+  /// Padding the final partial 64 B word would add on the wire.
+  uint64_t padding_bytes() const {
+    const uint64_t rem = total_payload_ % kWordBytes;
+    return rem == 0 ? 0 : kWordBytes - rem;
+  }
+
+ private:
+  Schema schema_;
+  uint64_t total_payload_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_PACKING_H_

@@ -1,0 +1,90 @@
+#ifndef FARVIEW_OPERATORS_PREDICATE_H_
+#define FARVIEW_OPERATORS_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// Comparison operators supported by the selection circuit.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// One column-vs-constant comparison. The paper's selection operators
+/// compare "the value of an attribute ... against a constant provided in
+/// the query" and support both integer and real predicates (the
+/// `fvSelect` example uses `S.c > 3.14`).
+class Predicate {
+ public:
+  /// col <op> value over an INT64 (or UINT64, compared signed) column.
+  static Predicate Int(int col, CompareOp op, int64_t value);
+
+  /// col <op> value over a DOUBLE column.
+  static Predicate Real(int col, CompareOp op, double value);
+
+  /// Evaluates against a row. The column type was validated at pipeline
+  /// build time.
+  bool Eval(const TupleView& row) const;
+
+  int column() const { return col_; }
+  CompareOp op() const { return op_; }
+  bool is_real() const { return is_real_; }
+  int64_t int_value() const { return int_value_; }
+  double real_value() const { return real_value_; }
+
+  /// Checks the predicate against a schema (column exists, type matches).
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Predicate() = default;
+
+  int col_ = -1;
+  CompareOp op_ = CompareOp::kLt;
+  bool is_real_ = false;
+  int64_t int_value_ = 0;
+  double real_value_ = 0.0;
+};
+
+/// A conjunction of predicates, possibly over different columns ("complex
+/// predicates defined over different tuple columns", Section 5.3).
+class PredicateList {
+ public:
+  PredicateList() = default;
+  explicit PredicateList(std::vector<Predicate> preds)
+      : preds_(std::move(preds)) {}
+
+  void Add(Predicate p) { preds_.push_back(p); }
+
+  bool Eval(const TupleView& row) const {
+    for (const Predicate& p : preds_) {
+      if (!p.Eval(row)) return false;
+    }
+    return true;
+  }
+
+  Status Validate(const Schema& schema) const {
+    for (const Predicate& p : preds_) {
+      FV_RETURN_IF_ERROR(p.Validate(schema));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<Predicate>& predicates() const { return preds_; }
+  bool empty() const { return preds_.empty(); }
+  size_t size() const { return preds_.size(); }
+
+ private:
+  std::vector<Predicate> preds_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_PREDICATE_H_

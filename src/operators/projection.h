@@ -1,0 +1,35 @@
+#ifndef FARVIEW_OPERATORS_PROJECTION_H_
+#define FARVIEW_OPERATORS_PROJECTION_H_
+
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace farview {
+
+/// Projection operator (Section 5.2): parses the incoming tuples and emits
+/// only the annotated (projected) columns, in the requested order. Column
+/// indices refer to the input schema; repeated columns are allowed.
+class ProjectionOp : public Operator {
+ public:
+  /// Fails when an index is out of range or the list is empty.
+  static Result<OperatorPtr> Create(const Schema& input,
+                                    std::vector<int> columns);
+
+  Result<Batch> Process(Batch in) override;
+  Result<Batch> Flush() override;
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "projection"; }
+  void Reset() override { stats_.Clear(); }
+
+ private:
+  ProjectionOp(const Schema& input, std::vector<int> columns, Schema output);
+
+  Schema input_schema_;
+  std::vector<int> columns_;
+  Schema output_schema_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPERATORS_PROJECTION_H_

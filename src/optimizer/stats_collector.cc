@@ -1,0 +1,141 @@
+#include "optimizer/stats_collector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace farview {
+namespace {
+
+/// Distinct estimation switches from exact set counting to this cap.
+constexpr uint64_t kExactDistinctLimit = 1u << 16;
+
+}  // namespace
+
+double ColumnStats::EstimateSelectivity(CompareOp op, int64_t value,
+                                        uint64_t total_rows) const {
+  if (total_rows == 0 || histogram.empty()) return 1.0;
+  const double n = static_cast<double>(total_rows);
+
+  // Fraction of rows with column value < `value` (exclusive), via the
+  // histogram with linear interpolation inside the boundary bucket.
+  auto fraction_below = [&](int64_t v) -> double {
+    if (v <= min) return 0.0;
+    if (v > max) return 1.0;
+    const double width =
+        static_cast<double>(max - min + 1) /
+        static_cast<double>(histogram.size());
+    const double offset = static_cast<double>(v - min);
+    const size_t bucket = std::min(
+        histogram.size() - 1,
+        static_cast<size_t>(offset / width));
+    double below = 0;
+    for (size_t b = 0; b < bucket; ++b) {
+      below += static_cast<double>(histogram[b]);
+    }
+    const double into_bucket =
+        (offset - static_cast<double>(bucket) * width) / width;
+    below += static_cast<double>(histogram[bucket]) *
+             std::clamp(into_bucket, 0.0, 1.0);
+    return below / n;
+  };
+
+  const double eq = distinct == 0 ? 0.0 : 1.0 / static_cast<double>(distinct);
+  switch (op) {
+    case CompareOp::kLt:
+      return fraction_below(value);
+    case CompareOp::kLe:
+      return std::min(1.0, fraction_below(value) + eq);
+    case CompareOp::kGt:
+      return std::max(0.0, 1.0 - fraction_below(value) - eq);
+    case CompareOp::kGe:
+      return std::max(0.0, 1.0 - fraction_below(value));
+    case CompareOp::kEq:
+      return (value < min || value > max) ? 0.0 : eq;
+    case CompareOp::kNe:
+      return (value < min || value > max) ? 1.0 : 1.0 - eq;
+  }
+  return 1.0;
+}
+
+AnalyzeResult AnalyzeTable(const Table& table, int buckets) {
+  FV_CHECK(buckets > 0);
+  AnalyzeResult result;
+  result.num_rows = table.num_rows();
+  result.tuple_bytes = table.schema().tuple_width();
+  result.columns.resize(static_cast<size_t>(table.schema().num_columns()));
+  if (table.num_rows() == 0) return result;
+
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const DataType type = table.schema().column(c).type;
+    if (type != DataType::kInt64 && type != DataType::kUInt64) continue;
+    ColumnStats& stats = result.columns[static_cast<size_t>(c)];
+
+    // Pass 1: min/max and distinct (exact up to a cap).
+    stats.min = table.GetInt64(0, c);
+    stats.max = stats.min;
+    std::set<int64_t> values;
+    bool exact = true;
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      const int64_t v = table.GetInt64(r, c);
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+      if (exact) {
+        values.insert(v);
+        if (values.size() > kExactDistinctLimit) {
+          exact = false;
+          values.clear();
+        }
+      }
+    }
+    stats.distinct =
+        exact ? values.size()
+              : std::min<uint64_t>(table.num_rows(),
+                                   static_cast<uint64_t>(stats.max -
+                                                         stats.min) +
+                                       1);
+
+    // Pass 2: equi-width histogram.
+    const uint64_t span = static_cast<uint64_t>(stats.max - stats.min) + 1;
+    const size_t bins =
+        static_cast<size_t>(std::min<uint64_t>(
+            span, static_cast<uint64_t>(buckets)));
+    stats.histogram.assign(bins, 0);
+    const double width = static_cast<double>(span) /
+                         static_cast<double>(bins);
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      const int64_t v = table.GetInt64(r, c);
+      const size_t b = std::min(
+          bins - 1, static_cast<size_t>(
+                        static_cast<double>(v - stats.min) / width));
+      ++stats.histogram[b];
+    }
+  }
+  return result;
+}
+
+TableStats AnalyzeResult::ForQuery(const std::vector<Predicate>& predicates,
+                                   int grouping_col) const {
+  TableStats stats;
+  stats.num_rows = num_rows;
+  stats.tuple_bytes = tuple_bytes;
+  double selectivity = 1.0;
+  for (const Predicate& p : predicates) {
+    const size_t col = static_cast<size_t>(p.column());
+    if (col >= columns.size() || columns[col].histogram.empty() ||
+        p.is_real()) {
+      continue;  // no statistics for this column; assume no reduction
+    }
+    selectivity *=
+        columns[col].EstimateSelectivity(p.op(), p.int_value(), num_rows);
+  }
+  stats.selectivity = std::clamp(selectivity, 0.0, 1.0);
+  if (grouping_col >= 0 &&
+      static_cast<size_t>(grouping_col) < columns.size()) {
+    stats.distinct_keys = columns[static_cast<size_t>(grouping_col)].distinct;
+  }
+  return stats;
+}
+
+}  // namespace farview

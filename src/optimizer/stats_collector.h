@@ -1,0 +1,52 @@
+#ifndef FARVIEW_OPTIMIZER_STATS_COLLECTOR_H_
+#define FARVIEW_OPTIMIZER_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/predicate.h"
+#include "optimizer/optimizer.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// Equi-width histogram over one numeric column, plus distinct-count and
+/// min/max — the per-column statistics an ANALYZE pass would persist in
+/// the catalog for the optimizer.
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  /// Exact when small, estimated (distinct bucket counting) when large.
+  uint64_t distinct = 0;
+  /// Row counts per equi-width bucket over [min, max].
+  std::vector<uint64_t> histogram;
+
+  /// Estimated fraction of rows satisfying `col <op> value` for this
+  /// column (the column index inside the predicate is ignored). Uses
+  /// linear interpolation within the boundary bucket.
+  double EstimateSelectivity(CompareOp op, int64_t value,
+                             uint64_t total_rows) const;
+};
+
+/// Statistics for a whole table.
+struct AnalyzeResult {
+  uint64_t num_rows = 0;
+  uint32_t tuple_bytes = 0;
+  std::vector<ColumnStats> columns;  ///< one per schema column (numeric
+                                     ///< columns populated; CHAR left empty)
+
+  /// Builds optimizer TableStats for a query with the given conjunction
+  /// (independence assumed across predicates) and optional grouping column.
+  TableStats ForQuery(const std::vector<Predicate>& predicates,
+                      int grouping_col = -1) const;
+};
+
+/// One-pass ANALYZE over a materialized table: histograms with
+/// `buckets` bins per numeric column and distinct estimation. The cost is
+/// borne once at load time, like any database's statistics collection.
+AnalyzeResult AnalyzeTable(const Table& table, int buckets = 64);
+
+}  // namespace farview
+
+#endif  // FARVIEW_OPTIMIZER_STATS_COLLECTOR_H_

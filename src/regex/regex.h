@@ -1,0 +1,79 @@
+#ifndef FARVIEW_REGEX_REGEX_H_
+#define FARVIEW_REGEX_REGEX_H_
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace farview {
+
+/// A compiled regular expression: parser → Thompson NFA → DFA (subset
+/// construction).
+///
+/// This models the FPGA regular-expression engines Farview integrates
+/// (Section 5.3, based on [42]): once compiled to a DFA the matcher consumes
+/// exactly one byte per step regardless of pattern complexity — the property
+/// behind "performance ... does not depend on the complexity of the regular
+/// expression". The CPU baselines use the same engine functionally but are
+/// charged per-byte software costs by the cost model.
+///
+/// Supported syntax: literals, '.', character classes `[a-z]` / `[^...]`,
+/// escapes (`\d \w \s \D \W \S` and escaped metacharacters), grouping
+/// `(...)`, alternation `|`, and the quantifiers `* + ?`.
+class Regex {
+ public:
+  /// Compiles `pattern`; fails on syntax errors or if the DFA would exceed
+  /// the state budget (mirroring the fixed BRAM budget of the hardware
+  /// engines).
+  static Result<Regex> Compile(const std::string& pattern);
+
+  Regex(Regex&&) = default;
+  Regex& operator=(Regex&&) = default;
+  Regex(const Regex&) = default;
+  Regex& operator=(const Regex&) = default;
+
+  /// Unanchored search: true when any substring of `text` matches. This is
+  /// the semantics of the Farview regex *selection* operator (emit the tuple
+  /// when the string field matches). Scans at most one DFA step per byte and
+  /// exits early on the first hit.
+  bool Search(std::string_view text) const;
+
+  /// Anchored match: true when the entire `text` matches.
+  bool FullMatch(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// Number of DFA states of the search automaton (compile-time metric; the
+  /// resource model uses it to size the operator).
+  int search_dfa_states() const {
+    return static_cast<int>(search_dfa_.size());
+  }
+  int full_dfa_states() const { return static_cast<int>(full_dfa_.size()); }
+
+ private:
+  Regex() = default;
+
+  /// One DFA state: 256 transitions plus an accept flag. kDead marks a
+  /// missing transition (reject).
+  struct DfaState {
+    std::vector<int32_t> next = std::vector<int32_t>(256, kDead);
+    bool accept = false;
+  };
+  static constexpr int32_t kDead = -1;
+
+  static bool Run(const std::vector<DfaState>& dfa, std::string_view text,
+                  bool early_accept);
+
+  std::string pattern_;
+  std::vector<DfaState> search_dfa_;  ///< with implicit ".*" prefix
+  std::vector<DfaState> full_dfa_;    ///< anchored both ends
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_REGEX_REGEX_H_

@@ -1,0 +1,49 @@
+#include "sim/engine.h"
+
+#include "common/logging.h"
+
+namespace farview::sim {
+
+void Engine::ScheduleAt(SimTime t, std::function<void()> fn) {
+  FV_CHECK(t >= now_) << "event scheduled in the past: " << t << " < " << now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  FV_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+SimTime Engine::Run() {
+  while (!queue_.empty()) {
+    // The callback may schedule further events, so pop before invoking.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+bool Engine::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  if (queue_.empty()) return true;
+  now_ = deadline;
+  return false;
+}
+
+void Engine::Reset() {
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+  queue_ = {};
+}
+
+}  // namespace farview::sim

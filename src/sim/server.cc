@@ -1,0 +1,70 @@
+#include "sim/server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview::sim {
+
+Server::Server(Engine* engine, std::string name, double rate_bytes_per_sec,
+               SimTime fixed_overhead)
+    : engine_(engine),
+      name_(std::move(name)),
+      rate_(rate_bytes_per_sec),
+      fixed_overhead_(fixed_overhead) {
+  FV_CHECK(engine != nullptr);
+  FV_CHECK(rate_ > 0.0) << "server " << name_ << " needs a positive rate";
+  FV_CHECK(fixed_overhead_ >= 0);
+}
+
+void Server::Submit(int flow_id, uint64_t bytes, SimTime extra_overhead,
+                    std::function<void(SimTime)> done) {
+  auto& q = queues_[flow_id];
+  if (q.empty()) rotation_.push_back(flow_id);
+  q.push_back(Item{bytes, extra_overhead, std::move(done)});
+  ++pending_items_;
+  MaybeStartNext();
+}
+
+void Server::MaybeStartNext() {
+  if (busy_ || rotation_.empty()) return;
+
+  // Round-robin: take the head flow, serve its first item, and move the flow
+  // to the back of the rotation if it still has work.
+  const int flow = rotation_.front();
+  rotation_.pop_front();
+  auto it = queues_.find(flow);
+  FV_CHECK(it != queues_.end() && !it->second.empty());
+  Item item = std::move(it->second.front());
+  it->second.pop_front();
+  if (!it->second.empty()) {
+    rotation_.push_back(flow);
+  } else {
+    queues_.erase(it);
+  }
+
+  const SimTime service = fixed_overhead_ + item.extra_overhead +
+                          TransferTime(item.bytes, rate_);
+  busy_ = true;
+  busy_time_ += service;
+  bytes_served_ += item.bytes;
+  ++items_served_;
+
+  engine_->ScheduleAfter(
+      service, [this, done = std::move(item.done)]() mutable {
+        busy_ = false;
+        --pending_items_;
+        // Start the next item before running the completion callback so that
+        // a callback submitting new work observes a consistent queue.
+        MaybeStartNext();
+        if (done) done(engine_->Now());
+      });
+}
+
+double Server::Utilization() const {
+  const SimTime now = engine_->Now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace farview::sim

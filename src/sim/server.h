@@ -1,0 +1,93 @@
+#ifndef FARVIEW_SIM_SERVER_H_
+#define FARVIEW_SIM_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace farview::sim {
+
+/// A serial bandwidth resource with round-robin fair sharing among flows.
+///
+/// Models a DRAM channel, a region datapath, or a network link: one item is
+/// in service at a time; service time is
+///   `fixed_overhead + extra_overhead + bytes / rate`.
+/// Items from different flows are interleaved round-robin at item
+/// granularity, which is how Farview's hardware arbiters share a channel or
+/// the link between dynamic regions (Section 4.4 of the paper): submit items
+/// at burst/packet granularity and fair sharing emerges.
+///
+/// Within one flow, items are served FIFO. The completion callback runs at
+/// the simulated instant the last byte leaves the server.
+class Server {
+ public:
+  /// `rate_bytes_per_sec` is the drain rate; `fixed_overhead` is charged per
+  /// served item (e.g. a DRAM row activation or a packet header time).
+  Server(Engine* engine, std::string name, double rate_bytes_per_sec,
+         SimTime fixed_overhead = 0);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues `bytes` of service on behalf of `flow_id`. `extra_overhead` is
+  /// added to this item's service time only. `done` is invoked with the
+  /// completion time; it may be null for fire-and-forget items.
+  void Submit(int flow_id, uint64_t bytes, SimTime extra_overhead,
+              std::function<void(SimTime)> done);
+
+  /// Convenience overload without extra overhead.
+  void Submit(int flow_id, uint64_t bytes, std::function<void(SimTime)> done) {
+    Submit(flow_id, bytes, 0, std::move(done));
+  }
+
+  const std::string& name() const { return name_; }
+  double rate() const { return rate_; }
+
+  /// Total payload bytes served since construction.
+  uint64_t total_bytes_served() const { return bytes_served_; }
+
+  /// Total items served since construction.
+  uint64_t items_served() const { return items_served_; }
+
+  /// Accumulated time the server spent serving items.
+  SimTime busy_time() const { return busy_time_; }
+
+  /// Fraction of [0, now] the server was busy.
+  double Utilization() const;
+
+  /// Number of items waiting or in service.
+  size_t QueueDepth() const { return pending_items_; }
+
+ private:
+  void MaybeStartNext();
+
+  struct Item {
+    uint64_t bytes;
+    SimTime extra_overhead;
+    std::function<void(SimTime)> done;
+  };
+
+  Engine* engine_;
+  std::string name_;
+  double rate_;
+  SimTime fixed_overhead_;
+
+  // Per-flow FIFO queues plus a rotation of flow ids with pending work.
+  std::map<int, std::deque<Item>> queues_;
+  std::deque<int> rotation_;
+  bool busy_ = false;
+  size_t pending_items_ = 0;
+
+  uint64_t bytes_served_ = 0;
+  uint64_t items_served_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+}  // namespace farview::sim
+
+#endif  // FARVIEW_SIM_SERVER_H_

@@ -1,0 +1,51 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace farview::sim {
+
+std::vector<double> SampleStats::Sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Median() const { return Percentile(50.0); }
+
+double SampleStats::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> s = Sorted();
+  if (p <= 0.0) return s.front();
+  if (p >= 100.0) return s.back();
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(s.size())));
+  return s[rank == 0 ? 0 : rank - 1];
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+}  // namespace farview::sim

@@ -1,0 +1,60 @@
+#ifndef FARVIEW_SQL_AST_H_
+#define FARVIEW_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "operators/grouping.h"
+#include "operators/predicate.h"
+
+namespace farview::sql {
+
+/// One item of a SELECT list: a bare column or an aggregate call.
+struct SelectItem {
+  /// Column name; empty for COUNT(*).
+  std::string column;
+  /// Aggregate function, if the item is `fn(column)` / COUNT(*).
+  std::optional<AggKind> aggregate;
+  /// Optional AS alias (informational; not used for binding).
+  std::string alias;
+
+  bool is_aggregate() const { return aggregate.has_value(); }
+};
+
+/// One conjunct of the WHERE clause.
+struct WhereClause {
+  enum class Kind {
+    kComparison,  ///< column <op> numeric-literal
+    kLike,        ///< column LIKE 'pattern'  (%, _ wildcards)
+    kRegexp,      ///< column REGEXP 'pattern'
+  };
+  Kind kind = Kind::kComparison;
+  std::string column;
+  CompareOp op = CompareOp::kLt;  ///< for kComparison
+  bool is_real = false;
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  std::string pattern;  ///< for kLike / kRegexp
+};
+
+/// Parsed SELECT statement of the supported subset:
+///
+///   SELECT [DISTINCT] * | item [, item]...
+///   FROM table
+///   [WHERE conjunct [AND conjunct]...]
+///   [GROUP BY column [, column]...]
+///
+/// Aggregates: COUNT(*), COUNT(col), SUM/MIN/MAX/AVG(col).
+struct SelectStatement {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<WhereClause> where;
+  std::vector<std::string> group_by;
+};
+
+}  // namespace farview::sql
+
+#endif  // FARVIEW_SQL_AST_H_

@@ -1,0 +1,228 @@
+#include "sql/compiler.h"
+
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace farview::sql {
+namespace {
+
+bool IsRegexMeta(char c) {
+  switch (c) {
+    case '.':
+    case '*':
+    case '+':
+    case '?':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '|':
+    case '\\':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Resolves `name` in `schema` or returns a bind error.
+Result<int> ResolveColumn(const Schema& schema, const std::string& name) {
+  Result<int> col = schema.ColumnIndex(name);
+  if (!col.ok()) {
+    return Status::InvalidArgument("unknown column '" + name + "' in " +
+                                   schema.ToString());
+  }
+  return col;
+}
+
+Status BindWhere(const SelectStatement& stmt, const Schema& schema,
+                 QuerySpec* spec) {
+  for (const WhereClause& clause : stmt.where) {
+    FV_ASSIGN_OR_RETURN(const int col, ResolveColumn(schema, clause.column));
+    const DataType type = schema.column(col).type;
+    switch (clause.kind) {
+      case WhereClause::Kind::kComparison: {
+        if (type == DataType::kInt64 || type == DataType::kUInt64) {
+          if (clause.is_real) {
+            return Status::InvalidArgument(
+                "real literal compared against integer column '" +
+                clause.column + "'");
+          }
+          spec->predicates.push_back(
+              Predicate::Int(col, clause.op, clause.int_value));
+        } else if (type == DataType::kDouble) {
+          const double v = clause.is_real
+                               ? clause.real_value
+                               : static_cast<double>(clause.int_value);
+          spec->predicates.push_back(Predicate::Real(col, clause.op, v));
+        } else {
+          return Status::InvalidArgument(
+              "comparison on non-numeric column '" + clause.column +
+              "' (use LIKE or REGEXP for strings)");
+        }
+        break;
+      }
+      case WhereClause::Kind::kLike:
+      case WhereClause::Kind::kRegexp: {
+        if (type != DataType::kChar) {
+          return Status::InvalidArgument(
+              "LIKE/REGEXP requires a CHAR column, got '" + clause.column +
+              "'");
+        }
+        if (spec->regex_column.has_value()) {
+          return Status::InvalidArgument(
+              "at most one LIKE/REGEXP conjunct is supported (one regex "
+              "engine per pipeline)");
+        }
+        spec->regex_column = col;
+        if (clause.kind == WhereClause::Kind::kLike) {
+          spec->regex_pattern = LikeToRegex(clause.pattern);
+          spec->regex_full_match = true;
+        } else {
+          spec->regex_pattern = clause.pattern;
+          spec->regex_full_match = false;
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BindSelectList(const SelectStatement& stmt, const Schema& schema,
+                      QuerySpec* spec) {
+  bool has_aggregates = false;
+  bool has_bare = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_aggregate()) {
+      has_aggregates = true;
+    } else {
+      has_bare = true;
+    }
+  }
+
+  if (stmt.select_star) {
+    if (stmt.distinct) {
+      // SELECT DISTINCT *: distinct over all columns.
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        spec->distinct_keys.push_back(c);
+      }
+    }
+    return Status::OK();
+  }
+
+  if (stmt.distinct) {
+    if (has_aggregates) {
+      return Status::InvalidArgument(
+          "DISTINCT with aggregates is not supported");
+    }
+    for (const SelectItem& item : stmt.items) {
+      FV_ASSIGN_OR_RETURN(const int col, ResolveColumn(schema, item.column));
+      spec->distinct_keys.push_back(col);
+    }
+    return Status::OK();
+  }
+
+  if (!stmt.group_by.empty()) {
+    if (!has_aggregates) {
+      return Status::InvalidArgument("GROUP BY requires aggregates");
+    }
+    // Bare select items must be exactly the GROUP BY columns, in order,
+    // before the aggregates (the group-by operator emits keys then aggs).
+    std::vector<std::string> bare;
+    bool seen_aggregate = false;
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_aggregate()) {
+        seen_aggregate = true;
+        continue;
+      }
+      if (seen_aggregate) {
+        return Status::InvalidArgument(
+            "grouping columns must precede aggregates in the select list");
+      }
+      bare.push_back(item.column);
+    }
+    if (bare != stmt.group_by) {
+      return Status::InvalidArgument(
+          "non-aggregate select items must match the GROUP BY columns");
+    }
+    for (const std::string& name : stmt.group_by) {
+      FV_ASSIGN_OR_RETURN(const int col, ResolveColumn(schema, name));
+      spec->group_keys.push_back(col);
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (!item.is_aggregate()) continue;
+      AggSpec agg;
+      agg.kind = *item.aggregate;
+      if (agg.kind != AggKind::kCount || !item.column.empty()) {
+        if (item.column.empty()) {
+          return Status::InvalidArgument("aggregate needs a column");
+        }
+        FV_ASSIGN_OR_RETURN(agg.col, ResolveColumn(schema, item.column));
+      }
+      spec->aggregates.push_back(agg);
+    }
+    return Status::OK();
+  }
+
+  if (has_aggregates) {
+    if (has_bare) {
+      return Status::InvalidArgument(
+          "mixing bare columns and aggregates requires GROUP BY");
+    }
+    for (const SelectItem& item : stmt.items) {
+      AggSpec agg;
+      agg.kind = *item.aggregate;
+      if (!item.column.empty()) {
+        FV_ASSIGN_OR_RETURN(agg.col, ResolveColumn(schema, item.column));
+      } else if (agg.kind != AggKind::kCount) {
+        return Status::InvalidArgument("aggregate needs a column");
+      }
+      spec->aggregates.push_back(agg);
+    }
+    return Status::OK();
+  }
+
+  // Plain projection.
+  for (const SelectItem& item : stmt.items) {
+    FV_ASSIGN_OR_RETURN(const int col, ResolveColumn(schema, item.column));
+    spec->projection.push_back(col);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string LikeToRegex(const std::string& like_pattern) {
+  std::string out;
+  out.reserve(like_pattern.size() * 2);
+  for (const char c : like_pattern) {
+    if (c == '%') {
+      out += ".*";
+    } else if (c == '_') {
+      out += '.';
+    } else if (IsRegexMeta(c)) {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<QuerySpec> Bind(const SelectStatement& stmt, const Schema& schema) {
+  QuerySpec spec;
+  FV_RETURN_IF_ERROR(BindWhere(stmt, schema, &spec));
+  FV_RETURN_IF_ERROR(BindSelectList(stmt, schema, &spec));
+  FV_RETURN_IF_ERROR(spec.Validate(schema));
+  return spec;
+}
+
+Result<QuerySpec> CompileSql(const std::string& statement,
+                             const Schema& schema) {
+  FV_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(statement));
+  return Bind(stmt, schema);
+}
+
+}  // namespace farview::sql

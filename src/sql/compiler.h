@@ -1,0 +1,42 @@
+#ifndef FARVIEW_SQL_COMPILER_H_
+#define FARVIEW_SQL_COMPILER_H_
+
+#include <string>
+
+#include "baseline/query_spec.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "table/schema.h"
+
+namespace farview::sql {
+
+/// The Farview query compiler front-end — the component the paper leaves as
+/// future work ("The interface presented here is intended to be used by the
+/// query compiler in Farview"). It binds a parsed SELECT statement against
+/// a table schema and produces the declarative `QuerySpec`, which both the
+/// Farview offload path (compiled to an operator pipeline) and the CPU
+/// baselines execute.
+///
+/// Binding rules for the supported subset:
+///  - bare columns resolve by name; unknown names fail;
+///  - comparisons require numeric columns (integer literal for INT64,
+///    any numeric literal for DOUBLE);
+///  - LIKE translates %/_ wildcards to an anchored regex over the CHAR
+///    column; REGEXP uses the pattern verbatim, unanchored;
+///  - at most one LIKE/REGEXP conjunct (one regex engine per pipeline);
+///  - SELECT DISTINCT cols maps to the distinct operator over those keys;
+///  - aggregates map to group-by (with GROUP BY) or standalone aggregation;
+///    bare select items must then exactly match the GROUP BY columns.
+Result<QuerySpec> Bind(const SelectStatement& stmt, const Schema& schema);
+
+/// Parses and binds in one step.
+Result<QuerySpec> CompileSql(const std::string& statement,
+                             const Schema& schema);
+
+/// Translates a SQL LIKE pattern to an anchored regular expression:
+/// `%` → `.*`, `_` → `.`, regex metacharacters escaped.
+std::string LikeToRegex(const std::string& like_pattern);
+
+}  // namespace farview::sql
+
+#endif  // FARVIEW_SQL_COMPILER_H_

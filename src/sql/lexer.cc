@@ -1,0 +1,171 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace farview::sql {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "DISTINCT", "FROM",  "WHERE", "GROUP", "BY",
+      "AND",    "COUNT",    "SUM",   "MIN",   "MAX",   "AVG",
+      "LIKE",   "REGEXP",   "AS",    "NOT",   "OR",    "ORDER",
+      "LIMIT",  "JOIN",     "ON",    "INNER", "BETWEEN",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& statement) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(statement[j])) ++j;
+      const std::string word = statement.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(statement[i + 1])))) {
+      // '-' directly before a digit is always a sign: the subset has no
+      // binary arithmetic, so there is no ambiguity.
+      size_t j = i + 1;
+      bool is_real = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(statement[j]))
+                       || statement[j] == '.')) {
+        if (statement[j] == '.') {
+          if (is_real) {
+            return Status::InvalidArgument(
+                "malformed number at position " + std::to_string(i));
+          }
+          is_real = true;
+        }
+        ++j;
+      }
+      const std::string num = statement.substr(i, j - i);
+      if (is_real) {
+        tok.kind = TokenKind::kReal;
+        tok.real_value = std::stod(num);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        // Accumulate manually with an overflow check (no exceptions).
+        const bool negative = num[0] == '-';
+        uint64_t magnitude = 0;
+        for (size_t k = negative ? 1 : 0; k < num.size(); ++k) {
+          const uint64_t digit = static_cast<uint64_t>(num[k] - '0');
+          if (magnitude > (UINT64_MAX - digit) / 10) {
+            return Status::InvalidArgument("integer literal out of range: " +
+                                           num);
+          }
+          magnitude = magnitude * 10 + digit;
+        }
+        const uint64_t limit =
+            negative ? (1ull << 63) : (1ull << 63) - 1;
+        if (magnitude > limit) {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         num);
+        }
+        // Negate in unsigned arithmetic: -2^63 is representable but
+        // negating it as int64 would overflow.
+        tok.int_value = static_cast<int64_t>(
+            negative ? 0 - magnitude : magnitude);
+      }
+      tok.text = num;
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (statement[j] == '\'') {
+          if (j + 1 < n && statement[j + 1] == '\'') {
+            value += '\'';  // '' escapes a quote
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += statement[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = value;
+      i = j;
+    } else if (c == '<' || c == '>' || c == '!') {
+      std::string sym(1, c);
+      if (i + 1 < n && (statement[i + 1] == '=' ||
+                        (c == '<' && statement[i + 1] == '>'))) {
+        sym += statement[i + 1];
+        i += 2;
+      } else {
+        ++i;
+      }
+      if (sym == "!") {
+        return Status::InvalidArgument("stray '!' at " +
+                                       std::to_string(tok.position));
+      }
+      tok.kind = TokenKind::kSymbol;
+      tok.text = sym;
+    } else if (c == '=' || c == '*' || c == ',' || c == '(' || c == ')' ||
+               c == ';' || c == '.') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at position " +
+                                     std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace farview::sql

@@ -1,0 +1,48 @@
+#ifndef FARVIEW_SQL_LEXER_H_
+#define FARVIEW_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace farview::sql {
+
+/// Token kinds of the SQL subset understood by the Farview query compiler.
+enum class TokenKind {
+  kIdentifier,  ///< table / column names (case preserved)
+  kKeyword,     ///< upper-cased reserved word (SELECT, FROM, ...)
+  kInteger,     ///< 64-bit integer literal
+  kReal,        ///< floating point literal
+  kString,      ///< '...' string literal (quotes stripped, '' unescaped)
+  kSymbol,      ///< punctuation / operator: * , ( ) < <= > >= = <> !=
+  kEnd,         ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< identifier/keyword/symbol text or raw literal
+  int64_t int_value = 0;  ///< valid for kInteger
+  double real_value = 0;  ///< valid for kReal
+  size_t position = 0;    ///< byte offset in the statement (for errors)
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `statement`. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their spelling. Fails on
+/// unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& statement);
+
+/// True when `word` (upper-cased) is a reserved keyword.
+bool IsReservedKeyword(const std::string& upper);
+
+}  // namespace farview::sql
+
+#endif  // FARVIEW_SQL_LEXER_H_

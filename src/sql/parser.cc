@@ -1,0 +1,205 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace farview::sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    FV_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().IsKeyword("DISTINCT")) {
+      stmt.distinct = true;
+      Advance();
+    }
+    FV_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    FV_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    FV_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      FV_RETURN_IF_ERROR(ParseWhere(&stmt));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      FV_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      FV_RETURN_IF_ERROR(ParseGroupBy(&stmt));
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(Peek().position) +
+                                   (Peek().text.empty()
+                                        ? ""
+                                        : " (near '" + Peek().text + "')"));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    for (;;) {
+      FV_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kKeyword) {
+      std::optional<AggKind> agg;
+      if (tok.text == "COUNT") agg = AggKind::kCount;
+      if (tok.text == "SUM") agg = AggKind::kSum;
+      if (tok.text == "MIN") agg = AggKind::kMin;
+      if (tok.text == "MAX") agg = AggKind::kMax;
+      if (tok.text == "AVG") agg = AggKind::kAvg;
+      if (!agg.has_value()) {
+        return Error("unexpected keyword in select list");
+      }
+      Advance();
+      if (!Peek().IsSymbol("(")) return Error("expected '('");
+      Advance();
+      item.aggregate = agg;
+      if (Peek().IsSymbol("*")) {
+        if (*agg != AggKind::kCount) {
+          return Error("only COUNT accepts '*'");
+        }
+        Advance();
+      } else {
+        FV_ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column name"));
+      }
+      if (!Peek().IsSymbol(")")) return Error("expected ')'");
+      Advance();
+    } else if (tok.kind == TokenKind::kIdentifier) {
+      item.column = Advance().text;
+    } else {
+      return Error("expected column or aggregate");
+    }
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      FV_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    for (;;) {
+      FV_ASSIGN_OR_RETURN(WhereClause clause, ParseCondition());
+      stmt->where.push_back(std::move(clause));
+      if (!Peek().IsKeyword("AND")) break;
+      Advance();
+    }
+    if (Peek().IsKeyword("OR")) {
+      return Error("OR is not supported (conjunctions only)");
+    }
+    return Status::OK();
+  }
+
+  Result<WhereClause> ParseCondition() {
+    WhereClause clause;
+    FV_ASSIGN_OR_RETURN(clause.column, ExpectIdentifier("column name"));
+    const Token& tok = Peek();
+    if (tok.IsKeyword("LIKE") || tok.IsKeyword("REGEXP")) {
+      clause.kind = tok.IsKeyword("LIKE") ? WhereClause::Kind::kLike
+                                          : WhereClause::Kind::kRegexp;
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected string literal");
+      }
+      clause.pattern = Advance().text;
+      return clause;
+    }
+    if (tok.IsKeyword("BETWEEN")) {
+      return Error(
+          "BETWEEN is not supported; write two AND-ed comparisons");
+    }
+    if (tok.kind != TokenKind::kSymbol) {
+      return Error("expected comparison operator");
+    }
+    const std::string sym = Advance().text;
+    if (sym == "<") {
+      clause.op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      clause.op = CompareOp::kLe;
+    } else if (sym == ">") {
+      clause.op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      clause.op = CompareOp::kGe;
+    } else if (sym == "=") {
+      clause.op = CompareOp::kEq;
+    } else if (sym == "<>" || sym == "!=") {
+      clause.op = CompareOp::kNe;
+    } else {
+      return Error("unknown comparison operator '" + sym + "'");
+    }
+    const Token& value = Peek();
+    if (value.kind == TokenKind::kInteger) {
+      clause.int_value = value.int_value;
+    } else if (value.kind == TokenKind::kReal) {
+      clause.is_real = true;
+      clause.real_value = value.real_value;
+    } else {
+      return Error("expected numeric literal");
+    }
+    Advance();
+    return clause;
+  }
+
+  Status ParseGroupBy(SelectStatement* stmt) {
+    for (;;) {
+      FV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      stmt->group_by.push_back(std::move(col));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& statement) {
+  FV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace farview::sql

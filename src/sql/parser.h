@@ -1,0 +1,18 @@
+#ifndef FARVIEW_SQL_PARSER_H_
+#define FARVIEW_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace farview::sql {
+
+/// Parses one SELECT statement of the supported subset (see
+/// SelectStatement). A trailing ';' is allowed. Errors carry the byte
+/// position of the offending token.
+Result<SelectStatement> ParseSelect(const std::string& statement);
+
+}  // namespace farview::sql
+
+#endif  // FARVIEW_SQL_PARSER_H_

@@ -1,0 +1,39 @@
+#include "sql/session.h"
+
+#include "sql/parser.h"
+
+namespace farview::sql {
+
+Result<QuerySpec> SqlSession::Compile(const std::string& statement) {
+  FV_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(statement));
+  FV_ASSIGN_OR_RETURN(TableEntry entry,
+                      client_->catalog().Lookup(stmt.table));
+  return Bind(stmt, entry.schema);
+}
+
+Result<SqlSession::QueryResult> SqlSession::Execute(
+    const std::string& statement) {
+  FV_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(statement));
+  FV_ASSIGN_OR_RETURN(TableEntry entry,
+                      client_->catalog().Lookup(stmt.table));
+  FV_ASSIGN_OR_RETURN(QuerySpec spec, Bind(stmt, entry.schema));
+  FV_ASSIGN_OR_RETURN(Pipeline pipeline, spec.BuildPipeline(entry.schema));
+  const Schema output_schema = pipeline.output_schema();
+  FV_RETURN_IF_ERROR(client_->LoadPipeline(std::move(pipeline)));
+
+  FvRequest request;
+  request.vaddr = entry.virtual_address;
+  request.len = entry.size_bytes;
+  request.tuple_bytes = entry.schema.tuple_width();
+  FV_ASSIGN_OR_RETURN(FvResult result, client_->FarviewRequest(request));
+
+  QueryResult out;
+  out.schema = output_schema;
+  FV_ASSIGN_OR_RETURN(out.rows,
+                      Table::FromBytes(output_schema, result.data));
+  result.data.clear();  // rows own the bytes now
+  out.stats = std::move(result);
+  return out;
+}
+
+}  // namespace farview::sql

@@ -1,0 +1,48 @@
+#ifndef FARVIEW_SQL_SESSION_H_
+#define FARVIEW_SQL_SESSION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "fv/client.h"
+#include "sql/compiler.h"
+
+namespace farview::sql {
+
+/// End-to-end SQL execution against a Farview node: parse → bind against
+/// the client's catalog → compile to an operator pipeline → load into the
+/// connection's dynamic region → issue the Farview verb → materialize the
+/// result rows. This is the "query compiler" layer the paper's Section 4.2
+/// API is designed for.
+class SqlSession {
+ public:
+  /// `client` must stay valid for the session's lifetime and be connected.
+  explicit SqlSession(FarviewClient* client) : client_(client) {}
+
+  /// A materialized query result.
+  struct QueryResult {
+    /// Output layout (projected columns / group keys + aggregates).
+    Schema schema;
+    /// Result rows as delivered to client memory.
+    Table rows;
+    /// Transport-level completion record (timing, wire bytes).
+    FvResult stats;
+
+    QueryResult() : rows(Schema()) {}
+  };
+
+  /// Executes one SELECT statement, offloaded to the Farview node. The
+  /// FROM table is resolved in the client's catalog.
+  Result<QueryResult> Execute(const std::string& statement);
+
+  /// Compiles a statement without executing it (EXPLAIN-style): returns the
+  /// bound QuerySpec for inspection.
+  Result<QuerySpec> Compile(const std::string& statement);
+
+ private:
+  FarviewClient* client_;
+};
+
+}  // namespace farview::sql
+
+#endif  // FARVIEW_SQL_SESSION_H_

@@ -1,0 +1,133 @@
+#include "storage/buffer_pool.h"
+
+#include <optional>
+
+#include "common/logging.h"
+
+namespace farview {
+
+BufferPoolManager::BufferPoolManager(FarviewClient* client,
+                                     StorageNode* storage,
+                                     uint64_t capacity_bytes,
+                                     std::unique_ptr<EvictionPolicy> policy)
+    : client_(client),
+      storage_(storage),
+      capacity_bytes_(capacity_bytes),
+      policy_(std::move(policy)) {
+  FV_CHECK(client_ != nullptr && storage_ != nullptr);
+  if (policy_ == nullptr) policy_ = std::make_unique<LruPolicy>();
+}
+
+Status BufferPoolManager::RegisterTable(const std::string& name,
+                                        const Schema& schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  const uint64_t size = storage_->ExtentSize(name);
+  if (size == 0) {
+    return Status::NotFound("no storage extent named " + name);
+  }
+  if (size % schema.tuple_width() != 0) {
+    return Status::InvalidArgument(
+        "extent is not a whole number of rows for this schema");
+  }
+  if (size > capacity_bytes_) {
+    return Status::InvalidArgument("table larger than the pool budget");
+  }
+  TableState state;
+  state.schema = schema;
+  state.size_bytes = size;
+  tables_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status BufferPoolManager::Evict(const std::string& name) {
+  auto it = tables_.find(name);
+  FV_CHECK(it != tables_.end() && resident_.count(name) == 1);
+  FV_CHECK(it->second.pin_count == 0) << "evicting a pinned table";
+  // Read-only pool: dropping the copy is enough (no write-back).
+  FV_RETURN_IF_ERROR(client_->FreeTableMem(&it->second.handle));
+  resident_.erase(name);
+  used_bytes_ -= it->second.size_bytes;
+  policy_->OnRemove(name);
+  ++evictions_;
+  return Status::OK();
+}
+
+Status BufferPoolManager::MakeRoom(uint64_t needed) {
+  std::set<std::string> pinned;
+  for (const auto& [name, state] : tables_) {
+    if (state.pin_count > 0) pinned.insert(name);
+  }
+  while (used_bytes_ + needed > capacity_bytes_) {
+    FV_ASSIGN_OR_RETURN(const std::string victim,
+                        policy_->ChooseVictim(pinned));
+    FV_RETURN_IF_ERROR(Evict(victim));
+  }
+  return Status::OK();
+}
+
+Result<FTable> BufferPoolManager::Pin(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not registered: " + name);
+  }
+  TableState& state = it->second;
+  if (resident_.count(name) > 0) {
+    ++hits_;
+    ++state.pin_count;
+    policy_->OnAccess(name);
+    return state.handle;
+  }
+  ++misses_;
+  FV_RETURN_IF_ERROR(MakeRoom(state.size_bytes));
+
+  // Load the extent from storage (simulated time) ...
+  sim::Engine* engine = client_->node()->engine();
+  const SimTime start = engine->Now();
+  std::optional<Result<ByteBuffer>> loaded;
+  storage_->ReadExtent(client_->qp()->qp_id, name,
+                       [&loaded](Result<ByteBuffer> data, SimTime) {
+                         loaded.emplace(std::move(data));
+                       });
+  engine->Run();
+  FV_CHECK(loaded.has_value()) << "storage read did not complete";
+  FV_RETURN_IF_ERROR(loaded->status());
+
+  // ... and place it in Farview memory.
+  FTable handle;
+  handle.name = name;
+  handle.schema = state.schema;
+  handle.num_rows = state.size_bytes / state.schema.tuple_width();
+  FV_RETURN_IF_ERROR(client_->AllocTableMem(&handle));
+  FV_ASSIGN_OR_RETURN(Table rows, Table::FromBytes(state.schema,
+                                                   std::move(*loaded)
+                                                       .value()));
+  Result<SimTime> wrote = client_->TableWrite(handle, rows);
+  if (!wrote.ok()) {
+    (void)client_->FreeTableMem(&handle);
+    return wrote.status();
+  }
+  load_time_ += engine->Now() - start;
+
+  state.handle = handle;
+  state.pin_count = 1;
+  resident_.insert(name);
+  used_bytes_ += state.size_bytes;
+  policy_->OnAdmit(name);
+  return handle;
+}
+
+Status BufferPoolManager::Unpin(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end() || resident_.count(name) == 0) {
+    return Status::NotFound("table not resident: " + name);
+  }
+  if (it->second.pin_count == 0) {
+    return Status::FailedPrecondition("table is not pinned");
+  }
+  --it->second.pin_count;
+  return Status::OK();
+}
+
+}  // namespace farview

@@ -1,0 +1,98 @@
+#ifndef FARVIEW_STORAGE_BUFFER_POOL_H_
+#define FARVIEW_STORAGE_BUFFER_POOL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "fv/client.h"
+#include "storage/eviction.h"
+#include "storage/storage_node.h"
+
+namespace farview {
+
+/// Cache manager for the disaggregated buffer pool — the paper's deferred
+/// "cache management strategies to move data back and forth to persistent
+/// storage".
+///
+/// The manager treats Farview's DRAM as a table-granular cache over a
+/// storage node. Queries call `Pin` before offloading: a resident table is
+/// a hit; a miss evicts cold tables (per the pluggable policy) until the
+/// budget fits, then loads the extent from storage and writes it into
+/// Farview memory — all in simulated time, so cold-start costs show up in
+/// experiment results. Pinned tables are never evicted; the pool is
+/// read-only (matching the paper's read-only focus), so evictions simply
+/// drop the copy.
+class BufferPoolManager {
+ public:
+  /// `capacity_bytes` is the DRAM budget managed by this client (must not
+  /// exceed the node's physical memory). The policy defaults to LRU.
+  BufferPoolManager(FarviewClient* client, StorageNode* storage,
+                    uint64_t capacity_bytes,
+                    std::unique_ptr<EvictionPolicy> policy = nullptr);
+
+  BufferPoolManager(const BufferPoolManager&) = delete;
+  BufferPoolManager& operator=(const BufferPoolManager&) = delete;
+
+  /// Registers a storage-resident table (its extent must exist in the
+  /// storage node and must fit the pool budget).
+  Status RegisterTable(const std::string& name, const Schema& schema);
+
+  /// Ensures the table is resident and pins it, returning the FTable handle
+  /// for query execution. Drives the simulation engine while loading (a
+  /// synchronous convenience like FarviewClient's data-path methods).
+  Result<FTable> Pin(const std::string& name);
+
+  /// Releases a pin.
+  Status Unpin(const std::string& name);
+
+  bool IsResident(const std::string& name) const {
+    return resident_.count(name) > 0;
+  }
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+
+  // Statistics.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  /// Simulated time spent loading extents (storage read + memory write).
+  SimTime load_time() const { return load_time_; }
+
+  const EvictionPolicy& policy() const { return *policy_; }
+
+ private:
+  struct TableState {
+    Schema schema;
+    uint64_t size_bytes = 0;
+    /// Valid when resident.
+    FTable handle;
+    int pin_count = 0;
+  };
+
+  /// Frees space until `needed` fits; evicts per policy.
+  Status MakeRoom(uint64_t needed);
+
+  /// Drops a resident, unpinned table.
+  Status Evict(const std::string& name);
+
+  FarviewClient* client_;
+  StorageNode* storage_;
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::map<std::string, TableState> tables_;
+  std::set<std::string> resident_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  SimTime load_time_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,119 @@
+#include "storage/eviction.h"
+
+#include <algorithm>
+
+namespace farview {
+
+// ---------------------------------------------------------------------------
+// LruPolicy
+// ---------------------------------------------------------------------------
+
+void LruPolicy::OnAccess(const std::string& table) {
+  auto it = std::find(order_.begin(), order_.end(), table);
+  if (it != order_.end()) order_.erase(it);
+  order_.push_front(table);
+}
+
+void LruPolicy::OnAdmit(const std::string& table) { order_.push_front(table); }
+
+void LruPolicy::OnRemove(const std::string& table) {
+  auto it = std::find(order_.begin(), order_.end(), table);
+  if (it != order_.end()) order_.erase(it);
+}
+
+Result<std::string> LruPolicy::ChooseVictim(
+    const std::set<std::string>& pinned) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (pinned.count(*it) == 0) return *it;
+  }
+  return Status::Unavailable("all resident tables are pinned");
+}
+
+// ---------------------------------------------------------------------------
+// FifoPolicy
+// ---------------------------------------------------------------------------
+
+void FifoPolicy::OnAdmit(const std::string& table) {
+  order_.push_back(table);
+}
+
+void FifoPolicy::OnRemove(const std::string& table) {
+  auto it = std::find(order_.begin(), order_.end(), table);
+  if (it != order_.end()) order_.erase(it);
+}
+
+Result<std::string> FifoPolicy::ChooseVictim(
+    const std::set<std::string>& pinned) {
+  for (const std::string& t : order_) {
+    if (pinned.count(t) == 0) return t;
+  }
+  return Status::Unavailable("all resident tables are pinned");
+}
+
+// ---------------------------------------------------------------------------
+// ClockPolicy
+// ---------------------------------------------------------------------------
+
+void ClockPolicy::OnAccess(const std::string& table) {
+  for (Entry& e : ring_) {
+    if (e.table == table) {
+      e.referenced = true;
+      return;
+    }
+  }
+}
+
+void ClockPolicy::OnAdmit(const std::string& table) {
+  ring_.insert(ring_.begin() + static_cast<long>(hand_),
+               Entry{table, true});
+  ++hand_;
+  if (hand_ >= ring_.size()) hand_ = 0;
+}
+
+void ClockPolicy::OnRemove(const std::string& table) {
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i].table == table) {
+      ring_.erase(ring_.begin() + static_cast<long>(i));
+      if (hand_ > i) --hand_;
+      if (hand_ >= ring_.size()) hand_ = 0;
+      return;
+    }
+  }
+}
+
+Result<std::string> ClockPolicy::ChooseVictim(
+    const std::set<std::string>& pinned) {
+  if (ring_.empty()) {
+    return Status::Unavailable("buffer pool is empty");
+  }
+  // Two full sweeps suffice: the first clears reference bits, the second
+  // must find an unreferenced, unpinned entry (unless everything is
+  // pinned).
+  for (size_t step = 0; step < 2 * ring_.size(); ++step) {
+    Entry& e = ring_[hand_];
+    if (pinned.count(e.table) == 0) {
+      if (!e.referenced) {
+        return e.table;  // hand stays; removal will adjust it
+      }
+      e.referenced = false;
+    }
+    hand_ = (hand_ + 1) % ring_.size();
+  }
+  return Status::Unavailable("all resident tables are pinned");
+}
+
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(
+    const std::string& name) {
+  if (name == "lru") return std::unique_ptr<EvictionPolicy>(new LruPolicy());
+  if (name == "fifo") {
+    return std::unique_ptr<EvictionPolicy>(new FifoPolicy());
+  }
+  if (name == "clock") {
+    return std::unique_ptr<EvictionPolicy>(new ClockPolicy());
+  }
+  return Status::InvalidArgument("unknown eviction policy: " + name);
+}
+
+}  // namespace farview

@@ -1,0 +1,94 @@
+#ifndef FARVIEW_STORAGE_EVICTION_H_
+#define FARVIEW_STORAGE_EVICTION_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace farview {
+
+/// Replacement policy for the disaggregated buffer pool — the "cache
+/// replacement policies" the paper defers to future work. Policies track
+/// resident tables and choose eviction victims; pinned tables are
+/// untouchable.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A resident table was accessed (query executed against it).
+  virtual void OnAccess(const std::string& table) = 0;
+
+  /// A table became resident.
+  virtual void OnAdmit(const std::string& table) = 0;
+
+  /// A table left the pool (evicted or dropped).
+  virtual void OnRemove(const std::string& table) = 0;
+
+  /// Picks a victim among resident tables not in `pinned`; fails when every
+  /// resident table is pinned.
+  virtual Result<std::string> ChooseVictim(
+      const std::set<std::string>& pinned) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Least-recently-used: victims are the coldest tables.
+class LruPolicy : public EvictionPolicy {
+ public:
+  void OnAccess(const std::string& table) override;
+  void OnAdmit(const std::string& table) override;
+  void OnRemove(const std::string& table) override;
+  Result<std::string> ChooseVictim(
+      const std::set<std::string>& pinned) override;
+  std::string name() const override { return "lru"; }
+
+ private:
+  /// Most recent at the front.
+  std::list<std::string> order_;
+};
+
+/// First-in-first-out: eviction in admission order, accesses ignored.
+class FifoPolicy : public EvictionPolicy {
+ public:
+  void OnAccess(const std::string& /*table*/) override {}
+  void OnAdmit(const std::string& table) override;
+  void OnRemove(const std::string& table) override;
+  Result<std::string> ChooseVictim(
+      const std::set<std::string>& pinned) override;
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::list<std::string> order_;  ///< oldest at the front
+};
+
+/// Clock (second chance): a circular sweep clearing reference bits.
+class ClockPolicy : public EvictionPolicy {
+ public:
+  void OnAccess(const std::string& table) override;
+  void OnAdmit(const std::string& table) override;
+  void OnRemove(const std::string& table) override;
+  Result<std::string> ChooseVictim(
+      const std::set<std::string>& pinned) override;
+  std::string name() const override { return "clock"; }
+
+ private:
+  struct Entry {
+    std::string table;
+    bool referenced = true;
+  };
+  std::vector<Entry> ring_;
+  size_t hand_ = 0;
+};
+
+/// Factory by name ("lru", "fifo", "clock").
+Result<std::unique_ptr<EvictionPolicy>> MakeEvictionPolicy(
+    const std::string& name);
+
+}  // namespace farview
+
+#endif  // FARVIEW_STORAGE_EVICTION_H_

@@ -1,0 +1,81 @@
+#include "storage/storage_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace farview {
+
+StorageNode::StorageNode(sim::Engine* engine, const StorageConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  read_server_ = std::make_unique<sim::Server>(
+      engine_, "storage_read", config_.read_rate_bytes_per_sec);
+  write_server_ = std::make_unique<sim::Server>(
+      engine_, "storage_write", config_.write_rate_bytes_per_sec);
+}
+
+void StorageNode::PutExtent(const std::string& name, ByteBuffer bytes) {
+  extents_[name] = std::move(bytes);
+}
+
+uint64_t StorageNode::ExtentSize(const std::string& name) const {
+  auto it = extents_.find(name);
+  return it == extents_.end() ? 0 : it->second.size();
+}
+
+void StorageNode::ReadExtent(
+    int flow, const std::string& name,
+    std::function<void(Result<ByteBuffer>, SimTime)> done) {
+  auto it = extents_.find(name);
+  if (it == extents_.end()) {
+    engine_->ScheduleAfter(0, [this, name, done = std::move(done)]() {
+      done(Status::NotFound("no extent named " + name), engine_->Now());
+    });
+    return;
+  }
+  // Copy now (the extent may be rewritten while the IO is in flight).
+  auto data = std::make_shared<ByteBuffer>(it->second);
+  const uint64_t len = data->size();
+  bytes_read_ += len;
+  auto done_holder =
+      std::make_shared<std::function<void(Result<ByteBuffer>, SimTime)>>(
+          std::move(done));
+  uint64_t submitted = 0;
+  bool first = true;
+  do {
+    const uint64_t n = std::min<uint64_t>(config_.io_bytes, len - submitted);
+    const bool last = submitted + n >= len;
+    read_server_->Submit(
+        flow, n, first ? config_.io_latency : 0,
+        [this, data, last, done_holder](SimTime t) {
+          if (last) (*done_holder)(std::move(*data), t);
+        });
+    first = false;
+    submitted += n;
+  } while (submitted < len);
+}
+
+void StorageNode::WriteExtent(int flow, const std::string& name,
+                              ByteBuffer bytes,
+                              std::function<void(Status, SimTime)> done) {
+  const uint64_t len = bytes.size();
+  bytes_written_ += len;
+  extents_[name] = std::move(bytes);  // functionally durable immediately
+  auto done_holder = std::make_shared<std::function<void(Status, SimTime)>>(
+      std::move(done));
+  uint64_t submitted = 0;
+  bool first = true;
+  do {
+    const uint64_t n = std::min<uint64_t>(config_.io_bytes, len - submitted);
+    const bool last = submitted + n >= len;
+    write_server_->Submit(flow, n, first ? config_.io_latency : 0,
+                          [last, done_holder](SimTime t) {
+                            if (last) (*done_holder)(Status::OK(), t);
+                          });
+    first = false;
+    submitted += n;
+  } while (submitted < len);
+}
+
+}  // namespace farview

@@ -1,0 +1,84 @@
+#ifndef FARVIEW_STORAGE_STORAGE_NODE_H_
+#define FARVIEW_STORAGE_STORAGE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/server.h"
+
+namespace farview {
+
+/// Performance profile of the persistent tier backing the disaggregated
+/// buffer pool ("blocks/pages being loaded from storage as needed",
+/// Section 4.1). Defaults model a datacenter NVMe flash array reachable
+/// over the same fabric.
+struct StorageConfig {
+  double read_rate_bytes_per_sec = GBpsToBytesPerSec(3.0);
+  double write_rate_bytes_per_sec = GBpsToBytesPerSec(2.0);
+  /// Per-IO latency (device + fabric).
+  SimTime io_latency = 80 * kMicrosecond;
+  /// IO size at which large transfers are chopped for fair sharing.
+  uint64_t io_bytes = 256 * kKiB;
+};
+
+/// A simulated persistent storage service holding named extents (one per
+/// table). Functional bytes are real; timing flows through fair-share
+/// servers like every other resource in the system.
+///
+/// Farview itself stays a *buffer pool*: the paper defers "cache
+/// management strategies to move data back and forth to persistent
+/// storage" to future work, and this node plus `BufferPoolManager`
+/// implement that extension.
+class StorageNode {
+ public:
+  StorageNode(sim::Engine* engine, const StorageConfig& config = {});
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Synchronously (control path) creates an extent holding `bytes`.
+  /// Overwrites an existing extent of the same name.
+  void PutExtent(const std::string& name, ByteBuffer bytes);
+
+  /// True when the extent exists.
+  bool HasExtent(const std::string& name) const {
+    return extents_.count(name) > 0;
+  }
+
+  /// Size of an extent (0 if absent).
+  uint64_t ExtentSize(const std::string& name) const;
+
+  /// Reads the whole extent; `done(data, completion_time)` fires when the
+  /// last byte arrives. `flow` labels fair-sharing.
+  void ReadExtent(int flow, const std::string& name,
+                  std::function<void(Result<ByteBuffer>, SimTime)> done);
+
+  /// Writes (replaces) the extent with `bytes`; `done` fires at
+  /// durability.
+  void WriteExtent(int flow, const std::string& name, ByteBuffer bytes,
+                   std::function<void(Status, SimTime)> done);
+
+  const StorageConfig& config() const { return config_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  sim::Engine* engine_;
+  StorageConfig config_;
+  std::unique_ptr<sim::Server> read_server_;
+  std::unique_ptr<sim::Server> write_server_;
+  std::map<std::string, ByteBuffer> extents_;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_STORAGE_STORAGE_NODE_H_

@@ -1,0 +1,39 @@
+#include "table/catalog.h"
+
+namespace farview {
+
+Status Catalog::Register(TableEntry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (entries_.count(entry.name) > 0) {
+    return Status::AlreadyExists("table already registered: " + entry.name);
+  }
+  std::string name = entry.name;
+  entries_.emplace(std::move(name), std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  return Status::OK();
+}
+
+Result<TableEntry> Catalog::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace farview

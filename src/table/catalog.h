@@ -1,0 +1,59 @@
+#ifndef FARVIEW_TABLE_CATALOG_H_
+#define FARVIEW_TABLE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace farview {
+
+/// Where a registered table lives in Farview's virtual address space. The
+/// paper assumes "clients have local catalog information that is used to
+/// determine the addresses of the tables to be accessed" (Section 4.1) —
+/// this is that catalog.
+struct TableEntry {
+  std::string name;
+  Schema schema;
+  /// Farview virtual address of the first row.
+  uint64_t virtual_address = 0;
+  uint64_t num_rows = 0;
+  /// Total bytes (num_rows * tuple_width).
+  uint64_t size_bytes = 0;
+  /// True when rows are stored AES-CTR encrypted (Section 5.5).
+  bool encrypted = false;
+};
+
+/// A client-side name → location map for tables resident in disaggregated
+/// memory. Catalogs are plain data: they can be copied between clients that
+/// share the same Farview node.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status Register(TableEntry entry);
+
+  /// Removes a table; fails if absent.
+  Status Drop(const std::string& name);
+
+  /// Looks up a table by name.
+  Result<TableEntry> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  /// Names of all registered tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, TableEntry> entries_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_TABLE_CATALOG_H_

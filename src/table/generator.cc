@@ -1,0 +1,167 @@
+#include "table/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace farview {
+namespace {
+
+/// True when `haystack` (raw, fixed width) contains `needle`.
+bool ContainsNeedle(const uint8_t* data, uint32_t width,
+                    const std::string& needle) {
+  if (needle.empty() || needle.size() > width) return false;
+  const char* begin = reinterpret_cast<const char*>(data);
+  return std::search(begin, begin + width, needle.begin(), needle.end()) !=
+         begin + width;
+}
+
+}  // namespace
+
+Result<Table> TableGenerator::Uniform(const Schema& schema, uint64_t rows,
+                                      int64_t value_range) {
+  if (value_range <= 0) {
+    return Status::InvalidArgument("value_range must be positive");
+  }
+  for (const Column& c : schema.columns()) {
+    if (c.type == DataType::kChar) {
+      return Status::InvalidArgument(
+          "Uniform generates numeric columns only; column " + c.name +
+          " is CHAR");
+    }
+  }
+  Table t(schema);
+  t.Reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.AppendRow();
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      const int64_t v = rng_.NextInRange(0, value_range - 1);
+      switch (schema.column(c).type) {
+        case DataType::kInt64:
+          t.SetInt64(r, c, v);
+          break;
+        case DataType::kUInt64:
+          t.SetUInt64(r, c, static_cast<uint64_t>(v));
+          break;
+        case DataType::kDouble:
+          t.SetDouble(r, c, static_cast<double>(v));
+          break;
+        case DataType::kChar:
+          break;  // unreachable, checked above
+      }
+    }
+  }
+  return t;
+}
+
+Result<Table> TableGenerator::WithDistinct(const Schema& schema, uint64_t rows,
+                                           int distinct_col,
+                                           uint64_t distinct_values,
+                                           int64_t other_value_range) {
+  if (distinct_values == 0) {
+    return Status::InvalidArgument("distinct_values must be positive");
+  }
+  if (distinct_col < 0 || distinct_col >= schema.num_columns()) {
+    return Status::InvalidArgument("distinct_col out of range");
+  }
+  if (distinct_values > rows && rows > 0) {
+    return Status::InvalidArgument(
+        "cannot place more distinct values than rows");
+  }
+  FV_ASSIGN_OR_RETURN(Table t, Uniform(schema, rows, other_value_range));
+  // First pass: draw uniformly from the distinct domain. Second: force the
+  // first `distinct_values` rows to cover the domain so the distinct count
+  // is exact, then shuffle positions to avoid a sorted prefix.
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.SetInt64(r, distinct_col,
+               static_cast<int64_t>(rng_.NextBelow(distinct_values)));
+  }
+  for (uint64_t v = 0; v < distinct_values; ++v) {
+    t.SetInt64(v, distinct_col, static_cast<int64_t>(v));
+  }
+  // Fisher-Yates shuffle of the distinct column only.
+  for (uint64_t r = rows; r > 1; --r) {
+    const uint64_t j = rng_.NextBelow(r);
+    const int64_t a = t.GetInt64(r - 1, distinct_col);
+    const int64_t b = t.GetInt64(j, distinct_col);
+    t.SetInt64(r - 1, distinct_col, b);
+    t.SetInt64(j, distinct_col, a);
+  }
+  return t;
+}
+
+Result<Table> TableGenerator::Zipf(const Schema& schema, uint64_t rows,
+                                   int skew_col, uint64_t n_values,
+                                   double theta,
+                                   int64_t other_value_range) {
+  if (n_values == 0) {
+    return Status::InvalidArgument("n_values must be positive");
+  }
+  if (skew_col < 0 || skew_col >= schema.num_columns()) {
+    return Status::InvalidArgument("skew_col out of range");
+  }
+  if (theta < 0.0) {
+    return Status::InvalidArgument("theta must be non-negative");
+  }
+  FV_ASSIGN_OR_RETURN(Table t, Uniform(schema, rows, other_value_range));
+  // Build the CDF once (n_values is at most a catalog-sized domain).
+  std::vector<double> cdf(n_values);
+  double total = 0.0;
+  for (uint64_t v = 0; v < n_values; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v + 1), theta);
+    cdf[v] = total;
+  }
+  for (double& c : cdf) c /= total;
+  for (uint64_t r = 0; r < rows; ++r) {
+    const double u = rng_.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const uint64_t v = static_cast<uint64_t>(it - cdf.begin());
+    t.SetInt64(r, skew_col,
+               static_cast<int64_t>(v < n_values ? v : n_values - 1));
+  }
+  return t;
+}
+
+Result<Table> TableGenerator::Strings(uint64_t rows, uint32_t width,
+                                      const std::string& needle,
+                                      double match_fraction) {
+  if (needle.size() > width) {
+    return Status::InvalidArgument("needle longer than string width");
+  }
+  if (match_fraction < 0.0 || match_fraction > 1.0) {
+    return Status::InvalidArgument("match_fraction must be in [0,1]");
+  }
+  Schema schema = Schema::Strings(1, width);
+  Table t(schema);
+  t.Reserve(rows);
+  std::string buf(width, 'a');
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.AppendRow();
+    const bool match = rng_.NextBernoulli(match_fraction);
+    // Draw random lowercase text, excluding the needle's first character
+    // from non-matching rows so the needle cannot appear by chance. (The
+    // needle is chosen with a distinctive first character, e.g. "xq".)
+    for (uint32_t i = 0; i < width; ++i) {
+      for (;;) {
+        const char c = static_cast<char>('a' + rng_.NextBelow(26));
+        if (!match && !needle.empty() && c == needle[0]) continue;
+        buf[static_cast<size_t>(i)] = c;
+        break;
+      }
+    }
+    if (match && !needle.empty()) {
+      const uint64_t pos = rng_.NextBelow(width - needle.size() + 1);
+      std::memcpy(buf.data() + pos, needle.data(), needle.size());
+    }
+    t.SetString(r, 0, buf);
+    // Sanity: generation must preserve the intended match property.
+    FV_CHECK(needle.empty() ||
+             ContainsNeedle(t.Row(r).ColumnData(0), width, needle) == match);
+  }
+  return t;
+}
+
+}  // namespace farview

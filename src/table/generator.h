@@ -1,0 +1,59 @@
+#ifndef FARVIEW_TABLE_GENERATOR_H_
+#define FARVIEW_TABLE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace farview {
+
+/// Workload generators matching the synthetic workloads of the paper's
+/// evaluation (Section 6): uniform numeric tables with controllable
+/// selectivity, tables with a controlled number of distinct values, and
+/// string tables with a controlled regex match fraction. All generators are
+/// deterministic given the seed.
+class TableGenerator {
+ public:
+  explicit TableGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Generates `rows` rows over `schema` (numeric columns only) with values
+  /// uniform in [0, value_range). With a predicate `col < X`, selectivity is
+  /// X / value_range — the knob used in the selection experiments (Fig. 8).
+  Result<Table> Uniform(const Schema& schema, uint64_t rows,
+                        int64_t value_range);
+
+  /// Like `Uniform`, but column `distinct_col` draws from exactly
+  /// `distinct_values` values (0..distinct_values-1), each value appearing
+  /// at least once when rows >= distinct_values. Used by the grouping
+  /// experiments (Fig. 9) and the multi-client experiment (Fig. 12).
+  Result<Table> WithDistinct(const Schema& schema, uint64_t rows,
+                             int distinct_col, uint64_t distinct_values,
+                             int64_t other_value_range);
+
+  /// Like `WithDistinct`, but column `skew_col` draws from a Zipfian
+  /// distribution over [0, n_values): value v has probability proportional
+  /// to 1/(v+1)^theta. theta = 0 is uniform; ~0.99 is the YCSB default;
+  /// larger is more skewed. Used by cache-management experiments, where
+  /// skew is what separates eviction policies.
+  Result<Table> Zipf(const Schema& schema, uint64_t rows, int skew_col,
+                     uint64_t n_values, double theta,
+                     int64_t other_value_range);
+
+  /// Generates `rows` single-CHAR(width)-column rows of random lowercase
+  /// text; a fraction `match_fraction` of rows embeds `needle` at a random
+  /// position so a regex containing that literal matches exactly those rows
+  /// (Fig. 10's "regular expression matches 50% of the generated strings").
+  /// The generator guarantees non-matching rows do not contain `needle`.
+  Result<Table> Strings(uint64_t rows, uint32_t width,
+                        const std::string& needle, double match_fraction);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_TABLE_GENERATOR_H_

@@ -1,0 +1,88 @@
+#ifndef FARVIEW_TABLE_SCHEMA_H_
+#define FARVIEW_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace farview {
+
+/// Fixed-width column types. Farview stores base tables in row format with
+/// fixed-length attributes (Section 5.2, footnote 1 of the paper); variable
+/// length data is carried in fixed CHAR(n) slots as in the paper's string
+/// experiments.
+enum class DataType {
+  kInt64,   ///< signed 64-bit little-endian integer, 8 bytes
+  kUInt64,  ///< unsigned 64-bit little-endian integer, 8 bytes
+  kDouble,  ///< IEEE-754 double, 8 bytes
+  kChar,    ///< fixed-length byte string, NUL padded
+};
+
+/// Returns the canonical name of a data type ("INT64", "CHAR", ...).
+const char* DataTypeToString(DataType t);
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Width in bytes: always 8 for numeric types; the declared length for
+  /// kChar.
+  uint32_t width = 8;
+};
+
+/// An ordered set of fixed-width columns; knows the row layout (offsets and
+/// total tuple width). Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails if a numeric column declares width != 8, a CHAR
+  /// column declares width 0, or two columns share a name.
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  /// The paper's default base table: `n` attributes of 8 bytes each
+  /// (Section 6.2: "8 attributes, where each attribute is 8 bytes long"),
+  /// named "a0".."a{n-1}".
+  static Schema DefaultWideRow(int n = 8);
+
+  /// A schema of `n` CHAR(width) columns named "s0".."s{n-1}", used by the
+  /// regex experiments.
+  static Schema Strings(int n, uint32_t width);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column `i` within a row.
+  uint32_t offset(int i) const { return offsets_[static_cast<size_t>(i)]; }
+
+  /// Width in bytes of column `i`.
+  uint32_t width(int i) const { return columns_[static_cast<size_t>(i)].width; }
+
+  /// Total bytes per row.
+  uint32_t tuple_width() const { return tuple_width_; }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// True when both schemas have identical columns.
+  bool Equals(const Schema& other) const;
+
+  /// Returns a new schema consisting of the given columns of this schema
+  /// (in the given order). Indices must be valid.
+  Schema Project(const std::vector<int>& column_indices) const;
+
+  /// Human-readable description, e.g. "(a0 INT64, s0 CHAR(32))".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_width_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_TABLE_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace farview {
+
+std::string_view TupleView::GetString(int col) const {
+  const uint8_t* p = ColumnData(col);
+  const uint32_t w = schema_->width(col);
+  const void* nul = std::memchr(p, 0, w);
+  const size_t len =
+      nul ? static_cast<size_t>(static_cast<const uint8_t*>(nul) - p) : w;
+  return std::string_view(reinterpret_cast<const char*>(p), len);
+}
+
+uint64_t Table::AppendRow() {
+  data_.resize(data_.size() + schema_.tuple_width(), 0);
+  return num_rows_++;
+}
+
+void Table::AppendRowBytes(const uint8_t* row) {
+  data_.insert(data_.end(), row, row + schema_.tuple_width());
+  ++num_rows_;
+}
+
+void Table::SetInt64(uint64_t row, int col, int64_t v) {
+  assert(row < num_rows_);
+  assert(schema_.column(col).type == DataType::kInt64);
+  StoreLE64Signed(RowPtr(row) + schema_.offset(col), v);
+}
+
+void Table::SetUInt64(uint64_t row, int col, uint64_t v) {
+  assert(row < num_rows_);
+  assert(schema_.column(col).type == DataType::kUInt64);
+  StoreLE64(RowPtr(row) + schema_.offset(col), v);
+}
+
+void Table::SetDouble(uint64_t row, int col, double v) {
+  assert(row < num_rows_);
+  assert(schema_.column(col).type == DataType::kDouble);
+  StoreDouble(RowPtr(row) + schema_.offset(col), v);
+}
+
+void Table::SetString(uint64_t row, int col, std::string_view s) {
+  assert(row < num_rows_);
+  assert(schema_.column(col).type == DataType::kChar);
+  uint8_t* dst = RowPtr(row) + schema_.offset(col);
+  const uint32_t w = schema_.width(col);
+  const size_t n = std::min<size_t>(s.size(), w);
+  std::memcpy(dst, s.data(), n);
+  if (n < w) std::memset(dst + n, 0, w - n);
+}
+
+Result<Table> Table::FromBytes(Schema schema, ByteBuffer bytes) {
+  const uint32_t tw = schema.tuple_width();
+  if (tw == 0 || bytes.size() % tw != 0) {
+    return Status::InvalidArgument(
+        "byte buffer is not a whole number of rows");
+  }
+  Table t(std::move(schema));
+  t.num_rows_ = bytes.size() / tw;
+  t.data_ = std::move(bytes);
+  return t;
+}
+
+bool Table::Equals(const Table& other) const {
+  return schema_.Equals(other.schema_) && data_ == other.data_;
+}
+
+}  // namespace farview

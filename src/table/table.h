@@ -1,0 +1,117 @@
+#ifndef FARVIEW_TABLE_TABLE_H_
+#define FARVIEW_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace farview {
+
+/// A read-only view over one row of fixed-width data laid out per `Schema`.
+/// The view does not own the bytes; the backing buffer must outlive it.
+class TupleView {
+ public:
+  TupleView(const Schema* schema, const uint8_t* data)
+      : schema_(schema), data_(data) {}
+
+  const Schema& schema() const { return *schema_; }
+  const uint8_t* data() const { return data_; }
+
+  int64_t GetInt64(int col) const {
+    return LoadLE64Signed(data_ + schema_->offset(col));
+  }
+  uint64_t GetUInt64(int col) const {
+    return LoadLE64(data_ + schema_->offset(col));
+  }
+  double GetDouble(int col) const {
+    return LoadDouble(data_ + schema_->offset(col));
+  }
+  /// Returns the CHAR column contents up to (not including) the first NUL,
+  /// or the full width if unterminated.
+  std::string_view GetString(int col) const;
+
+  /// Raw bytes of column `col` (full declared width).
+  const uint8_t* ColumnData(int col) const {
+    return data_ + schema_->offset(col);
+  }
+
+ private:
+  const Schema* schema_;
+  const uint8_t* data_;
+};
+
+/// A materialized row-format table: a schema plus a contiguous row-major
+/// byte buffer. This is the unit clients write into Farview memory and the
+/// unit the baselines process directly.
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t size_bytes() const { return data_.size(); }
+  const ByteBuffer& bytes() const { return data_; }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+
+  /// Pre-allocates capacity for `rows` rows.
+  void Reserve(uint64_t rows) {
+    data_.reserve(rows * schema_.tuple_width());
+  }
+
+  /// Appends a zero-initialized row and returns its index.
+  uint64_t AppendRow();
+
+  /// Appends a row from raw bytes; `row` must hold `tuple_width` bytes.
+  void AppendRowBytes(const uint8_t* row);
+
+  /// Returns a view over row `r` (r < num_rows()).
+  TupleView Row(uint64_t r) const {
+    return TupleView(&schema_, data_.data() + r * schema_.tuple_width());
+  }
+
+  // Typed mutators; the row and column must exist and the column type must
+  // match (checked in debug builds).
+  void SetInt64(uint64_t row, int col, int64_t v);
+  void SetUInt64(uint64_t row, int col, uint64_t v);
+  void SetDouble(uint64_t row, int col, double v);
+  /// Copies `s` into the CHAR slot, truncating or NUL-padding to the width.
+  void SetString(uint64_t row, int col, std::string_view s);
+
+  // Typed accessors (convenience over Row(r).GetX(col)).
+  int64_t GetInt64(uint64_t row, int col) const {
+    return Row(row).GetInt64(col);
+  }
+  uint64_t GetUInt64(uint64_t row, int col) const {
+    return Row(row).GetUInt64(col);
+  }
+  double GetDouble(uint64_t row, int col) const {
+    return Row(row).GetDouble(col);
+  }
+  std::string_view GetString(uint64_t row, int col) const {
+    return Row(row).GetString(col);
+  }
+
+  /// Rebuilds the table from a raw byte buffer (must be a whole number of
+  /// rows). Used when reading results back from Farview memory.
+  static Result<Table> FromBytes(Schema schema, ByteBuffer bytes);
+
+  /// True when both tables have equal schemas and identical bytes.
+  bool Equals(const Table& other) const;
+
+ private:
+  uint8_t* RowPtr(uint64_t r) { return data_.data() + r * schema_.tuple_width(); }
+
+  Schema schema_;
+  ByteBuffer data_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_TABLE_TABLE_H_

@@ -1,0 +1,290 @@
+// Tests for the CPU baselines: the cost model's properties and the
+// LCPU/RCPU engines' functional + timing behavior.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/cpu_model.h"
+#include "crypto/aes_ctr.h"
+#include "baseline/engines.h"
+#include "baseline/query_spec.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+Table MakeTable(uint64_t rows, int64_t range, uint64_t seed) {
+  TableGenerator gen(seed);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), rows, range);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+// ---------------------------------------------------------------------------
+// CpuCostModel
+// ---------------------------------------------------------------------------
+
+TEST(CpuModelTest, StreamPhaseComponents) {
+  CpuModelConfig cfg;
+  cfg.dram_read_bytes_per_sec = 10e9;
+  cfg.dram_write_bytes_per_sec = 5e9;
+  cfg.per_tuple_cost = 2 * kNanosecond;
+  CpuCostModel m(cfg);
+  // 1000 B read (100 ns) + 10 tuples (20 ns) + 500 B write (100 ns).
+  EXPECT_EQ(m.StreamPhase(1000, 10, 500), 220 * kNanosecond);
+}
+
+TEST(CpuModelTest, HashPhaseGrowsSuperlinearlyWithDistinct) {
+  CpuCostModel m;
+  // Same row count, growing distinct count: per-row cost must increase as
+  // the table spills through the cache hierarchy.
+  const uint64_t rows = 1u << 20;
+  const SimTime small = m.HashPhase(rows, 1u << 10, 8);
+  const SimTime medium = m.HashPhase(rows, 1u << 16, 8);
+  const SimTime large = m.HashPhase(rows, rows, 8);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  // All-distinct is much worse than few-distinct: the Fig. 9 cliff.
+  EXPECT_GT(large, 3 * small);
+}
+
+TEST(CpuModelTest, HashPhaseIncludesResizeCost) {
+  CpuModelConfig slow_resize;
+  slow_resize.resize_copy_bytes_per_sec = 0.1e9;
+  CpuModelConfig fast_resize;
+  fast_resize.resize_copy_bytes_per_sec = 1e12;
+  const uint64_t n = 100000;
+  const SimTime with_slow = CpuCostModel(slow_resize).HashPhase(n, n, 8);
+  const SimTime with_fast = CpuCostModel(fast_resize).HashPhase(n, n, 8);
+  EXPECT_GT(with_slow, with_fast);
+}
+
+TEST(CpuModelTest, HashPhaseZeroRows) {
+  CpuCostModel m;
+  EXPECT_EQ(m.HashPhase(0, 0, 8), 0);
+}
+
+TEST(CpuModelTest, InterferenceScalesHashCosts) {
+  CpuCostModel m;
+  const SimTime solo = m.HashPhase(10000, 100, 8, 1.0);
+  const SimTime crowded = m.HashPhase(10000, 100, 8, 1.5);
+  EXPECT_NEAR(static_cast<double>(crowded),
+              1.5 * static_cast<double>(solo),
+              0.05 * static_cast<double>(solo));
+}
+
+TEST(CpuModelTest, SharedRatesCapAtSocketBandwidth) {
+  CpuCostModel m;
+  EXPECT_DOUBLE_EQ(m.SharedReadRate(1), m.config().dram_read_bytes_per_sec);
+  // 6 processes share 20 GB/s → 3.33 GB/s each.
+  EXPECT_NEAR(m.SharedReadRate(6), 20e9 / 6, 1e7);
+}
+
+TEST(CpuModelTest, PerBytePhases) {
+  CpuCostModel m;
+  EXPECT_EQ(m.RegexPhase(1000),
+            1000 * m.config().regex_cost_per_byte);
+  EXPECT_EQ(m.CryptoPhase(1000), 1000 * m.config().aes_cost_per_byte);
+}
+
+// ---------------------------------------------------------------------------
+// QuerySpec
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecTest, ValidationRejectsConflicts) {
+  const Schema s = Schema::DefaultWideRow();
+  QuerySpec q;
+  q.distinct_keys = {0};
+  q.group_keys = {1};
+  q.aggregates = {AggSpec::Count()};
+  EXPECT_TRUE(q.Validate(s).IsInvalidArgument());
+
+  QuerySpec keys_no_aggs;
+  keys_no_aggs.group_keys = {0};
+  EXPECT_TRUE(keys_no_aggs.Validate(s).IsInvalidArgument());
+}
+
+TEST(QuerySpecTest, BuildsOperatorOrder) {
+  const Schema s = Schema::DefaultWideRow();
+  QuerySpec q = QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 5)},
+                                  {0, 1});
+  Result<Pipeline> p = q.BuildPipeline(s);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().Describe(), "selection|projection|packing");
+}
+
+TEST(QuerySpecTest, StandaloneAggregationAllowed) {
+  const Schema s = Schema::DefaultWideRow();
+  QuerySpec q;
+  q.aggregates = {AggSpec::Sum(0)};
+  Result<Pipeline> p = q.BuildPipeline(s);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().Describe(), "aggregate|packing");
+}
+
+// ---------------------------------------------------------------------------
+// LocalEngine functional + timing
+// ---------------------------------------------------------------------------
+
+TEST(LocalEngineTest, SelectFunctionalResult) {
+  const Table t = MakeTable(2000, 100, 1);
+  LocalEngine lcpu;
+  Result<BaselineResult> r = lcpu.Execute(
+      t, QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 50)}));
+  ASSERT_TRUE(r.ok());
+  uint64_t expected = 0;
+  for (uint64_t row = 0; row < t.num_rows(); ++row) {
+    if (t.GetInt64(row, 0) < 50) ++expected;
+  }
+  EXPECT_EQ(r.value().rows, expected);
+  EXPECT_EQ(r.value().data.size(), expected * 64);
+  EXPECT_GT(r.value().elapsed, 0);
+  EXPECT_EQ(r.value().network_time, 0);  // local: no network
+}
+
+TEST(LocalEngineTest, LowerSelectivityIsFaster) {
+  const Table t = MakeTable(100000, 100, 2);
+  LocalEngine lcpu;
+  Result<BaselineResult> all = lcpu.Execute(
+      t, QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 100)}));
+  Result<BaselineResult> quarter = lcpu.Execute(
+      t, QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 25)}));
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(quarter.ok());
+  // Less write-back (Section 6.4: LCPU at 25% beats LCPU at 50/100%).
+  EXPECT_LT(quarter.value().elapsed, all.value().elapsed);
+}
+
+TEST(LocalEngineTest, DistinctChargesHashTime) {
+  TableGenerator gen(3);
+  Result<Table> t =
+      gen.WithDistinct(Schema::DefaultWideRow(), 50000, 0, 50000, 100);
+  ASSERT_TRUE(t.ok());
+  LocalEngine lcpu;
+  Result<BaselineResult> r =
+      lcpu.Execute(t.value(), QuerySpec::Distinct({0}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 50000u);
+  EXPECT_GT(r.value().hash_time, 0);
+  EXPECT_GT(r.value().hash_time, r.value().stream_time / 4);
+}
+
+TEST(LocalEngineTest, GroupBySumFunctional) {
+  TableGenerator gen(4);
+  Result<Table> t =
+      gen.WithDistinct(Schema::DefaultWideRow(), 3000, 1, 30, 100);
+  ASSERT_TRUE(t.ok());
+  LocalEngine lcpu;
+  Result<BaselineResult> r = lcpu.Execute(
+      t.value(), QuerySpec::GroupBy({1}, {AggSpec::Sum(2)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 30u);
+  std::map<int64_t, int64_t> ref;
+  for (uint64_t row = 0; row < t.value().num_rows(); ++row) {
+    ref[t.value().GetInt64(row, 1)] += t.value().GetInt64(row, 2);
+  }
+  Result<Table> out =
+      Table::FromBytes(r.value().output_schema, r.value().data);
+  ASSERT_TRUE(out.ok());
+  for (uint64_t g = 0; g < out.value().num_rows(); ++g) {
+    EXPECT_EQ(out.value().GetInt64(g, 1),
+              ref[out.value().GetInt64(g, 0)]);
+  }
+}
+
+TEST(LocalEngineTest, RegexChargesPerByte) {
+  TableGenerator gen(5);
+  Result<Table> t = gen.Strings(5000, 64, "xq", 0.5);
+  ASSERT_TRUE(t.ok());
+  LocalEngine lcpu;
+  Result<BaselineResult> r =
+      lcpu.Execute(t.value(), QuerySpec::Regex(0, "xq"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().regex_time, 0);
+  EXPECT_NEAR(static_cast<double>(r.value().rows) / 5000.0, 0.5, 0.05);
+}
+
+TEST(LocalEngineTest, DecryptChargesCryptoTime) {
+  const Table plain = MakeTable(1000, 100, 6);
+  uint8_t key[16] = {1};
+  uint8_t nonce[16] = {2};
+  Table encrypted = plain;
+  AesCtr(key, nonce).Apply(encrypted.mutable_data(), encrypted.size_bytes(),
+                           0);
+  LocalEngine lcpu;
+  Result<BaselineResult> r =
+      lcpu.Execute(encrypted, QuerySpec::Decrypt(key, nonce));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data, plain.bytes());
+  EXPECT_GT(r.value().crypto_time, 0);
+}
+
+TEST(LocalEngineTest, ConcurrencySlowsDown) {
+  const Table t = MakeTable(50000, 100, 7);
+  LocalEngine lcpu;
+  const QuerySpec q = QuerySpec::Distinct({0});
+  Result<BaselineResult> solo = lcpu.Execute(t, q, 1);
+  Result<BaselineResult> six = lcpu.Execute(t, q, 6);
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(six.ok());
+  EXPECT_GT(six.value().elapsed, solo.value().elapsed);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteEngine (RCPU)
+// ---------------------------------------------------------------------------
+
+TEST(RemoteEngineTest, AlwaysSlowerThanLocal) {
+  const Table t = MakeTable(50000, 100, 8);
+  LocalEngine lcpu;
+  RemoteEngine rcpu;
+  for (int64_t sel : {100, 50, 25}) {
+    const QuerySpec q =
+        QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, sel)});
+    Result<BaselineResult> l = lcpu.Execute(t, q);
+    Result<BaselineResult> r = rcpu.Execute(t, q);
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(r.ok());
+    // "The RCPU baseline additionally has to transfer the data through the
+    // network, and therefore in all the cases it is slower than LCPU."
+    EXPECT_GT(r.value().elapsed, l.value().elapsed) << sel;
+    EXPECT_GT(r.value().network_time, 0) << sel;
+    EXPECT_EQ(l.value().data, r.value().data) << sel;
+  }
+}
+
+TEST(RemoteEngineTest, NetworkTimeScalesWithResultSize) {
+  const Table t = MakeTable(100000, 100, 9);
+  RemoteEngine rcpu;
+  Result<BaselineResult> big = rcpu.Execute(
+      t, QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 100)}));
+  Result<BaselineResult> small = rcpu.Execute(
+      t, QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 10)}));
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_GT(big.value().network_time, small.value().network_time);
+}
+
+TEST(RemoteEngineTest, ConcurrentProcessesShareNic) {
+  const Table t = MakeTable(20000, 100, 10);
+  RemoteEngine rcpu;
+  const QuerySpec q =
+      QuerySpec::Select({Predicate::Int(0, CompareOp::kLt, 100)});
+  Result<BaselineResult> solo = rcpu.Execute(t, q, 1);
+  Result<BaselineResult> six = rcpu.Execute(t, q, 6);
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(six.ok());
+  EXPECT_GT(six.value().network_time, solo.value().network_time);
+}
+
+TEST(BaselineEnginesTest, InvalidSpecPropagates) {
+  const Table t = MakeTable(10, 10, 11);
+  LocalEngine lcpu;
+  QuerySpec bad;
+  bad.predicates = {Predicate::Int(99, CompareOp::kLt, 1)};
+  EXPECT_FALSE(lcpu.Execute(t, bad).ok());
+}
+
+}  // namespace
+}  // namespace farview

@@ -1,0 +1,82 @@
+// Tests for the experiment harness: fixtures, series printing, CSV export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "benchlib/experiment.h"
+#include "table/generator.h"
+
+namespace farview::bench {
+namespace {
+
+TEST(FvFixtureTest, UploadRegistersAndWrites) {
+  FvFixture fx;
+  TableGenerator gen(1);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 100, 10);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  EXPECT_EQ(ft.num_rows, 100u);
+  EXPECT_GT(ft.vaddr, 0u);
+  EXPECT_TRUE(fx.client().catalog().Contains("t"));
+  Result<FvResult> r = fx.client().TableRead(ft);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data, t.value().bytes());
+}
+
+TEST(FvFixtureTest, AddClientGetsOwnRegion) {
+  FvFixture fx;
+  FarviewClient& second = fx.AddClient();
+  EXPECT_NE(second.qp()->region_id, fx.client().qp()->region_id);
+  EXPECT_NE(second.qp()->qp_id, fx.client().qp()->qp_id);
+}
+
+TEST(SeriesPrinterTest, RendersAlignedTable) {
+  SeriesPrinter p("My Figure", "x", {"a", "b"});
+  p.Row("1k", {1.5, 2.5});
+  p.Row("2k", {3.0, 4.0});
+  const std::string out = p.ToString();
+  EXPECT_NE(out.find("My Figure"), std::string::npos);
+  EXPECT_NE(out.find("1k"), std::string::npos);
+  EXPECT_NE(out.find("4.000"), std::string::npos);
+}
+
+TEST(SeriesPrinterTest, CsvFormat) {
+  SeriesPrinter p("T", "size", {"fv", "cpu"});
+  p.Row("64", {1.0, 2.0});
+  const std::string csv = p.ToCsv();
+  EXPECT_EQ(csv, "size,fv,cpu\n64,1.000000,2.000000\n");
+}
+
+TEST(SeriesPrinterDeathTest, MismatchedRowDies) {
+  SeriesPrinter p("T", "x", {"a", "b"});
+  EXPECT_DEATH(p.Row("1", {1.0}), "row has");
+}
+
+TEST(SeriesPrinterTest, CsvExportViaEnvironment) {
+  const char* dir = "/tmp/fv_bench_csv_test";
+  std::remove((std::string(dir) + "/figure-9-test.csv").c_str());
+  (void)system(("mkdir -p " + std::string(dir)).c_str());
+  setenv("FV_BENCH_CSV_DIR", dir, 1);
+  SeriesPrinter p("Figure 9 (test)", "rows", {"fv"});
+  p.Row("10", {1.25});
+  p.Print();
+  unsetenv("FV_BENCH_CSV_DIR");
+  std::ifstream in(std::string(dir) + "/figure-9-test.csv");
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "rows,fv");
+  EXPECT_EQ(row, "10,1.250000");
+}
+
+TEST(AxisBytesTest, Formats) {
+  EXPECT_EQ(AxisBytes(512), "512 B");
+  EXPECT_EQ(AxisBytes(64 * 1024), "64.0 KiB");
+}
+
+}  // namespace
+}  // namespace farview::bench

@@ -1,0 +1,282 @@
+// Unit tests for src/common: Status/Result, units, bytes, rng, logging.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace farview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NotFound("table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("abc");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  FV_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseHalf(3, &out).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_DOUBLE_EQ(ToMicros(2 * kMicrosecond), 2.0);
+  EXPECT_DOUBLE_EQ(ToMillis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+}
+
+TEST(UnitsTest, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(100.0), 12.5e9);
+  EXPECT_DOUBLE_EQ(GBpsToBytesPerSec(18.0), 18e9);
+}
+
+TEST(UnitsTest, TransferTimeRoundsUp) {
+  // 1 byte at 1 GB/s = 1 ns exactly.
+  EXPECT_EQ(TransferTime(1, 1e9), kNanosecond);
+  // 0 bytes take no time.
+  EXPECT_EQ(TransferTime(0, 1e9), 0);
+  // Never faster than the line rate: ceil rounding.
+  EXPECT_GE(TransferTime(3, 1e12), 3);
+}
+
+TEST(UnitsTest, TransferTimeLargeValues) {
+  // 1 GiB at 12.5 GB/s ≈ 85.9 ms; must not overflow.
+  const SimTime t = TransferTime(1ull << 30, 12.5e9);
+  EXPECT_NEAR(ToMillis(t), 85.9, 0.2);
+}
+
+TEST(UnitsTest, AchievedBandwidth) {
+  EXPECT_NEAR(AchievedGBps(12'500'000'000ull, kSecond), 12.5, 1e-9);
+  EXPECT_EQ(AchievedGBps(100, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, RoundTrip64) {
+  uint8_t buf[8];
+  StoreLE64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(LoadLE64(buf), 0x1122334455667788ull);
+  StoreLE64Signed(buf, -12345);
+  EXPECT_EQ(LoadLE64Signed(buf), -12345);
+}
+
+TEST(BytesTest, RoundTripDouble) {
+  uint8_t buf[8];
+  StoreDouble(buf, 3.14159);
+  EXPECT_DOUBLE_EQ(LoadDouble(buf), 3.14159);
+}
+
+TEST(BytesTest, RoundTrip32) {
+  uint8_t buf[4];
+  StoreLE32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadLE32(buf), 0xdeadbeefu);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  uint8_t buf[8];
+  StoreLE64(buf, 0x01);
+  EXPECT_EQ(buf[0], 0x01);  // least significant byte first
+  EXPECT_EQ(buf[7], 0x00);
+}
+
+TEST(BytesTest, Alignment) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignDown(65, 64), 64u);
+  EXPECT_EQ(AlignDown(63, 64), 0u);
+}
+
+TEST(BytesTest, PowerOfTwoAndCeilDiv) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(24));
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+}
+
+TEST(BytesTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(64), "64 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.0 MiB");
+  EXPECT_EQ(FormatBytes(kGiB), "1.00 GiB");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= (v == -2);
+    hi |= (v == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below the floor: must not crash (and is swallowed).
+  FV_LOG(kDebug) << "invisible";
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  FV_CHECK(1 + 1 == 2) << "never printed";
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ FV_CHECK(false) << "boom"; }, "Check failed");
+}
+
+// The row layout relies on little-endian hosts; make it explicit.
+TEST(PlatformTest, HostIsLittleEndian) {
+  const uint32_t v = 1;
+  uint8_t b[4];
+  std::memcpy(b, &v, 4);
+  EXPECT_EQ(b[0], 1);
+}
+
+}  // namespace
+}  // namespace farview

@@ -1,0 +1,209 @@
+// Tests for the LZ codec and the result-compression operator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchlib/experiment.h"
+#include "common/rng.h"
+#include "compress/lz.h"
+#include "operators/compress_op.h"
+#include "operators/pipeline.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+ByteBuffer Bytes(const std::string& s) {
+  return ByteBuffer(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(LzTest, RoundTripText) {
+  const ByteBuffer input = Bytes(
+      "the quick brown fox jumps over the lazy dog and the quick brown fox "
+      "jumps again over the very lazy dog");
+  const ByteBuffer compressed = LzCompress(input);
+  Result<ByteBuffer> back = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), input);
+  EXPECT_LT(compressed.size(), input.size());  // repetitive → compresses
+}
+
+TEST(LzTest, EmptyInput) {
+  const ByteBuffer compressed = LzCompress(nullptr, 0);
+  Result<ByteBuffer> back = LzDecompress(compressed, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(LzTest, RleCollapses) {
+  const ByteBuffer input(100000, 0x42);
+  const ByteBuffer compressed = LzCompress(input);
+  EXPECT_LT(compressed.size(), 1000u);  // ~100x+ on constant data
+  Result<ByteBuffer> back = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(LzTest, IncompressibleRoundTripsWithBoundedExpansion) {
+  Rng rng(3);
+  ByteBuffer input(65536);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  const ByteBuffer compressed = LzCompress(input);
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 128 + 32);
+  Result<ByteBuffer> back = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(LzTest, ShortInputsBelowMinMatch) {
+  for (const std::string s : {"", "a", "ab", "abc"}) {
+    const ByteBuffer input = Bytes(s);
+    Result<ByteBuffer> back = LzDecompress(LzCompress(input), input.size());
+    ASSERT_TRUE(back.ok()) << s;
+    EXPECT_EQ(back.value(), input) << s;
+  }
+}
+
+TEST(LzTest, RejectsCorruptedInput) {
+  const ByteBuffer input = Bytes("abcabcabcabcabcabcabcabc");
+  ByteBuffer compressed = LzCompress(input);
+  // Wrong expected length.
+  EXPECT_FALSE(LzDecompress(compressed, input.size() + 1).ok());
+  // Truncated payload.
+  ByteBuffer truncated(compressed.begin(), compressed.end() - 3);
+  EXPECT_FALSE(LzDecompress(truncated, input.size()).ok());
+  // Corrupted offset (point beyond the produced output).
+  ByteBuffer corrupted = compressed;
+  if (corrupted.size() > 6) {
+    corrupted[corrupted.size() / 2] = 0xff;
+    corrupted[corrupted.size() / 2 + 1] = 0xff;
+    // Either decodes to the wrong bytes (size mismatch) or faults — it must
+    // not crash or overread.
+    (void)LzDecompress(corrupted, input.size());
+  }
+}
+
+TEST(LzPropertyTest, RandomStructuredDataRoundTrips) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Mix of runs, repeated dictionary words, and noise.
+    ByteBuffer input;
+    const int pieces = 1 + static_cast<int>(rng.NextBelow(40));
+    for (int p = 0; p < pieces; ++p) {
+      switch (rng.NextBelow(3)) {
+        case 0: {  // run
+          const uint8_t b = static_cast<uint8_t>(rng.Next());
+          input.insert(input.end(), rng.NextBelow(300), b);
+          break;
+        }
+        case 1: {  // word repetition
+          const char* words[] = {"farview", "memory", "offload", "fpga"};
+          const char* w = words[rng.NextBelow(4)];
+          for (uint64_t k = 0; k < 1 + rng.NextBelow(20); ++k) {
+            input.insert(input.end(), w, w + strlen(w));
+          }
+          break;
+        }
+        default: {  // noise
+          for (uint64_t k = 0; k < rng.NextBelow(200); ++k) {
+            input.push_back(static_cast<uint8_t>(rng.Next()));
+          }
+        }
+      }
+    }
+    Result<ByteBuffer> back = LzDecompress(LzCompress(input), input.size());
+    ASSERT_TRUE(back.ok()) << "trial " << trial;
+    EXPECT_EQ(back.value(), input) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CompressOp
+// ---------------------------------------------------------------------------
+
+TEST(CompressOpTest, FramesRoundTripThroughDecoder) {
+  const Schema schema = Schema::DefaultWideRow();
+  // Low-cardinality data compresses well.
+  TableGenerator gen(5);
+  Result<Table> t = gen.Uniform(schema, 2000, 4);
+  ASSERT_TRUE(t.ok());
+  CompressOp op(schema);
+  // Feed in two batches; two frames result.
+  ByteBuffer frames;
+  for (int half = 0; half < 2; ++half) {
+    Batch in = Batch::Empty(&schema);
+    const uint64_t rows = 1000;
+    in.data.assign(t.value().bytes().begin() +
+                       static_cast<long>(half * rows * 64),
+                   t.value().bytes().begin() +
+                       static_cast<long>((half + 1) * rows * 64));
+    in.num_rows = rows;
+    Result<Batch> out = op.Process(std::move(in));
+    ASSERT_TRUE(out.ok());
+    frames.insert(frames.end(), out.value().data.begin(),
+                  out.value().data.end());
+  }
+  EXPECT_GT(op.Ratio(), 2.0);
+  Result<Table> back = CompressOp::DecompressFrames(frames, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value().Equals(t.value()));
+}
+
+TEST(CompressOpTest, EndToEndOffloadReducesWireBytes) {
+  bench::FvFixture fx;
+  const Schema schema = Schema::DefaultWideRow();
+  TableGenerator gen(6);
+  Result<Table> t = gen.Uniform(schema, 50000, 4);  // highly compressible
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+
+  Result<Pipeline> p = PipelineBuilder(schema).Compress().Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(p).value()).ok());
+  Result<FvResult> r =
+      fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Far fewer bytes crossed the wire than the raw table...
+  EXPECT_LT(r.value().bytes_on_wire, ft.SizeBytes() / 2);
+  // ... and the client recovers the exact rows.
+  Result<Table> back = CompressOp::DecompressFrames(r.value().data, schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().Equals(t.value()));
+}
+
+TEST(CompressOpTest, ComposesAfterSelection) {
+  bench::FvFixture fx;
+  const Schema schema = Schema::DefaultWideRow();
+  TableGenerator gen(7);
+  Result<Table> t = gen.Uniform(schema, 20000, 8);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  Result<Pipeline> p = PipelineBuilder(schema)
+                           .Select({Predicate::Int(0, CompareOp::kLt, 4)})
+                           .Compress()
+                           .Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(p).value()).ok());
+  Result<FvResult> r =
+      fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  ASSERT_TRUE(r.ok());
+  Result<Table> back = CompressOp::DecompressFrames(r.value().data, schema);
+  ASSERT_TRUE(back.ok());
+  for (uint64_t row = 0; row < back.value().num_rows(); ++row) {
+    EXPECT_LT(back.value().GetInt64(row, 0), 4);
+  }
+}
+
+TEST(CompressOpTest, DecoderRejectsGarbage) {
+  const Schema schema = Schema::DefaultWideRow();
+  ByteBuffer garbage = {1, 2, 3};
+  EXPECT_FALSE(CompressOp::DecompressFrames(garbage, schema).ok());
+}
+
+}  // namespace
+}  // namespace farview

@@ -1,0 +1,200 @@
+// Failure-injection and determinism tests for the whole node: exhausted
+// resources, busy regions, dangling handles — every failure must surface as
+// a Status, never corrupt state, and the node must stay usable afterwards.
+// Plus the global regression guard: the simulator is bit-deterministic.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "fv/client.h"
+#include "fv/farview_node.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+TEST(FailureInjectionTest, MemoryExhaustionIsCleanAndRecoverable) {
+  FarviewConfig cfg;
+  cfg.dram.channel_capacity = 4 * Mmu::kPageSize;  // 8 pages total
+  sim::Engine engine;
+  FarviewNode node(&engine, cfg);
+  FarviewClient client(&node, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+
+  FTable big;
+  big.name = "big";
+  big.schema = Schema::DefaultWideRow();
+  big.num_rows = (9 * Mmu::kPageSize) / 64;  // needs 9 pages
+  EXPECT_TRUE(client.AllocTableMem(&big).IsOutOfMemory());
+  EXPECT_FALSE(client.catalog().Contains("big"));
+
+  // Node still serves smaller allocations afterwards.
+  FTable small;
+  small.name = "small";
+  small.schema = Schema::DefaultWideRow();
+  small.num_rows = 1024;
+  EXPECT_TRUE(client.AllocTableMem(&small).ok());
+}
+
+TEST(FailureInjectionTest, RegionBusyRejectsOverlappingWork) {
+  bench::FvFixture fx;
+  TableGenerator gen(1);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 50000, 100);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  Result<Pipeline> p = PipelineBuilder(ft.schema).Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(p).value()).ok());
+
+  // Fire one request and, before draining the engine, a second on the same
+  // connection plus a reconfiguration: both overlapping operations fail
+  // with Unavailable while the first completes normally.
+  std::optional<Result<FvResult>> first, second;
+  std::optional<Status> reload;
+  fx.client().FarviewRequestAsync(fx.client().ScanRequest(ft),
+                                  [&](Result<FvResult> r) {
+                                    first.emplace(std::move(r));
+                                  });
+  fx.client().FarviewRequestAsync(fx.client().ScanRequest(ft),
+                                  [&](Result<FvResult> r) {
+                                    second.emplace(std::move(r));
+                                  });
+  Result<Pipeline> p2 = PipelineBuilder(ft.schema).Build();
+  ASSERT_TRUE(p2.ok());
+  fx.client().LoadPipelineAsync(std::move(p2).value(),
+                                [&](Status s) { reload.emplace(s); });
+  fx.engine().Run();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(reload.has_value());
+  EXPECT_TRUE(first->ok());
+  EXPECT_TRUE(second->status().IsUnavailable());
+  EXPECT_TRUE(reload->IsUnavailable());
+
+  // The region is usable again.
+  Result<FvResult> again =
+      fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(FailureInjectionTest, RequestsOnClosedConnectionFail) {
+  sim::Engine engine;
+  FarviewNode node(&engine, FarviewConfig());
+  FarviewClient client(&node, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const int qp_id = client.qp()->qp_id;
+  client.CloseConnection();
+  bool failed = false;
+  node.TableRead(qp_id, 0x200000, 64, [&](Result<FvResult> r) {
+    failed = r.status().IsNotFound();
+  });
+  engine.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(node.Disconnect(qp_id).IsNotFound());  // double disconnect
+}
+
+TEST(FailureInjectionTest, FreeingForeignMemoryDenied) {
+  sim::Engine engine;
+  FarviewNode node(&engine, FarviewConfig());
+  FarviewClient alice(&node, 1), bob(&node, 2);
+  ASSERT_TRUE(alice.OpenConnection().ok());
+  ASSERT_TRUE(bob.OpenConnection().ok());
+  FTable t;
+  t.name = "a";
+  t.schema = Schema::DefaultWideRow();
+  t.num_rows = 100;
+  ASSERT_TRUE(alice.AllocTableMem(&t).ok());
+  // Bob cannot free Alice's allocation.
+  EXPECT_TRUE(node.FreeTableMem(*bob.qp(), t.vaddr).IsFailedPrecondition());
+  // Alice still can.
+  EXPECT_TRUE(alice.FreeTableMem(&t).ok());
+}
+
+TEST(FailureInjectionTest, PipelineErrorLeavesRegionReusable) {
+  bench::FvFixture fx;
+  TableGenerator gen(2);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 1000, 100);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  // Mismatched pipeline width triggers a request-time error...
+  Result<Pipeline> narrow = PipelineBuilder(Schema::DefaultWideRow(2)).Build();
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(narrow).value()).ok());
+  Result<FvResult> bad = fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  // ... after which a correct pipeline executes fine.
+  Result<Pipeline> good = PipelineBuilder(ft.schema).Build();
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(good).value()).ok());
+  Result<FvResult> ok = fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  EXPECT_TRUE(ok.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the entire node, including multi-client contention, is
+// bit-reproducible run-to-run. This is the regression guard that keeps
+// every experiment quotable.
+// ---------------------------------------------------------------------------
+
+std::vector<SimTime> RunWorkloadOnce() {
+  bench::FvFixture fx;
+  FarviewClient* c1 = &fx.client();
+  FarviewClient* c2 = &fx.AddClient();
+  FarviewClient* c3 = &fx.AddClient();
+  TableGenerator gen(9);
+  std::vector<SimTime> completions;
+
+  std::vector<FTable> tables;
+  for (int i = 0; i < 3; ++i) {
+    Result<Table> t =
+        gen.WithDistinct(Schema::DefaultWideRow(), 20000, 0, 64, 100);
+    EXPECT_TRUE(t.ok());
+    FarviewClient* c = (i == 0 ? c1 : i == 1 ? c2 : c3);
+    FTable ft;
+    ft.name = "t" + std::to_string(i);
+    ft.schema = t.value().schema();
+    ft.num_rows = t.value().num_rows();
+    EXPECT_TRUE(c->AllocTableMem(&ft).ok());
+    EXPECT_TRUE(c->TableWrite(ft, t.value()).ok());
+    tables.push_back(ft);
+  }
+  int loaded = 0;
+  FarviewClient* clients[3] = {c1, c2, c3};
+  for (int i = 0; i < 3; ++i) {
+    Result<Pipeline> p = PipelineBuilder(tables[static_cast<size_t>(i)]
+                                             .schema)
+                             .Distinct({0})
+                             .Build();
+    EXPECT_TRUE(p.ok());
+    clients[i]->LoadPipelineAsync(std::move(p).value(),
+                                  [&loaded](Status s) {
+                                    EXPECT_TRUE(s.ok());
+                                    ++loaded;
+                                  });
+  }
+  fx.engine().Run();
+  EXPECT_EQ(loaded, 3);
+  for (int i = 0; i < 3; ++i) {
+    clients[i]->FarviewRequestAsync(
+        clients[i]->ScanRequest(tables[static_cast<size_t>(i)]),
+        [&completions](Result<FvResult> r) {
+          EXPECT_TRUE(r.ok());
+          completions.push_back(r.value().completed_at);
+        });
+  }
+  fx.engine().Run();
+  return completions;
+}
+
+TEST(DeterminismTest, FullWorkloadIsBitReproducible) {
+  const std::vector<SimTime> a = RunWorkloadOnce();
+  const std::vector<SimTime> b = RunWorkloadOnce();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace farview

@@ -1,0 +1,480 @@
+// End-to-end tests of the Farview node: connections, memory management,
+// table write/read round trips, operator offloading through dynamic
+// regions, timing sanity, and the resource model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "fv/client.h"
+#include "fv/farview_node.h"
+#include "crypto/aes_ctr.h"
+#include "fv/resource_model.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+class FvNodeTest : public ::testing::Test {
+ protected:
+  FvNodeTest() : node_(&engine_, FarviewConfig()), client_(&node_, 1) {
+    EXPECT_TRUE(client_.OpenConnection().ok());
+  }
+
+  /// Builds, uploads and registers a uniform table.
+  FTable Upload(const std::string& name, uint64_t rows, int64_t range,
+                uint64_t seed, int cols = 8) {
+    TableGenerator gen(seed);
+    Result<Table> t = gen.Uniform(Schema::DefaultWideRow(cols), rows, range);
+    EXPECT_TRUE(t.ok());
+    last_table_.emplace(std::move(t).value());
+    FTable ft;
+    ft.name = name;
+    ft.schema = last_table_->schema();
+    ft.num_rows = rows;
+    EXPECT_TRUE(client_.AllocTableMem(&ft).ok());
+    EXPECT_TRUE(client_.TableWrite(ft, *last_table_).ok());
+    return ft;
+  }
+
+  sim::Engine engine_;
+  FarviewNode node_;
+  FarviewClient client_;
+  std::optional<Table> last_table_;
+};
+
+// ---------------------------------------------------------------------------
+// Connection management
+// ---------------------------------------------------------------------------
+
+TEST_F(FvNodeTest, ConnectionAssignsRegion) {
+  ASSERT_NE(client_.qp(), nullptr);
+  EXPECT_GE(client_.qp()->region_id, 0);
+  EXPECT_LT(client_.qp()->region_id, node_.num_regions());
+  EXPECT_TRUE(client_.qp()->connected);
+}
+
+TEST_F(FvNodeTest, RegionsExhaust) {
+  // The fixture client took one region; 5 more fit, the 7th connection
+  // fails ("six dynamic regions in our experiments").
+  std::vector<std::unique_ptr<FarviewClient>> extra;
+  for (int i = 0; i < 5; ++i) {
+    extra.push_back(std::make_unique<FarviewClient>(&node_, 10 + i));
+    EXPECT_TRUE(extra.back()->OpenConnection().ok()) << i;
+  }
+  FarviewClient overflow(&node_, 99);
+  EXPECT_TRUE(overflow.OpenConnection().IsUnavailable());
+  // Disconnecting frees a region for reuse.
+  extra.pop_back();
+  EXPECT_TRUE(overflow.OpenConnection().ok());
+}
+
+TEST_F(FvNodeTest, DoubleOpenFails) {
+  EXPECT_TRUE(client_.OpenConnection().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Memory management + table round trip
+// ---------------------------------------------------------------------------
+
+TEST_F(FvNodeTest, TableWriteReadRoundTrip) {
+  const FTable ft = Upload("t", 1000, 100, 1);
+  Result<FvResult> r = client_.TableRead(ft);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().data, last_table_->bytes());
+  EXPECT_EQ(r.value().bytes_on_wire, last_table_->size_bytes());
+  EXPECT_GT(r.value().Elapsed(), 0);
+}
+
+TEST_F(FvNodeTest, AllocRequiresNameAndRows) {
+  FTable bad;
+  bad.schema = Schema::DefaultWideRow();
+  EXPECT_TRUE(client_.AllocTableMem(&bad).IsInvalidArgument());
+}
+
+TEST_F(FvNodeTest, FreeDropsCatalogEntryAndMemory) {
+  FTable ft = Upload("t", 100, 100, 2);
+  const uint64_t allocated = node_.mmu().allocated_bytes();
+  EXPECT_GT(allocated, 0u);
+  EXPECT_TRUE(client_.FreeTableMem(&ft).ok());
+  EXPECT_LT(node_.mmu().allocated_bytes(), allocated);
+  EXPECT_FALSE(client_.catalog().Contains("t"));
+}
+
+TEST_F(FvNodeTest, CrossClientIsolationAndSharing) {
+  const FTable ft = Upload("shared", 100, 100, 3);
+  FarviewClient other(&node_, 2);
+  ASSERT_TRUE(other.OpenConnection().ok());
+  // Before sharing: the other client cannot read the table.
+  Result<FvResult> denied = other.TableRead(ft);
+  EXPECT_FALSE(denied.ok());
+  // Share via catalog export/import.
+  Result<TableEntry> entry = client_.ShareTable(ft);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(other.ImportTable(entry.value()).ok());
+  Result<FvResult> r = other.TableRead(ft);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().data, last_table_->bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Operator offloading
+// ---------------------------------------------------------------------------
+
+TEST_F(FvNodeTest, SelectMatchesLocalEvaluation) {
+  const FTable ft = Upload("s", 4000, 100, 4);
+  // SELECT * FROM S WHERE S.a < 50 AND S.b < 50.
+  Result<FvResult> r = client_.FvSelect(
+      ft, {Predicate::Int(0, CompareOp::kLt, 50),
+           Predicate::Int(1, CompareOp::kLt, 50)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  ByteBuffer expected;
+  uint64_t expected_rows = 0;
+  for (uint64_t row = 0; row < last_table_->num_rows(); ++row) {
+    if (last_table_->GetInt64(row, 0) < 50 &&
+        last_table_->GetInt64(row, 1) < 50) {
+      const uint8_t* p = last_table_->Row(row).data();
+      expected.insert(expected.end(), p, p + 64);
+      ++expected_rows;
+    }
+  }
+  EXPECT_EQ(r.value().rows, expected_rows);
+  EXPECT_EQ(r.value().data, expected);
+  EXPECT_EQ(r.value().bytes_on_wire, expected.size());
+}
+
+TEST_F(FvNodeTest, SelectWithProjection) {
+  const FTable ft = Upload("s", 1000, 100, 5);
+  Result<FvResult> r = client_.FvSelect(
+      ft, {Predicate::Int(2, CompareOp::kGe, 90)}, {0, 2});
+  ASSERT_TRUE(r.ok());
+  // 16 B output rows.
+  EXPECT_EQ(r.value().data.size(), r.value().rows * 16);
+  Result<Table> out =
+      Table::FromBytes(ft.schema.Project({0, 2}), r.value().data);
+  ASSERT_TRUE(out.ok());
+  for (uint64_t row = 0; row < out.value().num_rows(); ++row) {
+    EXPECT_GE(out.value().GetInt64(row, 1), 90);
+  }
+}
+
+TEST_F(FvNodeTest, VectorizedSelectSameResultFasterAtLowSelectivity) {
+  const FTable ft = Upload("s", 200000, 100, 6);
+  const std::vector<Predicate> preds = {
+      Predicate::Int(0, CompareOp::kLt, 25)};
+  Result<FvResult> scalar = client_.FvSelect(ft, preds, {}, false);
+  ASSERT_TRUE(scalar.ok());
+  Result<FvResult> vectorized = client_.FvSelect(ft, preds, {}, true);
+  ASSERT_TRUE(vectorized.ok());
+  EXPECT_EQ(scalar.value().data, vectorized.value().data);
+  // 25% selectivity: the scalar pipe (16 GB/s) binds, vectorization nearly
+  // doubles throughput (Section 6.4).
+  const double speedup = static_cast<double>(scalar.value().Elapsed()) /
+                         static_cast<double>(vectorized.value().Elapsed());
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 2.2);
+}
+
+TEST_F(FvNodeTest, DistinctMatchesReference) {
+  TableGenerator gen(7);
+  Result<Table> t =
+      gen.WithDistinct(Schema::DefaultWideRow(), 10000, 0, 500, 1000);
+  ASSERT_TRUE(t.ok());
+  last_table_.emplace(std::move(t).value());
+  FTable ft;
+  ft.name = "d";
+  ft.schema = last_table_->schema();
+  ft.num_rows = 10000;
+  ASSERT_TRUE(client_.AllocTableMem(&ft).ok());
+  ASSERT_TRUE(client_.TableWrite(ft, *last_table_).ok());
+
+  Result<FvResult> r = client_.FvDistinct(ft, {0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 500u);
+  EXPECT_EQ(r.value().data.size(), 500u * 8);
+}
+
+TEST_F(FvNodeTest, GroupByMatchesReference) {
+  TableGenerator gen(8);
+  Result<Table> t =
+      gen.WithDistinct(Schema::DefaultWideRow(), 5000, 1, 40, 1000);
+  ASSERT_TRUE(t.ok());
+  last_table_.emplace(std::move(t).value());
+  FTable ft;
+  ft.name = "g";
+  ft.schema = last_table_->schema();
+  ft.num_rows = 5000;
+  ASSERT_TRUE(client_.AllocTableMem(&ft).ok());
+  ASSERT_TRUE(client_.TableWrite(ft, *last_table_).ok());
+
+  Result<FvResult> r = client_.FvGroupBy(ft, {1}, {AggSpec::Sum(2)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, 40u);
+  // Verify sums against a reference.
+  std::map<int64_t, int64_t> ref;
+  for (uint64_t row = 0; row < last_table_->num_rows(); ++row) {
+    ref[last_table_->GetInt64(row, 1)] += last_table_->GetInt64(row, 2);
+  }
+  Result<Pipeline> p = PipelineBuilder(ft.schema)
+                           .GroupBy({1}, {AggSpec::Sum(2)})
+                           .Build();
+  ASSERT_TRUE(p.ok());
+  Result<Table> out = Table::FromBytes(p.value().output_schema(),
+                                       r.value().data);
+  ASSERT_TRUE(out.ok());
+  for (uint64_t g = 0; g < out.value().num_rows(); ++g) {
+    const int64_t key = out.value().GetInt64(g, 0);
+    EXPECT_EQ(out.value().GetInt64(g, 1), ref[key]) << key;
+  }
+}
+
+TEST_F(FvNodeTest, RegexSelectOverFarview) {
+  TableGenerator gen(9);
+  Result<Table> t = gen.Strings(2000, 32, "xq", 0.5);
+  ASSERT_TRUE(t.ok());
+  last_table_.emplace(std::move(t).value());
+  FTable ft;
+  ft.name = "r";
+  ft.schema = last_table_->schema();
+  ft.num_rows = 2000;
+  ASSERT_TRUE(client_.AllocTableMem(&ft).ok());
+  ASSERT_TRUE(client_.TableWrite(ft, *last_table_).ok());
+
+  Result<FvResult> r = client_.FvRegexSelect(ft, 0, "xq");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(static_cast<double>(r.value().rows) / 2000.0, 0.5, 0.05);
+}
+
+TEST_F(FvNodeTest, EncryptedTableDecryptOnRead) {
+  TableGenerator gen(10);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 1000, 100);
+  ASSERT_TRUE(t.ok());
+  last_table_.emplace(std::move(t).value());
+
+  uint8_t key[16] = {1, 2, 3};
+  uint8_t nonce[16] = {4, 5, 6};
+  // Store the table encrypted (Cypherbase-style: memory holds ciphertext).
+  Table encrypted = *last_table_;
+  AesCtr(key, nonce).Apply(encrypted.mutable_data(),
+                           encrypted.size_bytes(), 0);
+  FTable ft;
+  ft.name = "enc";
+  ft.schema = last_table_->schema();
+  ft.num_rows = 1000;
+  ASSERT_TRUE(client_.AllocTableMem(&ft).ok());
+  ASSERT_TRUE(client_.TableWrite(ft, encrypted).ok());
+
+  Result<FvResult> r = client_.FvDecryptRead(ft, key, nonce);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data, last_table_->bytes());
+}
+
+TEST_F(FvNodeTest, SmartAddressingProjection) {
+  // 512 B tuples; project 3 contiguous 8 B columns (the Fig. 7 workload).
+  const Schema wide = Schema::DefaultWideRow(64);
+  TableGenerator gen(11);
+  Result<Table> t = gen.Uniform(wide, 2000, 100);
+  ASSERT_TRUE(t.ok());
+  last_table_.emplace(std::move(t).value());
+  FTable ft;
+  ft.name = "wide";
+  ft.schema = wide;
+  ft.num_rows = 2000;
+  ASSERT_TRUE(client_.AllocTableMem(&ft).ok());
+  ASSERT_TRUE(client_.TableWrite(ft, *last_table_).ok());
+
+  // Pipeline input = the 3-column extraction (columns 8,9,10).
+  const Schema projected = wide.Project({8, 9, 10});
+  Result<Pipeline> p = PipelineBuilder(projected).Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+
+  FvRequest req = client_.ScanRequest(ft);
+  req.smart_addressing = true;
+  req.sa_access_bytes = 24;
+  req.sa_offset = 64;  // column 8 starts at byte 64
+  Result<FvResult> r = client_.FarviewRequest(req);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows, 2000u);
+  Result<Table> out = Table::FromBytes(projected, r.value().data);
+  ASSERT_TRUE(out.ok());
+  for (uint64_t row = 0; row < 2000; ++row) {
+    EXPECT_EQ(out.value().GetInt64(row, 0), last_table_->GetInt64(row, 8));
+    EXPECT_EQ(out.value().GetInt64(row, 2), last_table_->GetInt64(row, 10));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error handling on the data path
+// ---------------------------------------------------------------------------
+
+TEST_F(FvNodeTest, RequestWithoutPipelineFails) {
+  const FTable ft = Upload("t", 10, 10, 12);
+  Result<FvResult> r = client_.FarviewRequest(client_.ScanRequest(ft));
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST_F(FvNodeTest, MismatchedTupleWidthFails) {
+  const FTable ft = Upload("t", 10, 10, 13);
+  Result<Pipeline> p =
+      PipelineBuilder(Schema::DefaultWideRow(4)).Build();  // 32 B rows
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+  Result<FvResult> r = client_.FarviewRequest(client_.ScanRequest(ft));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(FvNodeTest, UnmappedReadFails) {
+  FTable ghost;
+  ghost.name = "ghost";
+  ghost.schema = Schema::DefaultWideRow();
+  ghost.num_rows = 10;
+  ghost.vaddr = 0xdead0000;
+  Result<FvResult> r = client_.TableRead(ghost);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(FvNodeTest, PartialTupleLengthRejected) {
+  const FTable ft = Upload("t", 10, 10, 14);
+  Result<Pipeline> p = PipelineBuilder(ft.schema).Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+  FvRequest req = client_.ScanRequest(ft);
+  req.len -= 1;  // no longer a whole number of tuples
+  Result<FvResult> r = client_.FarviewRequest(req);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Timing sanity
+// ---------------------------------------------------------------------------
+
+TEST_F(FvNodeTest, ReadThroughputIsNetworkBound) {
+  const FTable ft = Upload("big", 262144, 100, 15);  // 16 MiB
+  Result<FvResult> r = client_.TableRead(ft);
+  ASSERT_TRUE(r.ok());
+  const double gbps = AchievedGBps(ft.SizeBytes(), r.value().Elapsed());
+  // "Reading from local on-board FPGA memory peaks at 12 GBps, indicating
+  // the network is the main bottleneck."
+  EXPECT_NEAR(gbps, 12.0, 0.5);
+}
+
+TEST_F(FvNodeTest, FullSelectivityMatchesPlainReadTime) {
+  const FTable ft = Upload("s", 65536, 100, 16);  // 4 MiB
+  Result<FvResult> read = client_.TableRead(ft);
+  ASSERT_TRUE(read.ok());
+  Result<FvResult> select = client_.FvSelect(
+      ft, {Predicate::Int(0, CompareOp::kLt, 100)});  // selects everything
+  ASSERT_TRUE(select.ok());
+  // "All these operators achieve near line-rate speed, adding insignificant
+  // latency to baseline network overheads."
+  const double ratio = static_cast<double>(select.value().Elapsed()) /
+                       static_cast<double>(read.value().Elapsed());
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST_F(FvNodeTest, LowSelectivityFasterThanFullRead) {
+  const FTable ft = Upload("s", 262144, 100, 17);  // 16 MiB
+  Result<FvResult> full =
+      client_.FvSelect(ft, {Predicate::Int(0, CompareOp::kLt, 100)});
+  ASSERT_TRUE(full.ok());
+  Result<FvResult> quarter =
+      client_.FvSelect(ft, {Predicate::Int(0, CompareOp::kLt, 25)});
+  ASSERT_TRUE(quarter.ok());
+  EXPECT_LT(quarter.value().Elapsed(), full.value().Elapsed());
+}
+
+TEST_F(FvNodeTest, PipelineLoadTakesMilliseconds) {
+  const SimTime before = engine_.Now();
+  Result<Pipeline> p = PipelineBuilder(Schema::DefaultWideRow()).Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+  EXPECT_GE(engine_.Now() - before, 5 * kMillisecond);
+}
+
+TEST_F(FvNodeTest, StreamingDeliversFirstByteEarly) {
+  // Time-to-first-byte: a streaming selection delivers its first packet
+  // long before completion; a blocking group-by only delivers after the
+  // whole input was consumed.
+  const FTable ft = Upload("big", 262144, 100, 40);  // 16 MiB
+  Result<FvResult> streaming = client_.FvSelect(
+      ft, {Predicate::Int(0, CompareOp::kLt, 100)});
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_LT(streaming.value().TimeToFirstByte(),
+            streaming.value().Elapsed() / 10);
+
+  Result<FvResult> blocking =
+      client_.FvGroupBy(ft, {1}, {AggSpec::Sum(2)});
+  ASSERT_TRUE(blocking.ok());
+  // The flush-phase result arrives only near the end.
+  EXPECT_GT(blocking.value().TimeToFirstByte(),
+            blocking.value().Elapsed() / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Resource model (Table 1)
+// ---------------------------------------------------------------------------
+
+TEST(ResourceModelTest, BaseSystemMatchesTable1) {
+  const ResourceUsage u = ResourceModel::BaseSystem(6);
+  EXPECT_DOUBLE_EQ(u.lut_pct, 24.0);
+  EXPECT_DOUBLE_EQ(u.reg_pct, 23.0);
+  EXPECT_DOUBLE_EQ(u.bram_pct, 29.0);
+  EXPECT_DOUBLE_EQ(u.dsp_pct, 0.0);
+}
+
+TEST(ResourceModelTest, OperatorRowsMatchTable1) {
+  EXPECT_LT(ResourceModel::OperatorUsage("selection").lut_pct, 1.0);
+  EXPECT_DOUBLE_EQ(ResourceModel::OperatorUsage("regex").lut_pct, 2.3);
+  EXPECT_DOUBLE_EQ(ResourceModel::OperatorUsage("distinct").bram_pct, 8.0);
+  EXPECT_DOUBLE_EQ(ResourceModel::OperatorUsage("crypto").lut_pct, 3.6);
+  EXPECT_DOUBLE_EQ(ResourceModel::OperatorUsage("group_by").reg_pct, 1.3);
+}
+
+TEST(ResourceModelTest, TenRegionsWithFilterPipelinesFit) {
+  // The paper tested up to ten regions; light selection/projection
+  // pipelines in all ten fit the device.
+  Result<Pipeline> filter =
+      PipelineBuilder(Schema::DefaultWideRow())
+          .Select({Predicate::Int(0, CompareOp::kLt, 5)})
+          .Project({0, 1})
+          .Build();
+  ASSERT_TRUE(filter.ok());
+  std::vector<const Pipeline*> light(10, &filter.value());
+  EXPECT_TRUE(ResourceModel::Fits(ResourceModel::Total(10, light)));
+
+  // BRAM-heavy hash pipelines fit in all six regions of the evaluated
+  // deployment, but ten of them exhaust BRAM — the placement/sizing
+  // restriction Section 4.1 discusses.
+  Result<Pipeline> hash =
+      PipelineBuilder(Schema::DefaultWideRow()).Distinct({0}).Build();
+  ASSERT_TRUE(hash.ok());
+  std::vector<const Pipeline*> six(6, &hash.value());
+  EXPECT_TRUE(ResourceModel::Fits(ResourceModel::Total(6, six)));
+  std::vector<const Pipeline*> ten(10, &hash.value());
+  EXPECT_FALSE(ResourceModel::Fits(ResourceModel::Total(10, ten)));
+}
+
+TEST(ResourceModelTest, FormatTable1ContainsRows) {
+  const std::string t = ResourceModel::FormatTable1(6);
+  EXPECT_NE(t.find("6 regions"), std::string::npos);
+  EXPECT_NE(t.find("Regular expression"), std::string::npos);
+  EXPECT_NE(t.find("En(de)cryption"), std::string::npos);
+  EXPECT_NE(t.find("<1%"), std::string::npos);
+}
+
+TEST_F(FvNodeTest, NodeTracksLoadedPipelineResources) {
+  const ResourceUsage before = node_.CurrentResources();
+  Result<Pipeline> p = PipelineBuilder(Schema::DefaultWideRow())
+                           .Distinct({0})
+                           .Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+  const ResourceUsage after = node_.CurrentResources();
+  EXPECT_GT(after.bram_pct, before.bram_pct);  // distinct uses BRAM
+}
+
+}  // namespace
+}  // namespace farview

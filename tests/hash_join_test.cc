@@ -1,0 +1,227 @@
+// Tests for the small-table hash join operator (the paper's conclusion
+// extension): functional correctness against a nested-loop reference,
+// capacity limits, and the end-to-end offload path.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "operators/hash_join.h"
+#include "operators/pipeline.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+/// A dimension-style build table: key = 0..rows-1, one payload column
+/// payload = key * 10.
+Table MakeBuild(uint64_t rows) {
+  Result<Schema> schema = Schema::Create({
+      {"k", DataType::kInt64, 8},
+      {"v", DataType::kInt64, 8},
+  });
+  Table t(std::move(schema).value());
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.AppendRow();
+    t.SetInt64(r, 0, static_cast<int64_t>(r));
+    t.SetInt64(r, 1, static_cast<int64_t>(r) * 10);
+  }
+  return t;
+}
+
+Batch TableBatch(const Table& t, const Schema* schema) {
+  Batch b = Batch::Empty(schema);
+  b.data = t.bytes();
+  b.num_rows = t.num_rows();
+  return b;
+}
+
+TEST(HashJoinTest, MatchesNestedLoopReference) {
+  const Schema probe_schema = Schema::DefaultWideRow(4);
+  TableGenerator gen(1);
+  Result<Table> probe = gen.Uniform(probe_schema, 2000, 100);
+  ASSERT_TRUE(probe.ok());
+  const Table build = MakeBuild(50);  // keys 0..49: ~50% of probes match
+
+  Result<OperatorPtr> op =
+      HashJoinOp::Create(probe_schema, 0, build, 0);
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  Result<Batch> out = op.value()->Process(TableBatch(probe.value(),
+                                                     &probe_schema));
+  ASSERT_TRUE(out.ok());
+
+  // Nested-loop reference.
+  uint64_t expected = 0;
+  for (uint64_t r = 0; r < probe.value().num_rows(); ++r) {
+    const int64_t key = probe.value().GetInt64(r, 0);
+    if (key >= 0 && key < 50) ++expected;
+  }
+  EXPECT_EQ(out.value().num_rows, expected);
+  EXPECT_GT(expected, 500u);
+
+  // Output layout: 4 probe columns + 1 build payload column.
+  EXPECT_EQ(out.value().schema->num_columns(), 5);
+  EXPECT_EQ(out.value().schema->column(4).name, "build_v");
+  for (uint64_t r = 0; r < out.value().num_rows; ++r) {
+    const TupleView row = out.value().Row(r);
+    EXPECT_EQ(row.GetInt64(4), row.GetInt64(0) * 10);
+  }
+}
+
+TEST(HashJoinTest, NoMatchesEmptyOutput) {
+  const Schema probe_schema = Schema::DefaultWideRow(2);
+  TableGenerator gen(2);
+  Result<Table> probe = gen.Uniform(probe_schema, 100, 100);
+  ASSERT_TRUE(probe.ok());
+  Table build(Schema::DefaultWideRow(2));
+  build.AppendRow();
+  build.SetInt64(0, 0, 5000);  // outside the probe domain
+  Result<OperatorPtr> op = HashJoinOp::Create(probe_schema, 0, build, 0);
+  ASSERT_TRUE(op.ok());
+  Result<Batch> out = op.value()->Process(TableBatch(probe.value(),
+                                                     &probe_schema));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().num_rows, 0u);
+}
+
+TEST(HashJoinTest, KeyOnlyBuildActsAsSemiJoinFilter) {
+  const Schema probe_schema = Schema::DefaultWideRow(2);
+  TableGenerator gen(3);
+  Result<Table> probe = gen.Uniform(probe_schema, 500, 100);
+  ASSERT_TRUE(probe.ok());
+  Table build(Schema::DefaultWideRow(1));  // key only, no payload
+  for (int64_t k : {3, 7, 11}) {
+    const uint64_t r = build.AppendRow();
+    build.SetInt64(r, 0, k);
+  }
+  Result<OperatorPtr> op = HashJoinOp::Create(probe_schema, 0, build, 0);
+  ASSERT_TRUE(op.ok());
+  Result<Batch> out = op.value()->Process(TableBatch(probe.value(),
+                                                     &probe_schema));
+  ASSERT_TRUE(out.ok());
+  // Output schema unchanged (no payload columns appended).
+  EXPECT_EQ(out.value().schema->num_columns(), 2);
+  for (uint64_t r = 0; r < out.value().num_rows; ++r) {
+    const int64_t k = out.value().Row(r).GetInt64(0);
+    EXPECT_TRUE(k == 3 || k == 7 || k == 11);
+  }
+}
+
+TEST(HashJoinTest, BuildSideCapacityEnforced) {
+  JoinConfig small;
+  small.cuckoo_ways = 2;
+  small.slots_per_way = 8;  // capacity 16
+  const Table build = MakeBuild(17);
+  Result<OperatorPtr> op =
+      HashJoinOp::Create(Schema::DefaultWideRow(2), 0, build, 0, small);
+  EXPECT_TRUE(op.status().IsOutOfRange());
+  // 16 rows fit.
+  Result<OperatorPtr> ok =
+      HashJoinOp::Create(Schema::DefaultWideRow(2), 0, MakeBuild(16), 0,
+                         small);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysRejected) {
+  Table build(Schema::DefaultWideRow(2));
+  build.AppendRow();
+  build.AppendRow();
+  build.SetInt64(0, 0, 1);
+  build.SetInt64(1, 0, 1);
+  Result<OperatorPtr> op =
+      HashJoinOp::Create(Schema::DefaultWideRow(2), 0, build, 0);
+  EXPECT_TRUE(op.status().IsInvalidArgument());
+}
+
+TEST(HashJoinTest, BadKeyColumnsRejected) {
+  const Table build = MakeBuild(4);
+  EXPECT_FALSE(
+      HashJoinOp::Create(Schema::DefaultWideRow(2), 9, build, 0).ok());
+  EXPECT_FALSE(
+      HashJoinOp::Create(Schema::DefaultWideRow(2), 0, build, 9).ok());
+  EXPECT_FALSE(
+      HashJoinOp::Create(Schema::Strings(1, 8), 0, build, 0).ok());
+}
+
+TEST(HashJoinTest, SelectThenJoinPipeline) {
+  // Filter pushdown before the join: WHERE a1 < 50 JOIN build ON a0 = k.
+  const Schema probe_schema = Schema::DefaultWideRow(2);
+  TableGenerator gen(4);
+  Result<Table> probe = gen.Uniform(probe_schema, 1000, 100);
+  ASSERT_TRUE(probe.ok());
+  const Table build = MakeBuild(100);  // all keys covered
+  Result<Pipeline> p = PipelineBuilder(probe_schema)
+                           .Select({Predicate::Int(1, CompareOp::kLt, 50)})
+                           .HashJoinSmall(0, build, 0)
+                           .Build();
+  ASSERT_TRUE(p.ok());
+  Result<Batch> out =
+      p.value().Process(TableBatch(probe.value(), &probe_schema));
+  ASSERT_TRUE(out.ok());
+  uint64_t expected = 0;
+  for (uint64_t r = 0; r < probe.value().num_rows(); ++r) {
+    if (probe.value().GetInt64(r, 1) < 50) ++expected;
+  }
+  EXPECT_EQ(out.value().num_rows, expected);
+}
+
+TEST(HashJoinTest, EndToEndOffloadMatchesBaseline) {
+  bench::FvFixture fx;
+  TableGenerator gen(5);
+  Result<Table> probe = gen.Uniform(Schema::DefaultWideRow(), 5000, 100);
+  ASSERT_TRUE(probe.ok());
+  auto build = std::make_shared<Table>(MakeBuild(40));
+
+  const FTable ft = fx.Upload("orders", probe.value());
+  Result<FvResult> fv = fx.client().FvJoinSmall(ft, 0, *build, 0);
+  ASSERT_TRUE(fv.ok()) << fv.status().ToString();
+
+  LocalEngine lcpu;
+  const QuerySpec spec = QuerySpec::Join(build, 0, 0);
+  Result<BaselineResult> l = lcpu.Execute(probe.value(), spec);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_EQ(fv.value().data, l.value().data);
+  EXPECT_EQ(fv.value().rows, l.value().rows);
+  EXPECT_GT(fv.value().rows, 0u);
+  // The join reduces wire traffic vs shipping the whole probe table.
+  EXPECT_LT(fv.value().bytes_on_wire, ft.SizeBytes());
+}
+
+TEST(HashJoinTest, JoinThenGroupByAggregation) {
+  // SELECT k, SUM(build_v) ... JOIN ... GROUP BY probe key — a star-schema
+  // shape: join against the dimension, aggregate on the fact side.
+  const Schema probe_schema = Schema::DefaultWideRow(2);
+  TableGenerator gen(6);
+  Result<Table> probe = gen.Uniform(probe_schema, 2000, 20);
+  ASSERT_TRUE(probe.ok());
+  const Table build = MakeBuild(20);
+  Result<Pipeline> p = PipelineBuilder(probe_schema)
+                           .HashJoinSmall(0, build, 0)
+                           .GroupBy({0}, {AggSpec::Sum(2), AggSpec::Count()})
+                           .Build();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_TRUE(
+      p.value().Process(TableBatch(probe.value(), &probe_schema)).ok());
+  Result<Batch> out = p.value().Flush();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().num_rows, 20u);
+  for (uint64_t g = 0; g < out.value().num_rows; ++g) {
+    const TupleView row = out.value().Row(g);
+    // SUM(build_v) = count * key * 10.
+    EXPECT_EQ(row.GetInt64(1), row.GetInt64(0) * 10 * row.GetInt64(2));
+  }
+}
+
+TEST(HashJoinTest, ResourceUsageMatchesHashStructures) {
+  const Table build = MakeBuild(4);
+  Result<Pipeline> p = PipelineBuilder(Schema::DefaultWideRow(2))
+                           .HashJoinSmall(0, build, 0)
+                           .Build();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().Describe(), "hash_join|packing");
+}
+
+}  // namespace
+}  // namespace farview

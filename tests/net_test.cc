@@ -1,0 +1,348 @@
+// Tests for the network stack: TxStream packetization, credits, fair
+// sharing between queue pairs, and the commercial-NIC model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/net_config.h"
+#include "net/network_stack.h"
+#include "net/qpair.h"
+#include "net/rnic_model.h"
+#include "sim/engine.h"
+
+namespace farview {
+namespace {
+
+NetConfig SimpleConfig() {
+  NetConfig cfg;
+  cfg.packet_bytes = 1024;
+  cfg.link_rate_bytes_per_sec = 10e9;  // 102.4 ns per packet
+  cfg.fv_request_latency = 1000 * kNanosecond;
+  cfg.fv_delivery_latency = 1000 * kNanosecond;
+  cfg.fv_per_packet_overhead = 0;
+  cfg.credit_window_packets = 64;
+  cfg.ack_latency = 2000 * kNanosecond;
+  return cfg;
+}
+
+TEST(VerbTest, Names) {
+  EXPECT_STREQ(VerbToString(Verb::kRead), "READ");
+  EXPECT_STREQ(VerbToString(Verb::kWrite), "WRITE");
+  EXPECT_STREQ(VerbToString(Verb::kFarview), "FARVIEW");
+}
+
+TEST(NetworkStackTest, RequestLatency) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  SimTime arrived = 0;
+  net.DeliverRequest([&] { arrived = e.Now(); });
+  e.Run();
+  EXPECT_EQ(arrived, 1000 * kNanosecond);
+}
+
+TEST(TxStreamTest, SinglePacketDelivery) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  uint64_t got = 0;
+  bool last_seen = false;
+  SimTime done = 0;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool last, SimTime t) {
+    got += b;
+    if (last) {
+      last_seen = true;
+      done = t;
+    }
+  });
+  tx->Push(500);
+  tx->Finish();
+  e.Run();
+  EXPECT_EQ(got, 500u);
+  EXPECT_TRUE(last_seen);
+  // 500 B at 10 GB/s = 50 ns serialize + 1000 ns delivery.
+  EXPECT_EQ(done, 1050 * kNanosecond);
+}
+
+TEST(TxStreamTest, MultiPacketSplitsAtPacketSize) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  std::vector<uint64_t> deliveries;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool, SimTime) {
+    deliveries.push_back(b);
+  });
+  tx->Push(2500);
+  tx->Finish();
+  e.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], 1024u);
+  EXPECT_EQ(deliveries[1], 1024u);
+  EXPECT_EQ(deliveries[2], 452u);
+  EXPECT_EQ(tx->packets_sent(), 3u);
+}
+
+TEST(TxStreamTest, ThroughputApproachesLineRate) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  const uint64_t len = 4ull * kMiB;
+  SimTime done = 0;
+  auto tx = net.OpenStream(1, [&](uint64_t, bool last, SimTime t) {
+    if (last) done = t;
+  });
+  tx->Push(len);
+  tx->Finish();
+  e.Run();
+  // 4 MiB at 10 GB/s ≈ 419 µs ≫ latencies; achieved ≈ line rate.
+  EXPECT_NEAR(AchievedGBps(len, done), 10.0, 0.3);
+}
+
+TEST(TxStreamTest, EmptyStreamDeliversEmptyLastPacket) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  bool got_last = false;
+  uint64_t bytes = 99;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool last, SimTime) {
+    bytes = b;
+    got_last = last;
+  });
+  tx->Finish();
+  e.Run();
+  EXPECT_TRUE(got_last);
+  EXPECT_EQ(bytes, 0u);
+}
+
+TEST(TxStreamTest, ExactPacketMultipleMarksLast) {
+  // Full packets are sent eagerly as payload accumulates; when Finish()
+  // arrives after they are already on the wire, a zero-length completion
+  // write carries the `last` mark (exactly one `last`, all bytes covered).
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  int last_count = 0;
+  int packets = 0;
+  uint64_t bytes = 0;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool last, SimTime) {
+    ++packets;
+    bytes += b;
+    if (last) ++last_count;
+  });
+  tx->Push(2048);  // exactly two packets, sent before Finish
+  tx->Finish();
+  e.Run();
+  EXPECT_EQ(packets, 3);
+  EXPECT_EQ(bytes, 2048u);
+  EXPECT_EQ(last_count, 1);
+}
+
+TEST(TxStreamTest, IncrementalPushesCoalesceIntoPackets) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  std::vector<uint64_t> deliveries;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool, SimTime) {
+    deliveries.push_back(b);
+  });
+  // 16 pushes of 100 B: no packet until 1024 B accumulate.
+  for (int i = 0; i < 16; ++i) tx->Push(100);
+  tx->Finish();
+  e.Run();
+  uint64_t total = 0;
+  for (uint64_t d : deliveries) total += d;
+  EXPECT_EQ(total, 1600u);
+  EXPECT_EQ(deliveries[0], 1024u);
+  EXPECT_EQ(deliveries.back(), 576u);
+}
+
+TEST(TxStreamTest, CreditWindowThrottles) {
+  // With a 1-packet window and a long ack latency, throughput is bounded by
+  // 1 packet per ack RTT, not by the link.
+  NetConfig cfg = SimpleConfig();
+  cfg.credit_window_packets = 1;
+  cfg.ack_latency = 10 * kMicrosecond;
+  sim::Engine e;
+  NetworkStack net(&e, cfg);
+  SimTime done = 0;
+  auto tx = net.OpenStream(1, [&](uint64_t, bool last, SimTime t) {
+    if (last) done = t;
+  });
+  tx->Push(10 * 1024);
+  tx->Finish();
+  e.Run();
+  // 10 packets, ~one per 10 µs ack cycle (the last needs no ack wait).
+  EXPECT_GT(done, 90 * kMicrosecond);
+  // Against line rate (~1 µs total) this is a 90× slowdown.
+}
+
+TEST(TxStreamTest, TwoStreamsShareLinkFairly) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  const uint64_t len = 1ull * kMiB;
+  SimTime done_a = 0, done_b = 0;
+  auto tx_a = net.OpenStream(1, [&](uint64_t, bool last, SimTime t) {
+    if (last) done_a = t;
+  });
+  auto tx_b = net.OpenStream(2, [&](uint64_t, bool last, SimTime t) {
+    if (last) done_b = t;
+  });
+  tx_a->Push(len);
+  tx_a->Finish();
+  tx_b->Push(len);
+  tx_b->Finish();
+  e.Run();
+  // Each gets ~half the link.
+  EXPECT_NEAR(AchievedGBps(len, done_a), 5.0, 0.4);
+  EXPECT_NEAR(AchievedGBps(len, done_b), 5.0, 0.4);
+}
+
+TEST(TxStreamTest, PushAfterFinishDies) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  auto tx = net.OpenStream(1, nullptr);
+  tx->Finish();
+  EXPECT_DEATH(tx->Push(10), "Push after Finish");
+}
+
+TEST(NetworkStackTest, StatsAccumulate) {
+  sim::Engine e;
+  NetworkStack net(&e, SimpleConfig());
+  auto tx = net.OpenStream(1, nullptr);
+  tx->Push(3000);
+  tx->Finish();
+  e.Run();
+  EXPECT_EQ(net.total_payload_bytes(), 3000u);
+  EXPECT_EQ(net.total_packets(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// RnicModel
+// ---------------------------------------------------------------------------
+
+TEST(RnicModelTest, ClosedFormMatchesSimulatedRead) {
+  NetConfig cfg;  // paper defaults
+  for (uint64_t bytes : {1024ull, 16384ull, 1048576ull}) {
+    sim::Engine e;
+    RnicModel rnic(&e, cfg);
+    SimTime done = 0;
+    rnic.Read(0, bytes, [&](SimTime t) { done = t; });
+    e.Run();
+    // The simulated path serves 4 KiB chunks, each rounded up to a whole
+    // picosecond, so it can exceed the closed form by up to 1 ps per chunk.
+    const SimTime tolerance = static_cast<SimTime>(bytes / 4096 + 2);
+    EXPECT_NEAR(static_cast<double>(done),
+                static_cast<double>(rnic.ReadResponseTime(bytes)),
+                static_cast<double>(tolerance))
+        << bytes;
+  }
+}
+
+TEST(RnicModelTest, PeaksNearElevenGBps) {
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  const uint64_t len = 64ull * kMiB;
+  const double gbps =
+      static_cast<double>(len) / ToSeconds(rnic.ReadResponseTime(len)) / 1e9;
+  EXPECT_NEAR(gbps, 11.0, 0.3);
+}
+
+TEST(RnicModelTest, SmallTransfersBeatFarviewBaseLatency) {
+  // Figure 6(b): the ASIC NIC wins on small transfers.
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  const SimTime fv_base = cfg.fv_request_latency + cfg.fv_delivery_latency;
+  EXPECT_LT(rnic.ReadResponseTime(1024), fv_base + TransferTime(
+      1024, cfg.link_rate_bytes_per_sec));
+}
+
+TEST(RnicModelTest, PageCostCappedAtWindow) {
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  // Marginal cost of one extra packet beyond the window excludes page cost.
+  const uint64_t big = 1024ull * static_cast<uint64_t>(cfg.rnic_page_window);
+  const SimTime t1 = rnic.ReadResponseTime(big);
+  const SimTime t2 = rnic.ReadResponseTime(big + 1024);
+  EXPECT_EQ(t2 - t1, TransferTime(1024, cfg.rnic_rate_bytes_per_sec));
+}
+
+TEST(RnicModelTest, ConcurrentReadsSharePipe) {
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  const uint64_t len = 8ull * kMiB;
+  SimTime a = 0, b = 0;
+  rnic.Read(1, len, [&](SimTime t) { a = t; });
+  rnic.Read(2, len, [&](SimTime t) { b = t; });
+  e.Run();
+  const SimTime solo = rnic.ReadResponseTime(len);
+  // Sharing roughly doubles each response time.
+  EXPECT_GT(a, solo + solo / 2);
+  EXPECT_GT(b, solo + solo / 2);
+}
+
+TEST(RnicModelTest, SendTwoSided) {
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  SimTime done = 0;
+  rnic.Send(0, 1024, [&](SimTime t) { done = t; });
+  e.Run();
+  EXPECT_EQ(done, cfg.rnic_request_latency +
+                      TransferTime(1024, cfg.rnic_rate_bytes_per_sec) +
+                      cfg.rnic_delivery_latency);
+}
+
+TEST(RnicModelTest, ZeroByteRead) {
+  NetConfig cfg;
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  SimTime done = 0;
+  rnic.Read(0, 0, [&](SimTime t) { done = t; });
+  e.Run();
+  EXPECT_GT(done, 0);  // still pays the base latencies
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 shape checks on paper defaults
+// ---------------------------------------------------------------------------
+
+SimTime FvReadTime(const NetConfig& cfg, uint64_t bytes) {
+  sim::Engine e;
+  NetworkStack net(&e, cfg);
+  SimTime issued = 0, done = 0;
+  net.DeliverRequest([&] {
+    issued = e.Now();
+    auto tx = net.OpenStream(1, [&](uint64_t, bool last, SimTime t) {
+      if (last) done = t;
+    });
+    tx->Push(bytes);
+    tx->Finish();
+  });
+  e.Run();
+  (void)issued;
+  return done;
+}
+
+TEST(Fig6ShapeTest, RnicWinsSmallFvWinsLarge) {
+  NetConfig cfg;  // paper defaults
+  sim::Engine e;
+  RnicModel rnic(&e, cfg);
+  // Small (1-4 kB): RNIC faster.
+  EXPECT_LT(rnic.ReadResponseTime(1024), FvReadTime(cfg, 1024));
+  EXPECT_LT(rnic.ReadResponseTime(4096), FvReadTime(cfg, 4096));
+  // Large (64 kB+): Farview faster by a solid margin.
+  const SimTime fv64k = FvReadTime(cfg, 64 * kKiB);
+  const SimTime rn64k = rnic.ReadResponseTime(64 * kKiB);
+  EXPECT_LT(fv64k, rn64k);
+  EXPECT_LT(static_cast<double>(fv64k), 0.8 * static_cast<double>(rn64k))
+      << "Farview should be at least 20% faster at 64 kB";
+}
+
+TEST(Fig6ShapeTest, FvPeakThroughputNearTwelveGBps) {
+  NetConfig cfg;
+  const uint64_t len = 16ull * kMiB;
+  const SimTime t = FvReadTime(cfg, len);
+  // Subtract the base latencies to get the streaming rate.
+  EXPECT_NEAR(AchievedGBps(len, t), 12.2, 0.4);
+}
+
+}  // namespace
+}  // namespace farview

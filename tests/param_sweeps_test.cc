@@ -1,0 +1,215 @@
+// Parameterized property sweeps across configuration spaces: DRAM channel
+// counts, packet sizes, cuckoo way counts, comparison operators, and tuple
+// widths. Each sweep asserts an invariant rather than a point value.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchlib/experiment.h"
+#include "common/rng.h"
+#include "hash/cuckoo_table.h"
+#include "mem/memory_controller.h"
+#include "net/network_stack.h"
+#include "operators/selection.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DRAM channels: aggregate sequential bandwidth scales linearly.
+// ---------------------------------------------------------------------------
+
+class ChannelSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelSweepTest, BandwidthScalesWithChannels) {
+  const int channels = GetParam();
+  DramConfig cfg;
+  cfg.num_channels = channels;
+  sim::Engine e;
+  MemoryController mc(&e, cfg);
+  const uint64_t len = 8ull * kMiB;
+  SimTime done = 0;
+  mc.StreamRead(0, 0, len, [&](uint64_t, bool last, SimTime t) {
+    if (last) done = t;
+  });
+  e.Run();
+  const double expected = cfg.EffectiveChannelRate() * channels / 1e9;
+  EXPECT_NEAR(AchievedGBps(len, done), expected, expected * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweepTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Packet size: throughput is monotone non-decreasing in packet size (per-
+// packet overhead amortizes), and every size delivers all bytes.
+// ---------------------------------------------------------------------------
+
+class PacketSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PacketSweepTest, DeliversAllBytesAtAnyPacketSize) {
+  NetConfig cfg;
+  cfg.packet_bytes = GetParam();
+  sim::Engine e;
+  NetworkStack net(&e, cfg);
+  uint64_t delivered = 0;
+  bool last_seen = false;
+  auto tx = net.OpenStream(1, [&](uint64_t b, bool last, SimTime) {
+    delivered += b;
+    last_seen |= last;
+  });
+  tx->Push(777777);  // deliberately not a packet multiple
+  tx->Finish();
+  e.Run();
+  EXPECT_EQ(delivered, 777777u);
+  EXPECT_TRUE(last_seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Packets, PacketSweepTest,
+                         ::testing::Values(64u, 256u, 1024u, 4096u, 9000u));
+
+// ---------------------------------------------------------------------------
+// Cuckoo ways: at fixed total slots and load, overflow rate is monotone
+// non-increasing in the number of ways, and all keys stay retrievable.
+// ---------------------------------------------------------------------------
+
+class CuckooWaySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CuckooWaySweepTest, AllKeysRetrievableAtSeventyPercentLoad) {
+  const int ways = GetParam();
+  const uint64_t total_slots = 1 << 12;
+  CuckooTable table(ways, total_slots / static_cast<uint64_t>(ways), 8, 8);
+  Rng rng(static_cast<uint64_t>(ways) * 97);
+  const uint64_t inserts = total_slots * 7 / 10;
+  std::set<uint64_t> keys;
+  while (keys.size() < inserts) keys.insert(rng.Next());
+  for (uint64_t k : keys) {
+    uint8_t key[8];
+    StoreLE64(key, k);
+    uint8_t* payload = nullptr;
+    table.Upsert(key, &payload);
+    StoreLE64(payload, k ^ 0xabcdef);
+  }
+  EXPECT_EQ(table.size() + table.overflow_size(), inserts);
+  for (uint64_t k : keys) {
+    uint8_t key[8];
+    StoreLE64(key, k);
+    const uint8_t* p = table.Lookup(key);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(LoadLE64(p), k ^ 0xabcdef);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CuckooWaySweepTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(CuckooWaySweepTest, OverflowRateMonotoneInWays) {
+  const uint64_t total_slots = 1 << 12;
+  const uint64_t inserts = total_slots * 8 / 10;
+  uint64_t previous_overflow = UINT64_MAX;
+  for (int ways : {1, 2, 4, 8}) {
+    CuckooTable table(ways, total_slots / static_cast<uint64_t>(ways), 8, 0);
+    Rng rng(123);
+    for (uint64_t i = 0; i < inserts; ++i) {
+      uint8_t key[8];
+      StoreLE64(key, rng.Next());
+      table.Upsert(key, nullptr);
+    }
+    EXPECT_LE(table.overflow_size(), previous_overflow) << ways << " ways";
+    previous_overflow = table.overflow_size();
+  }
+  EXPECT_EQ(previous_overflow, 0u);  // 8 ways at 80% load never overflows
+}
+
+// ---------------------------------------------------------------------------
+// Comparison operators: selection agrees with a naive filter for every op.
+// ---------------------------------------------------------------------------
+
+class CompareOpSweepTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(CompareOpSweepTest, SelectionMatchesNaiveFilter) {
+  const CompareOp op = GetParam();
+  const Schema s = Schema::DefaultWideRow(2);
+  TableGenerator gen(static_cast<uint64_t>(op) + 5);
+  Result<Table> t = gen.Uniform(s, 3000, 20);
+  ASSERT_TRUE(t.ok());
+  const Predicate pred = Predicate::Int(0, op, 10);
+  Result<OperatorPtr> sel =
+      SelectionOp::Create(s, PredicateList({pred}));
+  ASSERT_TRUE(sel.ok());
+  Batch in = Batch::Empty(&s);
+  in.data = t.value().bytes();
+  in.num_rows = t.value().num_rows();
+  Result<Batch> out = sel.value()->Process(std::move(in));
+  ASSERT_TRUE(out.ok());
+  uint64_t expected = 0;
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    if (pred.Eval(t.value().Row(r))) ++expected;
+  }
+  EXPECT_EQ(out.value().num_rows, expected);
+  EXPECT_GT(expected, 0u);
+  EXPECT_LT(expected, t.value().num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, CompareOpSweepTest,
+                         ::testing::Values(CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe,
+                                           CompareOp::kEq, CompareOp::kNe));
+
+// ---------------------------------------------------------------------------
+// Tuple widths: the full offload path round-trips tables of any width and
+// the response stays network- or pipe-bound accordingly.
+// ---------------------------------------------------------------------------
+
+class TupleWidthSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TupleWidthSweepTest, FullReadRoundTripsAnyWidth) {
+  const int cols = GetParam();
+  bench::FvFixture fx;
+  const Schema schema = Schema::DefaultWideRow(cols);
+  TableGenerator gen(static_cast<uint64_t>(cols));
+  const uint64_t rows = (1 * kMiB) / schema.tuple_width();
+  Result<Table> t = gen.Uniform(schema, rows, 100);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  Result<FvResult> r = fx.client().TableRead(ft);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data, t.value().bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TupleWidthSweepTest,
+                         ::testing::Values(1, 2, 8, 16, 64));
+
+// ---------------------------------------------------------------------------
+// Selectivity sweep: Farview response time is monotone non-increasing as
+// selectivity drops (less data crosses the network), while results stay
+// correct.
+// ---------------------------------------------------------------------------
+
+class SelectivitySweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SelectivitySweepTest, OffloadMatchesOracleAtEverySelectivity) {
+  const int64_t threshold = GetParam();
+  bench::FvFixture fx;
+  TableGenerator gen(31);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 30000, 100);
+  ASSERT_TRUE(t.ok());
+  const FTable ft = fx.Upload("t", t.value());
+  Result<FvResult> r = fx.client().FvSelect(
+      ft, {Predicate::Int(0, CompareOp::kLt, threshold)});
+  ASSERT_TRUE(r.ok());
+  uint64_t expected = 0;
+  for (uint64_t row = 0; row < t.value().num_rows(); ++row) {
+    if (t.value().GetInt64(row, 0) < threshold) ++expected;
+  }
+  EXPECT_EQ(r.value().rows, expected);
+  EXPECT_EQ(r.value().bytes_on_wire, expected * 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectivitySweepTest,
+                         ::testing::Values(0, 1, 10, 25, 50, 75, 100));
+
+}  // namespace
+}  // namespace farview

@@ -1,0 +1,273 @@
+// Unit tests for the discrete-event engine, the fair-share bandwidth server
+// and the statistics accumulator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/server.h"
+#include "sim/stats.h"
+
+namespace farview::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(30, [&] { order.push_back(3); });
+  e.ScheduleAt(10, [&] { order.push_back(1); });
+  e.ScheduleAt(20, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), 30);
+  EXPECT_EQ(e.executed_events(), 3u);
+}
+
+TEST(EngineTest, FifoForSimultaneousEvents) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, CallbackSchedulesMore) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count < 5) e.ScheduleAfter(10, tick);
+  };
+  e.ScheduleAfter(0, tick);
+  e.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.Now(), 40);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(10, [&] { ++fired; });
+  e.ScheduleAt(20, [&] { ++fired; });
+  e.ScheduleAt(30, [&] { ++fired; });
+  EXPECT_FALSE(e.RunUntil(25));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.Now(), 25);
+  EXPECT_TRUE(e.RunUntil(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, ResetClearsState) {
+  Engine e;
+  e.ScheduleAt(10, [] {});
+  e.Reset();
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_EQ(e.Now(), 0);
+  e.Run();
+  EXPECT_EQ(e.executed_events(), 0u);
+}
+
+TEST(EngineDeathTest, SchedulingInThePastDies) {
+  Engine e;
+  e.ScheduleAt(100, [] {});
+  e.Run();
+  EXPECT_DEATH(e.ScheduleAt(50, [] {}), "scheduled in the past");
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, SingleItemServiceTime) {
+  Engine e;
+  Server s(&e, "link", /*rate=*/1e9);  // 1 GB/s → 1 ns per byte
+  SimTime done = -1;
+  s.Submit(0, 1000, [&](SimTime t) { done = t; });
+  e.Run();
+  EXPECT_EQ(done, 1000 * kNanosecond);
+  EXPECT_EQ(s.total_bytes_served(), 1000u);
+  EXPECT_EQ(s.items_served(), 1u);
+}
+
+TEST(ServerTest, FixedOverheadCharged) {
+  Engine e;
+  Server s(&e, "link", 1e9, /*fixed_overhead=*/5 * kNanosecond);
+  SimTime done = -1;
+  s.Submit(0, 10, [&](SimTime t) { done = t; });
+  e.Run();
+  EXPECT_EQ(done, 15 * kNanosecond);
+}
+
+TEST(ServerTest, ExtraOverheadPerItem) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  SimTime done = -1;
+  s.Submit(0, 10, /*extra_overhead=*/90 * kNanosecond,
+           [&](SimTime t) { done = t; });
+  e.Run();
+  EXPECT_EQ(done, 100 * kNanosecond);
+}
+
+TEST(ServerTest, SameFlowIsFifo) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  std::vector<int> order;
+  s.Submit(0, 100, [&](SimTime) { order.push_back(1); });
+  s.Submit(0, 100, [&](SimTime) { order.push_back(2); });
+  s.Submit(0, 100, [&](SimTime) { order.push_back(3); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), 300 * kNanosecond);
+}
+
+TEST(ServerTest, RoundRobinBetweenFlows) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  std::vector<int> order;
+  // A dummy item occupies the server while both flows queue two items each;
+  // once it completes, service alternates between the flows.
+  s.Submit(99, 100, [&](SimTime) { order.push_back(99); });
+  s.Submit(0, 100, [&](SimTime) { order.push_back(0); });
+  s.Submit(0, 100, [&](SimTime) { order.push_back(0); });
+  s.Submit(1, 100, [&](SimTime) { order.push_back(1); });
+  s.Submit(1, 100, [&](SimTime) { order.push_back(1); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{99, 0, 1, 0, 1}));
+}
+
+TEST(ServerTest, FairSharingSplitsBandwidth) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  // Two flows submit 10 items of 100 B each; both finish at ~ the same time
+  // and the total equals serialized service of 2000 B.
+  SimTime done0 = 0, done1 = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.Submit(0, 100, [&](SimTime t) { done0 = t; });
+    s.Submit(1, 100, [&](SimTime t) { done1 = t; });
+  }
+  e.Run();
+  EXPECT_EQ(e.Now(), 2000 * kNanosecond);
+  // Interleaved: the two last completions are within one item of each other.
+  EXPECT_NEAR(static_cast<double>(done0), static_cast<double>(done1),
+              static_cast<double>(100 * kNanosecond));
+}
+
+TEST(ServerTest, LateFlowJoinsRotation) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    s.Submit(0, 100, [&](SimTime) { order.push_back(0); });
+  }
+  // Flow 1 arrives while flow 0 is in service; it should not wait for all
+  // of flow 0's queue.
+  e.ScheduleAt(50 * kNanosecond, [&] {
+    s.Submit(1, 100, [&](SimTime) { order.push_back(1); });
+  });
+  e.Run();
+  ASSERT_EQ(order.size(), 5u);
+  // Flow 1's single item is interleaved into flow 0's queue rather than
+  // waiting for all of it: it completes third at the latest.
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(ServerTest, UtilizationAndBusyTime) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  s.Submit(0, 1000, nullptr);
+  e.Run();
+  EXPECT_EQ(s.busy_time(), 1000 * kNanosecond);
+  EXPECT_DOUBLE_EQ(s.Utilization(), 1.0);
+}
+
+TEST(ServerTest, NullCallbackAllowed) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  s.Submit(0, 10, nullptr);
+  e.Run();
+  EXPECT_EQ(s.items_served(), 1u);
+}
+
+TEST(ServerTest, QueueDepthTracksPending) {
+  Engine e;
+  Server s(&e, "link", 1e9);
+  s.Submit(0, 100, nullptr);
+  s.Submit(0, 100, nullptr);
+  EXPECT_EQ(s.QueueDepth(), 2u);
+  e.Run();
+  EXPECT_EQ(s.QueueDepth(), 0u);
+}
+
+// Submitting from within a completion callback must work (tandem queues).
+TEST(ServerTest, ResubmitFromCallback) {
+  Engine e;
+  Server a(&e, "stage_a", 1e9);
+  Server b(&e, "stage_b", 0.5e9);
+  SimTime done = 0;
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    a.Submit(0, 100, [&](SimTime) {
+      b.Submit(0, 100, [&](SimTime t) {
+        done = t;
+        ++completed;
+      });
+    });
+  }
+  e.Run();
+  EXPECT_EQ(completed, 4);
+  // Stage B is the bottleneck: 4 × 200 ns, plus stage A's first 100 ns.
+  EXPECT_EQ(done, 900 * kNanosecond);
+}
+
+// ---------------------------------------------------------------------------
+// SampleStats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, EmptyIsZero) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Median(), 0.0);
+  EXPECT_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(StatsTest, MeanMedianMinMax) {
+  SampleStats s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+}
+
+TEST(StatsTest, PercentileNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(StatsTest, StdDev) {
+  SampleStats s;
+  s.Add(2.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 1.0);
+}
+
+TEST(StatsTest, MedianUnaffectedByInsertionOrder) {
+  SampleStats a, b;
+  for (double v : {9.0, 1.0, 5.0}) a.Add(v);
+  for (double v : {1.0, 5.0, 9.0}) b.Add(v);
+  EXPECT_DOUBLE_EQ(a.Median(), b.Median());
+}
+
+}  // namespace
+}  // namespace farview::sim

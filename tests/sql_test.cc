@@ -1,0 +1,412 @@
+// Tests for the SQL front-end: lexer, parser, LIKE translation, binder, and
+// end-to-end execution through a Farview node.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/engines.h"
+#include "benchlib/experiment.h"
+#include "sql/compiler.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "table/generator.h"
+
+namespace farview::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  Result<std::vector<Token>> r = Tokenize("select FROM Where gRoUp");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 5u);  // 4 keywords + end
+  EXPECT_TRUE(r.value()[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(r.value()[1].IsKeyword("FROM"));
+  EXPECT_TRUE(r.value()[2].IsKeyword("WHERE"));
+  EXPECT_TRUE(r.value()[3].IsKeyword("GROUP"));
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  Result<std::vector<Token>> r = Tokenize("MyTable my_col _x9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].text, "MyTable");
+  EXPECT_EQ(r.value()[1].text, "my_col");
+  EXPECT_EQ(r.value()[2].text, "_x9");
+  EXPECT_EQ(r.value()[0].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, NumericLiterals) {
+  Result<std::vector<Token>> r = Tokenize("42 -7 3.14 -0.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].int_value, 42);
+  EXPECT_EQ(r.value()[1].int_value, -7);
+  EXPECT_DOUBLE_EQ(r.value()[2].real_value, 3.14);
+  EXPECT_DOUBLE_EQ(r.value()[3].real_value, -0.5);
+}
+
+TEST(LexerTest, IntegerOverflowRejected) {
+  EXPECT_FALSE(Tokenize("99999999999999999999").ok());
+  Result<std::vector<Token>> min = Tokenize("-9223372036854775808");
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min.value()[0].int_value, INT64_MIN);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  Result<std::vector<Token>> r = Tokenize("'abc' 'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(r.value()[0].text, "abc");
+  EXPECT_EQ(r.value()[1].text, "it's");
+}
+
+TEST(LexerTest, OperatorsAndSymbols) {
+  Result<std::vector<Token>> r = Tokenize("< <= > >= = <> != * , ( ) ;");
+  ASSERT_TRUE(r.ok());
+  const char* expected[] = {"<", "<=", ">", ">=", "=", "<>", "!=",
+                            "*", ",",  "(", ")",  ";"};
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(r.value()[i].IsSymbol(expected[i])) << i;
+  }
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("1.2.3").ok());
+  EXPECT_FALSE(Tokenize("price @ 4").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SelectStar) {
+  Result<SelectStatement> r = ParseSelect("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().select_star);
+  EXPECT_EQ(r.value().table, "t");
+  EXPECT_FALSE(r.value().distinct);
+  EXPECT_TRUE(r.value().where.empty());
+}
+
+TEST(ParserTest, ColumnsAndAliases) {
+  Result<SelectStatement> r = ParseSelect("SELECT a, b AS bee, c FROM t;");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().items.size(), 3u);
+  EXPECT_EQ(r.value().items[0].column, "a");
+  EXPECT_EQ(r.value().items[1].alias, "bee");
+}
+
+TEST(ParserTest, WhereConjunction) {
+  Result<SelectStatement> r = ParseSelect(
+      "SELECT * FROM s WHERE a < 50 AND b >= 3 AND c <> 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().where.size(), 3u);
+  EXPECT_EQ(r.value().where[0].op, CompareOp::kLt);
+  EXPECT_EQ(r.value().where[1].op, CompareOp::kGe);
+  EXPECT_EQ(r.value().where[2].op, CompareOp::kNe);
+  EXPECT_EQ(r.value().where[2].int_value, 7);
+}
+
+TEST(ParserTest, RealPredicate) {
+  // The paper's example: SELECT S.a FROM S WHERE S.c > 3.14 (without the
+  // qualifier; single-table queries need none).
+  Result<SelectStatement> r = ParseSelect("SELECT a FROM S WHERE c > 3.14");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().where[0].is_real);
+  EXPECT_DOUBLE_EQ(r.value().where[0].real_value, 3.14);
+}
+
+TEST(ParserTest, DistinctAndGroupBy) {
+  Result<SelectStatement> d = ParseSelect("SELECT DISTINCT a, b FROM t");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().distinct);
+  ASSERT_EQ(d.value().items.size(), 2u);
+
+  Result<SelectStatement> g = ParseSelect(
+      "SELECT b, COUNT(*), SUM(c) FROM t GROUP BY b");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g.value().group_by.size(), 1u);
+  EXPECT_EQ(g.value().group_by[0], "b");
+  ASSERT_EQ(g.value().items.size(), 3u);
+  EXPECT_FALSE(g.value().items[0].is_aggregate());
+  EXPECT_EQ(*g.value().items[1].aggregate, AggKind::kCount);
+  EXPECT_EQ(*g.value().items[2].aggregate, AggKind::kSum);
+  EXPECT_EQ(g.value().items[2].column, "c");
+}
+
+TEST(ParserTest, LikeAndRegexp) {
+  Result<SelectStatement> l =
+      ParseSelect("SELECT * FROM t WHERE s LIKE '%abc%'");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value().where[0].kind, WhereClause::Kind::kLike);
+  EXPECT_EQ(l.value().where[0].pattern, "%abc%");
+
+  Result<SelectStatement> x =
+      ParseSelect("SELECT * FROM t WHERE s REGEXP 'x[qz]+'");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value().where[0].kind, WhereClause::Kind::kRegexp);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a < 'str'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a < 1 OR b < 2").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t GROUP BY").ok());
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra junk").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a BETWEEN 1 AND 2").ok());
+}
+
+// ---------------------------------------------------------------------------
+// LIKE → regex translation
+// ---------------------------------------------------------------------------
+
+TEST(LikeToRegexTest, Wildcards) {
+  EXPECT_EQ(LikeToRegex("%abc%"), ".*abc.*");
+  EXPECT_EQ(LikeToRegex("a_c"), "a.c");
+  EXPECT_EQ(LikeToRegex("abc"), "abc");
+}
+
+TEST(LikeToRegexTest, EscapesMetacharacters) {
+  EXPECT_EQ(LikeToRegex("a.b"), "a\\.b");
+  EXPECT_EQ(LikeToRegex("(x)*"), "\\(x\\)\\*");
+  EXPECT_EQ(LikeToRegex("a|b"), "a\\|b");
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() {
+    Result<Schema> s = Schema::Create({
+        {"id", DataType::kInt64, 8},
+        {"price", DataType::kDouble, 8},
+        {"qty", DataType::kInt64, 8},
+        {"name", DataType::kChar, 32},
+    });
+    schema_ = std::move(s).value();
+  }
+  Schema schema_;
+};
+
+TEST_F(BinderTest, ProjectionAndPredicates) {
+  Result<QuerySpec> q = CompileSql(
+      "SELECT id, qty FROM t WHERE id < 100 AND price > 9.5", schema_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().projection, (std::vector<int>{0, 2}));
+  ASSERT_EQ(q.value().predicates.size(), 2u);
+  EXPECT_FALSE(q.value().predicates[0].is_real());
+  EXPECT_TRUE(q.value().predicates[1].is_real());
+}
+
+TEST_F(BinderTest, IntLiteralOnDoubleColumnPromotes) {
+  Result<QuerySpec> q =
+      CompileSql("SELECT * FROM t WHERE price >= 10", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().predicates[0].is_real());
+  EXPECT_DOUBLE_EQ(q.value().predicates[0].real_value(), 10.0);
+}
+
+TEST_F(BinderTest, RealLiteralOnIntColumnRejected) {
+  EXPECT_FALSE(CompileSql("SELECT * FROM t WHERE id < 1.5", schema_).ok());
+}
+
+TEST_F(BinderTest, UnknownColumnRejected) {
+  EXPECT_FALSE(CompileSql("SELECT nope FROM t", schema_).ok());
+  EXPECT_FALSE(CompileSql("SELECT * FROM t WHERE nope < 1", schema_).ok());
+}
+
+TEST_F(BinderTest, LikeBindsAnchoredRegex) {
+  Result<QuerySpec> q =
+      CompileSql("SELECT * FROM t WHERE name LIKE 'ab%'", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().regex_column, 3);
+  EXPECT_EQ(q.value().regex_pattern, "ab.*");
+  EXPECT_TRUE(q.value().regex_full_match);
+}
+
+TEST_F(BinderTest, RegexpBindsUnanchored) {
+  Result<QuerySpec> q =
+      CompileSql("SELECT * FROM t WHERE name REGEXP 'x+'", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q.value().regex_full_match);
+}
+
+TEST_F(BinderTest, LikeOnNumericRejected) {
+  EXPECT_FALSE(
+      CompileSql("SELECT * FROM t WHERE id LIKE 'x'", schema_).ok());
+}
+
+TEST_F(BinderTest, TwoRegexClausesRejected) {
+  EXPECT_FALSE(CompileSql(
+      "SELECT * FROM t WHERE name LIKE 'a%' AND name REGEXP 'b'",
+      schema_).ok());
+}
+
+TEST_F(BinderTest, DistinctBindsKeys) {
+  Result<QuerySpec> q = CompileSql("SELECT DISTINCT qty, id FROM t", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().distinct_keys, (std::vector<int>{2, 0}));
+  EXPECT_TRUE(q.value().projection.empty());
+}
+
+TEST_F(BinderTest, GroupByBinds) {
+  Result<QuerySpec> q = CompileSql(
+      "SELECT qty, COUNT(*), SUM(id), AVG(id) FROM t GROUP BY qty", schema_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().group_keys, (std::vector<int>{2}));
+  ASSERT_EQ(q.value().aggregates.size(), 3u);
+  EXPECT_EQ(q.value().aggregates[0].kind, AggKind::kCount);
+  EXPECT_EQ(q.value().aggregates[1].kind, AggKind::kSum);
+  EXPECT_EQ(q.value().aggregates[1].col, 0);
+}
+
+TEST_F(BinderTest, GroupByMismatchRejected) {
+  // Bare item not in GROUP BY.
+  EXPECT_FALSE(CompileSql(
+      "SELECT id, COUNT(*) FROM t GROUP BY qty", schema_).ok());
+  // GROUP BY without aggregates.
+  EXPECT_FALSE(CompileSql("SELECT qty FROM t GROUP BY qty", schema_).ok());
+  // Aggregates before keys.
+  EXPECT_FALSE(CompileSql(
+      "SELECT COUNT(*), qty FROM t GROUP BY qty", schema_).ok());
+}
+
+TEST_F(BinderTest, StandaloneAggregates) {
+  Result<QuerySpec> q =
+      CompileSql("SELECT COUNT(*), MIN(id), MAX(id) FROM t", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().group_keys.empty());
+  EXPECT_EQ(q.value().aggregates.size(), 3u);
+}
+
+TEST_F(BinderTest, MixedBareAndAggregateWithoutGroupByRejected) {
+  EXPECT_FALSE(CompileSql("SELECT id, COUNT(*) FROM t", schema_).ok());
+}
+
+TEST_F(BinderTest, DistinctStar) {
+  Result<QuerySpec> q = CompileSql("SELECT DISTINCT * FROM t", schema_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().distinct_keys.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end SQL over Farview
+// ---------------------------------------------------------------------------
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  SqlSessionTest() : session_(&fx_.client()) {
+    TableGenerator gen(77);
+    Result<Table> t =
+        gen.WithDistinct(Schema::DefaultWideRow(), 5000, 1, 32, 100);
+    EXPECT_TRUE(t.ok());
+    data_.emplace(std::move(t).value());
+    ft_ = fx_.Upload("t", *data_);
+  }
+
+  bench::FvFixture fx_;
+  SqlSession session_;
+  std::optional<Table> data_;
+  FTable ft_;
+};
+
+TEST_F(SqlSessionTest, SelectWhereMatchesOracle) {
+  Result<SqlSession::QueryResult> r =
+      session_.Execute("SELECT * FROM t WHERE a0 < 40");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  uint64_t expected = 0;
+  for (uint64_t row = 0; row < data_->num_rows(); ++row) {
+    if (data_->GetInt64(row, 0) < 40) ++expected;
+  }
+  EXPECT_EQ(r.value().rows.num_rows(), expected);
+  // Baseline executes the same compiled spec: byte-identical.
+  Result<QuerySpec> spec = session_.Compile("SELECT * FROM t WHERE a0 < 40");
+  ASSERT_TRUE(spec.ok());
+  LocalEngine lcpu;
+  Result<BaselineResult> l = lcpu.Execute(*data_, spec.value());
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(r.value().rows.bytes(), l.value().data);
+}
+
+TEST_F(SqlSessionTest, ProjectionSchemaNamed) {
+  Result<SqlSession::QueryResult> r =
+      session_.Execute("SELECT a3, a1 FROM t WHERE a0 = 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema.num_columns(), 2);
+  EXPECT_EQ(r.value().schema.column(0).name, "a3");
+  EXPECT_EQ(r.value().schema.column(1).name, "a1");
+}
+
+TEST_F(SqlSessionTest, GroupByAggregation) {
+  Result<SqlSession::QueryResult> r = session_.Execute(
+      "SELECT a1, COUNT(*), SUM(a2) FROM t GROUP BY a1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.num_rows(), 32u);
+  std::map<int64_t, std::pair<int64_t, int64_t>> ref;
+  for (uint64_t row = 0; row < data_->num_rows(); ++row) {
+    auto& [count, sum] = ref[data_->GetInt64(row, 1)];
+    ++count;
+    sum += data_->GetInt64(row, 2);
+  }
+  for (uint64_t g = 0; g < r.value().rows.num_rows(); ++g) {
+    const int64_t key = r.value().rows.GetInt64(g, 0);
+    EXPECT_EQ(r.value().rows.GetInt64(g, 1), ref[key].first);
+    EXPECT_EQ(r.value().rows.GetInt64(g, 2), ref[key].second);
+  }
+}
+
+TEST_F(SqlSessionTest, DistinctQuery) {
+  Result<SqlSession::QueryResult> r =
+      session_.Execute("SELECT DISTINCT a1 FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.num_rows(), 32u);
+}
+
+TEST_F(SqlSessionTest, UnknownTableFails) {
+  Result<SqlSession::QueryResult> r =
+      session_.Execute("SELECT * FROM missing");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, LikeQueryOverStrings) {
+  TableGenerator gen(5);
+  Result<Table> strings = gen.Strings(2000, 32, "xq", 0.5);
+  ASSERT_TRUE(strings.ok());
+  const FTable sft = fx_.Upload("names", strings.value());
+  Result<SqlSession::QueryResult> r =
+      session_.Execute("SELECT * FROM names WHERE s0 LIKE '%xq%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(static_cast<double>(r.value().rows.num_rows()) / 2000.0, 0.5,
+              0.05);
+  // Every returned string contains the needle.
+  for (uint64_t row = 0; row < r.value().rows.num_rows(); ++row) {
+    const std::string_view sv(
+        reinterpret_cast<const char*>(r.value().rows.Row(row).ColumnData(0)),
+        32);
+    EXPECT_NE(sv.find("xq"), std::string_view::npos);
+  }
+}
+
+TEST_F(SqlSessionTest, CompileOnlyDoesNotTouchTheRegion) {
+  const uint64_t before =
+      fx_.node().region(fx_.client().qp()->region_id).requests_served();
+  Result<QuerySpec> q = session_.Compile("SELECT * FROM t WHERE a0 < 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(
+      fx_.node().region(fx_.client().qp()->region_id).requests_served(),
+      before);
+}
+
+}  // namespace
+}  // namespace farview::sql

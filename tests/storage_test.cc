@@ -1,0 +1,322 @@
+// Tests for the persistent-storage tier and the buffer-pool cache manager
+// (the paper's future-work "cache management strategies").
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "benchlib/experiment.h"
+#include "storage/buffer_pool.h"
+#include "storage/eviction.h"
+#include "storage/storage_node.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StorageNode
+// ---------------------------------------------------------------------------
+
+TEST(StorageNodeTest, PutReadRoundTrip) {
+  sim::Engine e;
+  StorageNode storage(&e);
+  ByteBuffer data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  storage.PutExtent("t", data);
+  EXPECT_TRUE(storage.HasExtent("t"));
+  EXPECT_EQ(storage.ExtentSize("t"), 1000u);
+
+  std::optional<ByteBuffer> out;
+  storage.ReadExtent(1, "t", [&](Result<ByteBuffer> r, SimTime) {
+    ASSERT_TRUE(r.ok());
+    out.emplace(std::move(r).value());
+  });
+  e.Run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(StorageNodeTest, MissingExtentFails) {
+  sim::Engine e;
+  StorageNode storage(&e);
+  bool failed = false;
+  storage.ReadExtent(1, "ghost", [&](Result<ByteBuffer> r, SimTime) {
+    failed = r.status().IsNotFound();
+  });
+  e.Run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(StorageNodeTest, ReadTimingMatchesRate) {
+  StorageConfig cfg;
+  cfg.read_rate_bytes_per_sec = 1e9;  // 1 GB/s
+  cfg.io_latency = 100 * kMicrosecond;
+  sim::Engine e;
+  StorageNode storage(&e, cfg);
+  storage.PutExtent("t", ByteBuffer(10 * kMiB));
+  SimTime done = 0;
+  storage.ReadExtent(1, "t", [&](Result<ByteBuffer> r, SimTime t) {
+    ASSERT_TRUE(r.ok());
+    done = t;
+  });
+  e.Run();
+  // 10 MiB at 1 GB/s ≈ 10.49 ms + 0.1 ms latency.
+  EXPECT_NEAR(ToMillis(done), 10.59, 0.05);
+}
+
+TEST(StorageNodeTest, WriteThenReadBack) {
+  sim::Engine e;
+  StorageNode storage(&e);
+  bool wrote = false;
+  storage.WriteExtent(1, "t", ByteBuffer(64, 0xaa), [&](Status s, SimTime) {
+    wrote = s.ok();
+  });
+  e.Run();
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(storage.ExtentSize("t"), 64u);
+  EXPECT_EQ(storage.bytes_written(), 64u);
+}
+
+TEST(StorageNodeTest, ConcurrentReadsShareFairly) {
+  StorageConfig cfg;
+  cfg.read_rate_bytes_per_sec = 1e9;
+  cfg.io_latency = 0;
+  sim::Engine e;
+  StorageNode storage(&e, cfg);
+  storage.PutExtent("a", ByteBuffer(4 * kMiB));
+  storage.PutExtent("b", ByteBuffer(4 * kMiB));
+  SimTime ta = 0, tb = 0;
+  storage.ReadExtent(1, "a", [&](Result<ByteBuffer>, SimTime t) { ta = t; });
+  storage.ReadExtent(2, "b", [&](Result<ByteBuffer>, SimTime t) { tb = t; });
+  e.Run();
+  EXPECT_NEAR(static_cast<double>(ta), static_cast<double>(tb),
+              static_cast<double>(kMillisecond));
+}
+
+// ---------------------------------------------------------------------------
+// Eviction policies (pure)
+// ---------------------------------------------------------------------------
+
+TEST(EvictionTest, LruEvictsColdest) {
+  LruPolicy lru;
+  lru.OnAdmit("a");
+  lru.OnAdmit("b");
+  lru.OnAdmit("c");
+  lru.OnAccess("a");  // a hottest; b coldest
+  Result<std::string> victim = lru.ChooseVictim({});
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim.value(), "b");
+}
+
+TEST(EvictionTest, LruRespectsPins) {
+  LruPolicy lru;
+  lru.OnAdmit("a");
+  lru.OnAdmit("b");
+  Result<std::string> victim = lru.ChooseVictim({"a"});
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim.value(), "b");
+  EXPECT_TRUE(lru.ChooseVictim({"a", "b"}).status().IsUnavailable());
+}
+
+TEST(EvictionTest, FifoIgnoresAccesses) {
+  FifoPolicy fifo;
+  fifo.OnAdmit("a");
+  fifo.OnAdmit("b");
+  fifo.OnAccess("a");  // ignored
+  Result<std::string> victim = fifo.ChooseVictim({});
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim.value(), "a");
+}
+
+TEST(EvictionTest, ClockGivesSecondChance) {
+  ClockPolicy clock;
+  clock.OnAdmit("a");
+  clock.OnAdmit("b");
+  clock.OnAdmit("c");
+  clock.OnAccess("b");
+  // First sweep clears reference bits; the first entry encountered without
+  // a bit becomes the victim. "b" survives its first pass.
+  Result<std::string> v1 = clock.ChooseVictim({});
+  ASSERT_TRUE(v1.ok());
+  EXPECT_NE(v1.value(), "b");
+}
+
+TEST(EvictionTest, ClockHandlesRemovals) {
+  ClockPolicy clock;
+  clock.OnAdmit("a");
+  clock.OnAdmit("b");
+  clock.OnRemove("a");
+  Result<std::string> v = clock.ChooseVictim({});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "b");
+  clock.OnRemove("b");
+  EXPECT_FALSE(clock.ChooseVictim({}).ok());
+}
+
+TEST(EvictionTest, Factory) {
+  EXPECT_EQ(MakeEvictionPolicy("lru").value()->name(), "lru");
+  EXPECT_EQ(MakeEvictionPolicy("fifo").value()->name(), "fifo");
+  EXPECT_EQ(MakeEvictionPolicy("clock").value()->name(), "clock");
+  EXPECT_FALSE(MakeEvictionPolicy("arc").ok());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPoolManager end to end
+// ---------------------------------------------------------------------------
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : storage_(&fx_.engine()) {
+    // Three 1 MiB tables in storage.
+    schema_ = Schema::DefaultWideRow();
+    for (const char* name : {"t1", "t2", "t3"}) {
+      TableGenerator gen(static_cast<uint64_t>(name[1]));
+      Result<Table> t = gen.Uniform(schema_, (1 * kMiB) / 64, 100);
+      EXPECT_TRUE(t.ok());
+      storage_.PutExtent(name, t.value().bytes());
+    }
+  }
+
+  std::unique_ptr<BufferPoolManager> MakePool(uint64_t capacity,
+                                              const std::string& policy) {
+    auto p = MakeEvictionPolicy(policy);
+    EXPECT_TRUE(p.ok());
+    auto pool = std::make_unique<BufferPoolManager>(
+        &fx_.client(), &storage_, capacity, std::move(p).value());
+    for (const char* name : {"t1", "t2", "t3"}) {
+      EXPECT_TRUE(pool->RegisterTable(name, schema_).ok());
+    }
+    return pool;
+  }
+
+  bench::FvFixture fx_;
+  StorageNode storage_;
+  Schema schema_;
+};
+
+TEST_F(BufferPoolTest, MissLoadsThenHit) {
+  auto pool = MakePool(3 * kMiB, "lru");
+  Result<FTable> ft = pool->Pin("t1");
+  ASSERT_TRUE(ft.ok()) << ft.status().ToString();
+  EXPECT_EQ(pool->misses(), 1u);
+  EXPECT_EQ(pool->hits(), 0u);
+  EXPECT_GT(pool->load_time(), 0);
+  ASSERT_TRUE(pool->Unpin("t1").ok());
+  // Second pin: hit, no extra load time.
+  const SimTime load_before = pool->load_time();
+  Result<FTable> again = pool->Pin("t1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool->hits(), 1u);
+  EXPECT_EQ(pool->load_time(), load_before);
+  EXPECT_EQ(again.value().vaddr, ft.value().vaddr);
+}
+
+TEST_F(BufferPoolTest, PinnedDataIsQueryable) {
+  auto pool = MakePool(3 * kMiB, "lru");
+  Result<FTable> ft = pool->Pin("t2");
+  ASSERT_TRUE(ft.ok());
+  Result<FvResult> r = fx_.client().FvSelect(
+      ft.value(), {Predicate::Int(0, CompareOp::kLt, 10)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().rows, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictionUnderPressure) {
+  auto pool = MakePool(2 * kMiB, "lru");  // fits two of three tables
+  ASSERT_TRUE(pool->Pin("t1").ok());
+  ASSERT_TRUE(pool->Unpin("t1").ok());
+  ASSERT_TRUE(pool->Pin("t2").ok());
+  ASSERT_TRUE(pool->Unpin("t2").ok());
+  EXPECT_TRUE(pool->IsResident("t1"));
+  EXPECT_TRUE(pool->IsResident("t2"));
+  // Loading t3 must evict t1 (the LRU victim).
+  ASSERT_TRUE(pool->Pin("t3").ok());
+  EXPECT_FALSE(pool->IsResident("t1"));
+  EXPECT_TRUE(pool->IsResident("t2"));
+  EXPECT_EQ(pool->evictions(), 1u);
+  EXPECT_LE(pool->used_bytes(), pool->capacity_bytes());
+}
+
+TEST_F(BufferPoolTest, PinsBlockEviction) {
+  auto pool = MakePool(2 * kMiB, "lru");
+  ASSERT_TRUE(pool->Pin("t1").ok());  // stays pinned
+  ASSERT_TRUE(pool->Pin("t2").ok());
+  ASSERT_TRUE(pool->Unpin("t2").ok());
+  // t3 needs room: only t2 is evictable.
+  ASSERT_TRUE(pool->Pin("t3").ok());
+  EXPECT_TRUE(pool->IsResident("t1"));
+  EXPECT_FALSE(pool->IsResident("t2"));
+  // Now everything resident is pinned; a fourth table cannot fit.
+  ASSERT_TRUE(pool->Unpin("t3").ok());
+  ASSERT_TRUE(pool->Pin("t3").ok());  // repin (hit)
+  Result<FTable> t2 = pool->Pin("t2");
+  EXPECT_TRUE(t2.status().IsUnavailable());
+}
+
+TEST_F(BufferPoolTest, RegisterValidation) {
+  auto pool = MakePool(3 * kMiB, "lru");
+  EXPECT_TRUE(pool->RegisterTable("t1", schema_).IsAlreadyExists());
+  EXPECT_TRUE(pool->RegisterTable("ghost", schema_).IsNotFound());
+  // Larger than budget.
+  storage_.PutExtent("huge", ByteBuffer(8 * kMiB));
+  EXPECT_TRUE(pool->RegisterTable("huge", schema_).IsInvalidArgument());
+  // Misaligned extent.
+  storage_.PutExtent("ragged", ByteBuffer(100));
+  EXPECT_TRUE(pool->RegisterTable("ragged", schema_).IsInvalidArgument());
+}
+
+TEST_F(BufferPoolTest, UnpinErrors) {
+  auto pool = MakePool(3 * kMiB, "lru");
+  EXPECT_TRUE(pool->Unpin("t1").IsNotFound());
+  ASSERT_TRUE(pool->Pin("t1").ok());
+  ASSERT_TRUE(pool->Unpin("t1").ok());
+  EXPECT_TRUE(pool->Unpin("t1").IsFailedPrecondition());
+}
+
+TEST(BufferPoolPolicyTest, HotTableSurvivesUnderRecencyPolicies) {
+  // Hot/cold access pattern over 3 tables with room for 2: recency-aware
+  // policies (LRU, Clock) keep the hot table resident; each run uses its
+  // own node/client/pool so runs are independent.
+  for (const char* policy : {"lru", "fifo", "clock"}) {
+    bench::FvFixture fx;
+    StorageNode storage(&fx.engine());
+    const Schema schema = Schema::DefaultWideRow();
+    for (const char* name : {"t1", "t2", "t3"}) {
+      TableGenerator gen(static_cast<uint64_t>(name[1]));
+      Result<Table> t = gen.Uniform(schema, (1 * kMiB) / 64, 100);
+      ASSERT_TRUE(t.ok());
+      storage.PutExtent(name, t.value().bytes());
+    }
+    auto p = MakeEvictionPolicy(policy);
+    ASSERT_TRUE(p.ok());
+    BufferPoolManager pool(&fx.client(), &storage, 2 * kMiB,
+                           std::move(p).value());
+    for (const char* name : {"t1", "t2", "t3"}) {
+      ASSERT_TRUE(pool.RegisterTable(name, schema).ok());
+    }
+    // Hot/cold: t1 touched between every cold access.
+    const char* sequence[] = {"t1", "t2", "t1", "t3", "t1", "t2", "t1"};
+    for (const char* name : sequence) {
+      Result<FTable> ft = pool.Pin(name);
+      ASSERT_TRUE(ft.ok()) << policy << " " << name << ": "
+                           << ft.status().ToString();
+      ASSERT_TRUE(pool.Unpin(name).ok());
+    }
+    if (std::string(policy) == "lru") {
+      // Exact recency: the hot table never gets evicted, so 3 of its 4
+      // accesses hit.
+      EXPECT_GE(pool.hits(), 3u) << policy;
+    } else {
+      // Clock only approximates recency (the hand may reach the hot table
+      // right after clearing its bit) and FIFO ignores recency entirely;
+      // both still get some hits and never beat LRU on this pattern.
+      EXPECT_GE(pool.hits(), 1u) << policy;
+      EXPECT_LE(pool.hits(), 3u) << policy;
+    }
+    EXPECT_EQ(pool.hits() + pool.misses(), 7u) << policy;
+  }
+}
+
+}  // namespace
+}  // namespace farview

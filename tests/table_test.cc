@@ -1,0 +1,341 @@
+// Unit tests for schemas, row-format tables, workload generators and the
+// client catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "table/catalog.h"
+#include "table/generator.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace farview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, DefaultWideRowMatchesPaper) {
+  // "our base tables consist of 8 attributes, where each attribute is
+  // 8 bytes long" (Section 6.2).
+  const Schema s = Schema::DefaultWideRow();
+  EXPECT_EQ(s.num_columns(), 8);
+  EXPECT_EQ(s.tuple_width(), 64u);
+  EXPECT_EQ(s.column(0).name, "a0");
+  EXPECT_EQ(s.offset(3), 24u);
+}
+
+TEST(SchemaTest, OffsetsAreCumulative) {
+  Result<Schema> r = Schema::Create({
+      {"id", DataType::kInt64, 8},
+      {"name", DataType::kChar, 20},
+      {"price", DataType::kDouble, 8},
+  });
+  ASSERT_TRUE(r.ok());
+  const Schema& s = r.value();
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 28u);
+  EXPECT_EQ(s.tuple_width(), 36u);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  EXPECT_TRUE(Schema::Create({{"a", DataType::kInt64, 8},
+                              {"a", DataType::kInt64, 8}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsBadWidths) {
+  EXPECT_FALSE(Schema::Create({{"a", DataType::kInt64, 4}}).ok());
+  EXPECT_FALSE(Schema::Create({{"s", DataType::kChar, 0}}).ok());
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({{"", DataType::kInt64, 8}}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const Schema s = Schema::DefaultWideRow(4);
+  EXPECT_EQ(s.ColumnIndex("a2").value(), 2);
+  EXPECT_TRUE(s.ColumnIndex("zz").status().IsNotFound());
+}
+
+TEST(SchemaTest, ProjectPreservesOrderAndWidths) {
+  const Schema s = Schema::DefaultWideRow(8);
+  const Schema p = s.Project({5, 0, 2});
+  EXPECT_EQ(p.num_columns(), 3);
+  EXPECT_EQ(p.column(0).name, "a5");
+  EXPECT_EQ(p.column(2).name, "a2");
+  EXPECT_EQ(p.tuple_width(), 24u);
+}
+
+TEST(SchemaTest, EqualsComparesStructure) {
+  EXPECT_TRUE(Schema::DefaultWideRow(3).Equals(Schema::DefaultWideRow(3)));
+  EXPECT_FALSE(Schema::DefaultWideRow(3).Equals(Schema::DefaultWideRow(4)));
+  EXPECT_FALSE(Schema::DefaultWideRow(1).Equals(Schema::Strings(1, 8)));
+}
+
+TEST(SchemaTest, ToStringReadable) {
+  const Schema s = Schema::Strings(1, 32);
+  EXPECT_EQ(s.ToString(), "(s0 CHAR(32))");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, AppendAndReadBack) {
+  Table t(Schema::DefaultWideRow(2));
+  const uint64_t r0 = t.AppendRow();
+  const uint64_t r1 = t.AppendRow();
+  t.SetInt64(r0, 0, 10);
+  t.SetInt64(r0, 1, -20);
+  t.SetInt64(r1, 0, 30);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.size_bytes(), 32u);
+  EXPECT_EQ(t.GetInt64(0, 0), 10);
+  EXPECT_EQ(t.GetInt64(0, 1), -20);
+  EXPECT_EQ(t.GetInt64(1, 0), 30);
+  EXPECT_EQ(t.GetInt64(1, 1), 0);  // zero-initialized
+}
+
+TEST(TableTest, StringColumnTruncatesAndPads) {
+  Result<Schema> r = Schema::Create({{"s", DataType::kChar, 6}});
+  ASSERT_TRUE(r.ok());
+  Table t(r.value());
+  t.AppendRow();
+  t.SetString(0, 0, "hi");
+  EXPECT_EQ(t.GetString(0, 0), "hi");
+  t.SetString(0, 0, "exactly-too-long");
+  EXPECT_EQ(t.GetString(0, 0), "exactl");  // truncated to width
+}
+
+TEST(TableTest, DoubleColumn) {
+  Result<Schema> r = Schema::Create({{"d", DataType::kDouble, 8}});
+  ASSERT_TRUE(r.ok());
+  Table t(r.value());
+  t.AppendRow();
+  t.SetDouble(0, 0, 2.71828);
+  EXPECT_DOUBLE_EQ(t.GetDouble(0, 0), 2.71828);
+}
+
+TEST(TableTest, AppendRowBytesCopiesVerbatim) {
+  Table t(Schema::DefaultWideRow(1));
+  uint8_t row[8];
+  StoreLE64(row, 0xabcdef);
+  t.AppendRowBytes(row);
+  EXPECT_EQ(t.GetUInt64(0, 0), 0xabcdefull);
+}
+
+TEST(TableTest, FromBytesRoundTrip) {
+  const Schema s = Schema::DefaultWideRow(2);
+  Table t(s);
+  for (int i = 0; i < 5; ++i) {
+    t.AppendRow();
+    t.SetInt64(i, 0, i);
+    t.SetInt64(i, 1, 10 * i);
+  }
+  Result<Table> back = Table::FromBytes(s, t.bytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().Equals(t));
+  EXPECT_EQ(back.value().num_rows(), 5u);
+}
+
+TEST(TableTest, FromBytesRejectsPartialRows) {
+  ByteBuffer b(65, 0);  // not a multiple of 64
+  EXPECT_FALSE(Table::FromBytes(Schema::DefaultWideRow(), std::move(b)).ok());
+}
+
+TEST(TableTest, TupleViewStringStopsAtNul) {
+  Result<Schema> r = Schema::Create({{"s", DataType::kChar, 8}});
+  ASSERT_TRUE(r.ok());
+  Table t(r.value());
+  t.AppendRow();
+  t.SetString(0, 0, "ab");
+  const TupleView v = t.Row(0);
+  EXPECT_EQ(v.GetString(0).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, UniformRespectsRangeAndShape) {
+  TableGenerator gen(1);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 1000, 100);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_rows(), 1000u);
+  for (uint64_t r = 0; r < 1000; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const int64_t v = t.value().GetInt64(r, c);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(GeneratorTest, UniformSelectivityKnob) {
+  // With values uniform in [0,100), predicate a0 < 25 selects ~25%.
+  TableGenerator gen(2);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), 20000, 100);
+  ASSERT_TRUE(t.ok());
+  uint64_t hits = 0;
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    if (t.value().GetInt64(r, 0) < 25) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.25, 0.02);
+}
+
+TEST(GeneratorTest, UniformDeterministicBySeed) {
+  TableGenerator a(7), b(7);
+  Result<Table> ta = a.Uniform(Schema::DefaultWideRow(2), 100, 1000);
+  Result<Table> tb = b.Uniform(Schema::DefaultWideRow(2), 100, 1000);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  EXPECT_TRUE(ta.value().Equals(tb.value()));
+}
+
+TEST(GeneratorTest, UniformRejectsCharColumns) {
+  TableGenerator gen(1);
+  EXPECT_FALSE(gen.Uniform(Schema::Strings(1, 8), 10, 10).ok());
+  EXPECT_FALSE(gen.Uniform(Schema::DefaultWideRow(), 10, 0).ok());
+}
+
+TEST(GeneratorTest, WithDistinctExactCount) {
+  TableGenerator gen(3);
+  Result<Table> t =
+      gen.WithDistinct(Schema::DefaultWideRow(), 5000, /*distinct_col=*/1,
+                       /*distinct_values=*/137, /*other_value_range=*/1000);
+  ASSERT_TRUE(t.ok());
+  std::set<int64_t> values;
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    values.insert(t.value().GetInt64(r, 1));
+  }
+  EXPECT_EQ(values.size(), 137u);
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), 136);
+}
+
+TEST(GeneratorTest, WithDistinctRejectsImpossible) {
+  TableGenerator gen(3);
+  EXPECT_FALSE(gen.WithDistinct(Schema::DefaultWideRow(), 10, 0, 100, 10)
+                   .ok());
+  EXPECT_FALSE(
+      gen.WithDistinct(Schema::DefaultWideRow(), 10, 99, 5, 10).ok());
+  EXPECT_FALSE(
+      gen.WithDistinct(Schema::DefaultWideRow(), 10, 0, 0, 10).ok());
+}
+
+TEST(GeneratorTest, StringsMatchFractionExactByConstruction) {
+  TableGenerator gen(4);
+  Result<Table> t = gen.Strings(2000, 32, "xq", 0.5);
+  ASSERT_TRUE(t.ok());
+  uint64_t matches = 0;
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    const std::string_view s(
+        reinterpret_cast<const char*>(t.value().Row(r).ColumnData(0)), 32);
+    if (s.find("xq") != std::string_view::npos) ++matches;
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / 2000.0, 0.5, 0.03);
+}
+
+TEST(GeneratorTest, StringsRejectsBadArgs) {
+  TableGenerator gen(4);
+  EXPECT_FALSE(gen.Strings(10, 4, "toolongneedle", 0.5).ok());
+  EXPECT_FALSE(gen.Strings(10, 16, "ab", 1.5).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TableEntry MakeEntry(const std::string& name) {
+  TableEntry e;
+  e.name = name;
+  e.schema = Schema::DefaultWideRow();
+  e.virtual_address = 0x200000;
+  e.num_rows = 10;
+  e.size_bytes = 640;
+  return e;
+}
+
+TEST(CatalogTest, RegisterLookupDrop) {
+  Catalog c;
+  EXPECT_TRUE(c.Register(MakeEntry("t1")).ok());
+  EXPECT_TRUE(c.Contains("t1"));
+  Result<TableEntry> e = c.Lookup("t1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().virtual_address, 0x200000u);
+  EXPECT_TRUE(c.Drop("t1").ok());
+  EXPECT_FALSE(c.Contains("t1"));
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog c;
+  EXPECT_TRUE(c.Register(MakeEntry("t")).ok());
+  EXPECT_TRUE(c.Register(MakeEntry("t")).IsAlreadyExists());
+}
+
+TEST(CatalogTest, MissingLookupAndDrop) {
+  Catalog c;
+  EXPECT_TRUE(c.Lookup("nope").status().IsNotFound());
+  EXPECT_TRUE(c.Drop("nope").IsNotFound());
+  EXPECT_FALSE(c.Register(MakeEntry("")).ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog c;
+  ASSERT_TRUE(c.Register(MakeEntry("zeta")).ok());
+  ASSERT_TRUE(c.Register(MakeEntry("alpha")).ok());
+  const std::vector<std::string> names = c.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace farview
+
+namespace farview {
+namespace {
+
+TEST(ZipfGeneratorTest, SkewConcentratesOnSmallValues) {
+  TableGenerator gen(21);
+  Result<Table> t = gen.Zipf(Schema::DefaultWideRow(), 20000, 0,
+                             /*n_values=*/100, /*theta=*/0.99, 1000);
+  ASSERT_TRUE(t.ok());
+  uint64_t hot = 0;  // values 0..9
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    const int64_t v = t.value().GetInt64(r, 0);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    if (v < 10) ++hot;
+  }
+  // Under Zipf(0.99) the top 10% of values draw well over half the mass;
+  // under uniform they would draw ~10%.
+  EXPECT_GT(static_cast<double>(hot) / 20000.0, 0.5);
+}
+
+TEST(ZipfGeneratorTest, ThetaZeroIsRoughlyUniform) {
+  TableGenerator gen(22);
+  Result<Table> t =
+      gen.Zipf(Schema::DefaultWideRow(), 20000, 0, 100, 0.0, 1000);
+  ASSERT_TRUE(t.ok());
+  uint64_t hot = 0;
+  for (uint64_t r = 0; r < t.value().num_rows(); ++r) {
+    if (t.value().GetInt64(r, 0) < 10) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / 20000.0, 0.10, 0.02);
+}
+
+TEST(ZipfGeneratorTest, RejectsBadArgs) {
+  TableGenerator gen(23);
+  EXPECT_FALSE(gen.Zipf(Schema::DefaultWideRow(), 10, 0, 0, 1.0, 10).ok());
+  EXPECT_FALSE(gen.Zipf(Schema::DefaultWideRow(), 10, 99, 5, 1.0, 10).ok());
+  EXPECT_FALSE(gen.Zipf(Schema::DefaultWideRow(), 10, 0, 5, -1.0, 10).ok());
+}
+
+}  // namespace
+}  // namespace farview
