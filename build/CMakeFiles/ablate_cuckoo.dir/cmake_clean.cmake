@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cuckoo.dir/bench/ablate_cuckoo.cc.o"
+  "CMakeFiles/ablate_cuckoo.dir/bench/ablate_cuckoo.cc.o.d"
+  "bench/ablate_cuckoo"
+  "bench/ablate_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_packet_size.dir/bench/ablate_packet_size.cc.o"
+  "CMakeFiles/ablate_packet_size.dir/bench/ablate_packet_size.cc.o.d"
+  "bench/ablate_packet_size"
+  "bench/ablate_packet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_packet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

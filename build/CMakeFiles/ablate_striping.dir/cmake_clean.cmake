@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_striping.dir/bench/ablate_striping.cc.o"
+  "CMakeFiles/ablate_striping.dir/bench/ablate_striping.cc.o.d"
+  "bench/ablate_striping"
+  "bench/ablate_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

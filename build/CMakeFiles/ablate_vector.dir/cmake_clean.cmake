@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_vector.dir/bench/ablate_vector.cc.o"
+  "CMakeFiles/ablate_vector.dir/bench/ablate_vector.cc.o.d"
+  "bench/ablate_vector"
+  "bench/ablate_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

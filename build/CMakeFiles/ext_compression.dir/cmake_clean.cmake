@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_compression.dir/bench/ext_compression.cc.o"
+  "CMakeFiles/ext_compression.dir/bench/ext_compression.cc.o.d"
+  "bench/ext_compression"
+  "bench/ext_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

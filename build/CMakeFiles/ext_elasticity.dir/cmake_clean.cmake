@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_elasticity.dir/bench/ext_elasticity.cc.o"
+  "CMakeFiles/ext_elasticity.dir/bench/ext_elasticity.cc.o.d"
+  "bench/ext_elasticity"
+  "bench/ext_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

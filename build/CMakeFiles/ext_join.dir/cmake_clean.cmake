@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_join.dir/bench/ext_join.cc.o"
+  "CMakeFiles/ext_join.dir/bench/ext_join.cc.o.d"
+  "bench/ext_join"
+  "bench/ext_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_optimizer.dir/bench/ext_optimizer.cc.o"
+  "CMakeFiles/ext_optimizer.dir/bench/ext_optimizer.cc.o.d"
+  "bench/ext_optimizer"
+  "bench/ext_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_regex.dir/bench/fig10_regex.cc.o"
+  "CMakeFiles/fig10_regex.dir/bench/fig10_regex.cc.o.d"
+  "bench/fig10_regex"
+  "bench/fig10_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

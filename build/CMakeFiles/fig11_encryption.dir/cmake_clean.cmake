@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_encryption.dir/bench/fig11_encryption.cc.o"
+  "CMakeFiles/fig11_encryption.dir/bench/fig11_encryption.cc.o.d"
+  "bench/fig11_encryption"
+  "bench/fig11_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_multiclient.cc" "CMakeFiles/fig12_multiclient.dir/bench/fig12_multiclient.cc.o" "gcc" "CMakeFiles/fig12_multiclient.dir/bench/fig12_multiclient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fv/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fv_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/fv_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/operators/CMakeFiles/fv_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/fv_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fv_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/fv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

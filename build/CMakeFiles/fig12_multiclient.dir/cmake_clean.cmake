@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_multiclient.dir/bench/fig12_multiclient.cc.o"
+  "CMakeFiles/fig12_multiclient.dir/bench/fig12_multiclient.cc.o.d"
+  "bench/fig12_multiclient"
+  "bench/fig12_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

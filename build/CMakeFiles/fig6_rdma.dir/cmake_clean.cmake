@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rdma.dir/bench/fig6_rdma.cc.o"
+  "CMakeFiles/fig6_rdma.dir/bench/fig6_rdma.cc.o.d"
+  "bench/fig6_rdma"
+  "bench/fig6_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

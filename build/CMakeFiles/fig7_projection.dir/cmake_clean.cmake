@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_projection.dir/bench/fig7_projection.cc.o"
+  "CMakeFiles/fig7_projection.dir/bench/fig7_projection.cc.o.d"
+  "bench/fig7_projection"
+  "bench/fig7_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_selection.dir/bench/fig8_selection.cc.o"
+  "CMakeFiles/fig8_selection.dir/bench/fig8_selection.cc.o.d"
+  "bench/fig8_selection"
+  "bench/fig8_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

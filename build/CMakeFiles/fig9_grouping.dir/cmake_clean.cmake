@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_grouping.dir/bench/fig9_grouping.cc.o"
+  "CMakeFiles/fig9_grouping.dir/bench/fig9_grouping.cc.o.d"
+  "bench/fig9_grouping"
+  "bench/fig9_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

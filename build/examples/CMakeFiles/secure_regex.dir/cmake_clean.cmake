@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_regex.dir/secure_regex.cpp.o"
+  "CMakeFiles/secure_regex.dir/secure_regex.cpp.o.d"
+  "secure_regex"
+  "secure_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

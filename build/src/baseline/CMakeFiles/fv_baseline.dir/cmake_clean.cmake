@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_baseline.dir/cpu_model.cc.o"
+  "CMakeFiles/fv_baseline.dir/cpu_model.cc.o.d"
+  "CMakeFiles/fv_baseline.dir/engines.cc.o"
+  "CMakeFiles/fv_baseline.dir/engines.cc.o.d"
+  "CMakeFiles/fv_baseline.dir/query_spec.cc.o"
+  "CMakeFiles/fv_baseline.dir/query_spec.cc.o.d"
+  "libfv_baseline.a"
+  "libfv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_benchlib.dir/experiment.cc.o"
+  "CMakeFiles/fv_benchlib.dir/experiment.cc.o.d"
+  "libfv_benchlib.a"
+  "libfv_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

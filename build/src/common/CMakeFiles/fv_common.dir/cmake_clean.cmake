@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_common.dir/bytes.cc.o"
+  "CMakeFiles/fv_common.dir/bytes.cc.o.d"
+  "CMakeFiles/fv_common.dir/logging.cc.o"
+  "CMakeFiles/fv_common.dir/logging.cc.o.d"
+  "CMakeFiles/fv_common.dir/rng.cc.o"
+  "CMakeFiles/fv_common.dir/rng.cc.o.d"
+  "CMakeFiles/fv_common.dir/status.cc.o"
+  "CMakeFiles/fv_common.dir/status.cc.o.d"
+  "CMakeFiles/fv_common.dir/units.cc.o"
+  "CMakeFiles/fv_common.dir/units.cc.o.d"
+  "libfv_common.a"
+  "libfv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_compress.dir/lz.cc.o"
+  "CMakeFiles/fv_compress.dir/lz.cc.o.d"
+  "libfv_compress.a"
+  "libfv_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_crypto.dir/aes128.cc.o"
+  "CMakeFiles/fv_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/fv_crypto.dir/aes_ctr.cc.o"
+  "CMakeFiles/fv_crypto.dir/aes_ctr.cc.o.d"
+  "libfv_crypto.a"
+  "libfv_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

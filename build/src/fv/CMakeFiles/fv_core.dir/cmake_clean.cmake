@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_core.dir/client.cc.o"
+  "CMakeFiles/fv_core.dir/client.cc.o.d"
+  "CMakeFiles/fv_core.dir/dynamic_region.cc.o"
+  "CMakeFiles/fv_core.dir/dynamic_region.cc.o.d"
+  "CMakeFiles/fv_core.dir/farview_node.cc.o"
+  "CMakeFiles/fv_core.dir/farview_node.cc.o.d"
+  "CMakeFiles/fv_core.dir/region_scheduler.cc.o"
+  "CMakeFiles/fv_core.dir/region_scheduler.cc.o.d"
+  "CMakeFiles/fv_core.dir/resource_model.cc.o"
+  "CMakeFiles/fv_core.dir/resource_model.cc.o.d"
+  "libfv_core.a"
+  "libfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

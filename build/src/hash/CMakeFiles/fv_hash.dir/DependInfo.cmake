@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/cuckoo_table.cc" "src/hash/CMakeFiles/fv_hash.dir/cuckoo_table.cc.o" "gcc" "src/hash/CMakeFiles/fv_hash.dir/cuckoo_table.cc.o.d"
+  "/root/repo/src/hash/hash.cc" "src/hash/CMakeFiles/fv_hash.dir/hash.cc.o" "gcc" "src/hash/CMakeFiles/fv_hash.dir/hash.cc.o.d"
+  "/root/repo/src/hash/lru_shift_register.cc" "src/hash/CMakeFiles/fv_hash.dir/lru_shift_register.cc.o" "gcc" "src/hash/CMakeFiles/fv_hash.dir/lru_shift_register.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_hash.dir/cuckoo_table.cc.o"
+  "CMakeFiles/fv_hash.dir/cuckoo_table.cc.o.d"
+  "CMakeFiles/fv_hash.dir/hash.cc.o"
+  "CMakeFiles/fv_hash.dir/hash.cc.o.d"
+  "CMakeFiles/fv_hash.dir/lru_shift_register.cc.o"
+  "CMakeFiles/fv_hash.dir/lru_shift_register.cc.o.d"
+  "libfv_hash.a"
+  "libfv_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/fv_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/fv_mem.dir/memory_controller.cc.o.d"
+  "/root/repo/src/mem/mmu.cc" "src/mem/CMakeFiles/fv_mem.dir/mmu.cc.o" "gcc" "src/mem/CMakeFiles/fv_mem.dir/mmu.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/mem/CMakeFiles/fv_mem.dir/physical_memory.cc.o" "gcc" "src/mem/CMakeFiles/fv_mem.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

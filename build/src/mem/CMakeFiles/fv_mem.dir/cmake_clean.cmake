@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/fv_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/fv_mem.dir/mmu.cc.o"
+  "CMakeFiles/fv_mem.dir/mmu.cc.o.d"
+  "CMakeFiles/fv_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/fv_mem.dir/physical_memory.cc.o.d"
+  "libfv_mem.a"
+  "libfv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network_stack.cc" "src/net/CMakeFiles/fv_net.dir/network_stack.cc.o" "gcc" "src/net/CMakeFiles/fv_net.dir/network_stack.cc.o.d"
+  "/root/repo/src/net/rnic_model.cc" "src/net/CMakeFiles/fv_net.dir/rnic_model.cc.o" "gcc" "src/net/CMakeFiles/fv_net.dir/rnic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/batch.cc" "src/operators/CMakeFiles/fv_operators.dir/batch.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/batch.cc.o.d"
+  "/root/repo/src/operators/compress_op.cc" "src/operators/CMakeFiles/fv_operators.dir/compress_op.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/compress_op.cc.o.d"
+  "/root/repo/src/operators/crypto_op.cc" "src/operators/CMakeFiles/fv_operators.dir/crypto_op.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/crypto_op.cc.o.d"
+  "/root/repo/src/operators/grouping.cc" "src/operators/CMakeFiles/fv_operators.dir/grouping.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/grouping.cc.o.d"
+  "/root/repo/src/operators/hash_join.cc" "src/operators/CMakeFiles/fv_operators.dir/hash_join.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/hash_join.cc.o.d"
+  "/root/repo/src/operators/packing.cc" "src/operators/CMakeFiles/fv_operators.dir/packing.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/packing.cc.o.d"
+  "/root/repo/src/operators/pipeline.cc" "src/operators/CMakeFiles/fv_operators.dir/pipeline.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/pipeline.cc.o.d"
+  "/root/repo/src/operators/predicate.cc" "src/operators/CMakeFiles/fv_operators.dir/predicate.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/predicate.cc.o.d"
+  "/root/repo/src/operators/projection.cc" "src/operators/CMakeFiles/fv_operators.dir/projection.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/projection.cc.o.d"
+  "/root/repo/src/operators/regex_select.cc" "src/operators/CMakeFiles/fv_operators.dir/regex_select.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/regex_select.cc.o.d"
+  "/root/repo/src/operators/selection.cc" "src/operators/CMakeFiles/fv_operators.dir/selection.cc.o" "gcc" "src/operators/CMakeFiles/fv_operators.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/fv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/fv_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fv_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

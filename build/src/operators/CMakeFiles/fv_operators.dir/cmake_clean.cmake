@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_operators.dir/batch.cc.o"
+  "CMakeFiles/fv_operators.dir/batch.cc.o.d"
+  "CMakeFiles/fv_operators.dir/compress_op.cc.o"
+  "CMakeFiles/fv_operators.dir/compress_op.cc.o.d"
+  "CMakeFiles/fv_operators.dir/crypto_op.cc.o"
+  "CMakeFiles/fv_operators.dir/crypto_op.cc.o.d"
+  "CMakeFiles/fv_operators.dir/grouping.cc.o"
+  "CMakeFiles/fv_operators.dir/grouping.cc.o.d"
+  "CMakeFiles/fv_operators.dir/hash_join.cc.o"
+  "CMakeFiles/fv_operators.dir/hash_join.cc.o.d"
+  "CMakeFiles/fv_operators.dir/packing.cc.o"
+  "CMakeFiles/fv_operators.dir/packing.cc.o.d"
+  "CMakeFiles/fv_operators.dir/pipeline.cc.o"
+  "CMakeFiles/fv_operators.dir/pipeline.cc.o.d"
+  "CMakeFiles/fv_operators.dir/predicate.cc.o"
+  "CMakeFiles/fv_operators.dir/predicate.cc.o.d"
+  "CMakeFiles/fv_operators.dir/projection.cc.o"
+  "CMakeFiles/fv_operators.dir/projection.cc.o.d"
+  "CMakeFiles/fv_operators.dir/regex_select.cc.o"
+  "CMakeFiles/fv_operators.dir/regex_select.cc.o.d"
+  "CMakeFiles/fv_operators.dir/selection.cc.o"
+  "CMakeFiles/fv_operators.dir/selection.cc.o.d"
+  "libfv_operators.a"
+  "libfv_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

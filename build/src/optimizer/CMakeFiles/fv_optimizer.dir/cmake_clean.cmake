@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/fv_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/fv_optimizer.dir/stats_collector.cc.o"
+  "CMakeFiles/fv_optimizer.dir/stats_collector.cc.o.d"
+  "libfv_optimizer.a"
+  "libfv_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

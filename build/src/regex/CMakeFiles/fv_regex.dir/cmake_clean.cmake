@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_regex.dir/regex.cc.o"
+  "CMakeFiles/fv_regex.dir/regex.cc.o.d"
+  "libfv_regex.a"
+  "libfv_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/fv_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/fv_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/server.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/fv_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sim.dir/engine.cc.o"
+  "CMakeFiles/fv_sim.dir/engine.cc.o.d"
+  "CMakeFiles/fv_sim.dir/server.cc.o"
+  "CMakeFiles/fv_sim.dir/server.cc.o.d"
+  "CMakeFiles/fv_sim.dir/stats.cc.o"
+  "CMakeFiles/fv_sim.dir/stats.cc.o.d"
+  "libfv_sim.a"
+  "libfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sql.dir/compiler.cc.o"
+  "CMakeFiles/fv_sql.dir/compiler.cc.o.d"
+  "CMakeFiles/fv_sql.dir/lexer.cc.o"
+  "CMakeFiles/fv_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fv_sql.dir/parser.cc.o"
+  "CMakeFiles/fv_sql.dir/parser.cc.o.d"
+  "CMakeFiles/fv_sql.dir/session.cc.o"
+  "CMakeFiles/fv_sql.dir/session.cc.o.d"
+  "libfv_sql.a"
+  "libfv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/fv_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/fv_storage.dir/eviction.cc.o"
+  "CMakeFiles/fv_storage.dir/eviction.cc.o.d"
+  "CMakeFiles/fv_storage.dir/storage_node.cc.o"
+  "CMakeFiles/fv_storage.dir/storage_node.cc.o.d"
+  "libfv_storage.a"
+  "libfv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

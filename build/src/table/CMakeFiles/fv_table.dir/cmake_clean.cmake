@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_table.dir/catalog.cc.o"
+  "CMakeFiles/fv_table.dir/catalog.cc.o.d"
+  "CMakeFiles/fv_table.dir/generator.cc.o"
+  "CMakeFiles/fv_table.dir/generator.cc.o.d"
+  "CMakeFiles/fv_table.dir/schema.cc.o"
+  "CMakeFiles/fv_table.dir/schema.cc.o.d"
+  "CMakeFiles/fv_table.dir/table.cc.o"
+  "CMakeFiles/fv_table.dir/table.cc.o.d"
+  "libfv_table.a"
+  "libfv_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_node_test.dir/fv_node_test.cc.o"
+  "CMakeFiles/fv_node_test.dir/fv_node_test.cc.o.d"
+  "fv_node_test"
+  "fv_node_test.pdb"
+  "fv_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/operators_test.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/operators_test.dir/operators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/operators/CMakeFiles/fv_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/fv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/fv_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fv_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_differential_test.dir/regex_differential_test.cc.o"
+  "CMakeFiles/regex_differential_test.dir/regex_differential_test.cc.o.d"
+  "regex_differential_test"
+  "regex_differential_test.pdb"
+  "regex_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
