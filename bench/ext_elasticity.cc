@@ -6,6 +6,8 @@
 // suppresses reconfigurations.
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "benchlib/experiment.h"
@@ -21,7 +23,8 @@ struct Outcome {
   uint64_t affinity_hits = 0;
 };
 
-Outcome RunClients(int clients, bool shared_pipeline) {
+Outcome RunClients(int clients, bool shared_pipeline,
+                   std::string* stats_report = nullptr) {
   sim::Engine engine;
   FarviewNode node(&engine, FarviewConfig());  // 6 regions
   RegionScheduler scheduler(&node);
@@ -76,6 +79,7 @@ Outcome RunClients(int clients, bool shared_pipeline) {
   }
   engine.Run();
   if (completed != clients) return {};
+  if (stats_report != nullptr) *stats_report = node.StatsReport();
   Outcome out;
   out.batch_ms = ToMillis(engine.Now() - start);
   out.reconfigs = scheduler.reconfigurations();
@@ -88,14 +92,19 @@ void Run() {
       "Extension: elasticity — N clients on 6 regions, batch completion "
       "[ms] (4 MiB selection each)",
       "clients", {"shared pipeline", "distinct pipelines", "reconfigs(d)"});
+  std::string stats_report;
   for (int clients : {2, 6, 12, 24}) {
-    const Outcome shared = RunClients(clients, true);
+    const Outcome shared = RunClients(clients, true, &stats_report);
     const Outcome distinct = RunClients(clients, false);
     series.Row(std::to_string(clients),
                {shared.batch_ms, distinct.batch_ms,
                 static_cast<double>(distinct.reconfigs)});
   }
   series.Print();
+  // Lifecycle breakdown of the largest shared-pipeline batch: with 24
+  // clients on 6 regions the queue-wait stage dominates — the scheduler
+  // path records into the same NodeStats as direct submissions.
+  std::printf("\n%s", stats_report.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Guards against re-committing generated build trees: fails when any path
+# under a build directory is tracked by git. Run from the repository root
+# (CI runs it on every push).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tracked=$(git ls-files -- 'build/' 'build-*/' 'cmake-build-*/')
+if [ -n "$tracked" ]; then
+  echo "error: generated build artifacts are tracked by git:" >&2
+  echo "$tracked" | head -20 >&2
+  echo "(run: git rm -r --cached <path> and keep build/ in .gitignore)" >&2
+  exit 1
+fi
+echo "ok: no build artifacts tracked"

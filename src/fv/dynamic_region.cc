@@ -10,14 +10,16 @@ namespace farview {
 
 DynamicRegion::DynamicRegion(int region_id, sim::Engine* engine,
                              const FarviewConfig& config, Mmu* mmu,
-                             MemoryController* memctl, NetworkStack* net)
+                             MemoryController* memctl, NetworkStack* net,
+                             NodeStats* stats)
     : region_id_(region_id),
       engine_(engine),
       config_(config),
       mmu_(mmu),
       memctl_(memctl),
-      net_(net) {
-  FV_CHECK(engine_ && mmu_ && memctl_ && net_);
+      net_(net),
+      stats_(stats) {
+  FV_CHECK(engine_ && mmu_ && memctl_ && net_ && stats_);
 }
 
 void DynamicRegion::LoadPipeline(Pipeline pipeline,
@@ -44,9 +46,9 @@ void DynamicRegion::LoadPipeline(Pipeline pipeline,
 /// Per-request execution state, kept alive by shared_ptr across the event
 /// callbacks of the three stacks.
 struct DynamicRegion::ExecState {
-  int client_id = -1;
-  int qp_id = -1;
-  FvRequest req;
+  /// Lifecycle context of the request being served; stamps are written here
+  /// as the request crosses stack boundaries.
+  RequestContextPtr ctx;
   bool plain_read = false;
 
   /// Functionally materialized input stream (whole tuples, or the
@@ -71,8 +73,29 @@ struct DynamicRegion::ExecState {
   std::function<void(Result<FvResult>)> on_result;
 };
 
-void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
+void DynamicRegion::EnterBusy(RequestContextPtr& ctx) {
+  busy_ = true;
+  busy_since_ = engine_->Now();
+  ctx->region_start = busy_since_;
+}
+
+void DynamicRegion::ReleaseBusy() {
+  busy_ = false;
+  stats_->RecordRegionBusy(region_id_, engine_->Now() - busy_since_);
+}
+
+void DynamicRegion::StampDelivered(const std::shared_ptr<ExecState>& st,
+                                   SimTime t) {
+  st->ctx->delivered = t;
+  st->ctx->egress_finished = st->tx->last_link_exit();
+  st->ctx->bytes_on_wire = st->result.bytes_on_wire;
+  st->ctx->packets = st->tx->packets_sent();
+  st->ctx->rows = st->result.rows;
+}
+
+void DynamicRegion::Execute(RequestContextPtr ctx,
                             std::function<void(Result<FvResult>)> on_result) {
+  const FvRequest& request = ctx->request;
   auto fail = [this, &on_result](Status s) {
     engine_->ScheduleAfter(0, [s, on_result = std::move(on_result)]() {
       on_result(s);
@@ -111,11 +134,9 @@ void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
   }
 
   auto st = std::make_shared<ExecState>();
-  st->client_id = client_id;
-  st->qp_id = qp_id;
-  st->req = request;
+  st->ctx = ctx;
   st->on_result = std::move(on_result);
-  st->result.issued_at = engine_->Now();
+  st->result.issued_at = ctx->submitted;
 
   // Functional materialization of the input stream (and access check).
   // `on_result` now lives in the state object, so failures from here on
@@ -128,7 +149,7 @@ void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
     st->stream.resize(rows * request.sa_access_bytes);
     for (uint64_t r = 0; r < rows; ++r) {
       const Status s = mmu_->Read(
-          client_id,
+          ctx->client_id,
           request.vaddr + r * request.tuple_bytes + request.sa_offset,
           request.sa_access_bytes,
           st->stream.data() + r * request.sa_access_bytes);
@@ -139,15 +160,15 @@ void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
     }
   } else {
     st->stream.resize(request.len);
-    const Status s =
-        mmu_->Read(client_id, request.vaddr, request.len, st->stream.data());
+    const Status s = mmu_->Read(ctx->client_id, request.vaddr, request.len,
+                                st->stream.data());
     if (!s.ok()) {
       fail_st(s);
       return;
     }
   }
 
-  busy_ = true;
+  EnterBusy(ctx);
   pipeline_->Reset();
   st->parser = std::make_unique<StreamParser>(&pipeline_->input_schema());
   st->pipe = std::make_unique<sim::Server>(
@@ -155,12 +176,13 @@ void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
       config_.PipeRate(request.vectorized));
 
   st->tx = net_->OpenStream(
-      qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
+      ctx->qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
         st->result.bytes_on_wire += bytes;
         if (st->result.first_byte_at == 0) st->result.first_byte_at = t;
         if (last) {
           st->result.completed_at = t;
-          busy_ = false;
+          StampDelivered(st, t);
+          ReleaseBusy();
           ++requests_served_;
           st->on_result(std::move(st->result));
         }
@@ -169,24 +191,25 @@ void DynamicRegion::Execute(int client_id, int qp_id, const FvRequest& request,
   // Timing: drive the memory stack; each completed burst is handed to the
   // datapath; each datapath completion processes the next chunk of the
   // functional stream.
-  auto on_mem_burst = [this, st](uint64_t bytes, bool last, SimTime) {
+  auto on_mem_burst = [this, st](uint64_t bytes, bool last, SimTime t) {
     if (st->failed) return;
     ++st->mem_bursts_done;
+    if (st->ctx->first_memory_beat == 0) st->ctx->first_memory_beat = t;
     if (last) st->input_done = true;
     const SimTime fill = st->pipe_chunks_done == 0 && st->mem_bursts_done == 1
                              ? config_.pipeline_fill_latency
                              : 0;
-    st->pipe->Submit(st->qp_id, bytes, fill, [this, st, bytes](SimTime) {
+    st->pipe->Submit(st->ctx->qp_id, bytes, fill, [this, st, bytes](SimTime) {
       OnBurstProcessed(st, bytes);
     });
   };
 
   if (request.smart_addressing) {
-    memctl_->ScatteredRead(qp_id, request.vaddr, rows,
+    memctl_->ScatteredRead(ctx->qp_id, request.vaddr, rows,
                            request.sa_access_bytes, request.tuple_bytes,
                            on_mem_burst);
   } else {
-    memctl_->StreamRead(qp_id, request.vaddr, request.len, on_mem_burst);
+    memctl_->StreamRead(ctx->qp_id, request.vaddr, request.len, on_mem_burst);
   }
 }
 
@@ -203,7 +226,7 @@ void DynamicRegion::OnBurstProcessed(std::shared_ptr<ExecState> st,
   Result<Batch> out = pipeline_->Process(std::move(batch));
   if (!out.ok()) {
     st->failed = true;
-    busy_ = false;
+    ReleaseBusy();
     st->on_result(out.status());
     return;
   }
@@ -223,7 +246,7 @@ void DynamicRegion::FinishStream(std::shared_ptr<ExecState> st) {
   Result<Batch> flushed = pipeline_->Flush();
   if (!flushed.ok()) {
     st->failed = true;
-    busy_ = false;
+    ReleaseBusy();
     st->on_result(flushed.status());
     return;
   }
@@ -238,16 +261,15 @@ void DynamicRegion::FinishStream(std::shared_ptr<ExecState> st) {
                          fb.data.end());
   st->result.rows += fb.num_rows;
   const uint64_t flush_bytes = fb.size_bytes();
-  engine_->ScheduleAfter(flush_latency, [st, flush_bytes]() {
+  engine_->ScheduleAfter(flush_latency, [this, st, flush_bytes]() {
+    st->ctx->operator_done = engine_->Now();
     if (flush_bytes > 0) st->tx->Push(flush_bytes);
     st->tx->Finish();
   });
 }
 
-void DynamicRegion::ExecuteRead(int client_id, int qp_id, uint64_t vaddr,
-                                uint64_t len,
-                                std::function<void(Result<FvResult>)>
-                                    on_result) {
+void DynamicRegion::ExecuteRead(
+    RequestContextPtr ctx, std::function<void(Result<FvResult>)> on_result) {
   auto fail = [this, &on_result](Status s) {
     engine_->ScheduleAfter(0, [s, on_result = std::move(on_result)]() {
       on_result(s);
@@ -258,38 +280,46 @@ void DynamicRegion::ExecuteRead(int client_id, int qp_id, uint64_t vaddr,
     return;
   }
   auto st = std::make_shared<ExecState>();
-  st->client_id = client_id;
-  st->qp_id = qp_id;
+  st->ctx = ctx;
   st->plain_read = true;
   st->on_result = std::move(on_result);
-  st->result.issued_at = engine_->Now();
-  st->stream.resize(len);
-  const Status s = mmu_->Read(client_id, vaddr, len, st->stream.data());
+  st->result.issued_at = ctx->submitted;
+  st->stream.resize(ctx->request.len);
+  const Status s = mmu_->Read(ctx->client_id, ctx->request.vaddr,
+                              ctx->request.len, st->stream.data());
   if (!s.ok()) {
     engine_->ScheduleAfter(0, [s, st]() { st->on_result(s); });
     return;
   }
   st->result.data = st->stream;
 
-  busy_ = true;
+  EnterBusy(ctx);
   st->tx = net_->OpenStream(
-      qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
+      ctx->qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
         st->result.bytes_on_wire += bytes;
         if (st->result.first_byte_at == 0) st->result.first_byte_at = t;
         if (last) {
           st->result.completed_at = t;
-          busy_ = false;
+          StampDelivered(st, t);
+          ReleaseBusy();
           ++requests_served_;
           st->on_result(std::move(st->result));
         }
       });
 
   // Blue bypass path (Figure 3): memory bursts stream straight to the
-  // network stack, no datapath stage.
-  memctl_->StreamRead(qp_id, vaddr, len,
-                      [st](uint64_t bytes, bool last, SimTime) {
+  // network stack, no datapath stage — the memory stack's last burst marks
+  // the operator-done stage for plain reads.
+  memctl_->StreamRead(ctx->qp_id, ctx->request.vaddr, ctx->request.len,
+                      [st](uint64_t bytes, bool last, SimTime t) {
+                        if (st->ctx->first_memory_beat == 0) {
+                          st->ctx->first_memory_beat = t;
+                        }
                         if (bytes > 0) st->tx->Push(bytes);
-                        if (last) st->tx->Finish();
+                        if (last) {
+                          st->ctx->operator_done = t;
+                          st->tx->Finish();
+                        }
                       });
 }
 

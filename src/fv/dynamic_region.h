@@ -7,7 +7,9 @@
 
 #include "common/status.h"
 #include "fv/fv_config.h"
+#include "fv/node_stats.h"
 #include "fv/request.h"
+#include "fv/request_context.h"
 #include "mem/memory_controller.h"
 #include "mem/mmu.h"
 #include "net/network_stack.h"
@@ -21,8 +23,9 @@ namespace farview {
 ///
 /// A region is assigned to one connection, holds at most one loaded operator
 /// pipeline (swappable at runtime with a milliseconds-scale partial
-/// reconfiguration), and serves one request at a time. Request execution
-/// follows Figure 3:
+/// reconfiguration), and serves one request at a time — multiple outstanding
+/// requests wait in the owning queue pair's submission queue at the node.
+/// Request execution follows Figure 3:
 ///
 ///   memory stack ──bursts──▶ reorder ──▶ pipe (datapath @16 GB/s/pipe)
 ///        ▲                                   │ operators (functional)
@@ -35,11 +38,16 @@ namespace farview {
 /// are read through the MMU when each burst clears the datapath — in
 /// stream order, which the reorder step guarantees (the hardware's
 /// inter-stack queues do the same).
+///
+/// The region stamps each request's `RequestContext` as it moves through the
+/// stacks (region-start, first-memory-beat, operator-done, egress-finished,
+/// delivered) and reports its busy intervals to `NodeStats`.
 class DynamicRegion {
  public:
   DynamicRegion(int region_id, sim::Engine* engine,
                 const FarviewConfig& config, Mmu* mmu,
-                MemoryController* memctl, NetworkStack* net);
+                MemoryController* memctl, NetworkStack* net,
+                NodeStats* stats);
 
   DynamicRegion(const DynamicRegion&) = delete;
   DynamicRegion& operator=(const DynamicRegion&) = delete;
@@ -56,18 +64,20 @@ class DynamicRegion {
 
   /// Executes a Farview-verb request through the loaded pipeline. The
   /// request must already be at the node (ingress latency paid by the
-  /// caller). `on_result` runs when the last byte lands in client memory.
-  /// `client_id` scopes MMU access rights; `qp_id` labels shared-resource
-  /// arbitration.
-  void Execute(int client_id, int qp_id, const FvRequest& request,
+  /// caller; `ctx->ingress_done` stamped). `on_result` runs when the last
+  /// byte lands in client memory — the caller (node or scheduler) uses it
+  /// to drain the submission queue before invoking `ctx->done`.
+  void Execute(RequestContextPtr ctx,
                std::function<void(Result<FvResult>)> on_result);
 
-  /// Executes a plain RDMA read (the blue bypass path of Figure 3): memory
-  /// streamed straight to the network, no operators.
-  void ExecuteRead(int client_id, int qp_id, uint64_t vaddr, uint64_t len,
+  /// Executes a plain RDMA read of `ctx->request.vaddr/len` (the blue
+  /// bypass path of Figure 3): memory streamed straight to the network, no
+  /// operators.
+  void ExecuteRead(RequestContextPtr ctx,
                    std::function<void(Result<FvResult>)> on_result);
 
   bool busy() const { return busy_; }
+  bool reconfiguring() const { return reconfiguring_; }
   int region_id() const { return region_id_; }
 
   /// Requests served since construction.
@@ -82,17 +92,28 @@ class DynamicRegion {
 
   void FinishStream(std::shared_ptr<ExecState> st);
 
+  /// Marks the region busy and records the occupancy start.
+  void EnterBusy(RequestContextPtr& ctx);
+
+  /// Frees the region and reports the busy interval to NodeStats.
+  void ReleaseBusy();
+
+  /// Copies delivery accounting from the exec state into its context.
+  void StampDelivered(const std::shared_ptr<ExecState>& st, SimTime t);
+
   int region_id_;
   sim::Engine* engine_;
   FarviewConfig config_;
   Mmu* mmu_;
   MemoryController* memctl_;
   NetworkStack* net_;
+  NodeStats* stats_;
 
   std::optional<Pipeline> pipeline_;
   std::unique_ptr<sim::Server> datapath_;
   bool busy_ = false;
   bool reconfiguring_ = false;
+  SimTime busy_since_ = 0;
   uint64_t requests_served_ = 0;
 };
 

@@ -9,6 +9,8 @@ namespace farview {
 FarviewNode::FarviewNode(sim::Engine* engine, const FarviewConfig& config)
     : engine_(engine), config_(config) {
   FV_CHECK(engine_ != nullptr);
+  FV_CHECK(config_.submission_queue_depth >= 1)
+      << "submission_queue_depth must be at least 1";
   phys_ = std::make_unique<PhysicalMemory>(config_.dram.TotalCapacity(),
                                            Mmu::kPageSize);
   mmu_ = std::make_unique<Mmu>(phys_.get());
@@ -20,7 +22,8 @@ FarviewNode::FarviewNode(sim::Engine* engine, const FarviewConfig& config)
   region_taken_.assign(static_cast<size_t>(config_.num_regions), false);
   for (int r = 0; r < config_.num_regions; ++r) {
     regions_.push_back(std::make_unique<DynamicRegion>(
-        r, engine_, config_, mmu_.get(), memctl_.get(), net_.get()));
+        r, engine_, config_, mmu_.get(), memctl_.get(), net_.get(),
+        &stats_));
   }
 }
 
@@ -43,6 +46,8 @@ Result<QPair*> FarviewNode::Connect(int client_id) {
   qp->connected = true;
   QPair* raw = qp.get();
   qpairs_.emplace(raw->qp_id, std::move(qp));
+  qp_queues_.emplace(raw->qp_id,
+                     SubmissionQueue(config_.submission_queue_depth));
   return raw;
 }
 
@@ -65,6 +70,20 @@ Status FarviewNode::Disconnect(int qp_id) {
   if (it->second->region_id >= 0) {
     region_taken_[static_cast<size_t>(it->second->region_id)] = false;
   }
+  auto qit = qp_queues_.find(qp_id);
+  if (qit != qp_queues_.end()) {
+    // Waiting requests never reached a region; fail them. The executing
+    // one, if any, is a one-sided operation already in the network and
+    // completes on its own.
+    for (RequestContextPtr& ctx : qit->second.Flush()) {
+      stats_.RecordFailure(qp_id);
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+        done(Status::Unavailable(
+            "connection closed with the request still queued"));
+      });
+    }
+    qp_queues_.erase(qit);
+  }
   qpairs_.erase(it);
   return Status::OK();
 }
@@ -72,6 +91,11 @@ Status FarviewNode::Disconnect(int qp_id) {
 QPair* FarviewNode::FindQPair(int qp_id) {
   auto it = qpairs_.find(qp_id);
   return it == qpairs_.end() ? nullptr : it->second.get();
+}
+
+const SubmissionQueue* FarviewNode::submission_queue(int qp_id) const {
+  auto it = qp_queues_.find(qp_id);
+  return it == qp_queues_.end() ? nullptr : &it->second;
 }
 
 Result<DynamicRegion*> FarviewNode::RegionFor(int qp_id) {
@@ -108,12 +132,17 @@ void FarviewNode::LoadPipeline(int qp_id, Pipeline pipeline,
     return;
   }
   // Like any client-initiated operation, the reconfiguration command
-  // crosses the network before the region acts on it.
+  // crosses the network before the region acts on it. Once the swap
+  // completes, requests that queued up behind it are dispatched.
   DynamicRegion* r = region.value();
   net_->DeliverRequest(
-      [r, p = std::make_shared<Pipeline>(std::move(pipeline)),
+      [this, qp_id, r, p = std::make_shared<Pipeline>(std::move(pipeline)),
        done = std::move(done)]() mutable {
-        r->LoadPipeline(std::move(*p), std::move(done));
+        r->LoadPipeline(std::move(*p),
+                        [this, qp_id, done = std::move(done)](Status s) {
+                          MaybeDispatch(qp_id);
+                          done(s);
+                        });
       });
 }
 
@@ -136,13 +165,26 @@ void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
   qp->bytes_written_to_memory += len;
   ++qp->requests_issued;
 
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request_id = stats_.NextRequestId();
+  ctx->qp_id = qp_id;
+  ctx->client_id = qp->client_id;
+  ctx->verb = Verb::kWrite;
+  ctx->request.vaddr = vaddr;
+  ctx->request.len = len;
+  ctx->submitted = engine_->Now();
+  ctx->bytes_on_wire = len;
+
   // Timing: request latency, then the payload crosses the ingress link in
   // packets, then streams into DRAM; completion (write acknowledgment back
   // at the client) after the final memory burst plus the return latency.
+  // Writes never occupy a region, so the context skips the queue/region
+  // stages entirely.
   const int flow = qp_id;
   engine_->ScheduleAfter(
-      config_.net.fv_request_latency, [this, flow, vaddr, len,
+      config_.net.fv_request_latency, [this, flow, vaddr, len, ctx,
                                        done = std::move(done)]() mutable {
+        ctx->ingress_done = engine_->Now();
         const uint64_t packet = config_.net.packet_bytes;
         uint64_t sent = 0;
         auto done_holder =
@@ -152,16 +194,23 @@ void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
           const uint64_t n = std::min<uint64_t>(packet, len - sent);
           const bool last = sent + n >= len;
           ingress_->Submit(
-              flow, n, [this, flow, vaddr, len, last, done_holder](SimTime) {
+              flow, n,
+              [this, flow, vaddr, len, last, ctx, done_holder](SimTime) {
                 if (!last) return;
                 // All packets arrived; stream the payload into memory.
                 memctl_->StreamWrite(
                     flow, vaddr, len,
-                    [this, done_holder](uint64_t, bool mem_last, SimTime) {
+                    [this, ctx, done_holder](uint64_t, bool mem_last,
+                                             SimTime t) {
+                      if (ctx->first_memory_beat == 0) {
+                        ctx->first_memory_beat = t;
+                      }
                       if (!mem_last) return;
                       engine_->ScheduleAfter(
                           config_.net.fv_delivery_latency,
-                          [this, done_holder]() {
+                          [this, ctx, done_holder]() {
+                            ctx->delivered = engine_->Now();
+                            stats_.RecordCompletion(*ctx);
                             (*done_holder)(engine_->Now());
                           });
                     });
@@ -181,21 +230,16 @@ void FarviewNode::TableRead(int qp_id, uint64_t vaddr, uint64_t len,
   }
   QPair* qp = FindQPair(qp_id);
   ++qp->requests_issued;
-  const SimTime issued = engine_->Now();
-  const int client = qp->client_id;
-  DynamicRegion* r = region.value();
-  net_->DeliverRequest([this, r, client, qp_id, vaddr, len, issued, qp,
-                        done = std::move(done)]() mutable {
-    r->ExecuteRead(client, qp_id, vaddr, len,
-                   [issued, qp, done = std::move(done)](
-                       Result<FvResult> res) mutable {
-                     if (res.ok()) {
-                       res.value().issued_at = issued;
-                       qp->bytes_sent_to_client += res.value().bytes_on_wire;
-                     }
-                     done(std::move(res));
-                   });
-  });
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request_id = stats_.NextRequestId();
+  ctx->qp_id = qp_id;
+  ctx->client_id = qp->client_id;
+  ctx->verb = Verb::kRead;
+  ctx->request.vaddr = vaddr;
+  ctx->request.len = len;
+  ctx->submitted = engine_->Now();
+  ctx->done = std::move(done);
+  net_->DeliverRequest([this, ctx]() { OnArrival(ctx); });
 }
 
 void FarviewNode::FarviewRequest(int qp_id, const FvRequest& request,
@@ -208,21 +252,84 @@ void FarviewNode::FarviewRequest(int qp_id, const FvRequest& request,
   }
   QPair* qp = FindQPair(qp_id);
   ++qp->requests_issued;
-  const SimTime issued = engine_->Now();
-  const int client = qp->client_id;
-  DynamicRegion* r = region.value();
-  net_->DeliverRequest([this, r, client, qp_id, request, issued, qp,
-                        done = std::move(done)]() mutable {
-    r->Execute(client, qp_id, request,
-               [issued, qp, done = std::move(done)](
-                   Result<FvResult> res) mutable {
-                 if (res.ok()) {
-                   res.value().issued_at = issued;
-                   qp->bytes_sent_to_client += res.value().bytes_on_wire;
-                 }
-                 done(std::move(res));
-               });
-  });
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request_id = stats_.NextRequestId();
+  ctx->qp_id = qp_id;
+  ctx->client_id = qp->client_id;
+  ctx->verb = Verb::kFarview;
+  ctx->request = request;
+  ctx->submitted = engine_->Now();
+  ctx->done = std::move(done);
+  net_->DeliverRequest([this, ctx]() { OnArrival(ctx); });
+}
+
+void FarviewNode::OnArrival(RequestContextPtr ctx) {
+  ctx->ingress_done = engine_->Now();
+  auto it = qp_queues_.find(ctx->qp_id);
+  if (it == qp_queues_.end()) {
+    // Connection torn down while the request was crossing the network.
+    stats_.RecordFailure(ctx->qp_id);
+    engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+      done(Status::Unavailable("connection closed"));
+    });
+    return;
+  }
+  SubmissionQueue& q = it->second;
+  if (!q.CanAccept()) {
+    stats_.RecordRejection(ctx->qp_id);
+    engine_->ScheduleAfter(0, [done = std::move(ctx->done),
+                               depth = q.depth()]() {
+      done(Status::Unavailable("submission queue full (depth " +
+                               std::to_string(depth) + ")"));
+    });
+    return;
+  }
+  q.Enqueue(std::move(ctx));
+  stats_.RecordQueueDepth(it->first, q.Outstanding());
+  MaybeDispatch(it->first);
+}
+
+void FarviewNode::MaybeDispatch(int qp_id) {
+  auto it = qp_queues_.find(qp_id);
+  if (it == qp_queues_.end() || !it->second.CanDispatch()) return;
+  QPair* qp = FindQPair(qp_id);
+  FV_CHECK(qp != nullptr && qp->region_id >= 0)
+      << "queued request on a connection without a region";
+  DynamicRegion* r = regions_[static_cast<size_t>(qp->region_id)].get();
+  // A busy or reconfiguring region drains the queue when it frees (its
+  // completion callback and LoadPipeline both re-enter here).
+  if (r->busy() || r->reconfiguring()) return;
+  RequestContextPtr ctx = it->second.PopForDispatch();
+  auto on_result = [this, ctx](Result<FvResult> res) {
+    FinishRequest(ctx, std::move(res));
+  };
+  if (ctx->verb == Verb::kRead) {
+    r->ExecuteRead(ctx, std::move(on_result));
+  } else {
+    r->Execute(ctx, std::move(on_result));
+  }
+}
+
+void FarviewNode::FinishRequest(RequestContextPtr ctx, Result<FvResult> res) {
+  if (res.ok()) {
+    res.value().issued_at = ctx->submitted;
+    QPair* qp = FindQPair(ctx->qp_id);
+    if (qp != nullptr) {
+      qp->bytes_sent_to_client += res.value().bytes_on_wire;
+    }
+    stats_.RecordCompletion(*ctx);
+  } else {
+    stats_.RecordFailure(ctx->qp_id);
+  }
+  // Free the queue slot and hand the region to the next waiting request
+  // before notifying the client (free-before-notify, like the scheduler).
+  auto it = qp_queues_.find(ctx->qp_id);
+  if (it != qp_queues_.end()) {
+    it->second.MarkDone();
+    MaybeDispatch(ctx->qp_id);
+  }
+  auto done = std::move(ctx->done);
+  done(std::move(res));
 }
 
 ResourceUsage FarviewNode::CurrentResources() const {
@@ -231,6 +338,10 @@ ResourceUsage FarviewNode::CurrentResources() const {
     if (r->HasPipeline()) loaded.push_back(&r->pipeline());
   }
   return ResourceModel::Total(static_cast<int>(regions_.size()), loaded);
+}
+
+std::string FarviewNode::StatsReport() {
+  return stats_.FormatReport(engine_->Now(), net_->link().Utilization());
 }
 
 }  // namespace farview

@@ -4,11 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fv/dynamic_region.h"
 #include "fv/fv_config.h"
+#include "fv/node_stats.h"
 #include "fv/request.h"
+#include "fv/request_context.h"
 #include "fv/resource_model.h"
 #include "mem/memory_controller.h"
 #include "mem/mmu.h"
@@ -27,6 +30,12 @@ namespace farview {
 /// Clients connect to obtain a queue pair bound to a dynamic region, then
 /// drive the paper's data API (Section 4.2) through `FarviewClient` or
 /// directly via the async methods here.
+///
+/// Every data-path verb allocates a `RequestContext` at submission; dedicated
+/// connections admit region verbs through a bounded per-queue-pair
+/// `SubmissionQueue` (`FarviewConfig::submission_queue_depth` outstanding;
+/// FIFO drain as the region frees; `Unavailable` beyond the cap) and every
+/// completion is recorded in the node-wide `NodeStats`.
 class FarviewNode {
  public:
   FarviewNode(sim::Engine* engine, const FarviewConfig& config);
@@ -45,8 +54,10 @@ class FarviewNode {
   /// processing elasticity" to future work).
   Result<QPair*> ConnectShared(int client_id);
 
-  /// Tears down a connection, freeing its region. Memory allocations
-  /// survive (they belong to the client, not the connection).
+  /// Tears down a connection, freeing its region. Requests still waiting in
+  /// the submission queue fail with `Unavailable`; the one already executing
+  /// finishes on its own (one-sided RDMA already in flight). Memory
+  /// allocations survive (they belong to the client, not the connection).
   Status Disconnect(int qp_id);
 
   // --- Control path (immediate, like the paper's management interface) ---
@@ -60,7 +71,8 @@ class FarviewNode {
   Status ShareTableMem(const QPair& qp, uint64_t vaddr);
 
   /// Loads an operator pipeline into the connection's region (partial
-  /// reconfiguration; completes asynchronously).
+  /// reconfiguration; completes asynchronously). Requests queued during the
+  /// reconfiguration are dispatched once it completes.
   void LoadPipeline(int qp_id, Pipeline pipeline,
                     std::function<void(Status)> done);
 
@@ -97,9 +109,37 @@ class FarviewNode {
   /// Number of connected clients.
   int num_connections() const { return static_cast<int>(qpairs_.size()); }
 
+  /// Node-wide telemetry: per-stage latency distributions, per-queue-pair
+  /// throughput, queue high-water marks, region busy time. The scheduler
+  /// records its completions here too.
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// Submission queue of a dedicated connection (nullptr when unknown or
+  /// shared). For tests and introspection.
+  const SubmissionQueue* submission_queue(int qp_id) const;
+
+  /// Human-readable telemetry dump (stage latencies, per-qp throughput,
+  /// region/link utilization) at the current simulated time.
+  std::string StatsReport();
+
  private:
   /// Region assigned to a queue pair, or error.
   Result<DynamicRegion*> RegionFor(int qp_id);
+
+  /// A region verb finished its ingress hop: admit it to the queue pair's
+  /// submission queue (or reject when the depth cap is hit).
+  void OnArrival(RequestContextPtr ctx);
+
+  /// Dispatches the oldest waiting request of `qp_id` when its region is
+  /// free. No-op when the queue is empty, a request is executing, or the
+  /// region is busy/reconfiguring.
+  void MaybeDispatch(int qp_id);
+
+  /// Completion of a dispatched request: accounts flow/node stats, frees the
+  /// queue slot, dispatches the next waiting request, then notifies the
+  /// client.
+  void FinishRequest(RequestContextPtr ctx, Result<FvResult> res);
 
   sim::Engine* engine_;
   FarviewConfig config_;
@@ -109,9 +149,12 @@ class FarviewNode {
   std::unique_ptr<NetworkStack> net_;
   /// Ingress link (client→node data for writes); separate from egress.
   std::unique_ptr<sim::Server> ingress_;
+  NodeStats stats_;
   std::vector<std::unique_ptr<DynamicRegion>> regions_;
   std::vector<bool> region_taken_;
   std::map<int, std::unique_ptr<QPair>> qpairs_;
+  /// One bounded submission queue per dedicated connection.
+  std::map<int, SubmissionQueue> qp_queues_;
   int next_qp_id_ = 1;
 };
 

@@ -27,6 +27,15 @@ struct FarviewConfig {
   /// channels" (Section 5.3).
   int vector_pipes = 2;
 
+  /// Maximum outstanding requests per queue pair (the one executing on the
+  /// region plus those waiting in the submission queue). The paper's
+  /// prototype serves one request per queue pair at a time; depth 1
+  /// reproduces that. Larger depths let a client post multiple asynchronous
+  /// requests on one connection — the node drains the queue in FIFO order
+  /// as the region frees and rejects submissions beyond the cap with
+  /// `Unavailable` (Section 6.6's multi-client scaling direction).
+  int submission_queue_depth = 1;
+
   /// Partial reconfiguration time for swapping a region's operator pipeline
   /// ("on the order of milliseconds", Section 3.2).
   SimTime region_reconfig_time = 5 * kMillisecond;

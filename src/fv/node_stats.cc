@@ -1,0 +1,133 @@
+#include "fv/node_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace farview {
+
+namespace {
+
+/// One "p50 p90 p99 max" row of the stage-latency table, in microseconds.
+void AppendStageRow(std::ostringstream& out, const char* label,
+                    const sim::SampleStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "    %-16s %10.3f %10.3f %10.3f %10.3f\n", label,
+                ToMicros(static_cast<SimTime>(s.Percentile(50))),
+                ToMicros(static_cast<SimTime>(s.Percentile(90))),
+                ToMicros(static_cast<SimTime>(s.Percentile(99))),
+                ToMicros(static_cast<SimTime>(s.Max())));
+  out << buf;
+}
+
+}  // namespace
+
+void NodeStats::RecordCompletion(const RequestContext& ctx) {
+  RequestRecord rec;
+  rec.request_id = ctx.request_id;
+  rec.qp_id = ctx.qp_id;
+  rec.client_id = ctx.client_id;
+  rec.verb = ctx.verb;
+  rec.submitted = ctx.submitted;
+  rec.ingress_done = ctx.ingress_done;
+  rec.region_start = ctx.region_start;
+  rec.first_memory_beat = ctx.first_memory_beat;
+  rec.operator_done = ctx.operator_done;
+  rec.egress_finished = ctx.egress_finished;
+  rec.delivered = ctx.delivered;
+  rec.bytes_on_wire = ctx.bytes_on_wire;
+  rec.packets = ctx.packets;
+  rec.rows = ctx.rows;
+  completed_.push_back(rec);
+
+  if (ctx.ingress_done > 0) {
+    ingress_.Add(static_cast<double>(ctx.ingress_done - ctx.submitted));
+  }
+  if (ctx.region_start > 0) {
+    queue_wait_.Add(static_cast<double>(ctx.region_start - ctx.ingress_done));
+  }
+  if (ctx.operator_done > 0 && ctx.region_start > 0) {
+    execute_.Add(static_cast<double>(ctx.operator_done - ctx.region_start));
+  }
+  if (ctx.delivered > 0 && ctx.operator_done > 0) {
+    egress_.Add(static_cast<double>(ctx.delivered - ctx.operator_done));
+  }
+  if (ctx.delivered > 0) {
+    total_.Add(static_cast<double>(ctx.delivered - ctx.submitted));
+  }
+
+  QpStats& qp = per_qp_[ctx.qp_id];
+  ++qp.completed;
+  qp.bytes_delivered += ctx.bytes_on_wire;
+  if (qp.first_submitted == 0 || ctx.submitted < qp.first_submitted) {
+    qp.first_submitted = ctx.submitted;
+  }
+  qp.last_delivered = std::max(qp.last_delivered, ctx.delivered);
+}
+
+void NodeStats::RecordFailure(int qp_id) {
+  ++failed_;
+  ++per_qp_[qp_id].failed;
+}
+
+void NodeStats::RecordRejection(int qp_id) {
+  ++rejected_;
+  ++per_qp_[qp_id].rejected;
+}
+
+void NodeStats::RecordQueueDepth(int qp_id, size_t outstanding) {
+  QpStats& qp = per_qp_[qp_id];
+  qp.queue_high_water = std::max(qp.queue_high_water, outstanding);
+}
+
+void NodeStats::RecordRegionBusy(int region_id, SimTime busy) {
+  region_busy_[region_id] += busy;
+}
+
+SimTime NodeStats::region_busy_time(int region_id) const {
+  auto it = region_busy_.find(region_id);
+  return it == region_busy_.end() ? 0 : it->second;
+}
+
+std::string NodeStats::FormatReport(SimTime now,
+                                    double link_utilization) const {
+  std::ostringstream out;
+  out << "NodeStats: " << completed_.size() << " completed, " << failed_
+      << " failed, " << rejected_ << " rejected\n";
+  out << "  stage latency [us]        p50        p90        p99        max\n";
+  AppendStageRow(out, "ingress", ingress_);
+  AppendStageRow(out, "queue wait", queue_wait_);
+  AppendStageRow(out, "execute", execute_);
+  AppendStageRow(out, "egress+deliver", egress_);
+  AppendStageRow(out, "total", total_);
+  for (const auto& [qp_id, qp] : per_qp_) {
+    char buf[192];
+    const SimTime span = qp.last_delivered - qp.first_submitted;
+    const double gbps =
+        span > 0 ? AchievedGBps(qp.bytes_delivered, span) : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  qp %-4d %6llu reqs  %10llu B moved  %6.2f GB/s  "
+                  "queue high-water %zu\n",
+                  qp_id, static_cast<unsigned long long>(qp.completed),
+                  static_cast<unsigned long long>(qp.bytes_delivered), gbps,
+                  qp.queue_high_water);
+    out << buf;
+  }
+  for (const auto& [region_id, busy] : region_busy_) {
+    char buf[96];
+    const double pct =
+        now > 0 ? 100.0 * static_cast<double>(busy) / static_cast<double>(now)
+                : 0.0;
+    std::snprintf(buf, sizeof(buf), "  region %d: %5.1f%% busy\n", region_id,
+                  pct);
+    out << buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  link utilization: %5.1f%%\n",
+                100.0 * link_utilization);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace farview

@@ -1,0 +1,134 @@
+#ifndef FARVIEW_FV_NODE_STATS_H_
+#define FARVIEW_FV_NODE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fv/request_context.h"
+#include "sim/stats.h"
+
+namespace farview {
+
+/// Node-wide telemetry registry: the single sink for request lifecycle
+/// records that used to live as scattered one-off counters across the
+/// network stack, the region scheduler and the bench drivers.
+///
+/// The registry aggregates, per node:
+///  - per-stage latency distributions over completed requests (ingress,
+///    queue wait, region execution, egress+delivery, end-to-end), built on
+///    `sim::SampleStats`;
+///  - per-queue-pair throughput (requests, delivered bytes, rejections,
+///    failures, queue-depth high-water marks);
+///  - region busy time and, via the caller, egress-link utilization.
+///
+/// All recording happens at simulated instants from node code; the registry
+/// itself is passive bookkeeping and never schedules events, so it cannot
+/// perturb timing (the shape tests stay byte-identical with it enabled).
+class NodeStats {
+ public:
+  /// Compact completion record kept for every finished request; tests use
+  /// these to assert the stage-stamp monotonicity invariant.
+  struct RequestRecord {
+    uint64_t request_id = 0;
+    int qp_id = -1;
+    int client_id = -1;
+    Verb verb = Verb::kFarview;
+    SimTime submitted = 0;
+    SimTime ingress_done = 0;
+    SimTime region_start = 0;
+    SimTime first_memory_beat = 0;
+    SimTime operator_done = 0;
+    SimTime egress_finished = 0;
+    SimTime delivered = 0;
+    uint64_t bytes_on_wire = 0;
+    uint64_t packets = 0;
+    uint64_t rows = 0;
+
+    /// Same invariant as RequestContext::StampsMonotone.
+    bool StampsMonotone() const {
+      return LifecycleStampsMonotone({submitted, ingress_done, region_start,
+                                      first_memory_beat, operator_done,
+                                      egress_finished, delivered});
+    }
+  };
+
+  /// Per-queue-pair throughput aggregates.
+  struct QpStats {
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t rejected = 0;
+    uint64_t bytes_delivered = 0;
+    size_t queue_high_water = 0;
+    SimTime first_submitted = 0;  ///< earliest submission seen (0 = none)
+    SimTime last_delivered = 0;
+  };
+
+  NodeStats() = default;
+
+  NodeStats(const NodeStats&) = delete;
+  NodeStats& operator=(const NodeStats&) = delete;
+
+  /// Allocates the next node-unique request id (monotone from 1).
+  uint64_t NextRequestId() { return ++last_request_id_; }
+
+  /// Folds a finished request into the distributions and appends its record.
+  void RecordCompletion(const RequestContext& ctx);
+
+  /// Counts a request that reached the node but failed with a Status.
+  void RecordFailure(int qp_id);
+
+  /// Counts a request bounced by a full submission queue.
+  void RecordRejection(int qp_id);
+
+  /// Updates qp's queue-depth high-water mark with the observed depth.
+  void RecordQueueDepth(int qp_id, size_t outstanding);
+
+  /// Accumulates a region's busy interval (request occupancy).
+  void RecordRegionBusy(int region_id, SimTime busy);
+
+  // --- Queries -------------------------------------------------------------
+
+  uint64_t completed_count() const { return completed_.size(); }
+  uint64_t failed_count() const { return failed_; }
+  uint64_t rejected_count() const { return rejected_; }
+
+  const std::vector<RequestRecord>& completed() const { return completed_; }
+  const std::map<int, QpStats>& per_qp() const { return per_qp_; }
+
+  /// Stage distributions (latencies in picoseconds).
+  const sim::SampleStats& ingress_latency() const { return ingress_; }
+  const sim::SampleStats& queue_wait() const { return queue_wait_; }
+  const sim::SampleStats& execute_latency() const { return execute_; }
+  const sim::SampleStats& egress_latency() const { return egress_; }
+  const sim::SampleStats& total_latency() const { return total_; }
+
+  /// Accumulated busy time of `region_id` (0 when never busy).
+  SimTime region_busy_time(int region_id) const;
+
+  /// Text dump used by the benches: stage latency percentiles, per-qp
+  /// throughput, queue-depth high-water marks, region busy fractions and
+  /// the egress-link utilization supplied by the caller.
+  std::string FormatReport(SimTime now, double link_utilization) const;
+
+ private:
+  uint64_t last_request_id_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t rejected_ = 0;
+
+  std::vector<RequestRecord> completed_;
+  std::map<int, QpStats> per_qp_;
+  std::map<int, SimTime> region_busy_;
+
+  sim::SampleStats ingress_;
+  sim::SampleStats queue_wait_;
+  sim::SampleStats execute_;
+  sim::SampleStats egress_;
+  sim::SampleStats total_;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_NODE_STATS_H_

@@ -20,12 +20,20 @@ void RegionScheduler::Submit(int client_id, int qp_id,
                              PipelineFactory factory,
                              const FvRequest& request,
                              std::function<void(Result<FvResult>)> done) {
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request_id = node_->stats().NextRequestId();
+  ctx->qp_id = qp_id;
+  ctx->client_id = client_id;
+  ctx->verb = Verb::kFarview;
+  ctx->request = request;
+  ctx->submitted = node_->engine()->Now();
+  ctx->done = std::move(done);
   // The submission crosses the network like any other request; scheduling
   // happens at the node.
-  Job job{client_id, qp_id, pipeline_key, std::move(factory), request,
-          std::move(done)};
+  Job job{std::move(ctx), pipeline_key, std::move(factory)};
   node_->network().DeliverRequest(
       [this, job = std::move(job)]() mutable {
+        job.ctx->ingress_done = node_->engine()->Now();
         queue_.push_back(std::move(job));
         Dispatch();
       });
@@ -65,6 +73,23 @@ void RegionScheduler::Dispatch() {
   }
 }
 
+void RegionScheduler::FinishJob(size_t slot_index,
+                                const RequestContextPtr& ctx,
+                                Result<FvResult> res) {
+  regions_[slot_index].busy = false;
+  ++jobs_completed_;
+  if (res.ok()) {
+    res.value().issued_at = ctx->submitted;
+    node_->stats().RecordCompletion(*ctx);
+  } else {
+    node_->stats().RecordFailure(ctx->qp_id);
+  }
+  // Free the region before notifying so the callback can submit follow-up
+  // work that lands on it.
+  Dispatch();
+  ctx->done(std::move(res));
+}
+
 void RegionScheduler::RunOn(size_t slot_index, Job job) {
   RegionSlot& slot = regions_[slot_index];
   FV_CHECK(!slot.busy);
@@ -75,14 +100,9 @@ void RegionScheduler::RunOn(size_t slot_index, Job job) {
   auto shared_job = std::make_shared<Job>(std::move(job));
   auto execute = [this, slot_index, shared_job]() {
     regions_[slot_index].region->Execute(
-        shared_job->client_id, shared_job->qp_id, shared_job->request,
+        shared_job->ctx,
         [this, slot_index, shared_job](Result<FvResult> r) {
-          regions_[slot_index].busy = false;
-          ++jobs_completed_;
-          // Free the region before notifying so the callback can submit
-          // follow-up work that lands on it.
-          Dispatch();
-          shared_job->done(std::move(r));
+          FinishJob(slot_index, shared_job->ctx, std::move(r));
         });
   };
 
@@ -95,8 +115,9 @@ void RegionScheduler::RunOn(size_t slot_index, Job job) {
   Result<Pipeline> pipeline = shared_job->factory();
   if (!pipeline.ok()) {
     slot.busy = false;
+    node_->stats().RecordFailure(shared_job->ctx->qp_id);
     node_->engine()->ScheduleAfter(
-        0, [shared_job, s = pipeline.status()]() { shared_job->done(s); });
+        0, [shared_job, s = pipeline.status()]() { shared_job->ctx->done(s); });
     Dispatch();
     return;
   }
@@ -107,8 +128,9 @@ void RegionScheduler::RunOn(size_t slot_index, Job job) {
       [this, slot_index, shared_job, execute](Status status) {
         if (!status.ok()) {
           regions_[slot_index].busy = false;
+          node_->stats().RecordFailure(shared_job->ctx->qp_id);
           Dispatch();
-          shared_job->done(status);
+          shared_job->ctx->done(status);
           return;
         }
         regions_[slot_index].loaded_key = shared_job->pipeline_key;

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "fv/farview_node.h"
+#include "fv/request_context.h"
 
 namespace farview {
 
@@ -26,6 +27,10 @@ namespace farview {
 ///    reconfiguration — the scheduler prefers such affinity matches;
 ///  - pipelines are built lazily (via a factory) only when a region
 ///    actually needs reconfiguring.
+///
+/// Scheduler jobs carry the same `RequestContext` as directly-submitted
+/// requests and report completions into the node's `NodeStats`, so the
+/// telemetry covers both submission paths.
 class RegionScheduler {
  public:
   /// The scheduler takes over all currently-unassigned regions of `node`.
@@ -57,12 +62,10 @@ class RegionScheduler {
 
  private:
   struct Job {
-    int client_id;
-    int qp_id;
+    /// Lifecycle context (id, stamps, completion callback) of the request.
+    RequestContextPtr ctx;
     std::string pipeline_key;
     PipelineFactory factory;
-    FvRequest request;
-    std::function<void(Result<FvResult>)> done;
   };
 
   struct RegionSlot {
@@ -76,6 +79,11 @@ class RegionScheduler {
 
   /// Runs `job` on slot `s` (which is free and reserved by the caller).
   void RunOn(size_t slot_index, Job job);
+
+  /// Records the outcome, frees the slot, dispatches queued work, then
+  /// notifies the job's owner (free-before-notify).
+  void FinishJob(size_t slot_index, const RequestContextPtr& ctx,
+                 Result<FvResult> res);
 
   FarviewNode* node_;
   std::vector<RegionSlot> regions_;

@@ -92,6 +92,7 @@ void NetworkStack::TxStream::TrySend() {
         qp_id_, payload,
         [this, payload, last, keep = self_](SimTime) {
           sim::Engine* eng = stack_->engine_;
+          last_link_exit_ = eng->Now();
           eng->ScheduleAfter(
               stack_->config_.fv_delivery_latency,
               [this, payload, last, keep]() {

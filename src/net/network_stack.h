@@ -55,6 +55,13 @@ class NetworkStack {
     uint64_t bytes_pushed() const { return bytes_pushed_; }
     uint64_t packets_sent() const { return packets_sent_; }
 
+    /// Instant the most recent packet finished serializing on the shared
+    /// egress link (before the propagation/delivery latency). After the
+    /// `last = true` delivery callback this is the stream's egress-finished
+    /// stamp; 0 until the first packet clears the link. Request lifecycle
+    /// accounting (RequestContext::egress_finished) reads it at completion.
+    SimTime last_link_exit() const { return last_link_exit_; }
+
    private:
     void TrySend();
 
@@ -67,6 +74,7 @@ class NetworkStack {
     int in_flight_packets_ = 0;
     bool finished_ = false;
     bool last_packet_formed_ = false;
+    SimTime last_link_exit_ = 0;
     /// Keeps `this` alive until all completions ran (streams are owned by
     /// shared_ptr via OpenStream).
     std::shared_ptr<TxStream> self_;

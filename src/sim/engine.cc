@@ -5,7 +5,12 @@
 namespace farview::sim {
 
 void Engine::ScheduleAt(SimTime t, std::function<void()> fn) {
+  // Scheduling before Now() would silently reorder causality (the event
+  // would run "immediately" but carry a stale timestamp); fail loudly
+  // instead. Scheduling exactly at Now() is legal — FIFO seq order breaks
+  // the tie deterministically.
   FV_CHECK(t >= now_) << "event scheduled in the past: " << t << " < " << now_;
+  FV_CHECK(fn != nullptr) << "event scheduled with a null callback";
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 

@@ -476,5 +476,189 @@ TEST_F(FvNodeTest, NodeTracksLoadedPipelineResources) {
   EXPECT_GT(after.bram_pct, before.bram_pct);  // distinct uses BRAM
 }
 
+// ---------------------------------------------------------------------------
+// Submission queues + request lifecycle telemetry
+// ---------------------------------------------------------------------------
+
+/// Fixture with a deeper per-queue-pair submission queue so a single client
+/// can post several outstanding requests on one connection.
+class FvQueueTest : public ::testing::Test {
+ protected:
+  static FarviewConfig DeepQueueConfig(int depth) {
+    FarviewConfig c;
+    c.submission_queue_depth = depth;
+    return c;
+  }
+
+  explicit FvQueueTest(int depth = 4)
+      : node_(&engine_, DeepQueueConfig(depth)), client_(&node_, 1) {
+    EXPECT_TRUE(client_.OpenConnection().ok());
+  }
+
+  /// Uploads a uniform table and loads the identity pipeline for it.
+  FTable UploadWithPipeline(uint64_t rows, uint64_t seed) {
+    TableGenerator gen(seed);
+    Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), rows, 100);
+    EXPECT_TRUE(t.ok());
+    FTable ft;
+    ft.name = "t";
+    ft.schema = t.value().schema();
+    ft.num_rows = rows;
+    EXPECT_TRUE(client_.AllocTableMem(&ft).ok());
+    EXPECT_TRUE(client_.TableWrite(ft, t.value()).ok());
+    Result<Pipeline> p = PipelineBuilder(ft.schema).Build();
+    EXPECT_TRUE(p.ok());
+    EXPECT_TRUE(client_.LoadPipeline(std::move(p).value()).ok());
+    return ft;
+  }
+
+  sim::Engine engine_;
+  FarviewNode node_;
+  FarviewClient client_;
+};
+
+TEST_F(FvQueueTest, AsyncRequestsDrainFifoWithoutReconnecting) {
+  const FTable ft = UploadWithPipeline(4096, 21);
+  constexpr int kRequests = 4;  // == queue depth
+
+  std::vector<int> completion_order;
+  std::vector<Result<FvResult>> results;
+  for (int i = 0; i < kRequests; ++i) {
+    results.emplace_back(Status::Internal("pending"));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    client_.FarviewRequestAsync(
+        client_.ScanRequest(ft),
+        [&completion_order, &results, i](Result<FvResult> r) {
+          completion_order.push_back(i);
+          results[static_cast<size_t>(i)] = std::move(r);
+        });
+  }
+  engine_.Run();
+
+  // All four completed, in submission order, on the one connection.
+  ASSERT_EQ(completion_order.size(), static_cast<size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(completion_order[static_cast<size_t>(i)], i);
+    ASSERT_TRUE(results[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(results[static_cast<size_t>(i)].value().rows, 4096u);
+  }
+  // Later requests waited in the queue: strictly increasing completion.
+  for (int i = 1; i < kRequests; ++i) {
+    EXPECT_GT(results[static_cast<size_t>(i)].value().completed_at,
+              results[static_cast<size_t>(i - 1)].value().completed_at);
+  }
+
+  // Telemetry observed the queue filling to its depth.
+  const int qp_id = client_.qp()->qp_id;
+  const auto it = node_.stats().per_qp().find(qp_id);
+  ASSERT_NE(it, node_.stats().per_qp().end());
+  EXPECT_EQ(it->second.queue_high_water, static_cast<size_t>(kRequests));
+  EXPECT_EQ(node_.stats().rejected_count(), 0u);
+  // And the report mentions it.
+  EXPECT_NE(node_.StatsReport().find("queue high-water"), std::string::npos);
+}
+
+class FvQueueDepth2Test : public FvQueueTest {
+ protected:
+  FvQueueDepth2Test() : FvQueueTest(2) {}
+};
+
+TEST_F(FvQueueDepth2Test, SubmissionBeyondDepthRejectedUnavailable) {
+  const FTable ft = UploadWithPipeline(4096, 22);
+  std::vector<Result<FvResult>> results;
+  for (int i = 0; i < 3; ++i) {
+    results.emplace_back(Status::Internal("pending"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    client_.FarviewRequestAsync(client_.ScanRequest(ft),
+                                [&results, i](Result<FvResult> r) {
+                                  results[static_cast<size_t>(i)] =
+                                      std::move(r);
+                                });
+  }
+  engine_.Run();
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_TRUE(results[2].status().IsUnavailable());
+  EXPECT_EQ(node_.stats().rejected_count(), 1u);
+  EXPECT_EQ(node_.stats().completed_count(), 3u);  // write + 2 requests
+}
+
+TEST_F(FvQueueTest, DisconnectFailsQueuedRequestsExecutingOneFinishes) {
+  const FTable ft = UploadWithPipeline(4096, 23);
+  std::vector<Result<FvResult>> results;
+  for (int i = 0; i < 3; ++i) {
+    results.emplace_back(Status::Internal("pending"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    client_.FarviewRequestAsync(client_.ScanRequest(ft),
+                                [&results, i](Result<FvResult> r) {
+                                  results[static_cast<size_t>(i)] =
+                                      std::move(r);
+                                });
+  }
+  // Run just past the ingress hop: the first request is executing on the
+  // region, the other two are waiting in the submission queue.
+  engine_.RunUntil(engine_.Now() + node_.config().net.fv_request_latency +
+                   kNanosecond);
+  const SubmissionQueue* q = node_.submission_queue(client_.qp()->qp_id);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->executing());
+  EXPECT_EQ(q->waiting(), 2u);
+
+  client_.CloseConnection();
+  engine_.Run();
+
+  // The in-flight request completes (one-sided RDMA already in the
+  // network); the queued ones fail with Unavailable.
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].status().IsUnavailable());
+  EXPECT_TRUE(results[2].status().IsUnavailable());
+  EXPECT_EQ(node_.stats().failed_count(), 2u);
+}
+
+TEST_F(FvQueueTest, StageStampsMonotoneForEveryCompletedRequest) {
+  const FTable ft = UploadWithPipeline(4096, 24);
+  // A mixed workload on one connection: queued Farview requests plus a
+  // plain read, all through the submission queue.
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    client_.FarviewRequestAsync(client_.ScanRequest(ft),
+                                [&done](Result<FvResult> r) {
+                                  EXPECT_TRUE(r.ok());
+                                  ++done;
+                                });
+  }
+  node_.TableRead(client_.qp()->qp_id, client_.ScanRequest(ft).vaddr,
+                  client_.ScanRequest(ft).len, [&done](Result<FvResult> r) {
+                    EXPECT_TRUE(r.ok());
+                    ++done;
+                  });
+  engine_.Run();
+  ASSERT_EQ(done, 4);
+
+  // Every completed request (the table write included) satisfies the
+  // lifecycle invariant; region verbs visited every stage.
+  ASSERT_GE(node_.stats().completed().size(), 5u);
+  for (const NodeStats::RequestRecord& rec : node_.stats().completed()) {
+    EXPECT_TRUE(rec.StampsMonotone()) << "request " << rec.request_id;
+    // (The very first write is submitted at sim time 0, so `submitted`
+    // itself may legitimately be 0.)
+    EXPECT_GE(rec.ingress_done, rec.submitted);
+    EXPECT_GT(rec.delivered, 0);
+    if (rec.verb == Verb::kFarview || rec.verb == Verb::kRead) {
+      // submitted <= region-start <= operator-done <= delivered, all set.
+      EXPECT_GE(rec.region_start, rec.submitted);
+      EXPECT_GE(rec.first_memory_beat, rec.region_start);
+      EXPECT_GE(rec.operator_done, rec.first_memory_beat);
+      EXPECT_GE(rec.egress_finished, rec.operator_done);
+      EXPECT_GE(rec.delivered, rec.egress_finished);
+    }
+  }
+  // Queue waits were recorded for the requests that had to wait.
+  EXPECT_GT(node_.stats().queue_wait().Max(), 0.0);
+}
+
 }  // namespace
 }  // namespace farview

@@ -80,6 +80,31 @@ TEST(EngineDeathTest, SchedulingInThePastDies) {
   EXPECT_DEATH(e.ScheduleAt(50, [] {}), "scheduled in the past");
 }
 
+TEST(EngineDeathTest, NegativeDelayDies) {
+  Engine e;
+  EXPECT_DEATH(e.ScheduleAfter(-5, [] {}), "negative delay");
+}
+
+TEST(EngineDeathTest, NullCallbackDies) {
+  Engine e;
+  EXPECT_DEATH(e.ScheduleAt(0, nullptr), "null callback");
+}
+
+TEST(EngineTest, SchedulingExactlyAtNowIsAllowed) {
+  // Regression guard for the past-event check: t == Now() must stay legal
+  // (zero-latency hops like validation failures rely on it), and same-time
+  // events run in schedule order.
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(100, [&] {
+    e.ScheduleAt(e.Now(), [&] { order.push_back(1); });
+    e.ScheduleAfter(0, [&] { order.push_back(2); });
+  });
+  e.Run();
+  EXPECT_EQ(e.Now(), 100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
