@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("table")
+subdirs("hash")
+subdirs("crypto")
+subdirs("regex")
+subdirs("compress")
+subdirs("mem")
+subdirs("net")
+subdirs("operators")
+subdirs("fv")
+subdirs("baseline")
+subdirs("benchlib")
+subdirs("sql")
+subdirs("storage")
+subdirs("optimizer")

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/common_test[1]_include.cmake")
+include("/root/repo/build2/tests/sim_test[1]_include.cmake")
+include("/root/repo/build2/tests/table_test[1]_include.cmake")
+include("/root/repo/build2/tests/hash_test[1]_include.cmake")
+include("/root/repo/build2/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build2/tests/regex_test[1]_include.cmake")
+include("/root/repo/build2/tests/operators_test[1]_include.cmake")
+include("/root/repo/build2/tests/mem_test[1]_include.cmake")
+include("/root/repo/build2/tests/net_test[1]_include.cmake")
+include("/root/repo/build2/tests/fv_node_test[1]_include.cmake")
+include("/root/repo/build2/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/hash_join_test[1]_include.cmake")
+include("/root/repo/build2/tests/sql_test[1]_include.cmake")
+include("/root/repo/build2/tests/storage_test[1]_include.cmake")
+include("/root/repo/build2/tests/regex_differential_test[1]_include.cmake")
+include("/root/repo/build2/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build2/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build2/tests/compress_test[1]_include.cmake")
+include("/root/repo/build2/tests/param_sweeps_test[1]_include.cmake")
+include("/root/repo/build2/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build2/tests/benchlib_test[1]_include.cmake")
