@@ -28,3 +28,4 @@ fv_add_bench(ext_buffer_pool fv_storage fv_sql)
 fv_add_bench(ext_elasticity)
 fv_add_bench(ext_optimizer fv_optimizer)
 fv_add_bench(ext_compression fv_compress)
+fv_add_bench(ext_faults)

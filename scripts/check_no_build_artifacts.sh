@@ -1,16 +1,51 @@
 #!/usr/bin/env sh
-# Guards against re-committing generated build trees: fails when any path
-# under a build directory is tracked by git. Run from the repository root
-# (CI runs it on every push).
+# Guards against re-committing generated build trees. Two detection layers:
+#
+#  1. Name-based: any tracked path under a directory matching the build-tree
+#     naming conventions (build*/ — which includes numbered trees like
+#     build2/ — and cmake-build-*/).
+#  2. Content-based: any tracked path living under a directory that also
+#     tracks a generated marker file (CMakeCache.txt, .ninja_log,
+#     .ninja_deps, CTestTestfile.cmake). This catches build trees with
+#     arbitrary names — the exact escape that let a committed build2/ tree
+#     slip past the original glob-only check.
+#
+# Run from anywhere (the script cds to the repository root); CI runs it on
+# every push. `scripts/check_no_build_artifacts_selftest.sh` exercises both
+# layers against synthetic repositories.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tracked=$(git ls-files -- 'build/' 'build-*/' 'cmake-build-*/')
+fail=0
+
+# Layer 1: conventional build-tree names, tracked. The :(glob) magic is
+# required: a plain 'build*/' pathspec matches nothing (the trailing slash
+# defeats the glob), and 'build*' alone would also flag an ordinary file
+# named e.g. buildinfo.txt.
+tracked=$(git ls-files -- ':(glob)build*/**' ':(glob)cmake-build-*/**')
 if [ -n "$tracked" ]; then
-  echo "error: generated build artifacts are tracked by git:" >&2
+  echo "error: generated build artifacts are tracked by git (name match):" >&2
   echo "$tracked" | head -20 >&2
-  echo "(run: git rm -r --cached <path> and keep build/ in .gitignore)" >&2
+  fail=1
+fi
+
+# Layer 2: tracked marker files betray a committed build tree regardless of
+# its directory name; flag every tracked path under the marker's directory.
+marker_dirs=$(git ls-files |
+  grep -E '(^|/)(CMakeCache\.txt|\.ninja_log|\.ninja_deps|CTestTestfile\.cmake)$' |
+  while IFS= read -r f; do dirname "$f"; done | sort -u)
+if [ -n "$marker_dirs" ]; then
+  echo "$marker_dirs" | while IFS= read -r d; do
+    echo "error: directory '$d' tracks generated build markers; tracked contents:" >&2
+    git ls-files -- "$d/" | head -20 >&2
+  done
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "(run: git rm -r --cached <dir> and keep build trees out of git;" >&2
+  echo " .gitignore already covers build*/ and cmake-build-*/)" >&2
   exit 1
 fi
 echo "ok: no build artifacts tracked"

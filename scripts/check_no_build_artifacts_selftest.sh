@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Self-test for scripts/check_no_build_artifacts.sh. Builds synthetic git
+# repositories and asserts the guard:
+#
+#  1. FAILS on a tracked build2/ tree (the numbered-tree escape the original
+#     glob-only guard missed — it only matched build/ and build-*/);
+#  2. FAILS on a tracked build tree with an unconventional name, caught only
+#     by the content-based marker detection (CMakeCache.txt etc.);
+#  3. PASSES on a clean repository with ordinary sources.
+#
+# Run from anywhere; exits non-zero on the first violated expectation.
+set -eu
+
+guard_src="$(cd "$(dirname "$0")" && pwd)/check_no_build_artifacts.sh"
+
+make_repo() {
+  dir=$(mktemp -d)
+  git -C "$dir" init -q
+  git -C "$dir" -c user.email=t@t -c user.name=t commit -q --allow-empty -m init
+  mkdir -p "$dir/scripts"
+  cp "$guard_src" "$dir/scripts/check_no_build_artifacts.sh"
+  echo "$dir"
+}
+
+commit_all() {
+  git -C "$1" add -A
+  git -C "$1" -c user.email=t@t -c user.name=t commit -q -m "$2"
+}
+
+expect_fail() {
+  if sh "$1/scripts/check_no_build_artifacts.sh" >/dev/null 2>&1; then
+    echo "selftest FAILED: guard accepted '$2'" >&2
+    exit 1
+  fi
+}
+
+expect_pass() {
+  if ! sh "$1/scripts/check_no_build_artifacts.sh" >/dev/null 2>&1; then
+    echo "selftest FAILED: guard rejected '$2'" >&2
+    exit 1
+  fi
+}
+
+# Case 1: the historical escape — a numbered build2/ tree, fully tracked.
+repo=$(make_repo)
+mkdir -p "$repo/build2/CMakeFiles" "$repo/build2/Testing/Temporary"
+echo '# This is the CMakeCache file.' > "$repo/build2/CMakeCache.txt"
+printf '# ninja log v5\n' > "$repo/build2/.ninja_log"
+echo 'subdirs("tests")' > "$repo/build2/CTestTestfile.cmake"
+echo 'log' > "$repo/build2/Testing/Temporary/LastTest.log"
+commit_all "$repo" "oops: commit build tree"
+expect_fail "$repo" "tracked build2/ tree"
+rm -rf "$repo"
+
+# Case 1b: a build tree with NO marker files (objects only) — only the
+# name-based layer can catch this, so it pins that layer's pathspec glob
+# actually matches (a plain 'build*/' pathspec silently matches nothing).
+repo=$(make_repo)
+mkdir -p "$repo/build/objs"
+echo 'not really an object' > "$repo/build/objs/a.o"
+commit_all "$repo" "oops: commit stray objects"
+expect_fail "$repo" "tracked build/ objects without marker files"
+rm -rf "$repo"
+
+# Case 2: arbitrary directory name; only the marker files give it away.
+repo=$(make_repo)
+mkdir -p "$repo/artifacts/nested"
+echo '# This is the CMakeCache file.' > "$repo/artifacts/CMakeCache.txt"
+echo 'binary-ish' > "$repo/artifacts/nested/some_test_binary"
+commit_all "$repo" "oops: commit renamed build tree"
+expect_fail "$repo" "tracked build tree under unconventional name"
+rm -rf "$repo"
+
+# Case 3: ordinary sources must pass (including a file merely *named* like
+# a source that lives next to no marker).
+repo=$(make_repo)
+mkdir -p "$repo/src"
+echo 'int main() {}' > "$repo/src/main.cc"
+echo 'cmake_minimum_required(VERSION 3.16)' > "$repo/CMakeLists.txt"
+echo 'release notes' > "$repo/buildinfo.txt"  # name-prefix, NOT a build tree
+commit_all "$repo" "sources"
+expect_pass "$repo" "clean source tree"
+rm -rf "$repo"
+
+echo "ok: artifact-guard selftest passed"

@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfMemory,
   kOutOfRange,
   kUnavailable,
+  kDeadlineExceeded,
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
@@ -58,6 +59,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
@@ -80,6 +84,9 @@ class Status {
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }

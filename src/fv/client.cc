@@ -1,11 +1,25 @@
 #include "fv/client.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace farview {
+
+/// One client-side reliable call: the retry loop's state, shared by the
+/// attempt-completion, timeout and backoff events. `token` names the live
+/// attempt — an event carrying a stale token belongs to an attempt the
+/// client already abandoned and must not settle the call (DESIGN.md §7).
+struct FarviewClient::ReliableCall {
+  Verb verb = Verb::kFarview;
+  FvRequest request;
+  int attempts_done = 0;   ///< attempts issued so far (1-based after start)
+  uint64_t token = 0;      ///< bumped whenever the live attempt changes
+  bool settled = false;    ///< user callback already invoked
+  std::function<void(Result<FvResult>)> done;
+};
 
 FarviewClient::FarviewClient(FarviewNode* node, int client_id)
     : node_(node), client_id_(client_id) {
@@ -85,8 +99,8 @@ Result<SimTime> FarviewClient::TableWrite(const FTable& table,
 Result<FvResult> FarviewClient::TableRead(const FTable& table) {
   if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
   std::optional<Result<FvResult>> out;
-  node_->TableRead(qp_->qp_id, table.vaddr, table.SizeBytes(),
-                   [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
+  TableReadAsync(table,
+                 [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
   node_->engine()->Run();
   FV_CHECK(out.has_value()) << "TableRead did not complete";
   return std::move(*out);
@@ -105,9 +119,8 @@ Status FarviewClient::LoadPipeline(Pipeline pipeline) {
 Result<FvResult> FarviewClient::FarviewRequest(const FvRequest& request) {
   if (qp_ == nullptr) return Status::FailedPrecondition("not connected");
   std::optional<Result<FvResult>> out;
-  node_->FarviewRequest(qp_->qp_id, request, [&out](Result<FvResult> r) {
-    out.emplace(std::move(r));
-  });
+  FarviewRequestAsync(request,
+                      [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
   node_->engine()->Run();
   FV_CHECK(out.has_value()) << "FarviewRequest did not complete";
   return std::move(*out);
@@ -116,7 +129,128 @@ Result<FvResult> FarviewClient::FarviewRequest(const FvRequest& request) {
 void FarviewClient::FarviewRequestAsync(
     const FvRequest& request, std::function<void(Result<FvResult>)> done) {
   FV_CHECK(qp_ != nullptr) << "not connected";
+  if (node_->config().retry.enabled) {
+    IssueWithRetries(Verb::kFarview, request, std::move(done));
+    return;
+  }
   node_->FarviewRequest(qp_->qp_id, request, std::move(done));
+}
+
+void FarviewClient::TableReadAsync(const FTable& table,
+                                   std::function<void(Result<FvResult>)> done) {
+  FV_CHECK(qp_ != nullptr) << "not connected";
+  if (node_->config().retry.enabled) {
+    FvRequest req;
+    req.vaddr = table.vaddr;
+    req.len = table.SizeBytes();
+    IssueWithRetries(Verb::kRead, req, std::move(done));
+    return;
+  }
+  node_->TableRead(qp_->qp_id, table.vaddr, table.SizeBytes(),
+                   std::move(done));
+}
+
+void FarviewClient::IssueWithRetries(
+    Verb verb, const FvRequest& request,
+    std::function<void(Result<FvResult>)> done) {
+  auto call = std::make_shared<ReliableCall>();
+  call->verb = verb;
+  call->request = request;
+  call->done = std::move(done);
+  StartReliableAttempt(std::move(call));
+}
+
+void FarviewClient::StartReliableAttempt(std::shared_ptr<ReliableCall> call) {
+  if (qp_ == nullptr) {
+    // Connection closed between attempts (disconnect during backoff).
+    FinishReliable(std::move(call),
+                   Status::FailedPrecondition("not connected"));
+    return;
+  }
+  const RetryPolicy& rp = node_->config().retry;
+  ++call->attempts_done;
+  const uint64_t token = ++call->token;
+  auto on_result = [this, call, token](Result<FvResult> res) {
+    if (call->settled || token != call->token) {
+      // The client already gave up on this attempt; the node's work still
+      // completed (or failed) and the result is dropped here.
+      node_->stats().RecordLateCompletion();
+      return;
+    }
+    if (res.ok()) {
+      FinishReliable(call, std::move(res));
+      return;
+    }
+    const Status s = res.status();
+    if (s.IsUnavailable() || s.IsDeadlineExceeded()) {
+      HandleAttemptFailure(call, s);
+    } else {
+      FinishReliable(call, std::move(res));  // not retryable
+    }
+  };
+  if (call->verb == Verb::kRead) {
+    node_->TableRead(qp_->qp_id, call->request.vaddr, call->request.len,
+                     on_result);
+  } else {
+    node_->FarviewRequest(qp_->qp_id, call->request, on_result);
+  }
+  // The attempt's completion timeout. A resolved attempt (either way) bumps
+  // the token, turning this event into a no-op.
+  node_->engine()->ScheduleAfter(
+      rp.completion_timeout, [this, call, token]() {
+        if (call->settled || token != call->token) return;
+        node_->stats().RecordTimeout();
+        HandleAttemptFailure(
+            call, Status::DeadlineExceeded(
+                      "no completion within the attempt deadline"));
+      });
+}
+
+void FarviewClient::HandleAttemptFailure(std::shared_ptr<ReliableCall> call,
+                                         const Status& error) {
+  ++call->token;  // invalidate the attempt's remaining pending events
+  const RetryPolicy& rp = node_->config().retry;
+  // Graceful degradation: when the region itself is faulted, retrying into
+  // it cannot succeed until it heals — serve base-table bytes raw instead
+  // (the RNIC path needs no region).
+  if (rp.raw_read_fallback && qp_ != nullptr && qp_->region_id >= 0 &&
+      node_->region(qp_->region_id).faulted()) {
+    FallbackRawRead(std::move(call));
+    return;
+  }
+  if (call->attempts_done >= rp.max_attempts) {
+    FinishReliable(std::move(call), error);
+    return;
+  }
+  // Capped exponential backoff: base * 2^(retry-1), clamped to the cap.
+  SimTime backoff = rp.backoff_base;
+  for (int i = 1; i < call->attempts_done && backoff < rp.backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, rp.backoff_cap);
+  node_->stats().RecordRetry();
+  node_->engine()->ScheduleAfter(backoff, [this, call]() {
+    if (call->settled) return;
+    StartReliableAttempt(call);
+  });
+}
+
+void FarviewClient::FallbackRawRead(std::shared_ptr<ReliableCall> call) {
+  node_->stats().RecordFallback();
+  node_->RawRead(qp_->qp_id, call->request.vaddr, call->request.len,
+                 [this, call](Result<FvResult> res) {
+                   if (call->settled) return;
+                   if (res.ok()) res.value().degraded_raw = true;
+                   FinishReliable(call, std::move(res));
+                 });
+}
+
+void FarviewClient::FinishReliable(std::shared_ptr<ReliableCall> call,
+                                   Result<FvResult> res) {
+  ++call->token;  // no event of this call may act after settlement
+  call->settled = true;
+  auto done = std::move(call->done);
+  done(std::move(res));
 }
 
 void FarviewClient::LoadPipelineAsync(Pipeline pipeline,

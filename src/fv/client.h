@@ -2,6 +2,7 @@
 #define FARVIEW_FV_CLIENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -133,14 +134,40 @@ class FarviewClient {
 
   // --- Asynchronous forms (for concurrent-client experiments) -------------
 
+  /// When `FarviewConfig::retry.enabled`, both async verbs run under the
+  /// reliability layer (DESIGN.md §7): each attempt carries a completion
+  /// timeout; `Unavailable`/`DeadlineExceeded` attempts retry with capped
+  /// exponential backoff up to `max_attempts`; and when the region is
+  /// faulted the call degrades to a raw read (`FvResult::degraded_raw`).
+  /// With the policy disabled (the default) they issue exactly one attempt,
+  /// event-identical to the pre-reliability client.
   void FarviewRequestAsync(const FvRequest& request,
                            std::function<void(Result<FvResult>)> done);
+  void TableReadAsync(const FTable& table,
+                      std::function<void(Result<FvResult>)> done);
   void LoadPipelineAsync(Pipeline pipeline, std::function<void(Status)> done);
 
   /// Builds the standard request for a full scan of `table`.
   FvRequest ScanRequest(const FTable& table, bool vectorized = false) const;
 
  private:
+  /// State of one call under the retry policy (defined in client.cc).
+  struct ReliableCall;
+
+  /// Entry: allocates the call state and issues the first attempt.
+  void IssueWithRetries(Verb verb, const FvRequest& request,
+                        std::function<void(Result<FvResult>)> done);
+  /// Issues one attempt plus its completion-timeout event.
+  void StartReliableAttempt(std::shared_ptr<ReliableCall> call);
+  /// A retryable failure (or timeout): backoff-retry, degrade, or give up.
+  void HandleAttemptFailure(std::shared_ptr<ReliableCall> call,
+                            const Status& error);
+  /// Degraded raw-read path for a call whose region is faulted.
+  void FallbackRawRead(std::shared_ptr<ReliableCall> call);
+  /// Settles the call and invokes the user callback exactly once.
+  void FinishReliable(std::shared_ptr<ReliableCall> call,
+                      Result<FvResult> res);
+
   FarviewNode* node_;
   int client_id_;
   QPair* qp_ = nullptr;

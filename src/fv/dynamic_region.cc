@@ -24,6 +24,12 @@ DynamicRegion::DynamicRegion(int region_id, sim::Engine* engine,
 
 void DynamicRegion::LoadPipeline(Pipeline pipeline,
                                  std::function<void(Status)> done) {
+  if (faulted_) {
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      done(Status::Unavailable("region faulted"));
+    });
+    return;
+  }
   if (busy_ || reconfiguring_) {
     engine_->ScheduleAfter(0, [done = std::move(done)]() {
       done(Status::Unavailable("region busy; cannot reconfigure"));
@@ -101,6 +107,10 @@ void DynamicRegion::Execute(RequestContextPtr ctx,
       on_result(s);
     });
   };
+  if (faulted_) {
+    fail(Status::Unavailable("region faulted"));
+    return;
+  }
   if (busy_ || reconfiguring_) {
     fail(Status::Unavailable("region busy"));
     return;
@@ -275,6 +285,10 @@ void DynamicRegion::ExecuteRead(
       on_result(s);
     });
   };
+  if (faulted_) {
+    fail(Status::Unavailable("region faulted"));
+    return;
+  }
   if (busy_) {
     fail(Status::Unavailable("region busy"));
     return;

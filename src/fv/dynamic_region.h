@@ -80,6 +80,16 @@ class DynamicRegion {
   bool reconfiguring() const { return reconfiguring_; }
   int region_id() const { return region_id_; }
 
+  /// Fault window control (DESIGN.md §7). While faulted, Execute/
+  /// ExecuteRead and LoadPipeline reject with `Unavailable("region
+  /// faulted")`; the node fails queued requests for the region at dispatch
+  /// so clients can retry or degrade to a raw read. A request already in
+  /// flight when the fault opens finishes on its own (its datapath state is
+  /// committed, like a one-sided RDMA in the paper's hardware).
+  void InjectFault() { faulted_ = true; }
+  void ClearFault() { faulted_ = false; }
+  bool faulted() const { return faulted_; }
+
   /// Requests served since construction.
   uint64_t requests_served() const { return requests_served_; }
 
@@ -113,6 +123,7 @@ class DynamicRegion {
   std::unique_ptr<sim::Server> datapath_;
   bool busy_ = false;
   bool reconfiguring_ = false;
+  bool faulted_ = false;
   SimTime busy_since_ = 0;
   uint64_t requests_served_ = 0;
 };

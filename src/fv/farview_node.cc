@@ -25,9 +25,85 @@ FarviewNode::FarviewNode(sim::Engine* engine, const FarviewConfig& config)
         r, engine_, config_, mmu_.get(), memctl_.get(), net_.get(),
         &stats_));
   }
+  ScheduleFaultEvents();
+}
+
+void FarviewNode::ScheduleFaultEvents() {
+  const FvFaultConfig& f = config_.faults;
+  if (!f.enabled) return;
+  // The fault Rng exists only on faulted nodes: a disabled config draws
+  // nothing and schedules nothing, keeping the event sequence (and every
+  // figure) bit-identical to a simulator without fault injection.
+  fault_rng_ = std::make_unique<Rng>(f.seed);
+  if (f.node_crash_at > 0) {
+    engine_->ScheduleAt(f.node_crash_at, [this]() { CrashNow(); });
+    if (f.node_restart_after > 0) {
+      engine_->ScheduleAt(f.node_crash_at + f.node_restart_after,
+                          [this]() { RestartNow(); });
+    }
+  }
+  if (f.faulted_region >= 0 && f.faulted_region < config_.num_regions) {
+    const int r = f.faulted_region;
+    engine_->ScheduleAt(f.region_fault_at, [this, r]() {
+      regions_[static_cast<size_t>(r)]->InjectFault();
+      stats_.RecordRegionFault();
+      FailQueuedForRegion(r);
+    });
+    if (f.region_fault_duration > 0) {
+      engine_->ScheduleAt(
+          f.region_fault_at + f.region_fault_duration, [this, r]() {
+            regions_[static_cast<size_t>(r)]->ClearFault();
+            for (const auto& entry : qp_queues_) MaybeDispatch(entry.first);
+          });
+    }
+  }
+}
+
+void FarviewNode::CrashNow() {
+  if (down_) return;
+  down_ = true;
+  last_crash_at_ = engine_->Now();
+  stats_.RecordNodeCrash();
+  // Queued requests die with the node. The executing one, if any, fails at
+  // completion through the crash check in FinishRequest — its region state
+  // is gone even though the simulation events still drain.
+  for (auto& entry : qp_queues_) {
+    for (RequestContextPtr& ctx : entry.second.Flush()) {
+      stats_.RecordFailure(entry.first);
+      stats_.RecordCrashFailure();
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+        done(Status::Unavailable("node crashed with the request queued"));
+      });
+    }
+  }
+}
+
+void FarviewNode::RestartNow() {
+  if (!down_) return;
+  down_ = false;
+  stats_.RecordNodeRestart();
+  // Loaded pipelines survive a restart (configuration flash, like the
+  // paper's persistent bitstreams); queues were flushed at the crash and
+  // arrivals were rejected while down, so this drain is a safety net.
+  for (const auto& entry : qp_queues_) MaybeDispatch(entry.first);
+}
+
+void FarviewNode::FailQueuedForRegion(int region_id) {
+  for (const auto& entry : qpairs_) {
+    if (entry.second->region_id != region_id) continue;
+    auto qit = qp_queues_.find(entry.first);
+    if (qit == qp_queues_.end()) continue;
+    for (RequestContextPtr& ctx : qit->second.Flush()) {
+      stats_.RecordFailure(entry.first);
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+        done(Status::Unavailable("region faulted"));
+      });
+    }
+  }
 }
 
 Result<QPair*> FarviewNode::Connect(int client_id) {
+  if (down_) return Status::Unavailable("node down");
   int region = -1;
   for (size_t r = 0; r < region_taken_.size(); ++r) {
     if (!region_taken_[r]) {
@@ -52,6 +128,7 @@ Result<QPair*> FarviewNode::Connect(int client_id) {
 }
 
 Result<QPair*> FarviewNode::ConnectShared(int client_id) {
+  if (down_) return Status::Unavailable("node down");
   auto qp = std::make_unique<QPair>();
   qp->qp_id = next_qp_id_++;
   qp->client_id = client_id;
@@ -112,14 +189,17 @@ Result<DynamicRegion*> FarviewNode::RegionFor(int qp_id) {
 }
 
 Result<uint64_t> FarviewNode::AllocTableMem(const QPair& qp, uint64_t bytes) {
+  if (down_) return Status::Unavailable("node down");
   return mmu_->Alloc(qp.client_id, bytes);
 }
 
 Status FarviewNode::FreeTableMem(const QPair& qp, uint64_t vaddr) {
+  if (down_) return Status::Unavailable("node down");
   return mmu_->Free(qp.client_id, vaddr);
 }
 
 Status FarviewNode::ShareTableMem(const QPair& qp, uint64_t vaddr) {
+  if (down_) return Status::Unavailable("node down");
   return mmu_->Share(qp.client_id, vaddr);
 }
 
@@ -138,6 +218,10 @@ void FarviewNode::LoadPipeline(int qp_id, Pipeline pipeline,
   net_->DeliverRequest(
       [this, qp_id, r, p = std::make_shared<Pipeline>(std::move(pipeline)),
        done = std::move(done)]() mutable {
+        if (down_) {
+          done(Status::Unavailable("node down"));
+          return;
+        }
         r->LoadPipeline(std::move(*p),
                         [this, qp_id, done = std::move(done)](Status s) {
                           MaybeDispatch(qp_id);
@@ -153,6 +237,14 @@ void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
   if (qp == nullptr) {
     engine_->ScheduleAfter(0, [done = std::move(done)]() {
       done(Status::NotFound("unknown queue pair"));
+    });
+    return;
+  }
+  if (down_) {
+    stats_.RecordFailure(qp_id);
+    stats_.RecordCrashFailure();
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      done(Status::Unavailable("node down"));
     });
     return;
   }
@@ -209,6 +301,15 @@ void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
                       engine_->ScheduleAfter(
                           config_.net.fv_delivery_latency,
                           [this, ctx, done_holder]() {
+                            if (down_) {
+                              // Crash raced the acknowledgment: the client
+                              // never learns the write landed.
+                              stats_.RecordFailure(ctx->qp_id);
+                              stats_.RecordCrashFailure();
+                              (*done_holder)(Status::Unavailable(
+                                  "node crashed before the write ack"));
+                              return;
+                            }
                             ctx->delivered = engine_->Now();
                             stats_.RecordCompletion(*ctx);
                             (*done_holder)(engine_->Now());
@@ -263,8 +364,110 @@ void FarviewNode::FarviewRequest(int qp_id, const FvRequest& request,
   net_->DeliverRequest([this, ctx]() { OnArrival(ctx); });
 }
 
+namespace {
+
+/// Per-raw-read state shared across the memory and egress callbacks.
+struct RawReadState {
+  RequestContextPtr ctx;
+  FvResult result;
+  std::shared_ptr<NetworkStack::TxStream> tx;
+  std::function<void(Result<FvResult>)> done;
+};
+
+}  // namespace
+
+void FarviewNode::RawRead(int qp_id, uint64_t vaddr, uint64_t len,
+                          std::function<void(Result<FvResult>)> done) {
+  QPair* qp = FindQPair(qp_id);
+  if (qp == nullptr) {
+    engine_->ScheduleAfter(0, [done = std::move(done)]() {
+      done(Status::NotFound("unknown queue pair"));
+    });
+    return;
+  }
+  ++qp->requests_issued;
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request_id = stats_.NextRequestId();
+  ctx->qp_id = qp_id;
+  ctx->client_id = qp->client_id;
+  ctx->verb = Verb::kRead;
+  ctx->request.vaddr = vaddr;
+  ctx->request.len = len;
+  ctx->submitted = engine_->Now();
+  ctx->done = std::move(done);
+  net_->DeliverRequest([this, ctx]() {
+    ctx->ingress_done = engine_->Now();
+    if (down_) {
+      stats_.RecordFailure(ctx->qp_id);
+      stats_.RecordCrashFailure();
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+        done(Status::Unavailable("node down"));
+      });
+      return;
+    }
+    auto st = std::make_shared<RawReadState>();
+    st->ctx = ctx;
+    st->done = std::move(ctx->done);
+    st->result.issued_at = ctx->submitted;
+    st->result.data.resize(ctx->request.len);
+    const Status s = mmu_->Read(ctx->client_id, ctx->request.vaddr,
+                                ctx->request.len, st->result.data.data());
+    if (!s.ok()) {
+      stats_.RecordFailure(ctx->qp_id);
+      engine_->ScheduleAfter(0, [s, st]() { st->done(s); });
+      return;
+    }
+    // Raw path (DESIGN.md §7): memory bursts stream straight onto the
+    // egress link — no region, so it serves even when regions are faulted
+    // or busy; the queue/region lifecycle stamps stay 0 (skipped stages).
+    st->tx = net_->OpenStream(
+        ctx->qp_id, [this, st](uint64_t bytes, bool last, SimTime t) {
+          st->result.bytes_on_wire += bytes;
+          if (st->result.first_byte_at == 0) st->result.first_byte_at = t;
+          if (!last) return;
+          st->result.completed_at = t;
+          st->ctx->delivered = t;
+          st->ctx->egress_finished = st->tx->last_link_exit();
+          st->ctx->bytes_on_wire = st->result.bytes_on_wire;
+          st->ctx->packets = st->tx->packets_sent();
+          if (down_) {
+            // Crash raced the delivery: the stream died with the node.
+            stats_.RecordFailure(st->ctx->qp_id);
+            stats_.RecordCrashFailure();
+            st->done(Status::Unavailable("node crashed during the read"));
+            return;
+          }
+          QPair* q = FindQPair(st->ctx->qp_id);
+          if (q != nullptr) {
+            q->bytes_sent_to_client += st->result.bytes_on_wire;
+          }
+          stats_.RecordCompletion(*st->ctx);
+          st->done(std::move(st->result));
+        });
+    memctl_->StreamRead(ctx->qp_id, ctx->request.vaddr, ctx->request.len,
+                        [st](uint64_t bytes, bool last, SimTime t) {
+                          if (st->ctx->first_memory_beat == 0) {
+                            st->ctx->first_memory_beat = t;
+                          }
+                          if (bytes > 0) st->tx->Push(bytes);
+                          if (last) {
+                            st->ctx->operator_done = t;
+                            st->tx->Finish();
+                          }
+                        });
+  });
+}
+
 void FarviewNode::OnArrival(RequestContextPtr ctx) {
   ctx->ingress_done = engine_->Now();
+  if (down_) {
+    stats_.RecordFailure(ctx->qp_id);
+    stats_.RecordCrashFailure();
+    engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+      done(Status::Unavailable("node down"));
+    });
+    return;
+  }
   auto it = qp_queues_.find(ctx->qp_id);
   if (it == qp_queues_.end()) {
     // Connection torn down while the request was crossing the network.
@@ -296,6 +499,19 @@ void FarviewNode::MaybeDispatch(int qp_id) {
   FV_CHECK(qp != nullptr && qp->region_id >= 0)
       << "queued request on a connection without a region";
   DynamicRegion* r = regions_[static_cast<size_t>(qp->region_id)].get();
+  // A faulted region serves nothing until it heals: drain the queue with
+  // Unavailable so clients can retry later or degrade to a raw read.
+  if (r->faulted()) {
+    while (it->second.CanDispatch()) {
+      RequestContextPtr ctx = it->second.PopForDispatch();
+      it->second.MarkDone();
+      stats_.RecordFailure(qp_id);
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done)]() {
+        done(Status::Unavailable("region faulted"));
+      });
+    }
+    return;
+  }
   // A busy or reconfiguring region drains the queue when it frees (its
   // completion callback and LoadPipeline both re-enter here).
   if (r->busy() || r->reconfiguring()) return;
@@ -303,14 +519,38 @@ void FarviewNode::MaybeDispatch(int qp_id) {
   auto on_result = [this, ctx](Result<FvResult> res) {
     FinishRequest(ctx, std::move(res));
   };
-  if (ctx->verb == Verb::kRead) {
-    r->ExecuteRead(ctx, std::move(on_result));
+  // Injected pre-execution stall (FvFaultConfig::region_stall_prob): a
+  // transient region hiccup delays acceptance. One Bernoulli draw per
+  // dispatch, in dispatch order, so a given seed yields one fault schedule.
+  SimTime stall = 0;
+  if (fault_rng_ != nullptr && config_.faults.region_stall_prob > 0 &&
+      fault_rng_->NextBernoulli(config_.faults.region_stall_prob)) {
+    stall = config_.faults.region_stall_time;
+    stats_.RecordRegionStall();
+  }
+  auto dispatch = [this, r, ctx,
+                   on_result = std::move(on_result)]() mutable {
+    if (ctx->verb == Verb::kRead) {
+      r->ExecuteRead(ctx, std::move(on_result));
+    } else {
+      r->Execute(ctx, std::move(on_result));
+    }
+  };
+  if (stall > 0) {
+    engine_->ScheduleAfter(stall, std::move(dispatch));
   } else {
-    r->Execute(ctx, std::move(on_result));
+    dispatch();
   }
 }
 
 void FarviewNode::FinishRequest(RequestContextPtr ctx, Result<FvResult> res) {
+  // A crash between dispatch and delivery voids the request: the region's
+  // in-flight state (and any partially delivered stream) died with the
+  // node, even though the simulation events still drain.
+  if (res.ok() && last_crash_at_ >= 0 && ctx->region_start <= last_crash_at_) {
+    stats_.RecordCrashFailure();
+    res = Status::Unavailable("node crashed during execution");
+  }
   if (res.ok()) {
     res.value().issued_at = ctx->submitted;
     QPair* qp = FindQPair(ctx->qp_id);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "fv/dynamic_region.h"
 #include "fv/fv_config.h"
 #include "fv/node_stats.h"
@@ -90,6 +91,31 @@ class FarviewNode {
   void FarviewRequest(int qp_id, const FvRequest& request,
                       std::function<void(Result<FvResult>)> done);
 
+  /// Raw one-sided read that bypasses the operator stack entirely: memory
+  /// bursts stream straight onto the egress link, no region involved — the
+  /// RNIC-style path a commercial NIC serves without any FPGA assistance.
+  /// Used by clients as the graceful-degradation fallback when their region
+  /// is faulted (DESIGN.md §7); unlike `TableRead`, it works even while the
+  /// region is down or busy.
+  void RawRead(int qp_id, uint64_t vaddr, uint64_t len,
+               std::function<void(Result<FvResult>)> done);
+
+  // --- Fault injection (DESIGN.md §7) -------------------------------------
+
+  /// Crashes the node now: queued requests flush with `Unavailable`,
+  /// in-flight requests fail at completion, and every verb is rejected
+  /// until `RestartNow`. Scheduled automatically from
+  /// `FvFaultConfig::node_crash_at`; public so tests can position crashes
+  /// precisely.
+  void CrashNow();
+
+  /// Brings a crashed node back. Loaded pipelines survive (configuration
+  /// flash); in-flight state did not.
+  void RestartNow();
+
+  /// True while the node is crashed.
+  bool down() const { return down_; }
+
   // --- Introspection ------------------------------------------------------
 
   sim::Engine* engine() { return engine_; }
@@ -127,6 +153,14 @@ class FarviewNode {
   /// Region assigned to a queue pair, or error.
   Result<DynamicRegion*> RegionFor(int qp_id);
 
+  /// Schedules the crash/restart and region-fault events named by
+  /// `FvFaultConfig` (constructor helper; no-op when faults are disabled).
+  void ScheduleFaultEvents();
+
+  /// Fails every waiting request of the queue pair bound to `region_id`
+  /// with `Unavailable` (its region just faulted).
+  void FailQueuedForRegion(int region_id);
+
   /// A region verb finished its ingress hop: admit it to the queue pair's
   /// submission queue (or reject when the depth cap is hit).
   void OnArrival(RequestContextPtr ctx);
@@ -156,6 +190,15 @@ class FarviewNode {
   /// One bounded submission queue per dedicated connection.
   std::map<int, SubmissionQueue> qp_queues_;
   int next_qp_id_ = 1;
+
+  /// Node-level fault stream (region-stall draws); non-null only when
+  /// `FvFaultConfig::enabled`.
+  std::unique_ptr<Rng> fault_rng_;
+  /// True while crashed (between CrashNow and RestartNow).
+  bool down_ = false;
+  /// Instant of the most recent crash; requests whose region execution
+  /// started at or before it fail at completion. -1 = never crashed.
+  SimTime last_crash_at_ = -1;
 };
 
 }  // namespace farview

@@ -7,11 +7,86 @@
 
 namespace farview {
 
+/// Fault injection at the node/region level (DESIGN.md §7), complementing
+/// the packet-level faults in `NetFaultConfig`. All stochastic choices are
+/// drawn from a seeded `Rng` stream owned by the node; scheduled events
+/// (region fault windows, node crash/restart) happen at fixed simulated
+/// instants so tests and benches can position them precisely. With
+/// `enabled == false` (the default) the node never draws from the stream
+/// and never schedules a fault event, keeping every fault-free simulation
+/// bit-identical to the seed.
+struct FvFaultConfig {
+  /// Master switch; nothing below has any effect while false.
+  bool enabled = false;
+
+  /// Seed of the node's fault stream (region-stall draws, in dispatch
+  /// order).
+  uint64_t seed = 1;
+
+  /// Probability that a dispatched region verb stalls for
+  /// `region_stall_time` before execution begins — transient datapath
+  /// hiccups (ECC scrub, partial-reconfiguration housekeeping).
+  double region_stall_prob = 0.0;
+  SimTime region_stall_time = 20 * kMicrosecond;
+
+  /// Takes `faulted_region` down at `region_fault_at` for
+  /// `region_fault_duration` (0 duration = stays down). While faulted, the
+  /// region rejects work with `Unavailable` and queued requests for it are
+  /// failed at dispatch; clients degrade to raw reads (RetryPolicy).
+  int faulted_region = -1;
+  SimTime region_fault_at = 0;
+  SimTime region_fault_duration = 0;
+
+  /// Whole-node crash at `node_crash_at` (0 = never): every queued request
+  /// is flushed with `Unavailable`, in-flight requests fail at completion,
+  /// and all verbs are rejected until the node restarts
+  /// `node_restart_after` later (0 = stays down). Loaded pipelines survive
+  /// a restart (configuration flash); in-flight state does not.
+  SimTime node_crash_at = 0;
+  SimTime node_restart_after = 0;
+};
+
+/// Client-side reliability policy (DESIGN.md §7): completion timeouts with
+/// capped exponential backoff, and graceful degradation to raw reads.
+/// Disabled by default — `FarviewClient` then posts verbs exactly like the
+/// pre-reliability client, preserving byte-identity.
+struct RetryPolicy {
+  /// Master switch; when false the client issues each verb exactly once
+  /// and never arms a timeout.
+  bool enabled = false;
+
+  /// Client-side completion deadline per attempt. An attempt that has not
+  /// completed by then is abandoned (`DeadlineExceeded`); its late
+  /// completion, if any, is counted and dropped.
+  SimTime completion_timeout = 250 * kMicrosecond;
+
+  /// Total attempts (first try + retries). Retryable failures are
+  /// `Unavailable` and `DeadlineExceeded`; other codes fail immediately.
+  int max_attempts = 4;
+
+  /// Backoff before retry k (1-based) is `min(backoff_base * 2^(k-1),
+  /// backoff_cap)` — capped exponential.
+  SimTime backoff_base = 50 * kMicrosecond;
+  SimTime backoff_cap = 400 * kMicrosecond;
+
+  /// Graceful degradation: when a FARVIEW verb keeps failing and the
+  /// connection's region is faulted, fall back to a raw one-sided read of
+  /// the request's range (the RNIC-style bypass that needs no operator
+  /// stack). The result is marked `FvResult::degraded_raw`.
+  bool raw_read_fallback = true;
+};
+
 /// Top-level configuration of a Farview node, defaults matching the paper's
 /// prototype (Alveo u250, 2 DRAM channels, 6 dynamic regions, 100 Gbps).
 struct FarviewConfig {
   DramConfig dram;
   NetConfig net;
+
+  /// Node/region-level fault injection (disabled by default).
+  FvFaultConfig faults;
+
+  /// Client-side timeout/retry/degradation policy (disabled by default).
+  RetryPolicy retry;
 
   /// Number of virtual dynamic regions ("We use six dynamic regions in our
   /// experiments; Farview has been tested with up to ten", Section 6.1).

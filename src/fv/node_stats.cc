@@ -127,6 +127,27 @@ std::string NodeStats::FormatReport(SimTime now,
   std::snprintf(buf, sizeof(buf), "  link utilization: %5.1f%%\n",
                 100.0 * link_utilization);
   out << buf;
+  // Reliability section only when something happened: fault-free runs keep
+  // their report byte-identical to the pre-fault-injection simulator.
+  if (reliability_.AnyNonZero()) {
+    char rbuf[256];
+    std::snprintf(
+        rbuf, sizeof(rbuf),
+        "  reliability: %llu region stalls, %llu region faults, "
+        "%llu crashes/%llu restarts (%llu crash failures)\n"
+        "               %llu timeouts, %llu retries, %llu fallbacks, "
+        "%llu late completions\n",
+        static_cast<unsigned long long>(reliability_.region_stalls),
+        static_cast<unsigned long long>(reliability_.region_faults),
+        static_cast<unsigned long long>(reliability_.node_crashes),
+        static_cast<unsigned long long>(reliability_.node_restarts),
+        static_cast<unsigned long long>(reliability_.crash_failures),
+        static_cast<unsigned long long>(reliability_.timeouts),
+        static_cast<unsigned long long>(reliability_.retries),
+        static_cast<unsigned long long>(reliability_.fallbacks),
+        static_cast<unsigned long long>(reliability_.late_completions));
+    out << rbuf;
+  }
   return out.str();
 }
 

@@ -55,6 +55,28 @@ class NodeStats {
     }
   };
 
+  /// Fault, retry and degradation event counts (DESIGN.md §7). All stay
+  /// zero while fault injection and the retry policy are disabled, and the
+  /// report section is omitted then, so fault-free telemetry output is
+  /// byte-identical to the seed.
+  struct ReliabilityStats {
+    uint64_t region_stalls = 0;     ///< injected pre-execution stalls
+    uint64_t region_faults = 0;     ///< region fault windows opened
+    uint64_t node_crashes = 0;      ///< whole-node crash events
+    uint64_t node_restarts = 0;     ///< recoveries after a crash
+    uint64_t crash_failures = 0;    ///< requests failed by a crash/down node
+    uint64_t timeouts = 0;          ///< client attempts abandoned at deadline
+    uint64_t retries = 0;           ///< retry attempts issued by clients
+    uint64_t fallbacks = 0;         ///< degraded raw-read fallbacks
+    uint64_t late_completions = 0;  ///< completions after the client gave up
+
+    bool AnyNonZero() const {
+      return region_stalls || region_faults || node_crashes ||
+             node_restarts || crash_failures || timeouts || retries ||
+             fallbacks || late_completions;
+    }
+  };
+
   /// Per-queue-pair throughput aggregates.
   struct QpStats {
     uint64_t completed = 0;
@@ -89,6 +111,18 @@ class NodeStats {
   /// Accumulates a region's busy interval (request occupancy).
   void RecordRegionBusy(int region_id, SimTime busy);
 
+  // --- Reliability events (DESIGN.md §7) -----------------------------------
+
+  void RecordRegionStall() { ++reliability_.region_stalls; }
+  void RecordRegionFault() { ++reliability_.region_faults; }
+  void RecordNodeCrash() { ++reliability_.node_crashes; }
+  void RecordNodeRestart() { ++reliability_.node_restarts; }
+  void RecordCrashFailure() { ++reliability_.crash_failures; }
+  void RecordTimeout() { ++reliability_.timeouts; }
+  void RecordRetry() { ++reliability_.retries; }
+  void RecordFallback() { ++reliability_.fallbacks; }
+  void RecordLateCompletion() { ++reliability_.late_completions; }
+
   // --- Queries -------------------------------------------------------------
 
   uint64_t completed_count() const { return completed_.size(); }
@@ -97,6 +131,7 @@ class NodeStats {
 
   const std::vector<RequestRecord>& completed() const { return completed_; }
   const std::map<int, QpStats>& per_qp() const { return per_qp_; }
+  const ReliabilityStats& reliability() const { return reliability_; }
 
   /// Stage distributions (latencies in picoseconds).
   const sim::SampleStats& ingress_latency() const { return ingress_; }
@@ -121,6 +156,7 @@ class NodeStats {
   std::vector<RequestRecord> completed_;
   std::map<int, QpStats> per_qp_;
   std::map<int, SimTime> region_busy_;
+  ReliabilityStats reliability_;
 
   sim::SampleStats ingress_;
   sim::SampleStats queue_wait_;

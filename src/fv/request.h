@@ -57,6 +57,11 @@ struct FvResult {
 
   /// Payload bytes that crossed the network.
   uint64_t bytes_on_wire = 0;
+
+  /// Graceful degradation marker (DESIGN.md §7): true when the client fell
+  /// back to a raw one-sided read because the region was faulted — `data`
+  /// then holds unprocessed base-table bytes, not pipeline output.
+  bool degraded_raw = false;
 };
 
 }  // namespace farview

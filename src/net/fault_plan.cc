@@ -1,0 +1,49 @@
+#include "net/fault_plan.h"
+
+#include "common/logging.h"
+
+namespace farview {
+
+FaultPlan::FaultPlan(const NetFaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  FV_CHECK(config_.packet_loss_rate >= 0.0 && config_.packet_loss_rate < 1.0)
+      << "packet_loss_rate must be in [0, 1)";
+  FV_CHECK(config_.packet_corrupt_rate >= 0.0 &&
+           config_.packet_corrupt_rate < 1.0)
+      << "packet_corrupt_rate must be in [0, 1)";
+  FV_CHECK(config_.retransmit_timeout > 0);
+  FV_CHECK(config_.link_flap_period >= 0 && config_.link_flap_down >= 0);
+  FV_CHECK(config_.link_flap_period == 0 ||
+           config_.link_flap_down < config_.link_flap_period)
+      << "flap down-time must be shorter than the flap period";
+}
+
+FaultPlan::PacketFate FaultPlan::NextPacketFate() {
+  ++draws_;
+  // One fate per draw position: the loss draw consumes one Bernoulli, and
+  // only surviving packets consume the corruption draw — matching how a
+  // corrupted packet must first have made it across the wire.
+  if (rng_.NextBernoulli(config_.packet_loss_rate)) return PacketFate::kLost;
+  if (rng_.NextBernoulli(config_.packet_corrupt_rate)) {
+    return PacketFate::kCorrupted;
+  }
+  return PacketFate::kDelivered;
+}
+
+bool FaultPlan::LinkDownAt(SimTime t) const {
+  if (config_.link_flap_period <= 0 || config_.link_flap_down <= 0) {
+    return false;
+  }
+  const SimTime phase = t % config_.link_flap_period;
+  // Window [k*period, k*period + down) for k >= 1: the k == 0 window is
+  // skipped so simulations always start with the link up.
+  return t >= config_.link_flap_period && phase < config_.link_flap_down;
+}
+
+SimTime FaultPlan::NextLinkUpAfter(SimTime t) const {
+  if (!LinkDownAt(t)) return t;
+  const SimTime window_start = t - (t % config_.link_flap_period);
+  return window_start + config_.link_flap_down;
+}
+
+}  // namespace farview

@@ -1,0 +1,62 @@
+#ifndef FARVIEW_NET_FAULT_PLAN_H_
+#define FARVIEW_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/net_config.h"
+
+namespace farview {
+
+/// Seeded, deterministic source of injected network faults (DESIGN.md §7).
+///
+/// The plan owns one `Rng` stream and draws exactly one packet fate per
+/// *first* transmission of a payload packet, in egress order — retransmitted
+/// copies always succeed, which bounds recovery time and keeps the draw
+/// count independent of recovery scheduling. Link flaps are not drawn at
+/// all: they follow the fixed periodic schedule in `NetFaultConfig`, so a
+/// flap window can be positioned precisely by tests and benches.
+///
+/// A `FaultPlan` is only constructed when `NetFaultConfig::enabled` is set;
+/// fault-free builds never instantiate one, so they consume no random draws
+/// and stay bit-identical to the pre-fault-injection simulator.
+class FaultPlan {
+ public:
+  /// Outcome of one packet transmission attempt.
+  enum class PacketFate {
+    kDelivered,  ///< arrives intact
+    kLost,       ///< dropped on the wire; sender retransmits after timeout
+    kCorrupted,  ///< arrives but fails integrity check; treated like a loss
+  };
+
+  explicit FaultPlan(const NetFaultConfig& config);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Draws the fate of the next first-transmission packet. Loss is tested
+  /// before corruption, so the effective corruption probability is
+  /// `(1 - loss) * corrupt`.
+  PacketFate NextPacketFate();
+
+  /// True when the periodic flap schedule has the link down at instant `t`.
+  bool LinkDownAt(SimTime t) const;
+
+  /// First instant >= `t` at which the link is up (equals `t` when up).
+  SimTime NextLinkUpAfter(SimTime t) const;
+
+  /// Total fate draws so far (determinism checks in tests).
+  uint64_t draws() const { return draws_; }
+
+  const NetFaultConfig& config() const { return config_; }
+
+ private:
+  NetFaultConfig config_;
+  Rng rng_;
+  uint64_t draws_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_NET_FAULT_PLAN_H_

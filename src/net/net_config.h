@@ -17,6 +17,43 @@ namespace farview {
 ///  - the FPGA stack has *cheaper multi-packet processing and page
 ///    handling*, and its memory is on-board rather than behind PCIe, so it
 ///    wins above the ~8-16 kB crossover (peak ~12.2 GB/s vs ~11 GB/s).
+/// Fault-injection parameters for the network fabric (DESIGN.md §7). All
+/// faults are drawn from a seeded `FaultPlan` stream (net/fault_plan.h), so
+/// every faulty run reproduces bit-for-bit for a given seed. With
+/// `enabled == false` (the default) the fault plan is never instantiated
+/// and the network stack's event sequence is identical to the fault-free
+/// build — the byte-identity guarantee the regression tests pin.
+struct NetFaultConfig {
+  /// Master switch; nothing below has any effect while false.
+  bool enabled = false;
+
+  /// Seed of the packet-fate stream (one Bernoulli draw per first
+  /// transmission of a payload packet, in egress order).
+  uint64_t seed = 1;
+
+  /// Probability that a payload packet is lost on the wire. The sender
+  /// detects the loss (NACK/timeout, modeled as `retransmit_timeout`) and
+  /// retransmits; the receiver delivers strictly in order, so one lost
+  /// packet head-of-line-blocks the bytes behind it.
+  double packet_loss_rate = 0.0;
+
+  /// Probability that a packet arrives but fails its integrity check; the
+  /// receiver discards it and recovery proceeds exactly like a loss (the
+  /// two are counted separately).
+  double packet_corrupt_rate = 0.0;
+
+  /// Time from a packet's (lost) transmission until the sender retransmits
+  /// it. Roughly an RTT plus NACK processing on the RoCE fabric.
+  SimTime retransmit_timeout = 6 * kMicrosecond;
+
+  /// Deterministic link-flap schedule: the link is down during
+  /// [k*period, k*period + down) for every k >= 1 (never at t=0, so
+  /// connection setup is clean). 0 disables flapping. While down, packets
+  /// and request deliveries stall until the link returns.
+  SimTime link_flap_period = 0;
+  SimTime link_flap_down = 0;
+};
+
 struct NetConfig {
   /// RoCE packet payload size used throughout the evaluation ("We set the
   /// packet size to 1 kB", Section 6.2).
@@ -68,6 +105,10 @@ struct NetConfig {
   /// which is where Figure 6(b) shows Farview ≥20% faster.
   SimTime rnic_per_packet_page_cost = 60 * kNanosecond;
   int rnic_page_window = 64;
+
+  // --- Fault injection (disabled by default; DESIGN.md §7) ----------------
+
+  NetFaultConfig faults;
 
   /// Serialization time of one full packet on the raw link.
   SimTime PacketSerializationTime() const {

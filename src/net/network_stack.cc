@@ -27,10 +27,26 @@ NetworkStack::NetworkStack(sim::Engine* engine, const NetConfig& config)
   link_ = std::make_unique<sim::Server>(engine_, "fv_link",
                                         config_.link_rate_bytes_per_sec,
                                         config_.fv_per_packet_overhead);
+  if (config_.faults.enabled) {
+    fault_plan_ = std::make_unique<FaultPlan>(config_.faults);
+  }
 }
 
 void NetworkStack::DeliverRequest(std::function<void()> at_node) {
-  engine_->ScheduleAfter(config_.fv_request_latency, std::move(at_node));
+  // RDMA verbs ride the same fabric as the data path: a flap window stalls
+  // the request until the link returns (single request messages are assumed
+  // recovered transparently below the timescale we model; sustained
+  // unavailability surfaces as the client-side completion timeout).
+  SimTime stall = 0;
+  if (fault_plan_ != nullptr) {
+    const SimTime now = engine_->Now();
+    if (fault_plan_->LinkDownAt(now)) {
+      stall = fault_plan_->NextLinkUpAfter(now) - now;
+      ++fault_counters_.flap_stalls;
+    }
+  }
+  engine_->ScheduleAfter(stall + config_.fv_request_latency,
+                         std::move(at_node));
 }
 
 std::shared_ptr<NetworkStack::TxStream> NetworkStack::OpenStream(
@@ -85,28 +101,90 @@ void NetworkStack::TxStream::TrySend() {
     ++packets_sent_;
     stack_->total_packets_++;
     stack_->total_payload_bytes_ += payload;
+    Transmit(next_seq_++, payload, last, /*retransmission=*/false);
+  }
+}
 
-    // Serialize on the shared link (round-robin with other QPs), then
-    // propagate to the client; the ack returns a credit later.
-    stack_->link_->Submit(
-        qp_id_, payload,
-        [this, payload, last, keep = self_](SimTime) {
-          sim::Engine* eng = stack_->engine_;
-          last_link_exit_ = eng->Now();
+void NetworkStack::TxStream::Transmit(uint64_t seq, uint64_t payload,
+                                      bool last, bool retransmission) {
+  sim::Engine* eng = stack_->engine_;
+  // A flap window blocks the wire: defer the transmission to the instant
+  // the link returns (the link server then serializes deferred packets in
+  // FIFO submission order, exactly like a real egress queue draining).
+  if (stack_->fault_plan_ != nullptr) {
+    const SimTime now = eng->Now();
+    if (stack_->fault_plan_->LinkDownAt(now)) {
+      ++stack_->fault_counters_.flap_stalls;
+      eng->ScheduleAt(stack_->fault_plan_->NextLinkUpAfter(now),
+                      [this, seq, payload, last, retransmission,
+                       keep = self_]() {
+                        Transmit(seq, payload, last, retransmission);
+                      });
+      return;
+    }
+  }
+
+  // Serialize on the shared link (round-robin with other QPs), then
+  // propagate to the client; the ack returns a credit later.
+  stack_->link_->Submit(
+      qp_id_, payload,
+      [this, seq, payload, last, retransmission, keep = self_](SimTime) {
+        sim::Engine* eng = stack_->engine_;
+        last_link_exit_ = eng->Now();
+
+        // Fate is drawn once, at the first transmission; recovery copies
+        // always arrive (one timeout bounds each fault's recovery).
+        FaultPlan::PacketFate fate = FaultPlan::PacketFate::kDelivered;
+        if (stack_->fault_plan_ != nullptr && !retransmission) {
+          fate = stack_->fault_plan_->NextPacketFate();
+        }
+        if (fate != FaultPlan::PacketFate::kDelivered) {
+          if (fate == FaultPlan::PacketFate::kLost) {
+            ++stack_->fault_counters_.packets_lost;
+          } else {
+            ++stack_->fault_counters_.packets_corrupted;
+          }
+          // The credit stays consumed until the recovery copy is acked, so
+          // heavy loss also throttles the window — retry amplification is
+          // visible on the wire, not hidden by free retransmissions.
           eng->ScheduleAfter(
-              stack_->config_.fv_delivery_latency,
-              [this, payload, last, keep]() {
-                if (on_delivered_) {
-                  on_delivered_(payload, last, stack_->engine_->Now());
-                }
-                if (last) self_.reset();  // all packets delivered in order
+              stack_->config_.faults.retransmit_timeout,
+              [this, seq, payload, last, keep]() {
+                ++stack_->fault_counters_.retransmits;
+                Transmit(seq, payload, last, /*retransmission=*/true);
               });
-          eng->ScheduleAfter(stack_->config_.ack_latency,
-                             [this, keep]() {
-                               --in_flight_packets_;
-                               TrySend();
-                             });
+          return;
+        }
+
+        eng->ScheduleAfter(stack_->config_.fv_delivery_latency,
+                           [this, seq, payload, last, keep]() {
+                             arrived_[seq] = {payload, last};
+                             FlushArrivals(stack_->engine_->Now());
+                           });
+        eng->ScheduleAfter(stack_->config_.ack_latency, [this, keep]() {
+          --in_flight_packets_;
+          TrySend();
         });
+      });
+}
+
+void NetworkStack::TxStream::FlushArrivals(SimTime t) {
+  // In-order release: a missing sequence number holds back everything
+  // behind it until its retransmission arrives.
+  while (true) {
+    auto it = arrived_.find(next_deliver_seq_);
+    if (it == arrived_.end()) return;
+    const uint64_t payload = it->second.first;
+    const bool last = it->second.second;
+    arrived_.erase(it);
+    ++next_deliver_seq_;
+    if (on_delivered_) {
+      on_delivered_(payload, last, t);
+    }
+    if (last) {
+      self_.reset();  // all packets delivered in order
+      return;
+    }
   }
 }
 

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "common/units.h"
+#include "net/fault_plan.h"
 #include "net/net_config.h"
 #include "sim/engine.h"
 #include "sim/server.h"
@@ -21,14 +24,34 @@ namespace farview {
 /// packet-level interleaving of different flows on the shared link server —
 /// one flow's long transfer cannot stall another's packets, which is the
 /// stall-freedom property the paper's out-of-order extension provides.
+///
+/// Fault injection (DESIGN.md §7): when `NetConfig::faults.enabled` is set,
+/// a seeded `FaultPlan` draws a fate for every payload packet's first
+/// transmission. Lost/corrupted packets are retransmitted after
+/// `retransmit_timeout` while their flow-control credit stays consumed, and
+/// the receiver releases payload strictly in sequence order, so a single
+/// loss head-of-line-blocks the bytes behind it — the go-back-free
+/// selective-repeat recovery RoCE NICs implement. A periodic link-flap
+/// schedule stalls transmissions and request deliveries while the link is
+/// down. With faults disabled none of this machinery runs and the event
+/// sequence is bit-identical to the fault-free simulator.
 class NetworkStack {
  public:
+  /// Injected-fault event counts (all zero when faults are disabled).
+  struct FaultCounters {
+    uint64_t packets_lost = 0;       ///< first transmissions dropped
+    uint64_t packets_corrupted = 0;  ///< arrived but failed integrity check
+    uint64_t retransmits = 0;        ///< recovery transmissions sent
+    uint64_t flap_stalls = 0;        ///< packets/requests delayed by a flap
+  };
+
   NetworkStack(sim::Engine* engine, const NetConfig& config);
 
   NetworkStack(const NetworkStack&) = delete;
   NetworkStack& operator=(const NetworkStack&) = delete;
 
-  /// Client→Farview request path: runs `at_node` after the ingress latency.
+  /// Client→Farview request path: runs `at_node` after the ingress latency
+  /// (plus any link-flap stall).
   void DeliverRequest(std::function<void()> at_node);
 
   /// An open response stream Farview→client for one request. The node
@@ -38,7 +61,8 @@ class NetworkStack {
   class TxStream {
    public:
     /// `on_delivered(bytes, last, t)` runs at the simulated instant packet
-    /// payloads land in client memory. `last` fires exactly once.
+    /// payloads land in client memory, in sequence order. `last` fires
+    /// exactly once.
     TxStream(NetworkStack* stack, int qp_id,
              std::function<void(uint64_t, bool, SimTime)> on_delivered);
 
@@ -65,6 +89,16 @@ class NetworkStack {
    private:
     void TrySend();
 
+    /// Puts packet `seq` on the wire (deferring while a flap has the link
+    /// down). `retransmission` marks recovery copies: their fate is not
+    /// drawn again — retransmitted packets always arrive, bounding
+    /// recovery at one timeout per faulted packet.
+    void Transmit(uint64_t seq, uint64_t payload, bool last,
+                  bool retransmission);
+
+    /// Releases arrived packets to the client in sequence order at `t`.
+    void FlushArrivals(SimTime t);
+
     NetworkStack* stack_;
     int qp_id_;
     std::function<void(uint64_t, bool, SimTime)> on_delivered_;
@@ -75,6 +109,13 @@ class NetworkStack {
     bool finished_ = false;
     bool last_packet_formed_ = false;
     SimTime last_link_exit_ = 0;
+    /// Next sequence number assigned at packet formation.
+    uint64_t next_seq_ = 0;
+    /// Receiver cursor: first sequence number not yet released in order.
+    uint64_t next_deliver_seq_ = 0;
+    /// Receiver reorder buffer: seq → (payload bytes, last flag). Holds at
+    /// most a credit window of packets.
+    std::map<uint64_t, std::pair<uint64_t, bool>> arrived_;
     /// Keeps `this` alive until all completions ran (streams are owned by
     /// shared_ptr via OpenStream).
     std::shared_ptr<TxStream> self_;
@@ -95,10 +136,19 @@ class NetworkStack {
   uint64_t total_payload_bytes() const { return total_payload_bytes_; }
   uint64_t total_packets() const { return total_packets_; }
 
+  /// Fault-event counts (all zero while faults are disabled).
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
+  /// The active fault plan, or nullptr when faults are disabled.
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
  private:
   sim::Engine* engine_;
   NetConfig config_;
   std::unique_ptr<sim::Server> link_;
+  /// Non-null only when `config_.faults.enabled`.
+  std::unique_ptr<FaultPlan> fault_plan_;
+  FaultCounters fault_counters_;
   uint64_t total_payload_bytes_ = 0;
   uint64_t total_packets_ = 0;
 };

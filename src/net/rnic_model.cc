@@ -66,6 +66,20 @@ void RnicModel::Read(int flow, uint64_t bytes,
       });
 }
 
+SimTime RnicModel::ExpectedLossPenalty(uint64_t bytes,
+                                       double loss_rate) const {
+  FV_CHECK(loss_rate >= 0.0 && loss_rate < 1.0)
+      << "loss rate must be in [0, 1)";
+  if (loss_rate == 0.0 || bytes == 0) return 0;
+  const uint64_t packets = std::max<uint64_t>(
+      1, CeilDiv(bytes, config_.packet_bytes));
+  const double retries_per_packet = loss_rate / (1.0 - loss_rate);
+  const double per_retry = static_cast<double>(
+      config_.faults.retransmit_timeout + config_.PacketSerializationTime());
+  return static_cast<SimTime>(static_cast<double>(packets) *
+                              retries_per_packet * per_retry);
+}
+
 void RnicModel::Send(int flow, uint64_t bytes,
                      std::function<void(SimTime)> done) {
   // Two-sided send: same pipe, request latency on the sender side and

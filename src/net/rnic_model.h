@@ -44,6 +44,15 @@ class RnicModel {
   /// baseline to ship results to the client).
   void Send(int flow, uint64_t bytes, std::function<void(SimTime)> done);
 
+  /// Expected extra latency a transfer of `bytes` pays under i.i.d. packet
+  /// loss with probability `loss_rate`: each packet retransmits a geometric
+  /// number of times, each retry costing one retransmit timeout plus the
+  /// packet's serialization time. Closed form (E[retries/packet] =
+  /// p/(1-p)) so the RNIC/RCPU baselines stay analytic in the ext_faults
+  /// ablation, mirroring how `NetworkStack` pays per-packet timeouts when
+  /// fault injection is live.
+  SimTime ExpectedLossPenalty(uint64_t bytes, double loss_rate) const;
+
   const NetConfig& config() const { return config_; }
   sim::Server& pipe() { return *pipe_; }
 

@@ -42,9 +42,21 @@ class Engine {
   /// Runs events until the queue is empty. Returns the final clock value.
   SimTime Run();
 
-  /// Runs events with timestamps <= `deadline`; the clock ends at the last
-  /// executed event (or `deadline` if the queue empties first). Returns true
-  /// if the queue was drained.
+  /// Runs events with timestamps <= `deadline`. Returns true if the queue
+  /// was drained.
+  ///
+  /// Clock contract (pinned; tests/sim_test.cc RunUntilDrain* regressions):
+  ///  - Queue NOT drained (an event remains past `deadline`): the clock
+  ///    advances to exactly `deadline`, so a subsequent `ScheduleAfter`
+  ///    measures delays from the deadline, and returns false.
+  ///  - Queue drained before the deadline: the clock stays at the *last
+  ///    executed event's* time — it does NOT jump forward to `deadline` —
+  ///    and the call returns true. (With an empty queue there is no event
+  ///    to anchor `deadline` to; advancing the clock would silently shrink
+  ///    every delay scheduled afterwards.)
+  /// In both cases time never moves backwards: `Now()` after the call is
+  /// >= `Now()` before it, and later `ScheduleAt`/`Run` observe a
+  /// monotonically non-decreasing clock.
   bool RunUntil(SimTime deadline);
 
   /// Number of events executed so far (for tests and efficiency checks).

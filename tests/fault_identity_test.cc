@@ -1,0 +1,90 @@
+// Byte-identity guard: with fault injection and the retry policy disabled
+// (the default-constructed config), the reliability layer must be invisible
+// — zero extra events, zero Rng draws, bit-for-bit the same timing as the
+// pre-fault-injection seed tree. These goldens pin client-observed
+// completion times for canonical workloads; they may only change together
+// with a deliberate, documented timing-model change (EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "benchlib/experiment.h"
+#include "fv/client.h"
+#include "fv/farview_node.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+// Golden completion times, captured from the seed-identical build. Any
+// drift here means the reliability layer leaked events into the fault-free
+// path — a byte-identity regression, not a tolerance to widen.
+constexpr SimTime kGoldenRawRead1MiB = 88101793;      // 88.10 us
+constexpr SimTime kGoldenOffloadScan1MiB = 88557793;  // 88.56 us
+
+Table MakeRows(uint64_t bytes) {
+  TableGenerator gen(7);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), bytes / 64, 100);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(FaultIdentityTest, DefaultConfigDisablesEverything) {
+  const FarviewConfig cfg;
+  EXPECT_FALSE(cfg.net.faults.enabled);
+  EXPECT_FALSE(cfg.faults.enabled);
+  EXPECT_FALSE(cfg.retry.enabled);
+}
+
+TEST(FaultIdentityTest, RawReadTimingMatchesSeed) {
+  bench::FvFixture fx;
+  const Table rows = MakeRows(1 * kMiB);
+  const FTable ft = fx.Upload("t", rows);
+  Result<FvResult> read = fx.client().TableRead(ft);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().data.size(), rows.size_bytes());
+  // Golden: 1 MiB raw table read on the default-calibrated stack.
+  EXPECT_EQ(read.value().Elapsed(), kGoldenRawRead1MiB);
+  EXPECT_FALSE(fx.node().stats().reliability().AnyNonZero());
+}
+
+TEST(FaultIdentityTest, OffloadedScanTimingMatchesSeed) {
+  bench::FvFixture fx;
+  const Table rows = MakeRows(1 * kMiB);
+  const FTable ft = fx.Upload("t", rows);
+  Result<Pipeline> p = PipelineBuilder(ft.schema).Build();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(fx.client().LoadPipeline(std::move(p).value()).ok());
+  Result<FvResult> read = fx.client().FarviewRequest(fx.client().ScanRequest(ft));
+  ASSERT_TRUE(read.ok());
+  // Golden: 1 MiB offloaded pass-through scan (ingress + region + egress).
+  EXPECT_EQ(read.value().Elapsed(), kGoldenOffloadScan1MiB);
+  EXPECT_FALSE(fx.node().stats().reliability().AnyNonZero());
+}
+
+TEST(FaultIdentityTest, RetryWrapperIsEventIdenticalWhenDisabled) {
+  // The sync TableRead routes through the async retry entry point; with the
+  // policy disabled the wrapper must add no events and no latency.
+  bench::FvFixture a;
+  bench::FvFixture b;
+  const Table rows = MakeRows(256 * kKiB);
+  const FTable fta = a.Upload("t", rows);
+  const FTable ftb = b.Upload("t", rows);
+
+  Result<FvResult> ra = a.client().TableRead(fta);
+  ASSERT_TRUE(ra.ok());
+
+  std::optional<Result<FvResult>> rb;
+  b.client().TableReadAsync(
+      ftb, [&](Result<FvResult> r) { rb.emplace(std::move(r)); });
+  b.engine().Run();
+  ASSERT_TRUE(rb.has_value());
+  ASSERT_TRUE(rb->ok());
+  EXPECT_EQ(ra.value().Elapsed(), rb->value().Elapsed());
+  EXPECT_EQ(ra.value().data, rb->value().data);
+  EXPECT_EQ(a.engine().Now(), b.engine().Now());
+}
+
+}  // namespace
+}  // namespace farview

@@ -63,6 +63,46 @@ TEST(EngineTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 3);
 }
 
+// Pinned contract (engine.h): when the queue drains before the deadline,
+// the clock stays at the last executed event's time and the call returns
+// true — it does not jump forward to the deadline.
+TEST(EngineTest, RunUntilDrainLeavesClockAtLastEvent) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(10, [&] { ++fired; });
+  e.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_TRUE(e.RunUntil(1000));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.Now(), 20);  // not 1000
+}
+
+// Regression: after a drained RunUntil, subsequent scheduling must not be
+// able to observe time moving backwards — ScheduleAt anywhere in
+// [Now(), deadline] is legal and Run() advances monotonically from the
+// last event time, not from the stale deadline.
+TEST(EngineTest, RunUntilDrainThenScheduleNeverMovesTimeBackwards) {
+  Engine e;
+  e.ScheduleAt(10, [] {});
+  ASSERT_TRUE(e.RunUntil(1000));
+  ASSERT_EQ(e.Now(), 10);
+
+  // Scheduling between the last event and the old deadline is legal...
+  std::vector<SimTime> observed;
+  e.ScheduleAt(500, [&] { observed.push_back(e.Now()); });
+  // ... and so is a relative delay, measured from Now() == 10.
+  e.ScheduleAfter(5, [&] { observed.push_back(e.Now()); });
+  e.Run();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 15);   // 10 + 5, not 1000 + 5
+  EXPECT_EQ(observed[1], 500);  // inside the drained RunUntil's window
+  EXPECT_EQ(e.Now(), 500);
+
+  // A second RunUntil from the drained state behaves identically.
+  e.ScheduleAfter(1, [] {});
+  EXPECT_TRUE(e.RunUntil(10000));
+  EXPECT_EQ(e.Now(), 501);
+}
+
 TEST(EngineTest, ResetClearsState) {
   Engine e;
   e.ScheduleAt(10, [] {});
