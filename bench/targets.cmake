@@ -29,3 +29,9 @@ fv_add_bench(ext_elasticity)
 fv_add_bench(ext_optimizer fv_optimizer)
 fv_add_bench(ext_compression fv_compress)
 fv_add_bench(ext_faults)
+
+# Wall-clock simulator-core harness (DESIGN.md §8). Links the counting
+# allocator hook so it can report allocs/event; like micro_primitives it is
+# machine-dependent and excluded from the bench byte-identity sweep.
+fv_add_bench(perf_simcore)
+target_sources(perf_simcore PRIVATE $<TARGET_OBJECTS:fv_alloc_hook>)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Runs the simulator-core perf harness and compares it against the committed
+# baseline (BENCH_simcore.json at the repo root).
+#
+# Wall-clock numbers are machine-dependent, so the gate is relative: the
+# script fails only when a workload's events_per_sec drops more than
+# FV_PERF_TOLERANCE (default 0.30 = 30%) below the committed baseline —
+# loose enough for shared-runner noise, tight enough to catch a real
+# hot-path regression. Event counts and allocs/event are deterministic and
+# reported for context (the byte-identity sweep and sim_test pin those).
+#
+# Usage: bench_report.sh <build_dir> [out_json]
+#   build_dir: a Release build containing bench/perf_simcore
+#   out_json:  where to write the fresh report (default: BENCH_simcore.new.json)
+
+set -u
+
+build_dir="${1:?usage: bench_report.sh <build_dir> [out_json]}"
+out_json="${2:-BENCH_simcore.new.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo_root/BENCH_simcore.json"
+tolerance="${FV_PERF_TOLERANCE:-0.30}"
+
+bin="$build_dir/bench/perf_simcore"
+[ -x "$bin" ] || { echo "missing $bin (build Release bench targets)" >&2; exit 1; }
+[ -f "$baseline" ] || { echo "missing baseline $baseline" >&2; exit 1; }
+
+FV_BENCH_REPS="${FV_BENCH_REPS:-5}" FV_BENCH_JSON="$out_json" "$bin" || exit 1
+
+python3 - "$baseline" "$out_json" "$tolerance" <<'PY'
+import json, sys
+
+baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = {w["name"]: w for w in json.load(open(baseline_path))["workloads"]}
+cur = {w["name"]: w for w in json.load(open(current_path))["workloads"]}
+
+fail = False
+print(f"\nperf vs committed baseline (tolerance: -{tol:.0%}):")
+print(f"{'workload':<20} {'baseline ev/s':>14} {'current ev/s':>14} {'ratio':>7}")
+for name, b in base.items():
+    c = cur.get(name)
+    if c is None:
+        print(f"{name:<20} {'':>14} {'MISSING':>14}")
+        fail = True
+        continue
+    ratio = c["events_per_sec"] / b["events_per_sec"]
+    flag = ""
+    if ratio < 1.0 - tol:
+        flag = "  << REGRESSION"
+        fail = True
+    print(f"{name:<20} {b['events_per_sec']:>14,.0f} "
+          f"{c['events_per_sec']:>14,.0f} {ratio:>6.2f}x{flag}")
+    if c["events"] != b["events"]:
+        print(f"{name:<20} event count changed: {b['events']} -> "
+              f"{c['events']} (simulation behavior drifted!)")
+        fail = True
+sys.exit(1 if fail else 0)
+PY

@@ -1,0 +1,15 @@
+#include "common/alloc_counter.h"
+
+namespace farview::alloc_counter {
+
+namespace internal {
+uint64_t g_allocations = 0;
+uint64_t g_bytes = 0;
+bool g_hook_active = false;
+}  // namespace internal
+
+uint64_t allocations() { return internal::g_allocations; }
+uint64_t bytes() { return internal::g_bytes; }
+bool hook_active() { return internal::g_hook_active; }
+
+}  // namespace farview::alloc_counter

@@ -1,0 +1,41 @@
+#ifndef FARVIEW_COMMON_ALLOC_COUNTER_H_
+#define FARVIEW_COMMON_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace farview {
+
+/// Process-wide heap-allocation counters, fed by the replacement global
+/// `operator new` in alloc_counter_hook.cc. The hook is linked only into
+/// binaries that opt in (bench/perf_simcore and the alloc-regression test);
+/// everywhere else the counters read zero and `hook_active()` is false.
+///
+/// This is how the perf harness measures allocs/event and how the
+/// zero-allocation contract of the event core is pinned (DESIGN.md §8):
+/// counting at the allocator boundary catches every hidden allocation —
+/// std::function fallbacks, container growth, shared_ptr control blocks —
+/// not just the ones we remember to instrument.
+namespace alloc_counter {
+
+/// Total successful `operator new` calls since process start.
+uint64_t allocations();
+
+/// Total bytes requested from `operator new` since process start.
+uint64_t bytes();
+
+/// True when the counting hook is linked into this binary (false under
+/// sanitizers, whose own allocator replacement takes precedence).
+bool hook_active();
+
+namespace internal {
+/// Storage updated by the hook; defined in alloc_counter.cc so that binaries
+/// without the hook still link.
+extern uint64_t g_allocations;
+extern uint64_t g_bytes;
+extern bool g_hook_active;
+}  // namespace internal
+
+}  // namespace alloc_counter
+}  // namespace farview
+
+#endif  // FARVIEW_COMMON_ALLOC_COUNTER_H_

@@ -1,16 +1,139 @@
 #ifndef FARVIEW_COMMON_BYTES_H_
 #define FARVIEW_COMMON_BYTES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace farview {
 
+/// Process-wide recycler for large payload blocks.
+///
+/// glibc serves multi-MiB allocations from fresh mmap regions even when an
+/// equal-size block was freed a microsecond earlier: freeing an mmap'd chunk
+/// bumps the dynamic mmap threshold to exactly the freed size, and
+/// equal-or-larger requests still take the mmap path. Every simulated
+/// request that materializes a multi-MiB stream therefore pays the full
+/// page-fault + zero cost again — milliseconds per request at fig12 sizes,
+/// dwarfing the event core (DESIGN.md §8). Payload buffers come in a
+/// handful of recurring sizes (request streams, table images, read
+/// results), so an exact-size free list converts them to warm-page reuse.
+///
+/// Single-threaded by design, like the rest of the simulator. Pool state
+/// never feeds back into simulated behavior — only wall-clock speed.
+class ByteBlockPool {
+ public:
+  /// Blocks below this size go straight to operator new: malloc already
+  /// recycles sub-threshold chunks well, and small vectors are too numerous
+  /// to key by exact size.
+  static constexpr std::size_t kMinPooledBytes = 256 * 1024;
+
+  /// Bound on bytes parked in free lists; past it, frees release for real.
+  static constexpr std::size_t kMaxHeldBytes = 256ull << 20;
+
+  ~ByteBlockPool() {
+    for (auto& [size, blocks] : free_) {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  }
+
+  void* Allocate(std::size_t n) {
+    if (n >= kMinPooledBytes) {
+      auto it = free_.find(n);
+      if (it != free_.end() && !it->second.empty()) {
+        void* p = it->second.back();
+        it->second.pop_back();
+        held_ -= n;
+        return p;
+      }
+    }
+    return ::operator new(n);
+  }
+
+  void Deallocate(void* p, std::size_t n) {
+    if (n >= kMinPooledBytes && held_ + n <= kMaxHeldBytes) {
+      free_[n].push_back(p);
+      held_ += n;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  static ByteBlockPool& Global() {
+    static ByteBlockPool pool;
+    return pool;
+  }
+
+ private:
+  std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::size_t held_ = 0;
+};
+
+/// Allocator behind ByteBuffer: exact-size recycling through ByteBlockPool
+/// for large blocks, plain operator new below the threshold. Stateless, so
+/// all instances compare equal and container moves steal storage.
+class PooledByteAllocator {
+ public:
+  using value_type = uint8_t;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+  template <typename U>
+  struct rebind {
+    using other = PooledByteAllocator;
+  };
+
+  PooledByteAllocator() noexcept = default;
+
+  uint8_t* allocate(std::size_t n) {
+    return static_cast<uint8_t*>(ByteBlockPool::Global().Allocate(n));
+  }
+  void deallocate(uint8_t* p, std::size_t n) {
+    ByteBlockPool::Global().Deallocate(p, n);
+  }
+
+  /// Value-less construction default-initializes (no zeroing). This makes
+  /// `resize(n)` / `ByteBuffer(n)` leave new bytes indeterminate — legal
+  /// for unsigned char — so full-overwrite paths (Mmu::ReadInto, operator
+  /// flushes) pay one pass over the payload instead of memset + copy
+  /// (DESIGN.md §8). Callers that need zeroed growth must say so:
+  /// `resize(n, 0)` / `ByteBuffer(n, 0)` still zero-fill.
+  template <typename U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;
+  }
+
+  friend bool operator==(const PooledByteAllocator&,
+                         const PooledByteAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const PooledByteAllocator&,
+                         const PooledByteAllocator&) noexcept {
+    return false;
+  }
+};
+
 /// Byte buffer used throughout for raw tuple data; rows are stored in
-/// little-endian fixed-width layout (see src/table/row_layout.h).
-using ByteBuffer = std::vector<uint8_t>;
+/// little-endian fixed-width layout (see src/table/row_layout.h). Large
+/// buffers recycle their blocks through ByteBlockPool, so the payload path
+/// stays free of repeated page-fault + zero costs. NOTE: unlike a plain
+/// std::vector, `resize(n)` and `ByteBuffer(n)` default-initialize — new
+/// bytes are indeterminate until written; use `resize(n, 0)` when zeroed
+/// growth is required (see PooledByteAllocator::construct).
+using ByteBuffer = std::vector<uint8_t, PooledByteAllocator>;
+
+/// Copies `n` bytes like memcpy, but for large blocks uses non-temporal
+/// stores so a multi-MiB payload copy does not evict the simulator's
+/// working set (event buckets, flow tables, hash state) from the private
+/// caches. The simulated workloads stream payloads that are written once
+/// and consumed far later (or never, for discarded results), so keeping
+/// them out of L1/L2 is pure win for the event core (DESIGN.md §8).
+void StreamCopy(uint8_t* dst, const uint8_t* src, std::size_t n);
 
 /// Reads a little-endian 64-bit unsigned integer at `p`.
 inline uint64_t LoadLE64(const uint8_t* p) {

@@ -1,0 +1,125 @@
+#ifndef FARVIEW_COMMON_POOL_H_
+#define FARVIEW_COMMON_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace farview {
+
+/// Free-list arena for hot-path metadata objects (per-request stream state,
+/// per-read continuations). Objects are placement-constructed into
+/// slab-allocated slots; `Release` destroys the object and recycles its slot
+/// without touching the global allocator, so steady-state acquire/release
+/// cycles are allocation-free (DESIGN.md §8). Slabs are only ever freed when
+/// the pool is destroyed — pointer stability is part of the contract.
+///
+/// Single-threaded, like the simulator; no locks.
+template <typename T, std::size_t kSlabObjects = 64>
+class Pool {
+  static_assert(kSlabObjects > 0, "slab must hold at least one object");
+
+ public:
+  Pool() = default;
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// All objects acquired from a pool must be released back before the pool
+  /// dies (enforced by the owners' destruction order, not by the pool).
+  ~Pool() = default;
+
+  /// Constructs a `T` in a recycled (or freshly slabbed) slot.
+  template <typename... A>
+  T* Acquire(A&&... args) {
+    if (free_.empty()) Grow();
+    Slot* slot = free_.back();
+    free_.pop_back();
+    return ::new (static_cast<void*>(slot->bytes)) T(std::forward<A>(args)...);
+  }
+
+  /// Destroys `*p` and returns its slot to the free list.
+  void Release(T* p) {
+    p->~T();
+    free_.push_back(reinterpret_cast<Slot*>(p));
+  }
+
+  /// Objects currently live (for leak checks in tests).
+  std::size_t live() const { return slabs_.size() * kSlabObjects - free_.size(); }
+
+  /// Slabs allocated so far (for tests pinning steady-state behavior).
+  std::size_t slabs() const { return slabs_.size(); }
+
+ private:
+  struct alignas(alignof(T)) Slot {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  void Grow() {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabObjects));
+    Slot* slab = slabs_.back().get();
+    // Push in reverse so the earliest Acquire takes the slab's first slot.
+    for (std::size_t i = kSlabObjects; i > 0; --i) {
+      free_.push_back(&slab[i - 1]);
+    }
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<Slot*> free_;
+};
+
+/// Bounded-growth FIFO ring over a flat array. Replaces `std::deque` on the
+/// simulator hot path: a deque allocates a chunk per ~8 items and never
+/// recycles across queues, while the ring grows to the high-water mark once
+/// and is allocation-free thereafter. Push/pop are O(1); capacity doubles on
+/// overflow (amortized, preserving FIFO order).
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T v) {
+    if (size_ == slots_.size()) Grow();
+    slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(v);
+    ++size_;
+  }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  T pop_front() {
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+    return v;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void Grow() {
+    const std::size_t new_cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> grown(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(grown);
+    head_ = 0;
+  }
+
+  // Capacity is always a power of two (8, 16, ...), so index wrap is a mask.
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace farview
+
+#endif  // FARVIEW_COMMON_POOL_H_

@@ -66,7 +66,7 @@ struct DynamicRegion::ExecState {
   /// vectorization).
   std::unique_ptr<sim::Server> pipe;
 
-  std::shared_ptr<NetworkStack::TxStream> tx;
+  NetworkStack::StreamHandle tx;
   std::unique_ptr<StreamParser> parser;
 
   uint64_t mem_bursts_total = 0;
@@ -154,6 +154,10 @@ void DynamicRegion::Execute(RequestContextPtr ctx,
   auto fail_st = [this, st](Status s) {
     engine_->ScheduleAfter(0, [st, s]() { st->on_result(s); });
   };
+  // Take the recycled buffer (FinishStream returns it): its warm pages make
+  // the materialization a single copy pass instead of fault + zero + copy.
+  st->stream = std::move(stream_pool_);
+  st->stream.clear();
   const uint64_t rows = request.len / request.tuple_bytes;
   if (request.smart_addressing) {
     st->stream.resize(rows * request.sa_access_bytes);
@@ -169,9 +173,9 @@ void DynamicRegion::Execute(RequestContextPtr ctx,
       }
     }
   } else {
-    st->stream.resize(request.len);
-    const Status s = mmu_->Read(ctx->client_id, request.vaddr, request.len,
-                                st->stream.data());
+    const Status s =
+        mmu_->ReadInto(ctx->client_id, request.vaddr, request.len,
+                       &st->stream);
     if (!s.ok()) {
       fail_st(s);
       return;
@@ -253,6 +257,11 @@ void DynamicRegion::OnBurstProcessed(std::shared_ptr<ExecState> st,
 }
 
 void DynamicRegion::FinishStream(std::shared_ptr<ExecState> st) {
+  // The stream is fully consumed (OnBurstProcessed checks the cursor before
+  // calling us), so its buffer can be recycled for the next request.
+  stream_pool_ = std::move(st->stream);
+  st->stream.clear();
+  st->stream_cursor = 0;
   Result<Batch> flushed = pipeline_->Flush();
   if (!flushed.ok()) {
     st->failed = true;
@@ -298,14 +307,15 @@ void DynamicRegion::ExecuteRead(
   st->plain_read = true;
   st->on_result = std::move(on_result);
   st->result.issued_at = ctx->submitted;
-  st->stream.resize(ctx->request.len);
-  const Status s = mmu_->Read(ctx->client_id, ctx->request.vaddr,
-                              ctx->request.len, st->stream.data());
+  // Plain reads have no parser/datapath stage, so the payload is appended
+  // straight into the result — one copy pass, no scratch buffer and no
+  // value-initializing resize.
+  const Status s = mmu_->ReadInto(ctx->client_id, ctx->request.vaddr,
+                                  ctx->request.len, &st->result.data);
   if (!s.ok()) {
     engine_->ScheduleAfter(0, [s, st]() { st->on_result(s); });
     return;
   }
-  st->result.data = st->stream;
 
   EnterBusy(ctx);
   st->tx = net_->OpenStream(

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "fv/fv_config.h"
 #include "fv/node_stats.h"
@@ -120,6 +121,11 @@ class DynamicRegion {
   NodeStats* stats_;
 
   std::optional<Pipeline> pipeline_;
+  /// Recycled input-stream buffer. Materializing a multi-MiB request into a
+  /// fresh vector costs milliseconds of page faults + zeroing per request;
+  /// reusing the previous request's buffer makes the same-size resize free
+  /// (Execute overwrites every byte through the MMU before reading any).
+  ByteBuffer stream_pool_;
   std::unique_ptr<sim::Server> datapath_;
   bool busy_ = false;
   bool reconfiguring_ = false;

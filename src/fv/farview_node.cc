@@ -279,40 +279,46 @@ void FarviewNode::TableWrite(int qp_id, uint64_t vaddr, const uint8_t* data,
         ctx->ingress_done = engine_->Now();
         const uint64_t packet = config_.net.packet_bytes;
         uint64_t sent = 0;
-        auto done_holder =
-            std::make_shared<std::function<void(Result<SimTime>)>>(
-                std::move(done));
+        // Only the final packet carries a completion: earlier packets
+        // submit fire-and-forget (their service time still shapes the
+        // ingress queue), so `done` moves along the continuation chain
+        // instead of being shared by every packet's callback.
         do {
           const uint64_t n = std::min<uint64_t>(packet, len - sent);
           const bool last = sent + n >= len;
+          if (!last) {
+            ingress_->Submit(flow, n, nullptr);
+            sent += n;
+            continue;
+          }
           ingress_->Submit(
               flow, n,
-              [this, flow, vaddr, len, last, ctx, done_holder](SimTime) {
-                if (!last) return;
+              [this, flow, vaddr, len, ctx,
+               done = std::move(done)](SimTime) mutable {
                 // All packets arrived; stream the payload into memory.
                 memctl_->StreamWrite(
                     flow, vaddr, len,
-                    [this, ctx, done_holder](uint64_t, bool mem_last,
-                                             SimTime t) {
+                    [this, ctx, done = std::move(done)](
+                        uint64_t, bool mem_last, SimTime t) mutable {
                       if (ctx->first_memory_beat == 0) {
                         ctx->first_memory_beat = t;
                       }
                       if (!mem_last) return;
                       engine_->ScheduleAfter(
                           config_.net.fv_delivery_latency,
-                          [this, ctx, done_holder]() {
+                          [this, ctx, done = std::move(done)]() mutable {
                             if (down_) {
                               // Crash raced the acknowledgment: the client
                               // never learns the write landed.
                               stats_.RecordFailure(ctx->qp_id);
                               stats_.RecordCrashFailure();
-                              (*done_holder)(Status::Unavailable(
+                              done(Status::Unavailable(
                                   "node crashed before the write ack"));
                               return;
                             }
                             ctx->delivered = engine_->Now();
                             stats_.RecordCompletion(*ctx);
-                            (*done_holder)(engine_->Now());
+                            done(engine_->Now());
                           });
                     });
               });
@@ -370,7 +376,7 @@ namespace {
 struct RawReadState {
   RequestContextPtr ctx;
   FvResult result;
-  std::shared_ptr<NetworkStack::TxStream> tx;
+  NetworkStack::StreamHandle tx;
   std::function<void(Result<FvResult>)> done;
 };
 
@@ -409,9 +415,8 @@ void FarviewNode::RawRead(int qp_id, uint64_t vaddr, uint64_t len,
     st->ctx = ctx;
     st->done = std::move(ctx->done);
     st->result.issued_at = ctx->submitted;
-    st->result.data.resize(ctx->request.len);
-    const Status s = mmu_->Read(ctx->client_id, ctx->request.vaddr,
-                                ctx->request.len, st->result.data.data());
+    const Status s = mmu_->ReadInto(ctx->client_id, ctx->request.vaddr,
+                                    ctx->request.len, &st->result.data);
     if (!s.ok()) {
       stats_.RecordFailure(ctx->qp_id);
       engine_->ScheduleAfter(0, [s, st]() { st->done(s); });

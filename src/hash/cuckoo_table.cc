@@ -29,17 +29,24 @@ CuckooTable::CuckooTable(int num_ways, uint64_t slots_per_way,
   occupied_.assign(total, false);
   keys_.assign(total * key_width_, 0);
   payloads_.assign(total * PayloadStride(), 0);
+  pending_key_.reserve(key_width_);
+  pending_payload_.reserve(PayloadStride());
+  evicted_key_.reserve(key_width_);
+  evicted_payload_.reserve(PayloadStride());
 }
 
 uint64_t CuckooTable::HashWay(const uint8_t* key, int way) const {
   // Each way uses an independent seed — the hardware instantiates one hash
-  // circuit per way.
-  return HashBytes(key, key_width_, 0x5bd1e995u + static_cast<uint64_t>(way)) &
-         slot_mask_;
+  // circuit per way. Single-INT64 keys (the common shape) take the unrolled
+  // HashBytes8 path; it produces the same value as the general routine.
+  const uint64_t seed = 0x5bd1e995u + static_cast<uint64_t>(way);
+  const uint64_t h =
+      key_width_ == 8 ? HashBytes8(key, seed) : HashBytes(key, key_width_, seed);
+  return h & slot_mask_;
 }
 
 bool CuckooTable::KeyEquals(const uint8_t* a, const uint8_t* b) const {
-  return std::memcmp(a, b, key_width_) == 0;
+  return KeyEqual(a, b, key_width_);
 }
 
 uint8_t* CuckooTable::Lookup(const uint8_t* key) {
@@ -70,20 +77,23 @@ CuckooTable::UpsertResult CuckooTable::Upsert(const uint8_t* key,
   }
 
   // Not present: place into the first way with a free slot; otherwise kick.
-  ByteBuffer pending_key(key, key + key_width_);
-  ByteBuffer pending_payload(PayloadStride(), 0);
+  // The pending/evictee entries live in member scratch (`assign` reuses
+  // their capacity), so the insert path is allocation-free.
+  pending_key_.assign(key, key + key_width_);
+  pending_payload_.assign(PayloadStride(), 0);
 
   int way = 0;
   for (int kick = 0; kick <= kMaxKicks; ++kick) {
     // Try all ways for a free slot for the pending key.
     for (int w = 0; w < num_ways_; ++w) {
       const int try_way = (way + w) % num_ways_;
-      const uint64_t idx = SlotIndex(try_way, HashWay(pending_key.data(),
+      const uint64_t idx = SlotIndex(try_way, HashWay(pending_key_.data(),
                                                       try_way));
       if (!occupied_[idx]) {
         occupied_[idx] = true;
-        std::memcpy(SlotKey(idx), pending_key.data(), key_width_);
-        std::memcpy(SlotPayload(idx), pending_payload.data(), PayloadStride());
+        std::memcpy(SlotKey(idx), pending_key_.data(), key_width_);
+        std::memcpy(SlotPayload(idx), pending_payload_.data(),
+                    PayloadStride());
         ++size_;
         if (payload_out) {
           // The original key is resident now (it may have been placed
@@ -100,24 +110,24 @@ CuckooTable::UpsertResult CuckooTable::Upsert(const uint8_t* key,
     // slot in `way`, take its place, and continue with the evictee in the
     // next way (Section 5.4: "upon the eviction from one of the tables, the
     // evicted entry is inserted into the next hash table").
-    const uint64_t idx = SlotIndex(way, HashWay(pending_key.data(), way));
-    ByteBuffer evicted_key(SlotKey(idx), SlotKey(idx) + key_width_);
-    ByteBuffer evicted_payload(SlotPayload(idx),
-                               SlotPayload(idx) + PayloadStride());
-    std::memcpy(SlotKey(idx), pending_key.data(), key_width_);
-    std::memcpy(SlotPayload(idx), pending_payload.data(), PayloadStride());
-    pending_key = std::move(evicted_key);
-    pending_payload = std::move(evicted_payload);
+    const uint64_t idx = SlotIndex(way, HashWay(pending_key_.data(), way));
+    evicted_key_.assign(SlotKey(idx), SlotKey(idx) + key_width_);
+    evicted_payload_.assign(SlotPayload(idx),
+                            SlotPayload(idx) + PayloadStride());
+    std::memcpy(SlotKey(idx), pending_key_.data(), key_width_);
+    std::memcpy(SlotPayload(idx), pending_payload_.data(), PayloadStride());
+    pending_key_.swap(evicted_key_);
+    pending_payload_.swap(evicted_payload_);
     ++total_kicks_;
     way = (way + 1) % num_ways_;
   }
 
   // Kick chain exhausted: the pending entry overflows. Note the pending
   // entry may be an evictee rather than the key being inserted.
-  overflow_keys_.insert(overflow_keys_.end(), pending_key.begin(),
-                        pending_key.end());
-  overflow_payloads_.insert(overflow_payloads_.end(), pending_payload.begin(),
-                            pending_payload.end());
+  overflow_keys_.insert(overflow_keys_.end(), pending_key_.begin(),
+                        pending_key_.end());
+  overflow_payloads_.insert(overflow_payloads_.end(),
+                            pending_payload_.begin(), pending_payload_.end());
   if (payload_out) {
     *payload_out = Lookup(key);
     FV_CHECK(*payload_out != nullptr);
@@ -126,9 +136,12 @@ CuckooTable::UpsertResult CuckooTable::Upsert(const uint8_t* key,
 }
 
 void CuckooTable::Clear() {
+  // Key/payload bytes of unoccupied slots are never read (every probe
+  // checks `occupied_` first, and inserts overwrite both arrays), so only
+  // the occupancy bits need resetting. This keeps Clear proportional to the
+  // bitmap, not to the BRAM image — regions Clear a full-size table between
+  // queries that may have touched a handful of slots.
   std::fill(occupied_.begin(), occupied_.end(), false);
-  std::fill(keys_.begin(), keys_.end(), 0);
-  std::fill(payloads_.begin(), payloads_.end(), 0);
   overflow_keys_.clear();
   overflow_payloads_.clear();
   size_ = 0;

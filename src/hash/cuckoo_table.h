@@ -127,6 +127,14 @@ class CuckooTable {
   ByteBuffer overflow_keys_;
   ByteBuffer overflow_payloads_;
 
+  /// Kick-chain scratch (the pending entry and the evictee it swaps with).
+  /// Members so a steady-state Upsert does not allocate — inserts run once
+  /// per distinct key at line rate (DESIGN.md §8).
+  ByteBuffer pending_key_;
+  ByteBuffer pending_payload_;
+  ByteBuffer evicted_key_;
+  ByteBuffer evicted_payload_;
+
   uint64_t size_ = 0;
   uint64_t total_kicks_ = 0;
 };

@@ -3,21 +3,91 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace farview {
+
+// Everything here is header-inline: these primitives run once (or once per
+// way) per tuple inside the grouping operators, and an out-of-line call per
+// invocation was a measurable share of the DISTINCT hot loop (DESIGN.md §8).
 
 /// 64-bit finalizer-style mixer (splitmix64 finalizer). Fast and well
 /// distributed; used as the per-way hash family of the cuckoo table — the
 /// FPGA computes one independent hash per cuckoo way (Section 5.4).
-uint64_t MixHash64(uint64_t x, uint64_t seed);
+inline uint64_t MixHash64(uint64_t x, uint64_t seed) {
+  uint64_t z = x + seed * 0x9e3779b97f4a7c15ull + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 /// Hashes `len` bytes with a given seed (Murmur-inspired block mixer).
 /// Distinct seeds give effectively independent hash functions.
-uint64_t HashBytes(const uint8_t* data, size_t len, uint64_t seed);
+inline uint64_t HashBytes(const uint8_t* data, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * m);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    k *= m;
+    k ^= k >> 47;
+    k *= m;
+    h ^= k;
+    h *= m;
+    data += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, data, len);
+    h ^= tail;
+    h *= m;
+  }
+  h ^= h >> 47;
+  h *= m;
+  h ^= h >> 47;
+  return h;
+}
+
+/// HashBytes specialized to len == 8 — bit-identical to
+/// `HashBytes(data, 8, seed)`, but with the block loop and tail unrolled
+/// away. A single 8-byte key column is the common grouping key shape, and
+/// the cuckoo table hashes every tuple once per way, so this is worth a
+/// width dispatch at the call site.
+inline uint64_t HashBytes8(const uint8_t* data, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  uint64_t h = seed ^ (8ull * m);
+  uint64_t k;
+  std::memcpy(&k, data, 8);
+  k *= m;
+  k ^= k >> 47;
+  k *= m;
+  h ^= k;
+  h *= m;
+  h ^= h >> 47;
+  h *= m;
+  h ^= h >> 47;
+  return h;
+}
 
 /// Combines two hashes into one (order dependent).
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return MixHash64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)), 1);
+}
+
+/// Equality over fixed-width key bytes. Widths are runtime values, so a
+/// plain memcmp compiles to a libc call; the 8-byte case (single INT64 key
+/// column) instead loads both sides into registers. Used by the per-tuple
+/// compare loops of the LRU shift register and the cuckoo ways.
+inline bool KeyEqual(const uint8_t* a, const uint8_t* b, uint32_t width) {
+  if (width == 8) {
+    uint64_t x;
+    uint64_t y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    return x == y;
+  }
+  return std::memcmp(a, b, width) == 0;
 }
 
 }  // namespace farview

@@ -2,30 +2,42 @@
 
 #include <cstring>
 
+#include "hash/hash.h"
+
 namespace farview {
 
 bool LruShiftRegister::Touch(const uint8_t* key) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (std::memcmp(it->data(), key, key_width_) == 0) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (KeyEqual(Slot(order_[i]), key, key_width_)) {
       // Hit: move to most-recent position (true LRU).
-      ByteBuffer k = std::move(*it);
-      entries_.erase(it);
-      entries_.push_front(std::move(k));
+      const int slot = order_[i];
+      std::memmove(order_.data() + 1, order_.data(), i * sizeof(int));
+      order_[0] = slot;
       ++hits_;
       return true;
     }
   }
   ++misses_;
-  entries_.emplace_front(key, key + key_width_);
-  if (entries_.size() > static_cast<size_t>(depth_)) {
-    entries_.pop_back();
+  if (depth_ == 0) return false;
+  int slot;
+  if (order_.size() < static_cast<size_t>(depth_)) {
+    // A free slot exists; resident slots are exactly 0..size-1 in some
+    // order, so the next unused one is index size().
+    slot = static_cast<int>(order_.size());
+    order_.push_back(0);
+  } else {
+    slot = order_.back();  // evict least-recent, reuse its slot
   }
+  std::memmove(order_.data() + 1, order_.data(),
+               (order_.size() - 1) * sizeof(int));
+  order_[0] = slot;
+  std::memcpy(Slot(slot), key, key_width_);
   return false;
 }
 
 bool LruShiftRegister::Contains(const uint8_t* key) const {
-  for (const ByteBuffer& e : entries_) {
-    if (std::memcmp(e.data(), key, key_width_) == 0) return true;
+  for (int s : order_) {
+    if (KeyEqual(Slot(s), key, key_width_)) return true;
   }
   return false;
 }

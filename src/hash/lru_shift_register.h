@@ -2,7 +2,7 @@
 #define FARVIEW_HASH_LRU_SHIFT_REGISTER_H_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/bytes.h"
 
@@ -20,10 +20,18 @@ namespace farview {
 ///
 /// This model is exact: Touch() reports whether the key was among the last
 /// `depth` distinct keys observed, with true LRU replacement.
+///
+/// Storage is a flat slot array with a recency order over slot indices —
+/// Touch runs once per tuple, so it must not allocate (the deque-of-buffers
+/// it replaces paid one heap allocation per miss and dominated the grouping
+/// workloads' run time; DESIGN.md §8).
 class LruShiftRegister {
  public:
   explicit LruShiftRegister(int depth, uint32_t key_width)
-      : depth_(depth), key_width_(key_width) {}
+      : depth_(depth), key_width_(key_width) {
+    keys_.resize(static_cast<size_t>(depth) * key_width);
+    order_.reserve(static_cast<size_t>(depth));
+  }
 
   /// Observes `key`. Returns true if it was already resident (a hit: the
   /// pipelined hash table would not yet reflect this key, so the operator
@@ -34,20 +42,27 @@ class LruShiftRegister {
   /// True when `key` is resident, without updating recency.
   bool Contains(const uint8_t* key) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear() { order_.clear(); }
 
   int depth() const { return depth_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return order_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
  private:
+  uint8_t* Slot(int s) { return keys_.data() + static_cast<size_t>(s) * key_width_; }
+  const uint8_t* Slot(int s) const {
+    return keys_.data() + static_cast<size_t>(s) * key_width_;
+  }
+
   int depth_;
   uint32_t key_width_;
-  /// Most-recent at front. A deque of small fixed-width keys; depth is a
-  /// hardware pipeline depth (≤ tens), so linear scans are exact and cheap,
-  /// mirroring the parallel comparators of the shift register.
-  std::deque<ByteBuffer> entries_;
+  /// `depth` fixed-width key slots; `order_` lists resident slot indices
+  /// most-recent first. Depth is a hardware pipeline depth (≤ tens), so
+  /// linear scans are exact and cheap, mirroring the parallel comparators
+  /// of the shift register.
+  std::vector<uint8_t> keys_;
+  std::vector<int> order_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

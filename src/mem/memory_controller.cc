@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/logging.h"
@@ -26,21 +27,22 @@ void MemoryController::StreamRead(int flow, uint64_t vaddr, uint64_t len,
   if (len == 0) {
     if (on_burst) {
       engine_->ScheduleAfter(config_.translation_latency,
-                             [on_burst, this]() {
-                               on_burst(0, true, engine_->Now());
+                             [this, cb = std::move(on_burst)]() mutable {
+                               cb(0, true, engine_->Now());
                              });
     }
     return;
   }
-  // A shared counter tracks outstanding bursts so `last` fires exactly once,
-  // whichever channel finishes last.
-  auto remaining = std::make_shared<uint64_t>(0);
-  struct Piece {
-    int channel;
-    uint64_t bytes;
-    SimTime extra;
-  };
-  std::vector<Piece> pieces;
+  // One pooled continuation per request tracks outstanding bursts so `last`
+  // fires exactly once, whichever channel finishes last. Pieces submit
+  // directly as the cursor walks the range — same channel order the
+  // piece-vector build produced, so arbitration is unchanged.
+  BurstCont* cont = cont_pool_.Acquire();
+  // One piece per stripe granule the range touches.
+  cont->remaining = (vaddr + len - 1) / config_.stripe_bytes -
+                    vaddr / config_.stripe_bytes + 1;
+  cont->cb = std::move(on_burst);
+  uint64_t submitted = 0;
   uint64_t pos = 0;
   bool first = true;
   while (pos < len) {
@@ -52,18 +54,19 @@ void MemoryController::StreamRead(int flow, uint64_t vaddr, uint64_t len,
     // hit open rows and the pipelined TLB.
     const SimTime extra = first ? config_.translation_latency : 0;
     first = false;
-    pieces.push_back(Piece{ChannelOf(addr), n, extra});
+    ++submitted;
+    channels_[static_cast<size_t>(ChannelOf(addr))]->Submit(
+        flow, n, extra, [this, cont, n](SimTime t) {
+          --cont->remaining;
+          const bool last = cont->remaining == 0;
+          if (cont->cb) cont->cb(n, last, t);
+          if (last) cont_pool_.Release(cont);
+        });
     pos += n;
   }
-  *remaining = pieces.size();
-  for (const Piece& p : pieces) {
-    channels_[static_cast<size_t>(p.channel)]->Submit(
-        flow, p.bytes, p.extra,
-        [on_burst, remaining, bytes = p.bytes](SimTime t) {
-          --*remaining;
-          if (on_burst) on_burst(bytes, *remaining == 0, t);
-        });
-  }
+  FV_CHECK(submitted == cont->remaining)
+      << "stripe piece count mismatch: " << submitted << " vs "
+      << cont->remaining;
 }
 
 void MemoryController::StreamWrite(int flow, uint64_t vaddr, uint64_t len,
@@ -80,8 +83,8 @@ void MemoryController::ScatteredRead(int flow, uint64_t vaddr, uint64_t count,
   if (count == 0 || access_bytes == 0) {
     if (on_burst) {
       engine_->ScheduleAfter(config_.translation_latency,
-                             [on_burst, this]() {
-                               on_burst(0, true, engine_->Now());
+                             [this, cb = std::move(on_burst)]() mutable {
+                               cb(0, true, engine_->Now());
                              });
     }
     return;
@@ -96,39 +99,40 @@ void MemoryController::ScatteredRead(int flow, uint64_t vaddr, uint64_t count,
       std::max<uint64_t>(1, config_.stripe_bytes / beats);
 
   // Distribute accesses over channels according to their addresses.
-  std::vector<uint64_t> per_channel(channels_.size(), 0);
+  per_channel_scratch_.assign(channels_.size(), 0);
   for (uint64_t i = 0; i < count; ++i) {
-    per_channel[static_cast<size_t>(ChannelOf(vaddr + i * stride))]++;
+    per_channel_scratch_[static_cast<size_t>(ChannelOf(vaddr + i * stride))]++;
+  }
+  uint64_t num_groups = 0;
+  for (uint64_t n : per_channel_scratch_) {
+    num_groups += CeilDiv(n, accesses_per_group);
   }
 
-  auto remaining = std::make_shared<uint64_t>(0);
-  struct Group {
-    int channel;
-    uint64_t accesses;
-  };
-  std::vector<Group> groups;
-  for (size_t c = 0; c < per_channel.size(); ++c) {
-    uint64_t left = per_channel[c];
+  BurstCont* cont = cont_pool_.Acquire();
+  cont->remaining = num_groups;
+  cont->cb = std::move(on_burst);
+  // Submit groups in channel order — the order the group vector was built
+  // in before, pinned by the multi-client fairness shapes.
+  bool first = true;
+  for (size_t c = 0; c < per_channel_scratch_.size(); ++c) {
+    uint64_t left = per_channel_scratch_[c];
     while (left > 0) {
       const uint64_t g = std::min(left, accesses_per_group);
-      groups.push_back(Group{static_cast<int>(c), g});
       left -= g;
+      const SimTime extra =
+          (first ? config_.translation_latency : 0) +
+          static_cast<SimTime>(g) * config_.random_access_overhead;
+      first = false;
+      const uint64_t occupied = g * beats;
+      const uint64_t payload = g * access_bytes;
+      channels_[c]->Submit(flow, occupied, extra,
+                           [this, cont, payload](SimTime t) {
+                             --cont->remaining;
+                             const bool last = cont->remaining == 0;
+                             if (cont->cb) cont->cb(payload, last, t);
+                             if (last) cont_pool_.Release(cont);
+                           });
     }
-  }
-  *remaining = groups.size();
-  bool first = true;
-  for (const Group& g : groups) {
-    const SimTime extra =
-        (first ? config_.translation_latency : 0) +
-        static_cast<SimTime>(g.accesses) * config_.random_access_overhead;
-    first = false;
-    const uint64_t occupied = g.accesses * beats;
-    const uint64_t payload = g.accesses * access_bytes;
-    channels_[static_cast<size_t>(g.channel)]->Submit(
-        flow, occupied, extra, [on_burst, remaining, payload](SimTime t) {
-          --*remaining;
-          if (on_burst) on_burst(payload, *remaining == 0, t);
-        });
   }
 }
 

@@ -111,6 +111,29 @@ Status Mmu::Read(int client, uint64_t vaddr, uint64_t len,
   return Status::OK();
 }
 
+Status Mmu::ReadInto(int client, uint64_t vaddr, uint64_t len,
+                     ByteBuffer* out) const {
+  // ByteBuffer growth default-initializes (PooledByteAllocator), so this
+  // resize reserves space without a zeroing pass; StreamCopy then writes
+  // each page span once, with non-temporal stores for large spans so the
+  // payload does not evict the event core's working set.
+  const std::size_t old_size = out->size();
+  out->resize(old_size + len);
+  uint8_t* dst = out->data() + old_size;
+  uint64_t done = 0;
+  while (done < len) {
+    FV_ASSIGN_OR_RETURN(const uint64_t paddr,
+                        Translate(client, vaddr + done));
+    const uint64_t page_remaining =
+        kPageSize - ((vaddr + done) % kPageSize);
+    const uint64_t n = std::min(len - done, page_remaining);
+    FV_ASSIGN_OR_RETURN(const uint8_t* src, phys_->Span(paddr, n));
+    StreamCopy(dst + done, src, n);
+    done += n;
+  }
+  return Status::OK();
+}
+
 Status Mmu::Write(int client, uint64_t vaddr, uint64_t len,
                   const uint8_t* data) {
   uint64_t done = 0;

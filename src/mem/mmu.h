@@ -57,6 +57,15 @@ class Mmu {
   /// `out`, page by page. The whole range must be mapped and accessible.
   Status Read(int client, uint64_t vaddr, uint64_t len, uint8_t* out) const;
 
+  /// Like Read, but appends to `*out` instead of writing through a raw
+  /// pointer. The append is a single streaming-copy pass per page span — no
+  /// value-initializing resize of the destination first — which keeps the
+  /// per-request materialization cost at one pass over the payload and, for
+  /// large spans, out of the private caches (DESIGN.md §8). On error the
+  /// appended region is indeterminate; callers must discard `*out`.
+  Status ReadInto(int client, uint64_t vaddr, uint64_t len,
+                  ByteBuffer* out) const;
+
   /// Functional data path: copies `len` bytes into virtual memory.
   Status Write(int client, uint64_t vaddr, uint64_t len, const uint8_t* data);
 

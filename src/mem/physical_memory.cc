@@ -51,6 +51,14 @@ Status PhysicalMemory::ReadPhysical(uint64_t paddr, uint64_t len,
   return Status::OK();
 }
 
+Result<const uint8_t*> PhysicalMemory::Span(uint64_t paddr,
+                                            uint64_t len) const {
+  if (paddr + len > data_.size() || paddr + len < paddr) {
+    return Status::OutOfRange("physical read out of range");
+  }
+  return data_.data() + paddr;
+}
+
 Status PhysicalMemory::WritePhysical(uint64_t paddr, uint64_t len,
                                      const uint8_t* data) {
   if (paddr + len > data_.size() || paddr + len < paddr) {

@@ -31,6 +31,11 @@ class PhysicalMemory {
   Status ReadPhysical(uint64_t paddr, uint64_t len, uint8_t* out) const;
   Status WritePhysical(uint64_t paddr, uint64_t len, const uint8_t* data);
 
+  /// Bounds-checked pointer to `len` contiguous physical bytes at `paddr`
+  /// (the frame store is one flat array). Lets the MMU append page spans to
+  /// a destination buffer without a pre-zeroing pass over it.
+  Result<const uint8_t*> Span(uint64_t paddr, uint64_t len) const;
+
   /// Base physical address of a frame.
   uint64_t FrameAddress(uint64_t frame) const { return frame * frame_bytes_; }
 

@@ -32,7 +32,20 @@ NetworkStack::NetworkStack(sim::Engine* engine, const NetConfig& config)
   }
 }
 
-void NetworkStack::DeliverRequest(std::function<void()> at_node) {
+NetworkStack::~NetworkStack() {
+  // Abandoned streams (handle dropped before Finish, events long drained)
+  // stay live in the pool; run their destructors so captured state is
+  // released.
+  while (!live_streams_.empty()) {
+    // Pop before destroying: a destructor may cascade (captured handles)
+    // into ReleaseStream for another stream, mutating the registry.
+    TxStream* s = live_streams_.back();
+    live_streams_.pop_back();
+    stream_pool_.Release(s);
+  }
+}
+
+void NetworkStack::DeliverRequest(sim::EventFn at_node) {
   // RDMA verbs ride the same fabric as the data path: a flap window stalls
   // the request until the link returns (single request messages are assumed
   // recovered transparently below the timescale we model; sustained
@@ -49,18 +62,32 @@ void NetworkStack::DeliverRequest(std::function<void()> at_node) {
                          std::move(at_node));
 }
 
-std::shared_ptr<NetworkStack::TxStream> NetworkStack::OpenStream(
-    int qp_id, std::function<void(uint64_t, bool, SimTime)> on_delivered) {
-  auto stream =
-      std::make_shared<TxStream>(this, qp_id, std::move(on_delivered));
-  stream->self_ = stream;
-  return stream;
+NetworkStack::StreamHandle NetworkStack::OpenStream(int qp_id,
+                                                    OnDelivered on_delivered) {
+  TxStream* s = stream_pool_.Acquire(this, qp_id, std::move(on_delivered));
+  s->registry_index_ = live_streams_.size();
+  live_streams_.push_back(s);
+  return StreamHandle(s);
 }
 
-NetworkStack::TxStream::TxStream(
-    NetworkStack* stack, int qp_id,
-    std::function<void(uint64_t, bool, SimTime)> on_delivered)
+void NetworkStack::ReleaseStream(TxStream* s) {
+  // Swap-remove from the live registry.
+  const size_t i = s->registry_index_;
+  live_streams_[i] = live_streams_.back();
+  live_streams_[i]->registry_index_ = i;
+  live_streams_.pop_back();
+  stream_pool_.Release(s);
+}
+
+NetworkStack::TxStream::TxStream(NetworkStack* stack, int qp_id,
+                                 OnDelivered on_delivered)
     : stack_(stack), qp_id_(qp_id), on_delivered_(std::move(on_delivered)) {}
+
+void NetworkStack::TxStream::MaybeRelease() {
+  if (external_refs_ == 0 && pending_events_ == 0 && delivery_complete_) {
+    stack_->ReleaseStream(this);
+  }
+}
 
 void NetworkStack::TxStream::Push(uint64_t bytes) {
   FV_CHECK(!finished_) << "Push after Finish";
@@ -115,10 +142,11 @@ void NetworkStack::TxStream::Transmit(uint64_t seq, uint64_t payload,
     const SimTime now = eng->Now();
     if (stack_->fault_plan_->LinkDownAt(now)) {
       ++stack_->fault_counters_.flap_stalls;
+      EventScheduled();
       eng->ScheduleAt(stack_->fault_plan_->NextLinkUpAfter(now),
-                      [this, seq, payload, last, retransmission,
-                       keep = self_]() {
+                      [this, seq, payload, last, retransmission]() {
                         Transmit(seq, payload, last, retransmission);
+                        EventDone();
                       });
       return;
     }
@@ -126,63 +154,115 @@ void NetworkStack::TxStream::Transmit(uint64_t seq, uint64_t payload,
 
   // Serialize on the shared link (round-robin with other QPs), then
   // propagate to the client; the ack returns a credit later.
-  stack_->link_->Submit(
-      qp_id_, payload,
-      [this, seq, payload, last, retransmission, keep = self_](SimTime) {
-        sim::Engine* eng = stack_->engine_;
-        last_link_exit_ = eng->Now();
+  EventScheduled();
+  stack_->link_->Submit(qp_id_, payload,
+                        [this, seq, payload, last, retransmission](SimTime) {
+                          OnLinkExit(seq, payload, last, retransmission);
+                          EventDone();
+                        });
+}
 
-        // Fate is drawn once, at the first transmission; recovery copies
-        // always arrive (one timeout bounds each fault's recovery).
-        FaultPlan::PacketFate fate = FaultPlan::PacketFate::kDelivered;
-        if (stack_->fault_plan_ != nullptr && !retransmission) {
-          fate = stack_->fault_plan_->NextPacketFate();
-        }
-        if (fate != FaultPlan::PacketFate::kDelivered) {
-          if (fate == FaultPlan::PacketFate::kLost) {
-            ++stack_->fault_counters_.packets_lost;
-          } else {
-            ++stack_->fault_counters_.packets_corrupted;
-          }
-          // The credit stays consumed until the recovery copy is acked, so
-          // heavy loss also throttles the window — retry amplification is
-          // visible on the wire, not hidden by free retransmissions.
-          eng->ScheduleAfter(
-              stack_->config_.faults.retransmit_timeout,
-              [this, seq, payload, last, keep]() {
-                ++stack_->fault_counters_.retransmits;
-                Transmit(seq, payload, last, /*retransmission=*/true);
-              });
-          return;
-        }
+void NetworkStack::TxStream::OnLinkExit(uint64_t seq, uint64_t payload,
+                                        bool last, bool retransmission) {
+  sim::Engine* eng = stack_->engine_;
+  last_link_exit_ = eng->Now();
 
-        eng->ScheduleAfter(stack_->config_.fv_delivery_latency,
-                           [this, seq, payload, last, keep]() {
-                             arrived_[seq] = {payload, last};
-                             FlushArrivals(stack_->engine_->Now());
-                           });
-        eng->ScheduleAfter(stack_->config_.ack_latency, [this, keep]() {
-          --in_flight_packets_;
-          TrySend();
-        });
-      });
+  // Fate is drawn once, at the first transmission; recovery copies
+  // always arrive (one timeout bounds each fault's recovery).
+  FaultPlan::PacketFate fate = FaultPlan::PacketFate::kDelivered;
+  if (stack_->fault_plan_ != nullptr && !retransmission) {
+    fate = stack_->fault_plan_->NextPacketFate();
+  }
+  if (fate != FaultPlan::PacketFate::kDelivered) {
+    if (fate == FaultPlan::PacketFate::kLost) {
+      ++stack_->fault_counters_.packets_lost;
+    } else {
+      ++stack_->fault_counters_.packets_corrupted;
+    }
+    // The credit stays consumed until the recovery copy is acked, so
+    // heavy loss also throttles the window — retry amplification is
+    // visible on the wire, not hidden by free retransmissions.
+    EventScheduled();
+    eng->ScheduleAfter(stack_->config_.faults.retransmit_timeout,
+                       [this, seq, payload, last]() {
+                         ++stack_->fault_counters_.retransmits;
+                         Transmit(seq, payload, last, /*retransmission=*/true);
+                         EventDone();
+                       });
+    return;
+  }
+
+  EventScheduled();
+  eng->ScheduleAfter(stack_->config_.fv_delivery_latency,
+                     [this, seq, payload, last]() {
+                       OnArrival(seq, payload, last);
+                       EventDone();
+                     });
+  EventScheduled();
+  eng->ScheduleAfter(stack_->config_.ack_latency, [this]() {
+    --in_flight_packets_;
+    TrySend();
+    EventDone();
+  });
+}
+
+void NetworkStack::TxStream::OnArrival(uint64_t seq, uint64_t payload,
+                                       bool last) {
+  if (seq == next_deliver_seq_ && parked_arrivals_ == 0) {
+    // In-order fast path: deliver without touching the reorder ring.
+    ++next_deliver_seq_;
+    if (on_delivered_) on_delivered_(payload, last, stack_->engine_->Now());
+    if (last) {
+      delivery_complete_ = true;
+      on_delivered_ = nullptr;
+    }
+    return;
+  }
+  ParkArrival(seq, payload, last);
+  FlushArrivals(stack_->engine_->Now());
+}
+
+void NetworkStack::TxStream::ParkArrival(uint64_t seq, uint64_t payload,
+                                         bool last) {
+  if (reorder_.empty()) reorder_.resize(64);
+  // Grow until the slot for `seq` is free: live sequence numbers span
+  // [next_deliver_seq_, next_seq_), which exceeds the credit window only
+  // when retransmit timeouts stretch the in-flight span.
+  while (true) {
+    Arrival& slot = reorder_[seq & (reorder_.size() - 1)];
+    if (!slot.present) {
+      slot = Arrival{seq, payload, last, /*present=*/true};
+      ++parked_arrivals_;
+      return;
+    }
+    FV_CHECK(slot.seq != seq) << "duplicate packet " << seq;
+    std::vector<Arrival> grown(reorder_.size() * 2);
+    for (const Arrival& a : reorder_) {
+      if (a.present) grown[a.seq & (grown.size() - 1)] = a;
+    }
+    reorder_ = std::move(grown);
+  }
 }
 
 void NetworkStack::TxStream::FlushArrivals(SimTime t) {
   // In-order release: a missing sequence number holds back everything
   // behind it until its retransmission arrives.
-  while (true) {
-    auto it = arrived_.find(next_deliver_seq_);
-    if (it == arrived_.end()) return;
-    const uint64_t payload = it->second.first;
-    const bool last = it->second.second;
-    arrived_.erase(it);
+  while (parked_arrivals_ > 0) {
+    Arrival& slot = reorder_[next_deliver_seq_ & (reorder_.size() - 1)];
+    if (!slot.present || slot.seq != next_deliver_seq_) return;
+    const uint64_t payload = slot.payload;
+    const bool last = slot.last;
+    slot.present = false;
+    --parked_arrivals_;
     ++next_deliver_seq_;
     if (on_delivered_) {
       on_delivered_(payload, last, t);
     }
     if (last) {
-      self_.reset();  // all packets delivered in order
+      // All packets delivered in order; the stream returns to the pool
+      // once its handles drop and in-flight acks drain.
+      delivery_complete_ = true;
+      on_delivered_ = nullptr;
       return;
     }
   }

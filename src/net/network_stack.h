@@ -2,11 +2,12 @@
 #define FARVIEW_NET_NETWORK_STACK_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "common/inline_fn.h"
+#include "common/pool.h"
 #include "common/units.h"
 #include "net/fault_plan.h"
 #include "net/net_config.h"
@@ -35,6 +36,12 @@ namespace farview {
 /// schedule stalls transmissions and request deliveries while the link is
 /// down. With faults disabled none of this machinery runs and the event
 /// sequence is bit-identical to the fault-free simulator.
+///
+/// Hot-path layout (DESIGN.md §8): streams are pooled (`common/pool.h`) and
+/// reference-counted intrusively — per-packet events capture `this` plus a
+/// few scalars inside the engine's inline event storage, instead of the
+/// per-packet `shared_ptr` copies and `std::function` heap allocations the
+/// first implementation paid three times per packet.
 class NetworkStack {
  public:
   /// Injected-fault event counts (all zero when faults are disabled).
@@ -45,26 +52,29 @@ class NetworkStack {
     uint64_t flap_stalls = 0;        ///< packets/requests delayed by a flap
   };
 
+  /// `on_delivered(bytes, last, t)` runs at the simulated instant packet
+  /// payloads land in client memory, in sequence order. `last` fires
+  /// exactly once.
+  using OnDelivered = InlineFn<void(uint64_t, bool, SimTime)>;
+
   NetworkStack(sim::Engine* engine, const NetConfig& config);
+  ~NetworkStack();
 
   NetworkStack(const NetworkStack&) = delete;
   NetworkStack& operator=(const NetworkStack&) = delete;
 
   /// Client→Farview request path: runs `at_node` after the ingress latency
   /// (plus any link-flap stall).
-  void DeliverRequest(std::function<void()> at_node);
+  void DeliverRequest(sim::EventFn at_node);
 
   /// An open response stream Farview→client for one request. The node
   /// pushes payload bytes as the operator pipeline emits them; the stream
   /// packetizes, respects the credit window, and reports delivered packets
-  /// at the client. Deleting the stream before `Finish()` abandons it.
+  /// at the client. Dropping the handle before `Finish()` abandons the
+  /// stream.
   class TxStream {
    public:
-    /// `on_delivered(bytes, last, t)` runs at the simulated instant packet
-    /// payloads land in client memory, in sequence order. `last` fires
-    /// exactly once.
-    TxStream(NetworkStack* stack, int qp_id,
-             std::function<void(uint64_t, bool, SimTime)> on_delivered);
+    TxStream(NetworkStack* stack, int qp_id, OnDelivered on_delivered);
 
     TxStream(const TxStream&) = delete;
     TxStream& operator=(const TxStream&) = delete;
@@ -87,6 +97,14 @@ class NetworkStack {
     SimTime last_link_exit() const { return last_link_exit_; }
 
    private:
+    /// A packet parked in the receiver reorder buffer.
+    struct Arrival {
+      uint64_t seq = 0;
+      uint64_t payload = 0;
+      bool last = false;
+      bool present = false;
+    };
+
     void TrySend();
 
     /// Puts packet `seq` on the wire (deferring while a flap has the link
@@ -96,12 +114,36 @@ class NetworkStack {
     void Transmit(uint64_t seq, uint64_t payload, bool last,
                   bool retransmission);
 
+    /// Link serialization finished for packet `seq`: draw its fate and
+    /// schedule delivery/ack (or the retransmit timer).
+    void OnLinkExit(uint64_t seq, uint64_t payload, bool last,
+                    bool retransmission);
+
+    /// Packet `seq` landed at the receiver.
+    void OnArrival(uint64_t seq, uint64_t payload, bool last);
+
+    /// Stores an out-of-order arrival in the reorder ring, growing it when
+    /// the in-flight sequence span exceeds its capacity.
+    void ParkArrival(uint64_t seq, uint64_t payload, bool last);
+
     /// Releases arrived packets to the client in sequence order at `t`.
     void FlushArrivals(SimTime t);
 
+    /// Bumps the count of engine/server callbacks holding `this`.
+    void EventScheduled() { ++pending_events_; }
+
+    /// A callback holding `this` finished; last one out releases the
+    /// stream back to the pool (must be the callback's final action).
+    void EventDone() {
+      --pending_events_;
+      MaybeRelease();
+    }
+
+    void MaybeRelease();
+
     NetworkStack* stack_;
     int qp_id_;
-    std::function<void(uint64_t, bool, SimTime)> on_delivered_;
+    OnDelivered on_delivered_;
     uint64_t pending_bytes_ = 0;
     uint64_t bytes_pushed_ = 0;
     uint64_t packets_sent_ = 0;
@@ -113,19 +155,62 @@ class NetworkStack {
     uint64_t next_seq_ = 0;
     /// Receiver cursor: first sequence number not yet released in order.
     uint64_t next_deliver_seq_ = 0;
-    /// Receiver reorder buffer: seq → (payload bytes, last flag). Holds at
-    /// most a credit window of packets.
-    std::map<uint64_t, std::pair<uint64_t, bool>> arrived_;
-    /// Keeps `this` alive until all completions ran (streams are owned by
-    /// shared_ptr via OpenStream).
-    std::shared_ptr<TxStream> self_;
+    /// Receiver reorder ring, indexed by `seq & (capacity - 1)`. Empty on
+    /// the fault-free path (in-order arrivals deliver directly); allocated
+    /// on the first gap and grown when retransmit latency stretches the
+    /// sequence span past its capacity.
+    std::vector<Arrival> reorder_;
+    int parked_arrivals_ = 0;
+
+    /// Lifetime: handles (external owners) + callbacks in flight. The
+    /// stream returns to the pool when both reach zero after the last
+    /// in-order delivery. An abandoned, quiesced stream stays in the pool
+    /// as live (the previous shared_ptr design leaked it the same way);
+    /// ~NetworkStack reclaims survivors.
+    int external_refs_ = 0;
+    int pending_events_ = 0;
+    bool delivery_complete_ = false;
+    /// Index into NetworkStack::live_streams_ (swap-removed on release).
+    size_t registry_index_ = 0;
 
     friend class NetworkStack;
   };
 
+  /// Move-only owner handle for a pooled stream; releasing the last handle
+  /// after the final delivery returns the stream to the pool.
+  class StreamHandle {
+   public:
+    StreamHandle() = default;
+    StreamHandle(StreamHandle&& o) noexcept : s_(o.s_) { o.s_ = nullptr; }
+    StreamHandle& operator=(StreamHandle&& o) noexcept {
+      if (this != &o) {
+        Release();
+        s_ = o.s_;
+        o.s_ = nullptr;
+      }
+      return *this;
+    }
+    ~StreamHandle() { Release(); }
+
+    TxStream* operator->() const { return s_; }
+    TxStream& operator*() const { return *s_; }
+    explicit operator bool() const { return s_ != nullptr; }
+
+   private:
+    friend class NetworkStack;
+    explicit StreamHandle(TxStream* s) : s_(s) { ++s_->external_refs_; }
+    void Release() {
+      if (s_ != nullptr) {
+        --s_->external_refs_;
+        s_->MaybeRelease();
+        s_ = nullptr;
+      }
+    }
+    TxStream* s_ = nullptr;
+  };
+
   /// Opens a response stream for queue pair `qp_id`.
-  std::shared_ptr<TxStream> OpenStream(
-      int qp_id, std::function<void(uint64_t, bool, SimTime)> on_delivered);
+  StreamHandle OpenStream(int qp_id, OnDelivered on_delivered);
 
   const NetConfig& config() const { return config_; }
   sim::Engine* engine() { return engine_; }
@@ -143,12 +228,19 @@ class NetworkStack {
   const FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
  private:
+  /// Destroys `s` and recycles its pool slot.
+  void ReleaseStream(TxStream* s);
+
   sim::Engine* engine_;
   NetConfig config_;
   std::unique_ptr<sim::Server> link_;
   /// Non-null only when `config_.faults.enabled`.
   std::unique_ptr<FaultPlan> fault_plan_;
   FaultCounters fault_counters_;
+  Pool<TxStream> stream_pool_;
+  /// Live streams, so ~NetworkStack can run destructors for abandoned ones
+  /// (their callbacks may own heap state).
+  std::vector<TxStream*> live_streams_;
   uint64_t total_payload_bytes_ = 0;
   uint64_t total_packets_ = 0;
 };

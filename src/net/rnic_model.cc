@@ -37,30 +37,29 @@ void RnicModel::Read(int flow, uint64_t bytes,
       config_.rnic_request_latency, [this, flow, bytes, page_cost,
                                      done = std::move(done)]() mutable {
         // Serve in stripe-sized chunks so concurrent flows share the pipe
-        // fairly; the final chunk carries the delivery latency.
+        // fairly; the final chunk carries the delivery latency. Chunks of
+        // one flow complete FIFO, so only the last chunk needs a callback —
+        // the rest are fire-and-forget (their service time still queues).
         const uint64_t chunk = 4 * kKiB;
         uint64_t remaining = bytes;
         bool first = true;
-        auto outstanding = std::make_shared<uint64_t>(0);
-        auto done_holder =
-            std::make_shared<std::function<void(SimTime)>>(std::move(done));
         do {
           const uint64_t n = std::min(remaining, chunk);
           remaining -= n;
-          ++*outstanding;
           const bool is_last = remaining == 0;
-          pipe_->Submit(
-              flow, n, first ? page_cost : 0,
-              [this, outstanding, is_last, done_holder](SimTime) {
-                --*outstanding;
-                if (is_last) {
-                  FV_CHECK(*outstanding == 0);
-                  engine_->ScheduleAfter(config_.rnic_delivery_latency,
-                                         [this, done_holder]() {
-                                           (*done_holder)(engine_->Now());
-                                         });
-                }
-              });
+          if (!is_last) {
+            pipe_->Submit(flow, n, first ? page_cost : 0, nullptr);
+          } else {
+            pipe_->Submit(
+                flow, n, first ? page_cost : 0,
+                [this, done = std::move(done)](SimTime) mutable {
+                  engine_->ScheduleAfter(
+                      config_.rnic_delivery_latency,
+                      [this, done = std::move(done)]() mutable {
+                        done(engine_->Now());
+                      });
+                });
+          }
           first = false;
         } while (remaining > 0);
       });

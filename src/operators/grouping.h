@@ -77,6 +77,8 @@ class DistinctOp : public Operator {
   GroupingConfig config_;
   std::unique_ptr<CuckooTable> table_;
   std::unique_ptr<LruShiftRegister> lru_;
+  /// Per-row key extraction scratch (Process must not allocate per batch).
+  ByteBuffer key_scratch_;
 };
 
 /// GROUP BY + aggregation operator (Section 5.4): identical hash machinery
@@ -120,6 +122,8 @@ class GroupByOp : public Operator {
   /// The paper's "separate queue" of distinct keys, in first-insertion
   /// order, used to flush the hash table deterministically.
   ByteBuffer group_queue_;
+  /// Per-row key extraction scratch (Process must not allocate per batch).
+  ByteBuffer key_scratch_;
 };
 
 /// Standalone aggregation (no grouping): a streaming fold that emits one

@@ -4,17 +4,17 @@
 
 namespace farview::sim {
 
-void Engine::ScheduleAt(SimTime t, std::function<void()> fn) {
+void Engine::ScheduleAt(SimTime t, EventFn fn) {
   // Scheduling before Now() would silently reorder causality (the event
   // would run "immediately" but carry a stale timestamp); fail loudly
   // instead. Scheduling exactly at Now() is legal — FIFO seq order breaks
   // the tie deterministically.
   FV_CHECK(t >= now_) << "event scheduled in the past: " << t << " < " << now_;
   FV_CHECK(fn != nullptr) << "event scheduled with a null callback";
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.Push(t, next_seq_++, std::move(fn));
 }
 
-void Engine::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+void Engine::ScheduleAfter(SimTime delay, EventFn fn) {
   FV_CHECK(delay >= 0) << "negative delay " << delay;
   ScheduleAt(now_ + delay, std::move(fn));
 }
@@ -22,22 +22,18 @@ void Engine::ScheduleAfter(SimTime delay, std::function<void()> fn) {
 SimTime Engine::Run() {
   while (!queue_.empty()) {
     // The callback may schedule further events, so pop before invoking.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+    EventFn fn = queue_.PopNext(&now_);
     ++executed_;
-    ev.fn();
+    fn();
   }
   return now_;
 }
 
 bool Engine::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+  while (!queue_.empty() && queue_.PeekTime() <= deadline) {
+    EventFn fn = queue_.PopNext(&now_);
     ++executed_;
-    ev.fn();
+    fn();
   }
   if (queue_.empty()) return true;
   now_ = deadline;
@@ -48,7 +44,7 @@ void Engine::Reset() {
   now_ = 0;
   next_seq_ = 0;
   executed_ = 0;
-  queue_ = {};
+  queue_.Clear();
 }
 
 }  // namespace farview::sim

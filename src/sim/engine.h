@@ -2,22 +2,27 @@
 #define FARVIEW_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "common/inline_fn.h"
 #include "common/units.h"
+#include "sim/event_queue.h"
 
 namespace farview::sim {
 
 /// Discrete-event simulation engine.
 ///
 /// The engine owns a simulated clock (picoseconds, see common/units.h) and a
-/// priority queue of events. Components schedule callbacks at absolute or
-/// relative times; `Run` drains the queue in time order. Events scheduled at
-/// the same instant execute in FIFO order of scheduling (a monotonically
-/// increasing sequence number breaks ties), so simulations are fully
-/// deterministic.
+/// calendar queue of events (sim/event_queue.h). Components schedule
+/// callbacks at absolute or relative times; `Run` drains the queue in time
+/// order. Events scheduled at the same instant execute in FIFO order of
+/// scheduling (a monotonically increasing sequence number breaks ties), so
+/// simulations are fully deterministic.
+///
+/// Hot-path contract: scheduling an event whose callback captures at most
+/// `EventFn::kInlineBytes` (64 B, nothrow-movable) performs ZERO heap
+/// allocations in steady state — the callback lives inline in the calendar
+/// bucket, and buckets recycle their capacity across laps. Pinned by
+/// tests/sim_alloc_test.cc and measured by bench/perf_simcore.cc.
 ///
 /// The engine is single-threaded by design: Farview experiments are small
 /// enough (≤ a few million events) that determinism is worth far more than
@@ -33,11 +38,12 @@ class Engine {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run at absolute simulated time `t`. `t` must not be
-  /// in the past.
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  /// in the past. `fn` is any callable; captures up to 64 B schedule
+  /// without allocating (see EventFn).
+  void ScheduleAt(SimTime t, EventFn fn);
 
   /// Schedules `fn` to run `delay` after the current time (delay >= 0).
-  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+  void ScheduleAfter(SimTime delay, EventFn fn);
 
   /// Runs events until the queue is empty. Returns the final clock value.
   SimTime Run();
@@ -66,25 +72,14 @@ class Engine {
   size_t pending_events() const { return queue_.size(); }
 
   /// Resets the clock and drops all pending events. Statistics reset too.
+  /// Queue capacity is retained (warm restarts stay allocation-free).
   void Reset();
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace farview::sim

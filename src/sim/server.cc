@@ -18,10 +18,15 @@ Server::Server(Engine* engine, std::string name, double rate_bytes_per_sec,
 }
 
 void Server::Submit(int flow_id, uint64_t bytes, SimTime extra_overhead,
-                    std::function<void(SimTime)> done) {
-  auto& q = queues_[flow_id];
-  if (q.empty()) rotation_.push_back(flow_id);
-  q.push_back(Item{bytes, extra_overhead, std::move(done)});
+                    DoneFn done) {
+  FV_CHECK(flow_id >= 0) << "server " << name_ << ": negative flow id "
+                         << flow_id;
+  if (static_cast<size_t>(flow_id) >= flows_.size()) {
+    flows_.resize(static_cast<size_t>(flow_id) + 1);
+  }
+  FlowState& f = flows_[static_cast<size_t>(flow_id)];
+  if (f.items.empty()) rotation_.push_back(flow_id);
+  f.items.push_back(Item{bytes, extra_overhead, std::move(done)});
   ++pending_items_;
   MaybeStartNext();
 }
@@ -31,17 +36,11 @@ void Server::MaybeStartNext() {
 
   // Round-robin: take the head flow, serve its first item, and move the flow
   // to the back of the rotation if it still has work.
-  const int flow = rotation_.front();
-  rotation_.pop_front();
-  auto it = queues_.find(flow);
-  FV_CHECK(it != queues_.end() && !it->second.empty());
-  Item item = std::move(it->second.front());
-  it->second.pop_front();
-  if (!it->second.empty()) {
-    rotation_.push_back(flow);
-  } else {
-    queues_.erase(it);
-  }
+  const int flow = rotation_.pop_front();
+  FlowState& f = flows_[static_cast<size_t>(flow)];
+  FV_CHECK(!f.items.empty());
+  Item item = f.items.pop_front();
+  if (!f.items.empty()) rotation_.push_back(flow);
 
   const SimTime service = fixed_overhead_ + item.extra_overhead +
                           TransferTime(item.bytes, rate_);
@@ -50,15 +49,20 @@ void Server::MaybeStartNext() {
   bytes_served_ += item.bytes;
   ++items_served_;
 
-  engine_->ScheduleAfter(
-      service, [this, done = std::move(item.done)]() mutable {
-        busy_ = false;
-        --pending_items_;
-        // Start the next item before running the completion callback so that
-        // a callback submitting new work observes a consistent queue.
-        MaybeStartNext();
-        if (done) done(engine_->Now());
-      });
+  in_service_done_ = std::move(item.done);
+  engine_->ScheduleAfter(service, [this]() { OnServiceComplete(); });
+}
+
+void Server::OnServiceComplete() {
+  // Move the callback out before starting the next item (which reparks
+  // `in_service_done_` for its own completion).
+  DoneFn done = std::move(in_service_done_);
+  busy_ = false;
+  --pending_items_;
+  // Start the next item before running the completion callback so that
+  // a callback submitting new work observes a consistent queue.
+  MaybeStartNext();
+  if (done) done(engine_->Now());
 }
 
 double Server::Utilization() const {

@@ -2,11 +2,11 @@
 #define FARVIEW_SIM_SERVER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
+#include "common/inline_fn.h"
+#include "common/pool.h"
 #include "common/units.h"
 #include "sim/engine.h"
 
@@ -24,8 +24,17 @@ namespace farview::sim {
 ///
 /// Within one flow, items are served FIFO. The completion callback runs at
 /// the simulated instant the last byte leaves the server.
+///
+/// Hot-path layout (DESIGN.md §8): flows are dense small integers (queue
+/// pair / region ids), so the per-flow queues live in a flat vector indexed
+/// by flow id and each queue is a capacity-recycling ring — a steady-state
+/// Submit never allocates. The in-service completion callback is parked in a
+/// member so the engine event captures only `this`.
 class Server {
  public:
+  /// Completion callback; invoked with the service completion time.
+  using DoneFn = InlineFn<void(SimTime)>;
+
   /// `rate_bytes_per_sec` is the drain rate; `fixed_overhead` is charged per
   /// served item (e.g. a DRAM row activation or a packet header time).
   Server(Engine* engine, std::string name, double rate_bytes_per_sec,
@@ -34,14 +43,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Enqueues `bytes` of service on behalf of `flow_id`. `extra_overhead` is
-  /// added to this item's service time only. `done` is invoked with the
-  /// completion time; it may be null for fire-and-forget items.
+  /// Enqueues `bytes` of service on behalf of `flow_id` (a small
+  /// non-negative integer). `extra_overhead` is added to this item's service
+  /// time only. `done` is invoked with the completion time; it may be null
+  /// for fire-and-forget items.
   void Submit(int flow_id, uint64_t bytes, SimTime extra_overhead,
-              std::function<void(SimTime)> done);
+              DoneFn done);
 
   /// Convenience overload without extra overhead.
-  void Submit(int flow_id, uint64_t bytes, std::function<void(SimTime)> done) {
+  void Submit(int flow_id, uint64_t bytes, DoneFn done) {
     Submit(flow_id, bytes, 0, std::move(done));
   }
 
@@ -65,11 +75,18 @@ class Server {
 
  private:
   void MaybeStartNext();
+  void OnServiceComplete();
 
   struct Item {
-    uint64_t bytes;
-    SimTime extra_overhead;
-    std::function<void(SimTime)> done;
+    uint64_t bytes = 0;
+    SimTime extra_overhead = 0;
+    DoneFn done;
+  };
+
+  /// Per-flow FIFO. Slots persist across idle periods (dense flow ids), so
+  /// a flow's ring capacity is paid for once at its high-water mark.
+  struct FlowState {
+    RingQueue<Item> items;
   };
 
   Engine* engine_;
@@ -77,9 +94,15 @@ class Server {
   double rate_;
   SimTime fixed_overhead_;
 
-  // Per-flow FIFO queues plus a rotation of flow ids with pending work.
-  std::map<int, std::deque<Item>> queues_;
-  std::deque<int> rotation_;
+  /// Indexed by flow id; grown on first use of a new id.
+  std::vector<FlowState> flows_;
+  /// Rotation of flow ids with pending work (round-robin visit order —
+  /// semantics identical to the deque it replaces, pinned by
+  /// sim_test.cc ServerTest.RoundRobinBetweenFlows).
+  RingQueue<int> rotation_;
+  /// Completion callback of the item in service; parked here so the
+  /// engine's completion event captures only `this`.
+  DoneFn in_service_done_;
   bool busy_ = false;
   size_t pending_items_ = 0;
 

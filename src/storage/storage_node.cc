@@ -34,23 +34,26 @@ void StorageNode::ReadExtent(
     });
     return;
   }
-  // Copy now (the extent may be rewritten while the IO is in flight).
-  auto data = std::make_shared<ByteBuffer>(it->second);
-  const uint64_t len = data->size();
+  // Copy now (the extent may be rewritten while the IO is in flight). IO
+  // chunks of one flow complete FIFO, so only the last chunk carries the
+  // completion — it owns the payload and the callback outright.
+  ByteBuffer data = it->second;
+  const uint64_t len = data.size();
   bytes_read_ += len;
-  auto done_holder =
-      std::make_shared<std::function<void(Result<ByteBuffer>, SimTime)>>(
-          std::move(done));
   uint64_t submitted = 0;
   bool first = true;
   do {
     const uint64_t n = std::min<uint64_t>(config_.io_bytes, len - submitted);
     const bool last = submitted + n >= len;
-    read_server_->Submit(
-        flow, n, first ? config_.io_latency : 0,
-        [this, data, last, done_holder](SimTime t) {
-          if (last) (*done_holder)(std::move(*data), t);
-        });
+    if (!last) {
+      read_server_->Submit(flow, n, first ? config_.io_latency : 0, nullptr);
+    } else {
+      read_server_->Submit(
+          flow, n, first ? config_.io_latency : 0,
+          [data = std::move(data), done = std::move(done)](SimTime t) mutable {
+            done(std::move(data), t);
+          });
+    }
     first = false;
     submitted += n;
   } while (submitted < len);
@@ -62,17 +65,19 @@ void StorageNode::WriteExtent(int flow, const std::string& name,
   const uint64_t len = bytes.size();
   bytes_written_ += len;
   extents_[name] = std::move(bytes);  // functionally durable immediately
-  auto done_holder = std::make_shared<std::function<void(Status, SimTime)>>(
-      std::move(done));
   uint64_t submitted = 0;
   bool first = true;
   do {
     const uint64_t n = std::min<uint64_t>(config_.io_bytes, len - submitted);
     const bool last = submitted + n >= len;
-    write_server_->Submit(flow, n, first ? config_.io_latency : 0,
-                          [last, done_holder](SimTime t) {
-                            if (last) (*done_holder)(Status::OK(), t);
-                          });
+    if (!last) {
+      write_server_->Submit(flow, n, first ? config_.io_latency : 0, nullptr);
+    } else {
+      write_server_->Submit(flow, n, first ? config_.io_latency : 0,
+                            [done = std::move(done)](SimTime t) mutable {
+                              done(Status::OK(), t);
+                            });
+    }
     first = false;
     submitted += n;
   } while (submitted < len);
