@@ -22,8 +22,11 @@ fail=0
 # Layer 1: conventional build-tree names, tracked. The :(glob) magic is
 # required: a plain 'build*/' pathspec matches nothing (the trailing slash
 # defeats the glob), and 'build*' alone would also flag an ordinary file
-# named e.g. buildinfo.txt.
-tracked=$(git ls-files -- ':(glob)build*/**' ':(glob)cmake-build-*/**')
+# named e.g. buildinfo.txt. The leading '**/' covers build trees nested in
+# subprojects (tools/fvcheck/build/, tests fixtures, ...) as well as the
+# top level — a tree only the nested form would catch slipped through when
+# the globs were top-level-only.
+tracked=$(git ls-files -- ':(glob)**/build*/**' ':(glob)**/cmake-build-*/**')
 if [ -n "$tracked" ]; then
   echo "error: generated build artifacts are tracked by git (name match):" >&2
   echo "$tracked" | head -20 >&2

@@ -62,6 +62,16 @@ commit_all "$repo" "oops: commit stray objects"
 expect_fail "$repo" "tracked build/ objects without marker files"
 rm -rf "$repo"
 
+# Case 1c: a build tree nested inside a subproject (tools/fvcheck/build/),
+# no marker files — pins that the name-based glob matches at any depth, not
+# just the repository root.
+repo=$(make_repo)
+mkdir -p "$repo/tools/fvcheck/build"
+echo 'not really an object' > "$repo/tools/fvcheck/build/fvcheck.o"
+commit_all "$repo" "oops: commit nested tool build tree"
+expect_fail "$repo" "tracked nested tools/fvcheck/build/ tree"
+rm -rf "$repo"
+
 # Case 2: arbitrary directory name; only the marker files give it away.
 repo=$(make_repo)
 mkdir -p "$repo/artifacts/nested"

@@ -26,7 +26,7 @@ struct CpuModelConfig {
   double dram_write_bytes_per_sec = 8.0e9;
 
   /// Per-tuple CPU work for predicate evaluation / tuple bookkeeping.
-  SimTime per_tuple_cost = 1500;  // 1.5 ns
+  SimTime per_tuple_cost = 1500 * kPicosecond;  // 1.5 ns
 
   // --- Hash-table costs (distinct / group by) -----------------------------
 
@@ -55,10 +55,10 @@ struct CpuModelConfig {
   // --- Specialized per-byte costs -----------------------------------------
 
   /// RE2-class regex scanning cost per input byte (DFA walk + loads).
-  SimTime regex_cost_per_byte = 1600;  // 1.6 ns/B ≈ 0.6 GB/s
+  SimTime regex_cost_per_byte = 1600 * kPicosecond;  // 1.6 ns/B ≈ 0.6 GB/s
 
   /// AES-128-CTR with AES-NI, including loads/stores (Crypto++ class).
-  SimTime aes_cost_per_byte = 900;  // 0.9 ns/B ≈ 1.1 GB/s
+  SimTime aes_cost_per_byte = 900 * kPicosecond;  // 0.9 ns/B ≈ 1.1 GB/s
 
   // --- Multi-process interference (Figure 12) -----------------------------
 

@@ -41,7 +41,7 @@ class ByteBlockPool {
     }
   }
 
-  void* Allocate(std::size_t n) {
+  [[nodiscard]] void* Allocate(std::size_t n) {
     if (n >= kMinPooledBytes) {
       auto it = free_.find(n);
       if (it != free_.end() && !it->second.empty()) {
@@ -56,6 +56,12 @@ class ByteBlockPool {
 
   void Deallocate(void* p, std::size_t n) {
     if (n >= kMinPooledBytes && held_ + n <= kMaxHeldBytes) {
+#ifdef FV_POOL_POISON
+      // Parked blocks are handed back verbatim by Allocate; poisoning makes
+      // a use-after-free of recycled payload read 0xFB instead of the
+      // previous request's bytes (see kPoolPoisonByte in common/pool.h).
+      std::memset(p, 0xFB, n);
+#endif
       free_[n].push_back(p);
       held_ += n;
       return;

@@ -30,6 +30,8 @@ namespace farview {
 template <typename Signature>
 class InlineFn;
 
+/// Specialization for function signatures — the only usable form (the
+/// primary template above is declared but never defined).
 template <typename R, typename... Args>
 class InlineFn<R(Args...)> {
  public:

@@ -2,12 +2,23 @@
 #define FARVIEW_COMMON_POOL_H_
 
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <utility>
 #include <vector>
 
 namespace farview {
+
+/// Debug-build pool poisoning (define FV_POOL_POISON, e.g. in the ASan CI
+/// job): recycled slots are filled with 0xFB on release, so a stale
+/// reference into pooled storage — the pool-escape bug class — reads loud
+/// garbage (and trips ASan on pointer-sized fields) instead of silently
+/// observing the previous occupant. Off by default: poisoning touches
+/// freed payload bytes, which costs wall-clock time on the hot path.
+/// Simulated behavior must not depend on it either way — the bench
+/// byte-identity suite pins that (tests/goldens/bench).
+inline constexpr unsigned char kPoolPoisonByte = 0xFB;
 
 /// Free-list arena for hot-path metadata objects (per-request stream state,
 /// per-read continuations). Objects are placement-constructed into
@@ -31,9 +42,10 @@ class Pool {
   /// dies (enforced by the owners' destruction order, not by the pool).
   ~Pool() = default;
 
-  /// Constructs a `T` in a recycled (or freshly slabbed) slot.
+  /// Constructs a `T` in a recycled (or freshly slabbed) slot. Discarding
+  /// the returned pointer leaks the slot until the pool dies.
   template <typename... A>
-  T* Acquire(A&&... args) {
+  [[nodiscard]] T* Acquire(A&&... args) {
     if (free_.empty()) Grow();
     Slot* slot = free_.back();
     free_.pop_back();
@@ -43,6 +55,9 @@ class Pool {
   /// Destroys `*p` and returns its slot to the free list.
   void Release(T* p) {
     p->~T();
+#ifdef FV_POOL_POISON
+    std::memset(static_cast<void*>(p), kPoolPoisonByte, sizeof(T));
+#endif
     free_.push_back(reinterpret_cast<Slot*>(p));
   }
 

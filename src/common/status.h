@@ -31,7 +31,10 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The library does not use exceptions on fallible paths (Google style);
 /// every operation that can fail returns a `Status` or a `Result<T>`.
-class Status {
+/// `[[nodiscard]]`: silently dropping a Status is exactly the failure mode
+/// the error discipline exists to prevent — discard explicitly with
+/// `FV_IGNORE_ERROR(expr, reason)` when a failure is genuinely benign.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -108,7 +111,7 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: success.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -165,6 +168,18 @@ class Result {
 
 #define FV_CONCAT_INNER_(a, b) a##b
 #define FV_CONCAT_(a, b) FV_CONCAT_INNER_(a, b)
+
+/// Discards the error of a fallible expression ON PURPOSE, with a reason.
+/// The reason must be a non-empty string literal; it documents at the call
+/// site why ignoring the failure is sound (e.g. best-effort cleanup on a
+/// path that is already failing). Satisfies both the compiler's
+/// [[nodiscard]] warning and fvcheck's unchecked-status rule.
+#define FV_IGNORE_ERROR(expr, reason)                                  \
+  do {                                                                 \
+    static_assert(sizeof(reason) > 1,                                  \
+                  "FV_IGNORE_ERROR requires a non-empty reason");      \
+    (void)(expr);                                                      \
+  } while (0)
 
 }  // namespace farview
 

@@ -9,8 +9,11 @@ namespace farview {
 // Byte units
 // ---------------------------------------------------------------------------
 
+/// One kibibyte (2^10 bytes).
 inline constexpr uint64_t kKiB = 1024ull;
+/// One mebibyte (2^20 bytes).
 inline constexpr uint64_t kMiB = 1024ull * kKiB;
+/// One gibibyte (2^30 bytes).
 inline constexpr uint64_t kGiB = 1024ull * kMiB;
 
 // ---------------------------------------------------------------------------
@@ -24,10 +27,15 @@ inline constexpr uint64_t kGiB = 1024ull * kMiB;
 /// Simulated time point / duration in picoseconds.
 using SimTime = int64_t;
 
+/// One picosecond — the simulation tick and the SimTime base unit.
 inline constexpr SimTime kPicosecond = 1;
+/// One nanosecond in SimTime ticks.
 inline constexpr SimTime kNanosecond = 1000 * kPicosecond;
+/// One microsecond in SimTime ticks.
 inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+/// One millisecond in SimTime ticks.
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+/// One second in SimTime ticks.
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
 /// Converts a SimTime duration to fractional microseconds (for reporting).

@@ -39,6 +39,7 @@ Result<ByteBuffer> LzDecompress(const uint8_t* data, uint64_t len,
 inline ByteBuffer LzCompress(const ByteBuffer& data) {
   return LzCompress(data.data(), data.size());
 }
+/// Convenience overload of LzDecompress for whole-buffer input.
 inline Result<ByteBuffer> LzDecompress(const ByteBuffer& data,
                                        uint64_t expected_len) {
   return LzDecompress(data.data(), data.size(), expected_len);

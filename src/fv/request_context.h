@@ -76,6 +76,8 @@ struct RequestContext {
   bool StampsMonotone() const;
 };
 
+/// Shared handle threading one request through client, node, region
+/// scheduler, and network (DESIGN.md §6b).
 using RequestContextPtr = std::shared_ptr<RequestContext>;
 
 /// Bounded FIFO submission queue of one queue pair (Section 4.3's flows).

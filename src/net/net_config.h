@@ -54,6 +54,8 @@ struct NetFaultConfig {
   SimTime link_flap_down = 0;
 };
 
+/// Network timing model: packetization, per-verb latencies, and link
+/// rates calibrated against the paper (Section 6; see EXPERIMENTS.md).
 struct NetConfig {
   /// RoCE packet payload size used throughout the evaluation ("We set the
   /// packet size to 1 kB", Section 6.2).

@@ -15,6 +15,7 @@ enum class Verb {
   kFarview,  ///< operator-offloading read: pipeline applied to the stream
 };
 
+/// Canonical name of a verb (for stats output and test failures).
 const char* VerbToString(Verb v);
 
 /// State describing one node-to-node RDMA flow (Section 4.3): "Farview

@@ -15,6 +15,7 @@ namespace farview {
 /// max, sum and average").
 enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
 
+/// Canonical name of an aggregate function (for plan/stat output).
 const char* AggKindToString(AggKind k);
 
 /// One requested aggregate: a function over an input column (`col` is

@@ -34,6 +34,8 @@ struct JoinConfig {
   uint64_t slots_per_way = 1ull << 14;  // 64 K build rows max
 };
 
+/// In-network hash join: builds an on-chip cuckoo table from the build
+/// side and streams probe tuples through it (Section 5.5).
 class HashJoinOp : public Operator {
  public:
   /// Joins probe rows (layout `probe`) with `build` on

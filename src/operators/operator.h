@@ -73,6 +73,7 @@ class Operator {
   OperatorStats stats_;
 };
 
+/// Owning handle used to compose operator pipelines.
 using OperatorPtr = std::unique_ptr<Operator>;
 
 }  // namespace farview

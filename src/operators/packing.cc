@@ -8,7 +8,7 @@ Result<Batch> PackingOp::Process(Batch in) {
   stats_.rows_out += in.num_rows;
   stats_.bytes_in += in.size_bytes();
   stats_.bytes_out += in.size_bytes();
-  return std::move(in);
+  return in;  // implicitly moved into the Result (redundant-move otherwise)
 }
 
 Result<Batch> PackingOp::Flush() { return Batch::Empty(&schema_); }

@@ -14,6 +14,7 @@ namespace farview {
 /// Comparison operators supported by the selection circuit.
 enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
 
+/// Canonical name of a comparison operator (for plan/stat output).
 const char* CompareOpToString(CompareOp op);
 
 /// One column-vs-constant comparison. The paper's selection operators

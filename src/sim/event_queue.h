@@ -52,7 +52,7 @@ class EventQueue {
   /// Bucket width in picoseconds (power of two, so the slot of a timestamp
   /// is a shift). 4.096 ns resolves same-packet event clusters into one
   /// bucket without spreading a burst train over too many buckets.
-  static constexpr SimTime kBucketWidth = 4096;
+  static constexpr SimTime kBucketWidth = 4096 * kPicosecond;
 
   /// Number of level-1 buckets (power of two). 4096 × 4.096 ns ≈ 16.8 µs of
   /// window, comfortably past the longest common event horizon (ack RTT +

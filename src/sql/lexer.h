@@ -20,6 +20,7 @@ enum class TokenKind {
   kEnd,         ///< end of input
 };
 
+/// One lexed SQL token with its decoded literal value.
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;       ///< identifier/keyword/symbol text or raw literal

@@ -10,6 +10,7 @@
 #include "common/bytes.h"
 #include "common/inline_fn.h"
 #include "common/logging.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -179,6 +180,33 @@ TEST(BytesTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
   EXPECT_EQ(FormatBytes(3 * kMiB), "3.0 MiB");
   EXPECT_EQ(FormatBytes(kGiB), "1.00 GiB");
+}
+
+TEST(PoolPoisonConfig, ReleaseMatchesBuildConfiguration) {
+  // Pool poisoning (kPoolPoisonByte, src/common/pool.h) is a debug aid: the
+  // default build must leave recycled bytes untouched (no memset on the hot
+  // path; bench_identity pins the observable side), while a poisoned build
+  // (ASan CI defines FV_POOL_POISON build-wide) must overwrite them. This
+  // test asserts whichever contract matches how it was compiled.
+  struct Blob {
+    Blob() {}  // user-provided so placement T() does not zero the bytes
+    unsigned char bytes[32];
+  };
+  Pool<Blob> pool;
+  Blob* p = pool.Acquire();
+  // Volatile accesses: plain writes to an object whose lifetime then ends
+  // are dead stores the optimizer may (and does, at -O2) eliminate.
+  volatile unsigned char* raw = reinterpret_cast<unsigned char*>(p);
+  for (std::size_t i = 0; i < sizeof(Blob); ++i) raw[i] = 0x5A;
+  pool.Release(p);
+#ifdef FV_POOL_POISON
+  const unsigned char expected = kPoolPoisonByte;
+#else
+  const unsigned char expected = 0x5A;
+#endif
+  for (std::size_t i = 0; i < sizeof(Blob); ++i) {
+    ASSERT_EQ(raw[i], expected) << "offset " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

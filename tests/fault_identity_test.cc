@@ -20,8 +20,9 @@ namespace {
 // Golden completion times, captured from the seed-identical build. Any
 // drift here means the reliability layer leaked events into the fault-free
 // path — a byte-identity regression, not a tolerance to widen.
-constexpr SimTime kGoldenRawRead1MiB = 88101793;      // 88.10 us
-constexpr SimTime kGoldenOffloadScan1MiB = 88557793;  // 88.56 us
+constexpr SimTime kGoldenRawRead1MiB = 88101793 * kPicosecond;  // 88.10 us
+constexpr SimTime kGoldenOffloadScan1MiB =
+    88557793 * kPicosecond;  // 88.56 us
 
 Table MakeRows(uint64_t bytes) {
   TableGenerator gen(7);

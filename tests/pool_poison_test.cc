@@ -1,0 +1,96 @@
+// Pool-poisoning contract (ISSUE 4 satellite; DESIGN.md §11): this binary is
+// compiled with FV_POOL_POISON, so released Pool<T> slots and parked
+// ByteBlockPool blocks must read back as 0xFB — converting pool-escape bugs
+// (stale references into recycled storage) from silent corruption into loud
+// failures. The test deliberately links no farview library: Pool and
+// ByteBlockPool are header-inline, and instantiating them only here keeps
+// one consistent FV_POOL_POISON definition per binary.
+//
+// The disabled-by-default side of the contract is pinned elsewhere:
+// common_test's PoolPoisonConfig.ReleaseMatchesBuildConfiguration checks
+// the default build leaves recycled bytes untouched, and the bench_identity
+// suite proves the default build's output is byte-identical to the seed
+// goldens.
+
+#ifndef FV_POOL_POISON
+#error "pool_poison_test must be compiled with -DFV_POOL_POISON"
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/pool.h"
+
+namespace farview {
+namespace {
+
+/// Payload with a user-provided no-op constructor: Acquire()'s placement
+/// `T()` then default-initializes (no zeroing), leaving the bytes exactly as
+/// the recycler left them — which is what a pool-escape bug would observe.
+struct RawPayload {
+  RawPayload() {}  // NOLINT: `= default` would make T() zero the aggregate
+  unsigned char bytes[48];
+};
+
+TEST(PoolPoisonTest, ReleasedSlotReadsAsPoison) {
+  Pool<RawPayload> pool;
+  RawPayload* p = pool.Acquire();
+  // Volatile accesses throughout: plain writes to an object whose lifetime
+  // then ends are dead stores the optimizer may eliminate, and post-release
+  // reads must actually hit memory to observe the poison.
+  volatile unsigned char* raw = reinterpret_cast<unsigned char*>(p);
+  for (std::size_t i = 0; i < sizeof(RawPayload); ++i) raw[i] = 0x5A;
+  pool.Release(p);
+  for (std::size_t i = 0; i < sizeof(RawPayload); ++i) {
+    ASSERT_EQ(raw[i], kPoolPoisonByte) << "offset " << i;
+  }
+}
+
+TEST(PoolPoisonTest, RecycledSlotStillPoisonedAfterDefaultInitAcquire) {
+  Pool<RawPayload> pool;
+  RawPayload* first = pool.Acquire();
+  volatile unsigned char* raw = reinterpret_cast<unsigned char*>(first);
+  for (std::size_t i = 0; i < sizeof(RawPayload); ++i) raw[i] = 0x5A;
+  pool.Release(first);
+  // The recycled slot is handed back; default-init does not overwrite, so a
+  // reader of "uninitialized" pooled state sees loud 0xFB, not stale data.
+  RawPayload* second = pool.Acquire();
+  ASSERT_EQ(second, first) << "free list should recycle LIFO";
+  volatile unsigned char* again = reinterpret_cast<unsigned char*>(second);
+  for (std::size_t i = 0; i < sizeof(RawPayload); ++i) {
+    ASSERT_EQ(again[i], kPoolPoisonByte) << "offset " << i;
+  }
+  pool.Release(second);
+}
+
+TEST(PoolPoisonTest, ParkedByteBlockReadsAsPoison) {
+  ByteBlockPool pool;
+  const std::size_t n = ByteBlockPool::kMinPooledBytes;
+  auto* block = static_cast<unsigned char*>(pool.Allocate(n));
+  std::memset(block, 0x5A, n);
+  pool.Deallocate(block, n);  // parked in the free list, poisoned
+  auto* again = static_cast<unsigned char*>(pool.Allocate(n));
+  ASSERT_EQ(again, block) << "exact-size free list should recycle the block";
+  volatile unsigned char* raw = again;
+  for (std::size_t i = 0; i < n; i += 4096) {
+    ASSERT_EQ(raw[i], kPoolPoisonByte) << "offset " << i;
+  }
+  ASSERT_EQ(raw[n - 1], kPoolPoisonByte);
+  pool.Deallocate(again, n);
+}
+
+TEST(PoolPoisonTest, SubThresholdBlocksBypassPoisoning) {
+  // Below kMinPooledBytes the block goes straight back to operator delete —
+  // nothing to poison, and touching freed memory would be a real bug.
+  ByteBlockPool pool;
+  void* p = pool.Allocate(64);
+  ASSERT_NE(p, nullptr);
+  pool.Deallocate(p, 64);  // must not crash or poison freed memory
+}
+
+}  // namespace
+}  // namespace farview

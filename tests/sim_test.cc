@@ -290,7 +290,7 @@ struct ModelLater {
 };
 
 TEST(EngineDifferentialTest, RunUntilAndResetMatchReferenceModel) {
-  constexpr SimTime kChildDelta = 777;
+  constexpr SimTime kChildDelta = 777 * kPicosecond;
   for (const uint64_t seed : {3ull, 99ull, 555555ull}) {
     Rng rng(seed);
     Engine e;
@@ -343,7 +343,9 @@ TEST(EngineDifferentialTest, RunUntilAndResetMatchReferenceModel) {
         const bool drained = e.RunUntil(deadline);
         model_run_until(deadline);
         EXPECT_EQ(drained, model.empty());
-        if (!drained) EXPECT_EQ(e.Now(), deadline);
+        if (!drained) {
+          EXPECT_EQ(e.Now(), deadline);
+        }
       } else if (action < 8 && !model.empty()) {
         // Full drain: Run() leaves the clock at the last event.
         e.Run();

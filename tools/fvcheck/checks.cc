@@ -1,0 +1,649 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace fvcheck {
+
+const char kRuleBannedApi[] = "banned-api";
+const char kRuleUncheckedStatus[] = "unchecked-status";
+const char kRuleSimtimeMixing[] = "simtime-mixing";
+const char kRulePoolEscape[] = "pool-escape";
+const char kRuleDocCoverage[] = "doc-coverage";
+
+std::vector<std::string> Options::DefaultWallClockAllowlist() {
+  return {
+      "bench/perf_simcore.cc",          // wall-clock perf harness by design
+      "src/common/alloc_counter.cc",    // alloc accounting (host-side only)
+      "src/common/alloc_counter_hook.cc",
+  };
+}
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Context shared by the per-file checks.
+struct CheckContext {
+  const std::string* path = nullptr;
+  const LexedFile* lex = nullptr;
+  const Options* opts = nullptr;
+  std::vector<Diagnostic>* out = nullptr;
+
+  /// CamelCase function names declared (anywhere in the batch) to return
+  /// Status / Result<T> by value...
+  const std::set<std::string>* status_fns = nullptr;
+  /// ...minus names that are also declared with some other return type —
+  /// name-based matching cannot tell overloads apart, so ambiguous names
+  /// are never flagged (false negatives over false positives).
+  const std::set<std::string>* ambiguous_fns = nullptr;
+
+  bool RuleEnabled(const char* rule) const {
+    return opts->enabled_rules.empty() || opts->enabled_rules.count(rule) > 0;
+  }
+
+  void Report(int line, const char* rule, std::string message) const {
+    out->push_back(Diagnostic{*path, line, rule, std::move(message)});
+  }
+};
+
+bool IsWallClockAllowlisted(const CheckContext& ctx) {
+  const auto& wl = ctx.opts->wall_clock_allowlist;
+  return std::find(wl.begin(), wl.end(), *ctx.path) != wl.end();
+}
+
+/// Statement boundaries: [begin, end) token indices, where tokens[end] (if
+/// in range) is the ';', '{' or '}' terminator.
+struct Statement {
+  std::size_t begin;
+  std::size_t end;
+};
+
+std::vector<Statement> SplitStatements(const std::vector<Token>& toks) {
+  std::vector<Statement> stmts;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == Kind::kPunct &&
+        (toks[i].text == ";" || toks[i].text == "{" || toks[i].text == "}")) {
+      stmts.push_back(Statement{begin, i});
+      begin = i + 1;
+    }
+  }
+  if (begin < toks.size()) stmts.push_back(Statement{begin, toks.size()});
+  return stmts;
+}
+
+/// Advances past a balanced token pair starting at `i` (which must hold
+/// `open`); returns the index one past the matching closer, or `limit` when
+/// unbalanced.
+std::size_t SkipBalanced(const std::vector<Token>& toks, std::size_t i,
+                         std::size_t limit, const char* open,
+                         const char* close) {
+  int depth = 0;
+  for (; i < limit; ++i) {
+    if (toks[i].kind != Kind::kPunct) continue;
+    if (toks[i].text == open) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return limit;
+}
+
+// ---------------------------------------------------------------------------
+// banned-api
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& WallClockIdents() {
+  static const std::set<std::string> kSet = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "timespec_get",
+      "localtime",     "gmtime",       "mktime",
+  };
+  return kSet;
+}
+
+/// Headers whose inclusion implies wall-clock use.
+const std::set<std::string>& WallClockHeaders() {
+  static const std::set<std::string> kSet = {"<chrono>", "<ctime>", "<time.h>",
+                                             "<sys/time.h>"};
+  return kSet;
+}
+
+void CheckBannedApi(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleBannedApi)) return;
+  const auto& toks = ctx.lex->tokens;
+  const bool in_src = StartsWith(*ctx.path, "src/");
+  const bool wall_ok = IsWallClockAllowlisted(ctx);
+
+  auto prev_punct = [&](std::size_t i, const char* p) {
+    return i > 0 && toks[i - 1].kind == Kind::kPunct && toks[i - 1].text == p;
+  };
+  // True for `foo.time(` / `foo->time(` and for `ns::time(` with a
+  // qualifier other than std/chrono — member/own-namespace functions that
+  // merely share a libc name are not the banned API.
+  auto qualified_non_std = [&](std::size_t i) {
+    if (prev_punct(i, ".") || prev_punct(i, "->")) return true;
+    if (prev_punct(i, "::")) {
+      return !(i >= 2 && toks[i - 2].kind == Kind::kIdent &&
+               (toks[i - 2].text == "std" || toks[i - 2].text == "chrono"));
+    }
+    return false;
+  };
+  // `<type> time(...)` declares a member/function that merely shares the
+  // libc name; a call site never has a plain identifier directly before it
+  // (except `return`).
+  auto is_decl = [&](std::size_t i) {
+    return i > 0 && toks[i - 1].kind == Kind::kIdent &&
+           toks[i - 1].text != "return";
+  };
+  auto is_call = [&](std::size_t i) {
+    return i + 1 < toks.size() && toks[i + 1].kind == Kind::kPunct &&
+           toks[i + 1].text == "(" && !is_decl(i);
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent) continue;
+    const std::string& t = toks[i].text;
+
+    // Randomness: banned everywhere; determinism comes from common/rng.h.
+    if (t == "random_device" || t == "random_shuffle") {
+      ctx.Report(toks[i].line, kRuleBannedApi,
+                 "'" + t + "' breaks determinism; use farview::Rng with an "
+                 "explicit seed");
+      continue;
+    }
+    if ((t == "rand" || t == "srand") && is_call(i) && !qualified_non_std(i)) {
+      ctx.Report(toks[i].line, kRuleBannedApi,
+                 "'" + t + "()' breaks determinism; use farview::Rng with an "
+                 "explicit seed");
+      continue;
+    }
+
+    // Wall clocks: simulated time is SimTime picoseconds; host time is
+    // allowed only in the allowlisted wall-clock harness files.
+    if (!wall_ok) {
+      if (WallClockIdents().count(t) > 0 && !qualified_non_std(i)) {
+        ctx.Report(toks[i].line, kRuleBannedApi,
+                   "wall-clock API '" + t + "' outside the allowlist; "
+                   "simulated code must use SimTime");
+        continue;
+      }
+      if (t == "time" && is_call(i) && !qualified_non_std(i)) {
+        ctx.Report(toks[i].line, kRuleBannedApi,
+                   "wall-clock API 'time()' outside the allowlist; "
+                   "simulated code must use SimTime");
+        continue;
+      }
+    }
+
+    // Exceptions: src/ is Status/Result-only (CLAUDE.md).
+    if (in_src && (t == "throw" || t == "try" || t == "catch")) {
+      ctx.Report(toks[i].line, kRuleBannedApi,
+                 "'" + t + "' in src/; fallible paths must return "
+                 "Status/Result<T>");
+      continue;
+    }
+  }
+
+  if (!wall_ok) {
+    for (const auto& [line, text] : ctx.lex->preproc) {
+      if (text.find("include") == std::string::npos) continue;
+      for (const std::string& hdr : WallClockHeaders()) {
+        if (text.find(hdr) != std::string::npos) {
+          ctx.Report(line, kRuleBannedApi,
+                     "#include " + hdr + " outside the wall-clock allowlist");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status
+// ---------------------------------------------------------------------------
+
+bool IsUpperCamel(const std::string& s) {
+  return !s.empty() && s[0] >= 'A' && s[0] <= 'Z';
+}
+
+/// Keywords that may precede a call expression without being a return type
+/// (collection must not treat `return Foo(...)` as "Foo returns something
+/// other than Status").
+const std::set<std::string>& NonTypeKeywords() {
+  static const std::set<std::string> kSet = {
+      "return", "new",    "delete", "throw",  "else",     "case",
+      "goto",   "co_return", "co_await", "co_yield", "operator", "not",
+      "and",    "or",     "do",     "in",
+  };
+  return kSet;
+}
+
+/// First pass over the whole batch: gather CamelCase function names by
+/// declared return type. Name-based (a tokenizer cannot resolve overloads),
+/// so the caller subtracts names that also appear with non-Status returns.
+void CollectReturnTypes(const LexedFile& lex, std::set<std::string>* status,
+                        std::set<std::string>* other) {
+  const auto& toks = lex.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    std::size_t name_idx = 0;
+    bool is_status = false;
+    if (t == "Status" || t == "Result") {
+      // Skip the type's own declaration (`class Status {`).
+      if (i > 0 && toks[i - 1].kind == Kind::kIdent &&
+          (toks[i - 1].text == "class" || toks[i - 1].text == "struct")) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (t == "Result") {
+        if (toks[j].kind != Kind::kPunct || toks[j].text != "<") continue;
+        j = SkipBalanced(toks, j, toks.size(), "<", ">");
+      }
+      // By-reference / by-pointer accessors are cheap to re-query; only
+      // by-value returns are flagged when dropped.
+      if (j < toks.size() && toks[j].kind == Kind::kPunct &&
+          (toks[j].text == "&" || toks[j].text == "*")) {
+        continue;
+      }
+      if (j >= toks.size() || toks[j].kind != Kind::kIdent) continue;
+      name_idx = j;
+      is_status = true;
+    } else if (IsUpperCamel(toks[i + 1].text) &&
+               toks[i + 1].kind == Kind::kIdent &&
+               NonTypeKeywords().count(t) == 0 && t != "Status" &&
+               t != "Result") {
+      // `<ident> <CamelName> (` with a non-Status leading ident: a
+      // declaration with some other return type.
+      name_idx = i + 1;
+    } else {
+      continue;
+    }
+    const std::string& name = toks[name_idx].text;
+    if (!IsUpperCamel(name)) continue;
+    if (name_idx + 1 >= toks.size() ||
+        toks[name_idx + 1].kind != Kind::kPunct ||
+        toks[name_idx + 1].text != "(") {
+      continue;
+    }
+    (is_status ? status : other)->insert(name);
+  }
+}
+
+void CheckUncheckedStatus(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleUncheckedStatus)) return;
+  const auto& toks = ctx.lex->tokens;
+  for (const Statement& st : SplitStatements(toks)) {
+    if (st.begin >= st.end) continue;
+    const Token& first = toks[st.begin];
+    // Only bare expression statements can discard a result; anything
+    // starting with a keyword, a cast, or ending in '{'/'}' is not one.
+    if (st.end >= toks.size() || toks[st.end].text != ";") continue;
+    if (first.kind == Kind::kPunct) continue;  // e.g. `(void)Foo();`
+    static const std::set<std::string> kStmtKeywords = {
+        "return",  "co_return", "delete", "throw",   "goto",  "break",
+        "continue", "case",     "default", "using",  "typedef",
+        "namespace", "template", "public", "private", "protected",
+        "static_assert", "if", "for", "while", "do", "switch", "else",
+    };
+    if (kStmtKeywords.count(first.text) > 0) continue;
+
+    // Walk the member/scope chain: ident ( '(' args ')' )? ( '.'|'->'|'::'
+    // ident )* — the statement must be exactly one call chain ending at ';'.
+    std::size_t i = st.begin;
+    std::string last_call;
+    int last_call_line = 0;
+    bool shape_ok = true;
+    while (i < st.end) {
+      if (toks[i].kind != Kind::kIdent) {
+        shape_ok = false;
+        break;
+      }
+      const std::string name = toks[i].text;
+      const int line = toks[i].line;
+      ++i;
+      if (i < st.end && toks[i].kind == Kind::kPunct && toks[i].text == "(") {
+        i = SkipBalanced(toks, i, st.end + 1, "(", ")");
+        last_call = name;
+        last_call_line = line;
+      } else {
+        last_call.clear();
+      }
+      if (i >= st.end) break;
+      if (toks[i].kind == Kind::kPunct &&
+          (toks[i].text == "." || toks[i].text == "->" ||
+           toks[i].text == "::")) {
+        ++i;
+        continue;
+      }
+      shape_ok = false;
+      break;
+    }
+    if (!shape_ok || last_call.empty()) continue;
+    if (ctx.status_fns->count(last_call) == 0) continue;
+    if (ctx.ambiguous_fns->count(last_call) > 0) continue;
+    ctx.Report(last_call_line, kRuleUncheckedStatus,
+               "result of '" + last_call +
+                   "' (returns Status/Result) is discarded; propagate with "
+                   "FV_RETURN_IF_ERROR / FV_ASSIGN_OR_RETURN or discard "
+                   "explicitly with FV_IGNORE_ERROR(expr, reason)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// simtime-mixing
+// ---------------------------------------------------------------------------
+
+void CheckSimtimeMixing(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleSimtimeMixing)) return;
+  const auto& toks = ctx.lex->tokens;
+  for (const Statement& st : SplitStatements(toks)) {
+    bool has_simtime = false;
+    bool has_chrono = false;
+    int line = 0;
+    for (std::size_t i = st.begin; i < st.end; ++i) {
+      if (toks[i].kind != Kind::kIdent) continue;
+      if (toks[i].text == "SimTime") {
+        has_simtime = true;
+        if (line == 0) line = toks[i].line;
+      }
+      if (toks[i].text == "chrono") has_chrono = true;
+    }
+    if (has_simtime && has_chrono) {
+      ctx.Report(line, kRuleSimtimeMixing,
+                 "SimTime mixed with std::chrono in one expression; convert "
+                 "explicitly at the boundary");
+    }
+  }
+
+  // `SimTime x = 1500;` hides the unit; require `1500 * kPicosecond` (or
+  // any unit constant). 0 and 1 are unit-free by definition. Scanned over
+  // the raw token stream because the '{' of brace-initialization is also a
+  // statement boundary.
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent || toks[i].text != "SimTime") continue;
+    if (toks[i + 1].kind != Kind::kIdent) continue;
+    const std::size_t v = i + 2;
+    if (toks[v].kind != Kind::kPunct ||
+        (toks[v].text != "=" && toks[v].text != "{")) {
+      continue;
+    }
+    std::size_t lit = v + 1;
+    if (lit < toks.size() && toks[lit].kind == Kind::kPunct &&
+        toks[lit].text == "-") {
+      ++lit;
+    }
+    if (lit >= toks.size() || toks[lit].kind != Kind::kNumber) continue;
+    const std::string& num = toks[lit].text;
+    if (num == "0" || num == "1") continue;
+    const bool unit_follows = lit + 1 < toks.size() &&
+                              toks[lit + 1].kind == Kind::kPunct &&
+                              toks[lit + 1].text == "*";
+    if (unit_follows) continue;
+    ctx.Report(toks[lit].line, kRuleSimtimeMixing,
+               "raw literal '" + num + "' assigned to SimTime; write the "
+               "unit explicitly (e.g. '" + num + " * kPicosecond')");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pool-escape
+// ---------------------------------------------------------------------------
+
+void CheckPoolEscape(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRulePoolEscape)) return;
+  const auto& toks = ctx.lex->tokens;
+  for (const Statement& st : SplitStatements(toks)) {
+    // Find `<lhs> = ....Acquire(` / `->Acquire(` inside the statement.
+    std::size_t eq = st.end;
+    for (std::size_t i = st.begin; i < st.end; ++i) {
+      if (toks[i].kind == Kind::kPunct && toks[i].text == "=") {
+        eq = i;
+        break;
+      }
+    }
+    if (eq == st.end) continue;
+    bool acquires = false;
+    int line = 0;
+    for (std::size_t i = eq + 1; i + 1 < st.end + 1 && i + 1 < toks.size();
+         ++i) {
+      if (toks[i].kind == Kind::kIdent && toks[i].text == "Acquire" &&
+          i > st.begin && toks[i - 1].kind == Kind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          toks[i + 1].kind == Kind::kPunct && toks[i + 1].text == "(") {
+        acquires = true;
+        line = toks[i].line;
+        break;
+      }
+    }
+    if (!acquires) continue;
+
+    // Storage class of the left-hand side: a member (trailing '_', Google
+    // style) or a static outlives the event that acquired the object.
+    bool is_static = false;
+    std::string lhs_name;
+    for (std::size_t i = st.begin; i < eq; ++i) {
+      if (toks[i].kind == Kind::kIdent) {
+        if (toks[i].text == "static") is_static = true;
+        lhs_name = toks[i].text;
+      }
+    }
+    const bool is_member = EndsWith(lhs_name, "_");
+    if (!is_member && !is_static) continue;
+    if (ctx.lex->owner_pool_lines.count(line) > 0 ||
+        ctx.lex->owner_pool_lines.count(line - 1) > 0) {
+      continue;
+    }
+    ctx.Report(line, kRulePoolEscape,
+               "pooled object stored into " +
+                   std::string(is_static ? "a static" : "member '" + lhs_name +
+                                                            "'") +
+                   ", which outlives the acquiring event; audit the release "
+                   "path and annotate with // fvcheck:owner=pool");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// doc-coverage
+// ---------------------------------------------------------------------------
+
+/// True when a `///` doc block immediately precedes `line` (possibly with
+/// other comment lines in between, e.g. a NOLINT note under the doc text).
+bool HasDocAbove(const LexedFile& lex, int line) {
+  int l = line - 1;
+  while (l >= 1 && lex.comment_lines.count(l) > 0) {
+    if (lex.doc_lines.count(l) > 0) return true;
+    --l;
+  }
+  return false;
+}
+
+void CheckDocCoverage(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleDocCoverage)) return;
+  if (!EndsWith(*ctx.path, ".h")) return;
+  if (!StartsWith(*ctx.path, "src/") && !StartsWith(*ctx.path, "tools/")) {
+    return;
+  }
+  const auto& toks = ctx.lex->tokens;
+
+  std::size_t i = 0;
+  int ns_depth = 0;  // we only inspect declarations at namespace scope
+  while (i < toks.size()) {
+    // Find the end of this declaration head: the first ';' or '{' outside
+    // parens/brackets.
+    std::size_t head_end = i;
+    int paren = 0;
+    while (head_end < toks.size()) {
+      const Token& t = toks[head_end];
+      if (t.kind == Kind::kPunct) {
+        if (t.text == "(" || t.text == "[") ++paren;
+        if (t.text == ")" || t.text == "]") --paren;
+        if (paren == 0 && (t.text == ";" || t.text == "{" || t.text == "}")) {
+          break;
+        }
+      }
+      ++head_end;
+    }
+    if (head_end >= toks.size()) break;
+    const std::string term = toks[head_end].text;
+
+    if (i == head_end) {  // bare terminator
+      if (term == "}") --ns_depth;
+      i = head_end + 1;
+      continue;
+    }
+
+    const Token& first = toks[i];
+    auto head_has = [&](const char* ident) {
+      for (std::size_t k = i; k < head_end; ++k) {
+        if (toks[k].kind == Kind::kIdent && toks[k].text == ident) return true;
+      }
+      return false;
+    };
+
+    if (first.text == "namespace" && term == "{") {
+      ++ns_depth;
+      i = head_end + 1;
+      continue;
+    }
+    if (ns_depth < 1) {  // file scope: include guards, extern blocks — skip
+      if (term == "{") i = SkipBalanced(toks, head_end, toks.size(), "{", "}");
+      else i = head_end + 1;
+      continue;
+    }
+
+    // Declarations exempt from docs: forward declarations, using-directives,
+    // static_asserts, friend declarations.
+    const bool fwd_decl =
+        term == ";" && (first.text == "class" || first.text == "struct") &&
+        head_end - i == 2;
+    const bool exempt = fwd_decl || first.text == "static_assert" ||
+                        first.text == "friend" ||
+                        (first.text == "using" && head_has("namespace")) ||
+                        first.text == "extern";
+
+    const bool is_type = head_has("class") || head_has("struct") ||
+                         head_has("enum") || head_has("union");
+    bool is_fn = false;
+    for (std::size_t k = i; k + 1 < head_end && !is_type; ++k) {
+      if (toks[k].kind == Kind::kIdent && toks[k + 1].kind == Kind::kPunct &&
+          toks[k + 1].text == "(") {
+        is_fn = true;
+        break;
+      }
+    }
+    const bool is_alias = first.text == "using" && !head_has("namespace");
+    // Anything else reaching here with an '=' is a namespace-scope variable
+    // (e.g. `inline constexpr uint64_t kKiB = ...`).
+    bool is_var = false;
+    if (!is_type && !is_fn && !is_alias) {
+      for (std::size_t k = i; k < head_end; ++k) {
+        if (toks[k].kind == Kind::kPunct && toks[k].text == "=") {
+          is_var = true;
+          break;
+        }
+      }
+    }
+
+    if (!exempt && (is_type || is_fn || is_alias || is_var) &&
+        !HasDocAbove(*ctx.lex, first.line)) {
+      std::string what = is_type ? "type" : is_fn ? "function"
+                                 : is_alias ? "alias" : "constant";
+      ctx.Report(first.line, kRuleDocCoverage,
+                 "public namespace-scope " + what +
+                     " lacks a /// doc comment (conventions: CLAUDE.md)");
+    }
+
+    // Skip bodies: class/struct/enum bodies are exempt (members are covered
+    // by the type's doc); function bodies contain no namespace-scope decls.
+    if (term == "{") {
+      i = SkipBalanced(toks, head_end, toks.size(), "{", "}");
+      // Swallow the trailing ';' of a type definition.
+      if (i < toks.size() && toks[i].kind == Kind::kPunct &&
+          toks[i].text == ";") {
+        ++i;
+      }
+    } else {
+      i = head_end + 1;
+    }
+  }
+}
+
+bool Suppressed(const LexedFile& lex, const Diagnostic& d) {
+  for (int l = d.line; l >= d.line - 1; --l) {
+    auto it = lex.allows.find(l);
+    if (it != lex.allows.end() &&
+        (it->second.count(d.rule) > 0 || it->second.count("all") > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Analyze(const std::vector<FileInput>& files,
+                                const Options& opts) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const FileInput& f : files) lexed.push_back(Lex(f.content));
+
+  // Cross-file pass: function return types by name.
+  std::set<std::string> status_fns;
+  std::set<std::string> other_fns;
+  for (const LexedFile& lf : lexed) {
+    CollectReturnTypes(lf, &status_fns, &other_fns);
+  }
+  std::set<std::string> ambiguous;
+  for (const std::string& n : status_fns) {
+    if (other_fns.count(n) > 0) ambiguous.insert(n);
+  }
+
+  std::vector<Diagnostic> out;
+  for (std::size_t idx = 0; idx < files.size(); ++idx) {
+    CheckContext ctx;
+    ctx.path = &files[idx].path;
+    ctx.lex = &lexed[idx];
+    ctx.opts = &opts;
+    ctx.status_fns = &status_fns;
+    ctx.ambiguous_fns = &ambiguous;
+
+    std::vector<Diagnostic> file_diags;
+    ctx.out = &file_diags;
+    CheckBannedApi(ctx);
+    CheckUncheckedStatus(ctx);
+    CheckSimtimeMixing(ctx);
+    CheckPoolEscape(ctx);
+    CheckDocCoverage(ctx);
+
+    for (Diagnostic& d : file_diags) {
+      if (opts.honor_suppressions && Suppressed(lexed[idx], d)) continue;
+      out.push_back(std::move(d));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace fvcheck

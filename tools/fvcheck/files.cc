@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+
+namespace fvcheck {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Directories never analyzed: build trees, goldens, hidden dirs, and
+/// fvcheck's own rule-violation fixtures.
+bool SkippedDir(const std::string& name) {
+  return name == "testdata" || name == "goldens" ||
+         name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0;
+}
+
+void Collect(const fs::path& root, const fs::path& rel,
+             std::vector<std::string>* out) {
+  const fs::path abs = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    if (HasSourceExtension(abs)) out->push_back(rel.generic_string());
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) return;
+  for (const auto& entry : fs::directory_iterator(abs, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory()) {
+      if (!SkippedDir(name)) Collect(root, rel / name, out);
+    } else if (HasSourceExtension(entry.path())) {
+      out->push_back((rel / name).generic_string());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CollectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) Collect(root, p, &files);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool ReadFileInput(const std::string& root, const std::string& rel,
+                   FileInput* out) {
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out->path = rel;
+  out->content = ss.str();
+  return true;
+}
+
+}  // namespace fvcheck

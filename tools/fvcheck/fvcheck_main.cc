@@ -1,0 +1,72 @@
+// fvcheck — project-specific static analysis for the Farview tree.
+//
+// Enforces the invariants the simulator's correctness argument rests on
+// (DESIGN.md §11): determinism (no wall clocks / ambient randomness),
+// Status/Result error discipline, SimTime unit hygiene, pooled-lifetime
+// annotations, and doc coverage on public headers.
+//
+// Usage:
+//   fvcheck [--root <repo_root>] [--rule <name>]... [paths...]
+//
+// Paths are repo-relative files or directories (default: src tests bench
+// tools examples). Exit status is 1 when any diagnostic fires. Suppression:
+// `// fvcheck:allow=<rule>` on the offending line or the line above.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  fvcheck::Options opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      opts.enabled_rules.insert(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: fvcheck [--root <dir>] [--rule <name>]... "
+                   "[paths...]\n";
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "bench", "tools", "examples"};
+
+  const std::vector<std::string> files =
+      fvcheck::CollectSourceFiles(root, paths);
+  if (files.empty()) {
+    std::cerr << "fvcheck: no source files found under '" << root << "'\n";
+    return 2;
+  }
+
+  std::vector<fvcheck::FileInput> inputs;
+  inputs.reserve(files.size());
+  for (const std::string& f : files) {
+    fvcheck::FileInput input;
+    if (!fvcheck::ReadFileInput(root, f, &input)) {
+      std::cerr << "fvcheck: cannot read " << f << "\n";
+      return 2;
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  const std::vector<fvcheck::Diagnostic> diags =
+      fvcheck::Analyze(inputs, opts);
+  for (const fvcheck::Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << "fvcheck: " << diags.size() << " diagnostic(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "fvcheck: OK (" << files.size() << " files clean)\n";
+  return 0;
+}

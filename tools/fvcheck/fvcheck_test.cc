@@ -1,0 +1,222 @@
+// Unit tests for fvcheck: each diagnostic has a positive fixture (every
+// seeded violation caught) and a negative fixture (look-alikes stay clean),
+// plus the wall-clock allowlist self-check over the real tree.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checks.h"
+#include "lexer.h"
+
+namespace fvcheck {
+namespace {
+
+#ifndef FVCHECK_TESTDATA_DIR
+#error "build must define FVCHECK_TESTDATA_DIR"
+#endif
+#ifndef FVCHECK_SOURCE_ROOT
+#error "build must define FVCHECK_SOURCE_ROOT"
+#endif
+
+/// Loads a fixture and analyzes it under a pretend repo-relative path (the
+/// path decides which rules apply, e.g. exception bans under src/).
+std::vector<Diagnostic> AnalyzeFixture(const std::string& fixture,
+                                       const std::string& pretend_path,
+                                       Options opts = Options()) {
+  FileInput input;
+  EXPECT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, fixture, &input))
+      << "missing fixture " << fixture;
+  input.path = pretend_path;
+  return Analyze({input}, opts);
+}
+
+int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+TEST(LexerTest, TokensCommentsAndDirectives) {
+  LexedFile lex = Lex(
+      "/// doc line\n"
+      "int x = 42;  // fvcheck:allow=banned-api,simtime-mixing\n"
+      "/* block\n   spans lines */\n"
+      "const char* s = \"rand() inside string\";\n"
+      "// fvcheck:owner=pool\n"
+      "auto r = R\"(raw \"string\" body)\";\n");
+  EXPECT_EQ(lex.doc_lines.count(1), 1u);
+  ASSERT_EQ(lex.allows.count(2), 1u);
+  EXPECT_EQ(lex.allows.at(2).count("banned-api"), 1u);
+  EXPECT_EQ(lex.allows.at(2).count("simtime-mixing"), 1u);
+  EXPECT_EQ(lex.comment_lines.count(3), 1u);
+  EXPECT_EQ(lex.comment_lines.count(4), 1u);
+  EXPECT_EQ(lex.owner_pool_lines.count(6), 1u);
+  // String contents never become identifier tokens.
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "rand");
+  }
+  // The raw string survives as a single string token.
+  bool saw_raw = false;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Token::Kind::kString &&
+        t.text.find("raw \"string\" body") != std::string::npos) {
+      saw_raw = true;
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+}
+
+TEST(BannedApiTest, PositiveFixtureCatchesEveryClass) {
+  auto diags = AnalyzeFixture("banned_api_bad.cc", "src/banned_api_bad.cc");
+  // 3 randomness + 3 clock idents + 1 time() + 3 exception keywords
+  // + 2 banned includes.
+  EXPECT_EQ(CountRule(diags, kRuleBannedApi), 12) << [&] {
+    std::string all;
+    for (const auto& d : diags) all += d.message + "\n";
+    return all;
+  }();
+}
+
+TEST(BannedApiTest, NegativeFixtureStaysClean) {
+  auto diags = AnalyzeFixture("banned_api_ok.cc", "src/banned_api_ok.cc");
+  EXPECT_EQ(CountRule(diags, kRuleBannedApi), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(BannedApiTest, ExceptionsAllowedOutsideSrc) {
+  auto diags =
+      AnalyzeFixture("banned_api_bad.cc", "tests/banned_api_bad.cc");
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.message.find("fallible paths"), std::string::npos)
+        << "exception ban must not apply outside src/: " << d.message;
+  }
+}
+
+TEST(BannedApiTest, WallClockAllowlistSkipsWallClockOnly) {
+  Options opts;
+  opts.wall_clock_allowlist = {"bench/perf_simcore.cc"};
+  auto diags =
+      AnalyzeFixture("banned_api_bad.cc", "bench/perf_simcore.cc", opts);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.message.find("wall-clock"), std::string::npos) << d.message;
+  }
+  // Randomness stays banned even in allowlisted files.
+  EXPECT_GE(CountRule(diags, kRuleBannedApi), 3);
+}
+
+TEST(UncheckedStatusTest, PositiveFixture) {
+  auto diags =
+      AnalyzeFixture("unchecked_status_bad.cc", "src/unchecked_status.cc");
+  EXPECT_EQ(CountRule(diags, kRuleUncheckedStatus), 3);
+}
+
+TEST(UncheckedStatusTest, NegativeFixture) {
+  auto diags =
+      AnalyzeFixture("unchecked_status_ok.cc", "src/unchecked_status.cc");
+  EXPECT_EQ(CountRule(diags, kRuleUncheckedStatus), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(SimtimeMixingTest, PositiveFixture) {
+  auto diags = AnalyzeFixture("simtime_bad.cc", "src/simtime_bad.cc");
+  EXPECT_EQ(CountRule(diags, kRuleSimtimeMixing), 3);
+  EXPECT_EQ(CountRule(diags, kRuleBannedApi), 0)
+      << "the chrono include is explicitly suppressed in the fixture";
+}
+
+TEST(SimtimeMixingTest, NegativeFixture) {
+  auto diags = AnalyzeFixture("simtime_ok.cc", "src/simtime_ok.cc");
+  EXPECT_EQ(CountRule(diags, kRuleSimtimeMixing), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(PoolEscapeTest, PositiveFixture) {
+  auto diags = AnalyzeFixture("pool_escape_bad.cc", "src/pool_escape.cc");
+  EXPECT_EQ(CountRule(diags, kRulePoolEscape), 2);
+}
+
+TEST(PoolEscapeTest, NegativeFixture) {
+  auto diags = AnalyzeFixture("pool_escape_ok.cc", "src/pool_escape.cc");
+  EXPECT_EQ(CountRule(diags, kRulePoolEscape), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(DocCoverageTest, PositiveFixture) {
+  auto diags = AnalyzeFixture("doc_coverage_bad.h", "src/doc_coverage_bad.h");
+  // class, function, alias, constant, enum — all undocumented.
+  EXPECT_EQ(CountRule(diags, kRuleDocCoverage), 5);
+}
+
+TEST(DocCoverageTest, NegativeFixture) {
+  auto diags = AnalyzeFixture("doc_coverage_ok.h", "src/doc_coverage_ok.h");
+  EXPECT_EQ(CountRule(diags, kRuleDocCoverage), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(DocCoverageTest, OnlyAppliesToSrcAndToolsHeaders) {
+  EXPECT_TRUE(
+      AnalyzeFixture("doc_coverage_bad.h", "tests/doc_coverage_bad.h")
+          .empty());
+  EXPECT_TRUE(
+      AnalyzeFixture("doc_coverage_bad.h", "src/doc_coverage_bad.cc")
+          .empty());
+}
+
+TEST(SuppressionTest, AllowDirectiveSilencesNamedRuleOnly) {
+  auto diags = AnalyzeFixture("suppressed_ok.cc", "src/suppressed.cc");
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].message);
+
+  Options see_through;
+  see_through.honor_suppressions = false;
+  auto raw = AnalyzeFixture("suppressed_ok.cc", "src/suppressed.cc",
+                            see_through);
+  EXPECT_EQ(CountRule(raw, kRuleBannedApi), 3)
+      << "suppressions must not hide violations from the audit mode";
+}
+
+// Satellite self-check (ISSUE 4): the wall-clock allowlist entries are the
+// *only* wall-clock users in the tree. Runs banned-api over the real repo
+// with an empty allowlist and suppression-audit mode, then asserts every
+// wall-clock finding lands in an allowlisted file — so nobody can sneak a
+// new chrono user in by editing neither the allowlist nor this test.
+TEST(TreeSelfCheckTest, AllowlistedFilesAreTheOnlyWallClockUsers) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  const std::vector<std::string> files = CollectSourceFiles(
+      root, {"src", "tests", "bench", "tools", "examples"});
+  ASSERT_GT(files.size(), 100u) << "tree walk found implausibly few files";
+
+  std::vector<FileInput> inputs;
+  for (const std::string& f : files) {
+    FileInput input;
+    ASSERT_TRUE(ReadFileInput(root, f, &input)) << f;
+    inputs.push_back(std::move(input));
+  }
+
+  Options opts;
+  opts.enabled_rules = {kRuleBannedApi};
+  opts.wall_clock_allowlist.clear();
+  opts.honor_suppressions = false;
+
+  std::set<std::string> wall_clock_users;
+  for (const Diagnostic& d : Analyze(inputs, opts)) {
+    if (d.message.find("wall-clock") != std::string::npos) {
+      wall_clock_users.insert(d.file);
+    }
+  }
+
+  const std::vector<std::string> allow = Options::DefaultWallClockAllowlist();
+  for (const std::string& user : wall_clock_users) {
+    EXPECT_NE(std::find(allow.begin(), allow.end(), user), allow.end())
+        << user << " uses wall-clock APIs but is not allowlisted";
+  }
+  // The detector provably sees the known user (guards against the check
+  // rotting into a vacuous pass).
+  EXPECT_EQ(wall_clock_users.count("bench/perf_simcore.cc"), 1u);
+}
+
+}  // namespace
+}  // namespace fvcheck

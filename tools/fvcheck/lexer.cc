@@ -1,0 +1,225 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace fvcheck {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records fvcheck directives and doc-comment status for one comment whose
+/// body is `text`, starting on `line`. `body_lines` is how many source lines
+/// the comment spans (1 for a line comment).
+void RecordComment(const std::string& text, int line, int body_lines,
+                   LexedFile* out) {
+  for (int l = line; l < line + body_lines; ++l) out->comment_lines.insert(l);
+  if (text.rfind("///", 0) == 0 || text.rfind("//!", 0) == 0) {
+    out->doc_lines.insert(line);
+  }
+  // Directives: "fvcheck:allow=rule1,rule2" and "fvcheck:owner=pool".
+  std::size_t pos = 0;
+  while ((pos = text.find("fvcheck:", pos)) != std::string::npos) {
+    std::size_t p = pos + 8;
+    if (text.compare(p, 6, "allow=") == 0) {
+      p += 6;
+      std::string rule;
+      while (p <= text.size()) {
+        char c = p < text.size() ? text[p] : '\0';
+        if (c == ',' || c == '\0' || std::isspace(static_cast<unsigned char>(c))) {
+          if (!rule.empty()) out->allows[line].insert(rule);
+          rule.clear();
+          if (c != ',') break;
+        } else {
+          rule.push_back(c);
+        }
+        ++p;
+      }
+    } else if (text.compare(p, 10, "owner=pool") == 0) {
+      out->owner_pool_lines.insert(line);
+    }
+    pos = p;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto push = [&](Token::Kind k, std::string text, int tok_line) {
+    out.tokens.push_back(Token{k, std::move(text), tok_line});
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume the whole logical line.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          text.push_back(' ');
+          continue;
+        }
+        if (content[i] == '\n') break;
+        text.push_back(content[i]);
+        ++i;
+      }
+      // A trailing line comment on a directive still carries suppressions
+      // (e.g. `#include <ctime>  // fvcheck:allow=banned-api`).
+      const std::size_t slashes = text.find("//");
+      if (slashes != std::string::npos) {
+        RecordComment(text.substr(slashes), start_line, 1, &out);
+      }
+      out.preproc.emplace_back(start_line, std::move(text));
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start_line = line;
+      std::string text;
+      while (i < n && content[i] != '\n') {
+        text.push_back(content[i]);
+        ++i;
+      }
+      RecordComment(text, start_line, 1, &out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      std::string text;
+      i += 2;
+      int lines_spanned = 1;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') {
+          ++line;
+          ++lines_spanned;
+        }
+        text.push_back(content[i]);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      RecordComment("/*" + text, start_line, lines_spanned, &out);
+      continue;
+    }
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(') delim.push_back(content[p++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = content.find(closer, p);
+      if (end == std::string::npos) end = n;
+      const int start_line = line;
+      for (std::size_t j = i; j < end && j < n; ++j) {
+        if (content[j] == '\n') ++line;
+      }
+      push(Token::Kind::kString,
+           content.substr(p + 1, end > p + 1 ? end - p - 1 : 0), start_line);
+      i = end + closer.size();
+      if (i > n) i = n;
+      continue;
+    }
+
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) {
+          text.push_back(content[i]);
+          text.push_back(content[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') ++line;  // unterminated; keep going
+        text.push_back(content[i]);
+        ++i;
+      }
+      ++i;  // closing quote
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           std::move(text), line);
+      continue;
+    }
+
+    // Numeric literal (including 0x..., digit separators, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::string text;
+      while (i < n) {
+        char d = content[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          text.push_back(d);
+          ++i;
+          // Exponent sign: 1e+9, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (content[i] == '+' || content[i] == '-')) {
+            text.push_back(content[i]);
+            ++i;
+          }
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, std::move(text), line);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(content[i])) {
+        text.push_back(content[i]);
+        ++i;
+      }
+      push(Token::Kind::kIdent, std::move(text), line);
+      continue;
+    }
+
+    // Punctuation; fuse "::" and "->" (the checks pattern-match on them).
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      push(Token::Kind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      push(Token::Kind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace fvcheck

@@ -1,0 +1,62 @@
+#ifndef FARVIEW_TOOLS_FVCHECK_LEXER_H_
+#define FARVIEW_TOOLS_FVCHECK_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fvcheck {
+
+/// One lexical token of a C++ translation unit. Comments and preprocessor
+/// directives are not emitted as tokens; they are recorded on the side in
+/// `LexedFile` because the checks consume them differently (suppression
+/// directives, doc-coverage, include bans).
+struct Token {
+  enum class Kind {
+    kIdent,   ///< identifier or keyword
+    kNumber,  ///< integer / floating literal, including suffixes
+    kString,  ///< string literal (text excludes quotes)
+    kChar,    ///< character literal
+    kPunct,   ///< punctuation; multi-char only for "::" and "->"
+  };
+  Kind kind;
+  std::string text;
+  int line;  ///< 1-based source line the token starts on
+};
+
+/// Lexed view of one source file: the token stream plus the comment-derived
+/// side tables the checks need.
+struct LexedFile {
+  std::vector<Token> tokens;
+
+  /// Lines whose comment is a Doxygen `///` (or `//!`) documentation line.
+  std::set<int> doc_lines;
+
+  /// Every line that contains or is spanned by a comment.
+  std::set<int> comment_lines;
+
+  /// Per-line rule suppressions from `// fvcheck:allow=<rule>[,<rule>...]`.
+  /// A directive suppresses matching diagnostics on its own line and, when
+  /// the directive line holds nothing else, on the following line.
+  std::map<int, std::set<std::string>> allows;
+
+  /// Lines carrying a `// fvcheck:owner=pool` lifetime annotation.
+  std::set<int> owner_pool_lines;
+
+  /// Raw preprocessor directives (line, full text with continuations
+  /// joined); used for include bans.
+  std::vector<std::pair<int, std::string>> preproc;
+};
+
+/// Tokenizes C++ source. Handles line/block comments, string/char literals
+/// (including raw strings), numeric literals with digit separators, and
+/// preprocessor lines with backslash continuations. Never fails: malformed
+/// input degrades to best-effort tokens, which is the right trade for a
+/// style checker.
+LexedFile Lex(const std::string& content);
+
+}  // namespace fvcheck
+
+#endif  // FARVIEW_TOOLS_FVCHECK_LEXER_H_

@@ -1,0 +1,27 @@
+// Fixture: every banned-api class fires (analyzed under pretend path
+// "src/banned_api_bad.cc" so the exception ban applies).
+#include <chrono>
+#include <ctime>
+#include <random>
+
+void WallClockUser() {
+  std::random_device rd;                          // randomness
+  int x = rand();                                 // randomness
+  srand(42);                                      // randomness
+  auto t0 = std::chrono::steady_clock::now();     // wall clock
+  auto t1 = std::chrono::system_clock::now();     // wall clock
+  auto t2 = std::chrono::high_resolution_clock::now();  // wall clock
+  time(nullptr);                                  // wall clock
+  (void)rd;
+  (void)x;
+  (void)t0;
+  (void)t1;
+  (void)t2;
+}
+
+void ExceptionUser() {
+  try {          // exceptions banned in src/
+    throw 1;     // exceptions banned in src/
+  } catch (...) {  // exceptions banned in src/
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: look-alikes that must NOT fire banned-api.
+#include "common/rng.h"
+
+struct Meter {
+  long time(int channel);  // member named `time` is not the libc call
+  long rando;              // substring of a banned name is not a match
+};
+
+void Deterministic(Meter& m, farview::Rng& rng) {
+  (void)m.time(3);           // member call, not ::time()
+  (void)rng.Uniform(100);    // seeded Rng is the sanctioned randomness
+  // The word steady_clock inside a comment or string is not a use:
+  const char* msg = "steady_clock";
+  (void)msg;
+}

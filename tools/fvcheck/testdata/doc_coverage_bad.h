@@ -1,0 +1,23 @@
+// Fixture: undocumented namespace-scope items fire doc-coverage (analyzed
+// under pretend path "src/doc_coverage_bad.h").
+#ifndef FVCHECK_TESTDATA_DOC_COVERAGE_BAD_H_
+#define FVCHECK_TESTDATA_DOC_COVERAGE_BAD_H_
+
+namespace fixture {
+
+class Undocumented {
+ public:
+  int Member();
+};
+
+int Helper(int v);
+
+using Alias = unsigned long;
+
+inline constexpr int kBadConstant = 3;
+
+enum class Color { kRed, kBlue };
+
+}  // namespace fixture
+
+#endif  // FVCHECK_TESTDATA_DOC_COVERAGE_BAD_H_

@@ -1,0 +1,29 @@
+// Fixture: documented and exempt items must not fire doc-coverage.
+#ifndef FVCHECK_TESTDATA_DOC_COVERAGE_OK_H_
+#define FVCHECK_TESTDATA_DOC_COVERAGE_OK_H_
+
+namespace fixture {
+
+class Forward;  // forward declarations need no doc
+
+/// A documented class; members are covered by the class doc.
+class Documented {
+ public:
+  int Member();
+  int undocumented_member_;
+};
+
+/// A documented helper.
+int Helper(int v);
+
+/// A documented alias.
+using Alias = unsigned long;
+
+/// A documented constant.
+inline constexpr int kGoodConstant = 3;
+
+static_assert(kGoodConstant == 3, "exempt");
+
+}  // namespace fixture
+
+#endif  // FVCHECK_TESTDATA_DOC_COVERAGE_OK_H_

@@ -1,0 +1,18 @@
+// Fixture: pooled pointers stored beyond the event fire pool-escape.
+#include "common/pool.h"
+
+struct Cont {
+  int payload;
+};
+
+struct Holder {
+  void Unannotated() {
+    cont_ = pool_.Acquire();  // member keeps the pointer: needs annotation
+  }
+  void StaticEscape() {
+    static Cont* leak = pool_.Acquire();  // static outlives everything
+    (void)leak;
+  }
+  farview::Pool<Cont> pool_;
+  Cont* cont_ = nullptr;
+};

@@ -1,0 +1,23 @@
+// Fixture: event-local pooled pointers and audited members must not fire.
+#include "common/pool.h"
+
+struct Cont {
+  int payload;
+};
+
+void Use(Cont*);
+
+struct Holder {
+  void EventLocal() {
+    Cont* cont = pool_.Acquire();  // local: released before the event ends
+    Use(cont);
+    pool_.Release(cont);
+  }
+  void Audited() {
+    // Released in Reset(), which every caller runs before recycling.
+    // fvcheck:owner=pool
+    cont_ = pool_.Acquire();
+  }
+  farview::Pool<Cont> pool_;
+  Cont* cont_ = nullptr;
+};

@@ -1,0 +1,16 @@
+// Fixture: SimTime unit violations fire simtime-mixing.
+#include <chrono>  // fvcheck:allow=banned-api -- the mixing case needs it
+
+#include "common/units.h"
+
+using farview::SimTime;
+
+void UnitViolations() {
+  SimTime raw = 1500;   // raw literal: which unit is 1500?
+  SimTime brace{2500};  // brace-initialized raw literal
+  SimTime mixed =
+      static_cast<SimTime>(std::chrono::nanoseconds(5).count());  // mixing
+  (void)raw;
+  (void)brace;
+  (void)mixed;
+}

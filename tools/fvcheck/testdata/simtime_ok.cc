@@ -1,0 +1,21 @@
+// Fixture: unit-clean SimTime declarations must not fire.
+#include "common/units.h"
+
+using farview::SimTime;
+using farview::kMicrosecond;
+using farview::kNanosecond;
+
+void UnitClean(SimTime arg) {
+  SimTime zero = 0;                  // 0 is unit-free
+  SimTime one = 1;                   // so is 1 (kPicosecond's definition)
+  SimTime scaled = 5 * kNanosecond;  // explicit unit
+  SimTime alias = kMicrosecond;      // unit constant alone
+  SimTime copied = arg;              // not a literal
+  SimTime neg = -1;                  // sentinel
+  (void)zero;
+  (void)one;
+  (void)scaled;
+  (void)alias;
+  (void)copied;
+  (void)neg;
+}

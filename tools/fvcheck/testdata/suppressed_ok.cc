@@ -1,0 +1,9 @@
+// Fixture: `// fvcheck:allow=<rule>` silences a diagnostic on its own line
+// or on the following line — and only that rule.
+void Suppressed() {
+  srand(1);  // fvcheck:allow=banned-api
+  // fvcheck:allow=banned-api
+  srand(2);
+  // fvcheck:allow=banned-api,simtime-mixing
+  srand(3);
+}

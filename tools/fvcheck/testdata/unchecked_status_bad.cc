@@ -1,0 +1,18 @@
+// Fixture: discarded Status/Result call results fire unchecked-status.
+#include "common/status.h"
+
+using farview::Result;
+using farview::Status;
+
+Status DoThing();
+Result<int> Compute();
+
+struct Client {
+  Status Connect();
+};
+
+void Caller(Client& client) {
+  DoThing();         // discarded Status
+  Compute();         // discarded Result<int>
+  client.Connect();  // discarded Status through a member call
+}

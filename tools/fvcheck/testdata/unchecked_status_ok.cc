@@ -1,0 +1,24 @@
+// Fixture: all the sanctioned ways to consume a Status/Result.
+#include "common/status.h"
+
+using farview::Result;
+using farview::Status;
+
+Status DoThing();
+Result<int> Compute();
+
+// Overloaded name with a non-Status return elsewhere: ambiguous to a
+// name-based checker, so calls to it are never flagged.
+Status Maybe(int v);
+void Maybe();
+
+Status Propagates() {
+  FV_RETURN_IF_ERROR(DoThing());          // macro propagation
+  FV_ASSIGN_OR_RETURN(int v, Compute());  // macro assignment
+  Status s = DoThing();                   // bound to a variable
+  if (!s.ok()) return s;
+  (void)DoThing();                        // explicit discard
+  Maybe();                                // ambiguous overload: not flagged
+  return DoThing() /* used as return value */;
+  (void)v;
+}
