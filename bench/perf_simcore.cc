@@ -34,6 +34,7 @@
 #include "benchlib/experiment.h"
 #include "common/alloc_counter.h"
 #include "common/logging.h"
+#include "fv/cluster.h"
 #include "table/generator.h"
 
 namespace farview {
@@ -168,6 +169,64 @@ Measurement RunExtFaults() {
   });
 }
 
+/// ext_failover-style replicated pool: two replicas, replica 0 crashing at
+/// 3 ms and restarting at 6 ms, a closed-loop reader failing over through
+/// the circuit breakers and a periodic writer forcing a resync stream on
+/// rejoin — the replication-layer event mix (DESIGN.md §12).
+Measurement RunExtFailover() {
+  constexpr uint64_t kBytes = 1 * kMiB;
+  constexpr SimTime kHorizon = 12 * kMillisecond;
+  ClusterConfig cc;
+  cc.node.dram.channel_capacity = 64 * kMiB;
+  cc.node.retry.enabled = true;
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 3 * kMillisecond;
+  cc.node.faults.node_restart_at = 6 * kMillisecond;
+  cc.num_replicas = 2;
+
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, /*client_id=*/1);
+  FV_CHECK(client.OpenConnection().ok());
+  TableGenerator gen(kBytes);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), kBytes / 64, 100);
+  FV_CHECK(t.ok()) << t.status().message();
+  FTable ft;
+  ft.name = "t";
+  ft.schema = t.value().schema();
+  ft.num_rows = t.value().num_rows();
+  FV_CHECK(client.AllocTableMem(&ft).ok());
+
+  return Measure("ext_failover", engine, [&] {
+    int completed = 0;
+    std::function<void()> issue_read = [&] {
+      client.TableReadAsync(ft, [&](Result<FvResult> r) {
+        if (engine.Now() >= kHorizon) return;
+        if (r.ok()) ++completed;
+        if (r.ok()) {
+          issue_read();
+        } else {
+          engine.ScheduleAfter(50 * kMicrosecond, issue_read);
+        }
+      });
+    };
+    for (SimTime w = 250 * kMicrosecond; w < kHorizon;
+         w += 500 * kMicrosecond) {
+      engine.ScheduleAt(w, [&] {
+        client.TableWriteAsync(ft, t.value(), [](Result<SimTime> r) {
+          FV_IGNORE_ERROR(r.status(), "outage writes fail by design");
+        });
+      });
+    }
+    client.TableWriteAsync(ft, t.value(), [&](Result<SimTime> r) {
+      FV_CHECK(r.ok()) << r.status().ToString();
+      issue_read();
+    });
+    engine.Run();
+    FV_CHECK(completed > 0);
+  });
+}
+
 std::string JsonReport(const std::vector<Measurement>& ms) {
   std::string out = "{\n  \"schema\": \"fv-perf-simcore-v1\",\n";
   out += "  \"alloc_hook\": ";
@@ -230,6 +289,7 @@ void Run() {
     ms.push_back(BestOf(reps, RunFig12Multiclient));
   }
   if (Selected("ext_faults")) ms.push_back(BestOf(reps, RunExtFaults));
+  if (Selected("ext_failover")) ms.push_back(BestOf(reps, RunExtFailover));
 
   std::printf("Simulator core performance (wall clock; machine-dependent)\n");
   std::printf("%-20s %12s %10s %12s %10s %12s\n", "workload", "events",

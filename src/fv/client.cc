@@ -133,6 +133,10 @@ void FarviewClient::FarviewRequestAsync(
     IssueWithRetries(Verb::kFarview, request, std::move(done));
     return;
   }
+  if (GateBlocked()) {
+    done(GateError());
+    return;
+  }
   node_->FarviewRequest(qp_->qp_id, request, std::move(done));
 }
 
@@ -146,8 +150,22 @@ void FarviewClient::TableReadAsync(const FTable& table,
     IssueWithRetries(Verb::kRead, req, std::move(done));
     return;
   }
+  if (GateBlocked()) {
+    done(GateError());
+    return;
+  }
   node_->TableRead(qp_->qp_id, table.vaddr, table.SizeBytes(),
                    std::move(done));
+}
+
+bool FarviewClient::GateBlocked() {
+  if (!gate_ || gate_()) return false;
+  node_->stats().RecordFastFail();
+  return true;
+}
+
+Status FarviewClient::GateError() {
+  return Status::Unavailable("node circuit open (fast-fail)");
 }
 
 void FarviewClient::IssueWithRetries(
@@ -165,6 +183,13 @@ void FarviewClient::StartReliableAttempt(std::shared_ptr<ReliableCall> call) {
     // Connection closed between attempts (disconnect during backoff).
     FinishReliable(std::move(call),
                    Status::FailedPrecondition("not connected"));
+    return;
+  }
+  if (GateBlocked()) {
+    // Known-dead node: settle the whole call now instead of burning the
+    // remaining timeout/backoff schedule — the router above (if any) fails
+    // over to a live replica immediately (DESIGN.md §12).
+    FinishReliable(std::move(call), GateError());
     return;
   }
   const RetryPolicy& rp = node_->config().retry;

@@ -150,6 +150,15 @@ class FarviewClient {
   /// Builds the standard request for a full scan of `table`.
   FvRequest ScanRequest(const FTable& table, bool vectorized = false) const;
 
+  /// Installs a health gate consulted before every data-path attempt
+  /// (DESIGN.md §12). When the gate returns false the node is known-dead
+  /// (its circuit breaker is Open) and the call settles *immediately* with
+  /// `Unavailable` — no completion timeout is armed and no backoff schedule
+  /// is burned, so a replicated client can fail over at once. The gate must
+  /// be deterministic and must not schedule events. Unset (the default),
+  /// behavior is byte-identical to the ungated client.
+  void SetHealthGate(std::function<bool()> gate) { gate_ = std::move(gate); }
+
  private:
   /// State of one call under the retry policy (defined in client.cc).
   struct ReliableCall;
@@ -167,11 +176,18 @@ class FarviewClient {
   /// Settles the call and invokes the user callback exactly once.
   void FinishReliable(std::shared_ptr<ReliableCall> call,
                       Result<FvResult> res);
+  /// True when the health gate says the node is known-dead; counts the
+  /// fast-fail on the node's stats.
+  bool GateBlocked();
+  /// The status fast-failed calls settle with.
+  static Status GateError();
 
   FarviewNode* node_;
   int client_id_;
   QPair* qp_ = nullptr;
   Catalog catalog_;
+  /// Optional known-dead gate (empty = always allow).
+  std::function<bool()> gate_;
 };
 
 }  // namespace farview

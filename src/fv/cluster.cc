@@ -1,0 +1,704 @@
+#include "fv/cluster.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview {
+
+// ---------------------------------------------------------------------------
+// FarviewCluster
+// ---------------------------------------------------------------------------
+
+FarviewCluster::FarviewCluster(sim::Engine* engine,
+                               const ClusterConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  FV_CHECK(config_.num_replicas >= 1);
+  // Routed calls track tried replicas in a 64-bit mask.
+  FV_CHECK(config_.num_replicas <= 64);
+  FV_CHECK(config_.faulted_replica >= 0 &&
+           config_.faulted_replica < config_.num_replicas);
+  for (int r = 0; r < config_.num_replicas; ++r) {
+    FarviewConfig node_config = config_.node;
+    if (r != config_.faulted_replica) {
+      // Only the designated replica runs the fault schedule; survivors are
+      // clean so failover has somewhere to go.
+      node_config.faults = FvFaultConfig{};
+      node_config.net.faults = NetFaultConfig{};
+    }
+    Replica replica;
+    replica.node = std::make_unique<FarviewNode>(engine_, node_config);
+    replica.resync =
+        std::make_unique<ResyncScheduler>(engine_, config_.replication);
+    replicas_.push_back(std::move(replica));
+  }
+  for (int r = 0; r < num_replicas(); ++r) {
+    replicas_[static_cast<size_t>(r)].node->AddDownObserver(
+        [this, r](bool down) { OnDownChange(r, down); });
+  }
+}
+
+uint64_t FarviewCluster::AppendEntry(LogEntry entry) {
+  log_.push_back(entry);
+  return static_cast<uint64_t>(log_.size());
+}
+
+void FarviewCluster::SetEntryVaddr(uint64_t epoch, uint64_t vaddr) {
+  log_[static_cast<size_t>(epoch - 1)].vaddr = vaddr;
+}
+
+void FarviewCluster::AbortEntry(uint64_t epoch) {
+  log_[static_cast<size_t>(epoch - 1)].aborted = true;
+}
+
+void FarviewCluster::MarkApplied(int r, uint64_t epoch) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  replica.applied_epoch = std::max(replica.applied_epoch, epoch);
+}
+
+void FarviewCluster::MarkMissed(int r, uint64_t epoch) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  replica.missed.push_back(epoch);
+  if (replica.state == ReplicaState::kInSync) {
+    // A mirror hop failed on a replica still in rotation (e.g. it died
+    // after target selection): fence it *now* — epoch fencing forbids
+    // serving reads past a missed epoch — and recover it immediately.
+    ++replica.rejoin_gen;
+    replica.resync->Abort();
+    replica.state = ReplicaState::kResyncing;
+    replica.restarted_at = engine_->Now();
+    RunRejoinPass(r);
+  }
+}
+
+int FarviewCluster::AddRejoinHook(RejoinHook hook) {
+  const int id = next_hook_id_++;
+  rejoin_hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void FarviewCluster::RemoveRejoinHook(int id) { rejoin_hooks_.erase(id); }
+
+void FarviewCluster::OnDownChange(int r, bool down) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  // Whatever recovery was in flight is void either way: a crash kills it, a
+  // restart starts a fresh one.
+  ++replica.rejoin_gen;
+  replica.resync->Abort();
+  replica.pending_hooks = 0;
+  replica.parked = false;
+  if (down) {
+    replica.state = ReplicaState::kDown;
+    return;
+  }
+  replica.restarted_at = engine_->Now();
+  replica.state = ReplicaState::kResyncing;
+  RunRejoinPass(r);
+}
+
+int FarviewCluster::PickResyncSource(int r) const {
+  for (int s = 0; s < num_replicas(); ++s) {
+    if (s != r && InSync(s)) return s;
+  }
+  return -1;
+}
+
+void FarviewCluster::StartParkedRejoins() {
+  for (int r = 0; r < num_replicas(); ++r) {
+    Replica& replica = replicas_[static_cast<size_t>(r)];
+    if (replica.state == ReplicaState::kResyncing && replica.parked) {
+      replica.parked = false;
+      RunRejoinPass(r);
+    }
+  }
+}
+
+Status FarviewCluster::ReplayControlEntry(FarviewNode* node,
+                                          const LogEntry& entry) {
+  switch (entry.kind) {
+    case LogEntry::Kind::kAlloc: {
+      FV_ASSIGN_OR_RETURN(const uint64_t vaddr,
+                          node->mmu().Alloc(entry.client_id, entry.bytes));
+      if (vaddr != entry.vaddr) {
+        return Status::Internal("allocator divergence during log replay");
+      }
+      return Status::OK();
+    }
+    case LogEntry::Kind::kFree:
+      return node->mmu().Free(entry.client_id, entry.vaddr);
+    case LogEntry::Kind::kShare:
+      return node->mmu().Share(entry.client_id, entry.vaddr);
+    case LogEntry::Kind::kWrite:
+      break;
+  }
+  return Status::Internal("write entries are resynced, not replayed");
+}
+
+void FarviewCluster::RunRejoinPass(int r) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  FV_CHECK(replica.state == ReplicaState::kResyncing);
+  if (replica.missed.empty()) {
+    RunRejoinHooks(r);
+    return;
+  }
+  bool needs_source = false;
+  for (const uint64_t epoch : replica.missed) {
+    const LogEntry& entry = log_[static_cast<size_t>(epoch - 1)];
+    if (!entry.aborted && entry.kind == LogEntry::Kind::kWrite) {
+      needs_source = true;
+      break;
+    }
+  }
+  const int source = PickResyncSource(r);
+  if (needs_source && source < 0) {
+    // Every other replica is down or recovering too; park until one
+    // rejoins (CompleteRejoin restarts parked recoveries).
+    replica.parked = true;
+    return;
+  }
+  std::vector<uint64_t> missed;
+  missed.swap(replica.missed);
+  // Replay missed control entries in log order; collect missed write
+  // ranges (deduplicated — a table rewritten ten times is copied once,
+  // with the survivor's *current* bytes).
+  std::vector<ResyncScheduler::Range> ranges;
+  std::set<std::tuple<int, uint64_t, uint64_t>> seen;
+  for (const uint64_t epoch : missed) {
+    const LogEntry& entry = log_[static_cast<size_t>(epoch - 1)];
+    replica.applied_epoch = std::max(replica.applied_epoch, epoch);
+    if (entry.aborted) continue;
+    if (entry.kind == LogEntry::Kind::kWrite) {
+      const auto key =
+          std::make_tuple(entry.client_id, entry.vaddr, entry.bytes);
+      if (seen.insert(key).second) {
+        ranges.push_back({entry.client_id, entry.vaddr, entry.bytes});
+      }
+      continue;
+    }
+    const Status replayed = ReplayControlEntry(replica.node.get(), entry);
+    FV_CHECK(replayed.ok())
+        << "replication log replay diverged: " << replayed.ToString();
+  }
+  if (ranges.empty()) {
+    RunRejoinHooks(r);
+    return;
+  }
+  const uint64_t gen = replica.rejoin_gen;
+  replica.resync->Start(
+      replicas_[static_cast<size_t>(source)].node.get(), replica.node.get(),
+      std::move(ranges), [this, r, gen](Status streamed) {
+        Replica& rep = replicas_[static_cast<size_t>(r)];
+        if (gen != rep.rejoin_gen) return;
+        FV_CHECK(streamed.ok())
+            << "resync stream failed: " << streamed.ToString();
+        // Entries may have been missed while the stream ran; loop until a
+        // pass ends with nothing new missed.
+        RunRejoinPass(r);
+      });
+}
+
+void FarviewCluster::RunRejoinHooks(int r) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  if (rejoin_hooks_.empty()) {
+    CompleteRejoin(r);
+    return;
+  }
+  const uint64_t gen = replica.rejoin_gen;
+  replica.pending_hooks = static_cast<int>(rejoin_hooks_.size());
+  // Hooks may complete synchronously or unregister concurrently; iterate a
+  // snapshot with the countdown pre-armed.
+  std::vector<RejoinHook> hooks;
+  hooks.reserve(rejoin_hooks_.size());
+  for (const auto& entry : rejoin_hooks_) hooks.push_back(entry.second);
+  for (const RejoinHook& hook : hooks) {
+    hook(r, [this, r, gen]() {
+      Replica& rep = replicas_[static_cast<size_t>(r)];
+      if (gen != rep.rejoin_gen) return;
+      if (--rep.pending_hooks > 0) return;
+      if (!rep.missed.empty()) {
+        // Writes landed while pipelines reloaded: another pass.
+        RunRejoinPass(r);
+        return;
+      }
+      CompleteRejoin(r);
+    });
+  }
+}
+
+void FarviewCluster::CompleteRejoin(int r) {
+  Replica& replica = replicas_[static_cast<size_t>(r)];
+  replica.state = ReplicaState::kInSync;
+  replica.applied_epoch = epoch();
+  replica.in_sync_at = engine_->Now();
+  replica.node->stats().RecordResyncDone(engine_->Now() -
+                                         replica.restarted_at);
+  // A replica waiting for a resync source can proceed now.
+  StartParkedRejoins();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterClient
+// ---------------------------------------------------------------------------
+
+/// One routed (read / operator) call, re-issued across replicas on
+/// failover until a replica answers or none is left.
+struct ClusterClient::RoutedCall {
+  Verb verb = Verb::kRead;
+  FvRequest request;  ///< kFarview payload
+  FTable table;       ///< kRead payload
+  uint64_t tried_mask = 0;
+  std::function<void(Result<FvResult>)> done;
+};
+
+/// One mirrored write: primary hop, then parallel mirror hops.
+struct ClusterClient::MirroredWrite {
+  uint64_t vaddr = 0;
+  const Table* rows = nullptr;  ///< caller keeps it alive until completion
+  uint64_t epoch = 0;
+  std::vector<int> targets;  ///< in-rotation replicas at issue, index order
+  size_t primary_pos = 0;    ///< current primary candidate within `targets`
+  int pending_mirrors = 0;
+  SimTime last_ack = 0;
+  Status error;  ///< first primary-hop error, reported if all hops fail
+  std::function<void(Result<SimTime>)> done;
+};
+
+ClusterClient::ClusterClient(FarviewCluster* cluster, int client_id)
+    : cluster_(cluster),
+      client_id_(client_id),
+      alive_(std::make_shared<bool>(true)) {
+  FV_CHECK(cluster_ != nullptr);
+  const int n = cluster_->num_replicas();
+  loaded_version_.assign(static_cast<size_t>(n), 0);
+  for (int r = 0; r < n; ++r) {
+    // Distinct jitter stream per (client, replica) breaker, derived from
+    // the cluster seed so runs reproduce bit-for-bit.
+    const uint64_t seed = cluster_->config().seed * 0x9E3779B97F4A7C15ull +
+                          static_cast<uint64_t>(client_id_) * 1000003ull +
+                          static_cast<uint64_t>(r);
+    breakers_.push_back(std::make_unique<CircuitBreaker>(
+        cluster_->engine(), cluster_->config().breaker, seed,
+        &cluster_->node(r).stats()));
+  }
+  for (int r = 0; r < n; ++r) {
+    // The nodes outlive this client; the alive flag voids the observer.
+    cluster_->node(r).AddDownObserver([alive = alive_, this, r](bool down) {
+      if (!*alive || !down) return;
+      // Crash observed: force the breaker open so nothing waits out a
+      // timeout against a known-dead replica.
+      breakers_[static_cast<size_t>(r)]->ForceOpen();
+    });
+  }
+  rejoin_hook_id_ = cluster_->AddRejoinHook(
+      [this](int r, std::function<void()> hook_done) {
+        OnRejoin(r, std::move(hook_done));
+      });
+}
+
+ClusterClient::~ClusterClient() {
+  *alive_ = false;
+  cluster_->RemoveRejoinHook(rejoin_hook_id_);
+  CloseConnection();
+}
+
+Status ClusterClient::OpenConnection() {
+  if (!clients_.empty()) {
+    return Status::FailedPrecondition("connection already open");
+  }
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    auto client =
+        std::make_unique<FarviewClient>(&cluster_->node(r), client_id_);
+    FV_RETURN_IF_ERROR(client->OpenConnection());
+    client->SetHealthGate(
+        [breaker = breakers_[static_cast<size_t>(r)].get()]() {
+          return !breaker->BlocksAttempts();
+        });
+    clients_.push_back(std::move(client));
+  }
+  return Status::OK();
+}
+
+void ClusterClient::CloseConnection() { clients_.clear(); }
+
+Status ClusterClient::AllocTableMem(FTable* table) {
+  if (clients_.empty()) return Status::FailedPrecondition("not connected");
+  FarviewCluster::LogEntry entry;
+  entry.kind = FarviewCluster::LogEntry::Kind::kAlloc;
+  entry.client_id = client_id_;
+  entry.bytes = table->SizeBytes();
+  const uint64_t epoch = cluster_->AppendEntry(entry);
+  uint64_t vaddr = 0;
+  bool have_vaddr = false;
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    if (!cluster_->CanApply(r)) {
+      cluster_->MarkMissed(r, epoch);
+      continue;
+    }
+    FTable replica_table = *table;
+    FV_RETURN_IF_ERROR(
+        clients_[static_cast<size_t>(r)]->AllocTableMem(&replica_table));
+    if (!have_vaddr) {
+      vaddr = replica_table.vaddr;
+      have_vaddr = true;
+      cluster_->SetEntryVaddr(epoch, vaddr);
+    } else if (replica_table.vaddr != vaddr) {
+      return Status::Internal("replica allocators diverged");
+    }
+    cluster_->MarkApplied(r, epoch);
+  }
+  if (!have_vaddr) {
+    cluster_->AbortEntry(epoch);
+    return Status::Unavailable("no in-rotation replica for allocation");
+  }
+  table->vaddr = vaddr;
+  return Status::OK();
+}
+
+Status ClusterClient::FreeTableMem(FTable* table) {
+  if (clients_.empty()) return Status::FailedPrecondition("not connected");
+  FarviewCluster::LogEntry entry;
+  entry.kind = FarviewCluster::LogEntry::Kind::kFree;
+  entry.client_id = client_id_;
+  entry.vaddr = table->vaddr;
+  const uint64_t epoch = cluster_->AppendEntry(entry);
+  bool applied_any = false;
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    if (!cluster_->CanApply(r)) {
+      cluster_->MarkMissed(r, epoch);
+      continue;
+    }
+    FTable replica_table = *table;
+    FV_RETURN_IF_ERROR(
+        clients_[static_cast<size_t>(r)]->FreeTableMem(&replica_table));
+    cluster_->MarkApplied(r, epoch);
+    applied_any = true;
+  }
+  if (!applied_any) {
+    cluster_->AbortEntry(epoch);
+    return Status::Unavailable("no in-rotation replica for free");
+  }
+  table->vaddr = 0;
+  return Status::OK();
+}
+
+Result<TableEntry> ClusterClient::ShareTable(const FTable& table) {
+  if (clients_.empty()) return Status::FailedPrecondition("not connected");
+  FarviewCluster::LogEntry entry;
+  entry.kind = FarviewCluster::LogEntry::Kind::kShare;
+  entry.client_id = client_id_;
+  entry.vaddr = table.vaddr;
+  const uint64_t epoch = cluster_->AppendEntry(entry);
+  std::optional<TableEntry> shared;
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    if (!cluster_->CanApply(r)) {
+      cluster_->MarkMissed(r, epoch);
+      continue;
+    }
+    FV_ASSIGN_OR_RETURN(TableEntry replica_entry,
+                        clients_[static_cast<size_t>(r)]->ShareTable(table));
+    if (!shared.has_value()) shared = std::move(replica_entry);
+    cluster_->MarkApplied(r, epoch);
+  }
+  if (!shared.has_value()) {
+    cluster_->AbortEntry(epoch);
+    return Status::Unavailable("no in-rotation replica for share");
+  }
+  return std::move(*shared);
+}
+
+Result<SimTime> ClusterClient::TableWrite(const FTable& table,
+                                          const Table& rows) {
+  std::optional<Result<SimTime>> out;
+  TableWriteAsync(table, rows,
+                  [&out](Result<SimTime> r) { out.emplace(std::move(r)); });
+  cluster_->engine()->Run();
+  FV_CHECK(out.has_value()) << "TableWrite did not complete";
+  return std::move(*out);
+}
+
+void ClusterClient::TableWriteAsync(
+    const FTable& table, const Table& rows,
+    std::function<void(Result<SimTime>)> done) {
+  FV_CHECK(!clients_.empty()) << "not connected";
+  if (!rows.schema().Equals(table.schema)) {
+    done(Status::InvalidArgument("row data does not match table schema"));
+    return;
+  }
+  if (rows.num_rows() != table.num_rows) {
+    done(Status::InvalidArgument("row count does not match table"));
+    return;
+  }
+  auto mw = std::make_shared<MirroredWrite>();
+  mw->vaddr = table.vaddr;
+  mw->rows = &rows;
+  mw->done = std::move(done);
+  FarviewCluster::LogEntry entry;
+  entry.kind = FarviewCluster::LogEntry::Kind::kWrite;
+  entry.client_id = client_id_;
+  entry.vaddr = table.vaddr;
+  entry.bytes = rows.size_bytes();
+  mw->epoch = cluster_->AppendEntry(entry);
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    if (cluster_->CanApply(r)) {
+      mw->targets.push_back(r);
+    } else {
+      cluster_->MarkMissed(r, mw->epoch);
+    }
+  }
+  if (mw->targets.empty()) {
+    // Nothing applied the write: abort the epoch so recovery skips it
+    // (otherwise a lone restarted replica would wait forever for a resync
+    // source holding bytes that never existed).
+    cluster_->AbortEntry(mw->epoch);
+    auto cb = std::move(mw->done);
+    cb(Status::Unavailable("no in-rotation replica for mirrored write"));
+    return;
+  }
+  TryPrimaryWrite(std::move(mw));
+}
+
+void ClusterClient::TryPrimaryWrite(std::shared_ptr<MirroredWrite> mw) {
+  if (mw->primary_pos >= mw->targets.size()) {
+    // Every candidate primary failed: no replica holds the bytes, so the
+    // epoch must not be resynced.
+    cluster_->AbortEntry(mw->epoch);
+    auto cb = std::move(mw->done);
+    cb(mw->error.ok()
+           ? Status::Unavailable("mirrored write failed on every replica")
+           : mw->error);
+    return;
+  }
+  const int primary = mw->targets[mw->primary_pos];
+  cluster_->node(primary).TableWrite(
+      clients_[static_cast<size_t>(primary)]->qp()->qp_id, mw->vaddr,
+      mw->rows->data(), mw->rows->size_bytes(),
+      [this, mw, primary](Result<SimTime> res) {
+        if (!res.ok()) {
+          // The primary died under the write: record the failover and try
+          // the next candidate as primary.
+          cluster_->MarkMissed(primary, mw->epoch);
+          cluster_->node(primary).stats().RecordFailover();
+          if (mw->error.ok()) mw->error = res.status();
+          ++mw->primary_pos;
+          TryPrimaryWrite(mw);
+          return;
+        }
+        cluster_->MarkApplied(primary, mw->epoch);
+        mw->last_ack = res.value();
+        // Primary acked: forward to the remaining live replicas in
+        // parallel (the primary->secondary mirror hop).
+        mw->pending_mirrors =
+            static_cast<int>(mw->targets.size() - mw->primary_pos - 1);
+        if (mw->pending_mirrors == 0) {
+          auto cb = std::move(mw->done);
+          cb(mw->last_ack);
+          return;
+        }
+        for (size_t i = mw->primary_pos + 1; i < mw->targets.size(); ++i) {
+          const int secondary = mw->targets[i];
+          cluster_->node(secondary)
+              .TableWrite(
+                  clients_[static_cast<size_t>(secondary)]->qp()->qp_id,
+                  mw->vaddr, mw->rows->data(), mw->rows->size_bytes(),
+                  [this, mw, secondary](Result<SimTime> mirror) {
+                    if (mirror.ok()) {
+                      cluster_->MarkApplied(secondary, mw->epoch);
+                      mw->last_ack = std::max(mw->last_ack, mirror.value());
+                    } else {
+                      // Missed mirror: the secondary converges via resync;
+                      // the cluster write still committed on the primary.
+                      cluster_->MarkMissed(secondary, mw->epoch);
+                    }
+                    if (--mw->pending_mirrors == 0) {
+                      auto cb = std::move(mw->done);
+                      cb(mw->last_ack);
+                    }
+                  });
+        }
+      });
+}
+
+Status ClusterClient::LoadPipeline(PipelineFactory factory) {
+  std::optional<Status> out;
+  LoadPipelineAsync(std::move(factory),
+                    [&out](Status s) { out.emplace(std::move(s)); });
+  cluster_->engine()->Run();
+  FV_CHECK(out.has_value()) << "LoadPipeline did not complete";
+  return *out;
+}
+
+void ClusterClient::LoadPipelineAsync(PipelineFactory factory,
+                                      std::function<void(Status)> done) {
+  FV_CHECK(!clients_.empty()) << "not connected";
+  FV_CHECK(factory != nullptr);
+  pipeline_factory_ = std::move(factory);
+  const uint64_t version = ++pipeline_version_;
+  struct LoadAll {
+    int pending = 0;
+    Status error;
+    std::function<void(Status)> done;
+  };
+  auto state = std::make_shared<LoadAll>();
+  state->done = std::move(done);
+  std::vector<int> targets;
+  for (int r = 0; r < cluster_->num_replicas(); ++r) {
+    if (cluster_->CanApply(r)) targets.push_back(r);
+  }
+  if (targets.empty()) {
+    state->done(Status::Unavailable("no in-rotation replica for load"));
+    return;
+  }
+  state->pending = static_cast<int>(targets.size());
+  for (const int r : targets) {
+    Result<Pipeline> pipeline = pipeline_factory_();
+    if (!pipeline.ok()) {
+      if (state->error.ok()) state->error = pipeline.status();
+      if (--state->pending == 0) state->done(state->error);
+      continue;
+    }
+    clients_[static_cast<size_t>(r)]->LoadPipelineAsync(
+        std::move(pipeline.value()),
+        [alive = alive_, this, state, r, version](Status loaded) {
+          if (*alive && loaded.ok()) {
+            loaded_version_[static_cast<size_t>(r)] = version;
+          }
+          if (!loaded.ok() && state->error.ok()) state->error = loaded;
+          if (--state->pending == 0) state->done(state->error);
+        });
+  }
+}
+
+void ClusterClient::OnRejoin(int replica, std::function<void()> done) {
+  // Reload the current pipeline recipe when the recovered replica is
+  // behind (it missed a LoadPipeline while out of rotation). Pipelines
+  // survive the crash itself (configuration flash), so a replica that was
+  // current stays current.
+  if (clients_.empty() || pipeline_factory_ == nullptr ||
+      loaded_version_[static_cast<size_t>(replica)] == pipeline_version_) {
+    done();
+    return;
+  }
+  Result<Pipeline> pipeline = pipeline_factory_();
+  if (!pipeline.ok()) {
+    done();
+    return;
+  }
+  const uint64_t version = pipeline_version_;
+  clients_[static_cast<size_t>(replica)]->LoadPipelineAsync(
+      std::move(pipeline.value()),
+      [alive = alive_, this, replica, version, done](Status loaded) {
+        if (*alive && loaded.ok() && version == pipeline_version_) {
+          loaded_version_[static_cast<size_t>(replica)] = version;
+        }
+        done();
+      });
+}
+
+int ClusterClient::PickReplica(uint64_t tried_mask) {
+  const int n = cluster_->num_replicas();
+  for (int i = 0; i < n; ++i) {
+    const int r = (rr_cursor_ + i) % n;
+    if ((tried_mask >> r) & 1u) continue;
+    if (!cluster_->InSync(r)) continue;  // epoch fencing
+    if (!breakers_[static_cast<size_t>(r)]->AllowRequest()) continue;
+    rr_cursor_ = (r + 1) % n;
+    return r;
+  }
+  return -1;
+}
+
+void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
+  const int r = PickReplica(call->tried_mask);
+  if (r < 0) {
+    // Fast-fail: every replica is fenced, tripped, or already tried.
+    // Counted on replica 0's stats (the cluster-level sink).
+    cluster_->node(0).stats().RecordFastFail();
+    auto cb = std::move(call->done);
+    cb(Status::Unavailable("no in-sync replica available (fast-fail)"));
+    return;
+  }
+  call->tried_mask |= uint64_t{1} << r;
+  cluster_->node(r).stats().RecordClusterRequest();
+  auto on_done = [this, call, r](Result<FvResult> res) {
+    CircuitBreaker& breaker = *breakers_[static_cast<size_t>(r)];
+    if (res.ok()) {
+      breaker.RecordSuccess();
+      auto cb = std::move(call->done);
+      cb(std::move(res));
+      return;
+    }
+    const Status& s = res.status();
+    if (!s.IsUnavailable() && !s.IsDeadlineExceeded()) {
+      // Not a health signal (bad request, schema mismatch): report it,
+      // don't penalize the replica.
+      auto cb = std::move(call->done);
+      cb(std::move(res));
+      return;
+    }
+    breaker.RecordFailure();
+    cluster_->node(r).stats().RecordFailover();
+    IssueRouted(call);
+  };
+  if (call->verb == Verb::kRead) {
+    clients_[static_cast<size_t>(r)]->TableReadAsync(call->table,
+                                                     std::move(on_done));
+  } else {
+    clients_[static_cast<size_t>(r)]->FarviewRequestAsync(call->request,
+                                                          std::move(on_done));
+  }
+}
+
+Result<FvResult> ClusterClient::TableRead(const FTable& table) {
+  std::optional<Result<FvResult>> out;
+  TableReadAsync(table,
+                 [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
+  cluster_->engine()->Run();
+  FV_CHECK(out.has_value()) << "TableRead did not complete";
+  return std::move(*out);
+}
+
+void ClusterClient::TableReadAsync(
+    const FTable& table, std::function<void(Result<FvResult>)> done) {
+  FV_CHECK(!clients_.empty()) << "not connected";
+  auto call = std::make_shared<RoutedCall>();
+  call->verb = Verb::kRead;
+  call->table = table;
+  call->done = std::move(done);
+  IssueRouted(std::move(call));
+}
+
+Result<FvResult> ClusterClient::FarviewRequest(const FvRequest& request) {
+  std::optional<Result<FvResult>> out;
+  FarviewRequestAsync(
+      request, [&out](Result<FvResult> r) { out.emplace(std::move(r)); });
+  cluster_->engine()->Run();
+  FV_CHECK(out.has_value()) << "FarviewRequest did not complete";
+  return std::move(*out);
+}
+
+void ClusterClient::FarviewRequestAsync(
+    const FvRequest& request, std::function<void(Result<FvResult>)> done) {
+  FV_CHECK(!clients_.empty()) << "not connected";
+  auto call = std::make_shared<RoutedCall>();
+  call->verb = Verb::kFarview;
+  call->request = request;
+  call->done = std::move(done);
+  IssueRouted(std::move(call));
+}
+
+FvRequest ClusterClient::ScanRequest(const FTable& table,
+                                     bool vectorized) const {
+  FvRequest req;
+  req.vaddr = table.vaddr;
+  req.len = table.SizeBytes();
+  req.tuple_bytes = table.schema.tuple_width();
+  req.vectorized = vectorized;
+  return req;
+}
+
+}  // namespace farview

@@ -37,9 +37,18 @@ void FarviewNode::ScheduleFaultEvents() {
   fault_rng_ = std::make_unique<Rng>(f.seed);
   if (f.node_crash_at > 0) {
     engine_->ScheduleAt(f.node_crash_at, [this]() { CrashNow(); });
-    if (f.node_restart_after > 0) {
-      engine_->ScheduleAt(f.node_crash_at + f.node_restart_after,
-                          [this]() { RestartNow(); });
+    // The absolute-instant form wins over the relative one so a bench can
+    // place crash and recovery on one timeline (DESIGN.md §12).
+    SimTime restart_at = 0;
+    if (f.node_restart_at > 0) {
+      FV_CHECK(f.node_restart_at > f.node_crash_at)
+          << "node_restart_at must be after node_crash_at";
+      restart_at = f.node_restart_at;
+    } else if (f.node_restart_after > 0) {
+      restart_at = f.node_crash_at + f.node_restart_after;
+    }
+    if (restart_at > 0) {
+      engine_->ScheduleAt(restart_at, [this]() { RestartNow(); });
     }
   }
   if (f.faulted_region >= 0 && f.faulted_region < config_.num_regions) {
@@ -76,6 +85,7 @@ void FarviewNode::CrashNow() {
       });
     }
   }
+  for (const auto& observer : down_observers_) observer(true);
 }
 
 void FarviewNode::RestartNow() {
@@ -86,6 +96,7 @@ void FarviewNode::RestartNow() {
   // paper's persistent bitstreams); queues were flushed at the crash and
   // arrivals were rejected while down, so this drain is a safety net.
   for (const auto& entry : qp_queues_) MaybeDispatch(entry.first);
+  for (const auto& observer : down_observers_) observer(false);
 }
 
 void FarviewNode::FailQueuedForRegion(int region_id) {

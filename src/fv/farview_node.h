@@ -116,6 +116,16 @@ class FarviewNode {
   /// True while the node is crashed.
   bool down() const { return down_; }
 
+  /// Registers a crash/restart observer: invoked synchronously with `true`
+  /// at the end of `CrashNow` and `false` at the end of `RestartNow`. The
+  /// replication layer uses this to force circuit breakers open and to
+  /// start crash recovery (DESIGN.md §12); observers must not themselves
+  /// crash or restart the node. With no observers registered (the default)
+  /// nothing changes, preserving byte-identity.
+  void AddDownObserver(std::function<void(bool down)> observer) {
+    down_observers_.push_back(std::move(observer));
+  }
+
   // --- Introspection ------------------------------------------------------
 
   sim::Engine* engine() { return engine_; }
@@ -194,6 +204,8 @@ class FarviewNode {
   /// Node-level fault stream (region-stall draws); non-null only when
   /// `FvFaultConfig::enabled`.
   std::unique_ptr<Rng> fault_rng_;
+  /// Crash/restart observers, notified in registration order.
+  std::vector<std::function<void(bool)>> down_observers_;
   /// True while crashed (between CrashNow and RestartNow).
   bool down_ = false;
   /// Instant of the most recent crash; requests whose region execution

@@ -44,6 +44,12 @@ struct FvFaultConfig {
   /// a restart (configuration flash); in-flight state does not.
   SimTime node_crash_at = 0;
   SimTime node_restart_after = 0;
+
+  /// Absolute-instant companion to `node_restart_after`: when > 0 the node
+  /// restarts at exactly `node_restart_at` (must be later than
+  /// `node_crash_at`), and `node_restart_after` is ignored. Benches position
+  /// crash and recovery on the same timeline this way (DESIGN.md §12).
+  SimTime node_restart_at = 0;
 };
 
 /// Client-side reliability policy (DESIGN.md §7): completion timeouts with

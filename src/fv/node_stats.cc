@@ -147,6 +147,25 @@ std::string NodeStats::FormatReport(SimTime now,
         static_cast<unsigned long long>(reliability_.fallbacks),
         static_cast<unsigned long long>(reliability_.late_completions));
     out << rbuf;
+    // Replication counters on their own line, and only when a cluster was
+    // involved: single-node fault runs keep the PR 2 report byte-identical.
+    if (reliability_.AnyClusterNonZero()) {
+      std::snprintf(
+          rbuf, sizeof(rbuf),
+          "  replication: %llu served, %llu failovers, %llu fast fails, "
+          "circuit %llu open/%llu half-open/%llu close\n"
+          "               %llu resyncs, %llu resync bytes, %.3f ms resync\n",
+          static_cast<unsigned long long>(reliability_.cluster_requests),
+          static_cast<unsigned long long>(reliability_.failovers),
+          static_cast<unsigned long long>(reliability_.fast_fails),
+          static_cast<unsigned long long>(reliability_.circuit_opens),
+          static_cast<unsigned long long>(reliability_.circuit_half_opens),
+          static_cast<unsigned long long>(reliability_.circuit_closes),
+          static_cast<unsigned long long>(reliability_.resyncs),
+          static_cast<unsigned long long>(reliability_.resync_bytes),
+          ToMillis(reliability_.resync_time));
+      out << rbuf;
+    }
   }
   return out.str();
 }

@@ -70,10 +70,31 @@ class NodeStats {
     uint64_t fallbacks = 0;         ///< degraded raw-read fallbacks
     uint64_t late_completions = 0;  ///< completions after the client gave up
 
+    // Replication / failover events (DESIGN.md §12). Recorded on the
+    // replica the event concerns: `failovers` on the replica failed away
+    // from, `cluster_requests` on the replica that served a routed call,
+    // circuit transitions on the replica whose breaker moved, resync
+    // progress on the recovering replica. All stay zero without a cluster.
+    uint64_t failovers = 0;          ///< routed calls re-sent to another replica
+    uint64_t fast_fails = 0;         ///< calls settled instantly, circuit Open
+    uint64_t circuit_opens = 0;      ///< Closed/Half-Open -> Open transitions
+    uint64_t circuit_half_opens = 0; ///< Open -> Half-Open transitions
+    uint64_t circuit_closes = 0;     ///< Half-Open -> Closed transitions
+    uint64_t cluster_requests = 0;   ///< routed calls served by this replica
+    uint64_t resyncs = 0;            ///< completed crash-recovery resyncs
+    uint64_t resync_bytes = 0;       ///< bytes copied by resync streams
+    SimTime resync_time = 0;         ///< restart -> rejoined-rotation total
+
+    bool AnyClusterNonZero() const {
+      return failovers || fast_fails || circuit_opens || circuit_half_opens ||
+             circuit_closes || cluster_requests || resyncs || resync_bytes ||
+             resync_time;
+    }
+
     bool AnyNonZero() const {
       return region_stalls || region_faults || node_crashes ||
              node_restarts || crash_failures || timeouts || retries ||
-             fallbacks || late_completions;
+             fallbacks || late_completions || AnyClusterNonZero();
     }
   };
 
@@ -122,6 +143,22 @@ class NodeStats {
   void RecordRetry() { ++reliability_.retries; }
   void RecordFallback() { ++reliability_.fallbacks; }
   void RecordLateCompletion() { ++reliability_.late_completions; }
+
+  // --- Replication / failover events (DESIGN.md §12) -----------------------
+
+  void RecordFailover() { ++reliability_.failovers; }
+  void RecordFastFail() { ++reliability_.fast_fails; }
+  void RecordCircuitOpen() { ++reliability_.circuit_opens; }
+  void RecordCircuitHalfOpen() { ++reliability_.circuit_half_opens; }
+  void RecordCircuitClose() { ++reliability_.circuit_closes; }
+  void RecordClusterRequest() { ++reliability_.cluster_requests; }
+  void RecordResyncBytes(uint64_t bytes) {
+    reliability_.resync_bytes += bytes;
+  }
+  void RecordResyncDone(SimTime elapsed) {
+    ++reliability_.resyncs;
+    reliability_.resync_time += elapsed;
+  }
 
   // --- Queries -------------------------------------------------------------
 

@@ -1,0 +1,410 @@
+// Replicated-pool tests (DESIGN.md §12): mirrored writes, breaker-routed
+// reads with failover, epoch fencing, crash recovery with resync, and the
+// fast-fail latency bound. Labelled `failover` so CI reruns them under the
+// FV_FAULT_SEED sanitizer sweep — like the `faults` suite, assertions are
+// invariants that must hold for ANY seed, never seed-specific counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+#include "fv/cluster.h"
+#include "table/generator.h"
+
+namespace farview {
+namespace {
+
+/// Seed under test: FV_FAULT_SEED when set (the CI seed sweep), else 1.
+uint64_t TestSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+Table MakeRows(uint64_t bytes, uint64_t gen_seed = 7) {
+  TableGenerator gen(gen_seed);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), bytes / 64, 100);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+/// Cluster config sized for tests: small functional backing (N nodes per
+/// engine), retry policy on, seeded from the CI sweep.
+ClusterConfig TestConfig(int replicas) {
+  ClusterConfig cc;
+  cc.node.dram.channel_capacity = 32 * kMiB;
+  cc.node.retry.enabled = true;
+  cc.num_replicas = replicas;
+  cc.seed = TestSeed();
+  return cc;
+}
+
+/// Allocates without running the engine (pure bookkeeping), so tests can
+/// position requests relative to config-scheduled fault instants.
+FTable AllocOnly(ClusterClient& client, const Table& rows) {
+  FTable ft;
+  ft.name = "t";
+  ft.schema = rows.schema();
+  ft.num_rows = rows.num_rows();
+  EXPECT_TRUE(client.AllocTableMem(&ft).ok());
+  return ft;
+}
+
+/// Reads the table's bytes straight from one replica's MMU (bypassing the
+/// router) to check replica convergence.
+ByteBuffer ReplicaBytes(FarviewCluster& cluster, int r, int client_id,
+                        const FTable& ft) {
+  ByteBuffer buf;
+  EXPECT_TRUE(cluster.node(r)
+                  .mmu()
+                  .ReadInto(client_id, ft.vaddr, ft.SizeBytes(), &buf)
+                  .ok());
+  return buf;
+}
+
+TEST(ClusterTest, MirroredWriteReachesEveryReplica) {
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, TestConfig(3));
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+
+  Result<SimTime> wrote = client.TableWrite(ft, rows);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_GT(wrote.value(), 0);
+
+  const ByteBuffer expect(rows.data(), rows.data() + rows.size_bytes());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(cluster.InSync(r));
+    EXPECT_EQ(cluster.applied_epoch(r), cluster.epoch());
+    EXPECT_EQ(ReplicaBytes(cluster, r, 1, ft), expect) << "replica " << r;
+  }
+}
+
+TEST(ClusterTest, RoutedReadsRoundRobinAcrossReplicas) {
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, TestConfig(3));
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+  ASSERT_TRUE(client.TableWrite(ft, rows).ok());
+
+  for (int i = 0; i < 6; ++i) {
+    Result<FvResult> read = client.TableRead(ft);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value().data.size(), rows.size_bytes());
+  }
+  // Healthy pool: round-robin spreads the 6 reads 2-2-2.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.node(r).stats().reliability().cluster_requests, 2u)
+        << "replica " << r;
+  }
+}
+
+TEST(ClusterTest, CrashFailoverKeepsReadsSucceeding) {
+  ClusterConfig cc = TestConfig(2);
+  cc.faulted_replica = 0;
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;  // stays down
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(256 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+
+  // Reads paced across the crash instant; every one must succeed — the
+  // router fails the victim's traffic over to the survivor.
+  int ok = 0;
+  int issued = 0;
+  for (SimTime t = 100 * kMicrosecond; t < 3 * kMillisecond;
+       t += 200 * kMicrosecond) {
+    ++issued;
+    engine.ScheduleAt(t, [&]() {
+      client.TableReadAsync(ft, [&](Result<FvResult> r) {
+        if (r.ok()) ++ok;
+      });
+    });
+  }
+  client.TableWriteAsync(ft, rows, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  engine.Run();
+
+  EXPECT_EQ(ok, issued);
+  EXPECT_FALSE(cluster.InSync(0));
+  EXPECT_TRUE(cluster.InSync(1));
+  // The crash observation force-opened replica 0's breaker; its in-flight
+  // read (if any) failed over. The survivor served the tail.
+  EXPECT_GE(cluster.node(0).stats().reliability().circuit_opens, 1u);
+  EXPECT_GT(cluster.node(1).stats().reliability().cluster_requests, 0u);
+}
+
+TEST(ClusterTest, FastFailSettlesImmediatelyWhenPoolIsDead) {
+  // Regression guard for the fast-fail fix: with the only replica crashed
+  // and its breaker open, a read must settle at its issuing instant with
+  // Unavailable — not after completion_timeout * max_attempts of burned
+  // backoff (1.75 ms with the default RetryPolicy).
+  ClusterConfig cc = TestConfig(1);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 500 * kMicrosecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(64 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+
+  std::optional<Status> settled;
+  SimTime issued_at = 0;
+  SimTime settled_at = 0;
+  engine.ScheduleAt(1 * kMillisecond, [&]() {
+    issued_at = engine.Now();
+    client.TableReadAsync(ft, [&](Result<FvResult> r) {
+      settled.emplace(r.status());
+      settled_at = engine.Now();
+    });
+  });
+  engine.Run();
+
+  ASSERT_TRUE(settled.has_value());
+  EXPECT_TRUE(settled->IsUnavailable());
+  EXPECT_EQ(settled_at, issued_at) << "fast-fail burned simulated time";
+  uint64_t fast_fails = 0;
+  fast_fails += cluster.node(0).stats().reliability().fast_fails;
+  EXPECT_GT(fast_fails, 0u);
+}
+
+TEST(ClusterTest, CircuitBreakerLifecycle) {
+  sim::Engine engine;
+  NodeStats stats;
+  CircuitBreakerPolicy policy;
+  CircuitBreaker breaker(&engine, policy, TestSeed(), &stats);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < policy.failure_threshold; ++i) {
+    EXPECT_TRUE(breaker.AllowRequest());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.BlocksAttempts());
+  EXPECT_EQ(stats.reliability().circuit_opens, 1u);
+
+  // Advance past the worst-case reopen instant (duration + full jitter):
+  // the next AllowRequest is the lazy Open -> Half-Open transition.
+  engine.ScheduleAt(policy.open_duration + policy.open_jitter, []() {});
+  engine.Run();
+  EXPECT_FALSE(breaker.BlocksAttempts());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(stats.reliability().circuit_half_opens, 1u);
+
+  // A failed probe re-trips; another cool-down, then successful probes
+  // close it.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  engine.ScheduleAt(2 * (policy.open_duration + policy.open_jitter), []() {});
+  engine.Run();
+  for (int i = 0; i < policy.probe_successes; ++i) {
+    EXPECT_TRUE(breaker.AllowRequest());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(stats.reliability().circuit_closes, 1u);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(ClusterTest, RestartResyncsMissedWritesFromSurvivor) {
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table v1 = MakeRows(256 * kKiB, 7);
+  const Table v2 = MakeRows(256 * kKiB, 8);
+  FTable ft = AllocOnly(client, v1);
+
+  // v1 lands on both replicas; v2 is written while replica 0 is down and
+  // must reach it through the recovery resync stream after restart.
+  std::optional<Status> wrote_v2;
+  client.TableWriteAsync(ft, v1, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  engine.ScheduleAt(1500 * kMicrosecond, [&]() {
+    EXPECT_FALSE(cluster.InSync(0));  // fenced while down
+    client.TableWriteAsync(ft, v2, [&](Result<SimTime> w) {
+      wrote_v2.emplace(w.status());
+    });
+  });
+  engine.Run();
+
+  ASSERT_TRUE(wrote_v2.has_value());
+  EXPECT_TRUE(wrote_v2->ok());
+  EXPECT_TRUE(cluster.InSync(0)) << "replica 0 never rejoined";
+  EXPECT_GT(cluster.in_sync_at(0), cc.node.faults.node_restart_at);
+  const ByteBuffer expect(v2.data(), v2.data() + v2.size_bytes());
+  EXPECT_EQ(ReplicaBytes(cluster, 0, 1, ft), expect);
+  const NodeStats::ReliabilityStats& rel =
+      cluster.node(0).stats().reliability();
+  EXPECT_EQ(rel.resyncs, 1u);
+  EXPECT_EQ(rel.resync_bytes, v2.size_bytes());
+  EXPECT_GT(rel.resync_time, 0);
+}
+
+TEST(ClusterTest, ControlEntriesReplayOnRejoin) {
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable keep = AllocOnly(client, rows);
+  // Async: the sync wrapper would drain the whole fault timeline before
+  // the scheduled mid-outage operations below were registered.
+  client.TableWriteAsync(keep, rows, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+
+  // While replica 0 is down: free one table, allocate + write another.
+  // Rejoin must replay the free and the alloc (checking address agreement)
+  // before the resync stream copies the new table's bytes.
+  FTable fresh;
+  std::optional<Status> late_ops;
+  engine.ScheduleAt(1500 * kMicrosecond, [&]() {
+    Status s = client.FreeTableMem(&keep);
+    if (s.ok()) {
+      fresh.name = "fresh";
+      fresh.schema = rows.schema();
+      fresh.num_rows = rows.num_rows();
+      s = client.AllocTableMem(&fresh);
+    }
+    if (s.ok()) {
+      client.TableWriteAsync(fresh, rows, [&](Result<SimTime> w) {
+        late_ops.emplace(w.status());
+      });
+    } else {
+      late_ops.emplace(s);
+    }
+  });
+  engine.Run();
+
+  ASSERT_TRUE(late_ops.has_value());
+  EXPECT_TRUE(late_ops->ok());
+  EXPECT_TRUE(cluster.InSync(0));
+  EXPECT_EQ(cluster.applied_epoch(0), cluster.epoch());
+  // The replayed allocator state matches: the fresh table's bytes are
+  // readable at the agreed address on the recovered replica.
+  const ByteBuffer expect(rows.data(), rows.data() + rows.size_bytes());
+  EXPECT_EQ(ReplicaBytes(cluster, 0, 1, fresh), expect);
+  // And the freed table is gone on both replicas.
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_FALSE(cluster.node(r).mmu().Translate(1, keep.vaddr).ok())
+        << "replica " << r;
+  }
+}
+
+TEST(ClusterTest, FencedReplicaServesNoReadsUntilInSync) {
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  // Slow the resync stream so the fenced window is wide and reads land in
+  // it: 256 KiB at 1 Gbps is ~2 ms of resync.
+  cc.replication.resync_rate_bytes_per_sec = GbpsToBytesPerSec(1.0);
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table v1 = MakeRows(256 * kKiB, 7);
+  const Table v2 = MakeRows(256 * kKiB, 8);
+  FTable ft = AllocOnly(client, v1);
+
+  client.TableWriteAsync(ft, v1, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  engine.ScheduleAt(1200 * kMicrosecond, [&]() {
+    client.TableWriteAsync(ft, v2, [](Result<SimTime> w) {
+      EXPECT_TRUE(w.ok());
+    });
+  });
+  // Reads issued across the resync window: every result must be v2 — a
+  // read served by the stale replica would return v1 bytes.
+  const ByteBuffer expect(v2.data(), v2.data() + v2.size_bytes());
+  int checked = 0;
+  const uint64_t before = cluster.node(0).stats().reliability()
+                              .cluster_requests;
+  for (SimTime t = 2100 * kMicrosecond; t < 4 * kMillisecond;
+       t += 300 * kMicrosecond) {
+    engine.ScheduleAt(t, [&]() {
+      const bool fenced = !cluster.InSync(0);
+      const uint64_t routed_before =
+          cluster.node(0).stats().reliability().cluster_requests;
+      client.TableReadAsync(ft, [&, fenced, routed_before](
+                                    Result<FvResult> r) {
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value().data, expect);
+        if (fenced) {
+          // Epoch fencing: the router never touched replica 0 for this
+          // read while it was behind.
+          EXPECT_EQ(cluster.node(0).stats().reliability().cluster_requests,
+                    routed_before);
+        }
+        ++checked;
+      });
+    });
+  }
+  engine.Run();
+  EXPECT_GT(checked, 0);
+  (void)before;
+  EXPECT_TRUE(cluster.InSync(0));
+}
+
+TEST(ClusterTest, SingleReplicaPoolRecoversWithoutSource) {
+  // R=1: every write during the outage aborts (no in-rotation replica), so
+  // rejoin needs no resync source and must not park forever.
+  ClusterConfig cc = TestConfig(1);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+
+  std::optional<Status> down_write;
+  client.TableWriteAsync(ft, rows, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  engine.ScheduleAt(1500 * kMicrosecond, [&]() {
+    client.TableWriteAsync(ft, rows, [&](Result<SimTime> w) {
+      down_write.emplace(w.status());
+    });
+  });
+  engine.Run();
+
+  ASSERT_TRUE(down_write.has_value());
+  EXPECT_TRUE(down_write->IsUnavailable());
+  EXPECT_TRUE(cluster.InSync(0)) << "lone replica parked after restart";
+  // Post-recovery the pool serves reads again (pre-crash contents).
+  Result<FvResult> read = client.TableRead(ft);
+  ASSERT_TRUE(read.ok());
+  const ByteBuffer expect(rows.data(), rows.data() + rows.size_bytes());
+  EXPECT_EQ(read.value().data, expect);
+}
+
+}  // namespace
+}  // namespace farview

@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "benchlib/experiment.h"
 #include "fv/client.h"
+#include "fv/cluster.h"
 #include "fv/farview_node.h"
 #include "table/generator.h"
 
@@ -194,6 +198,134 @@ TEST(DeterminismTest, FullWorkloadIsBitReproducible) {
   const std::vector<SimTime> b = RunWorkloadOnce();
   ASSERT_EQ(a.size(), 3u);
   EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster liveness (DESIGN.md §12): under every combination of fault
+// scenario, pool size, and seed, every request the client issues must
+// terminate in exactly ONE of {ok, degraded_raw, definitive error} — no
+// request may hang past engine drain, and no callback may fire twice.
+// ---------------------------------------------------------------------------
+
+/// Seed under test: FV_FAULT_SEED when set (the CI seed sweep), else 1.
+uint64_t LivenessSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+struct LivenessScenario {
+  const char* name;
+  SimTime crash_at = 0;
+  SimTime restart_at = 0;
+  double region_stall_prob = 0.0;
+  double packet_loss_rate = 0.0;
+  SimTime link_flap_period = 0;
+  SimTime link_flap_down = 0;
+};
+
+/// Runs one scenario: reads every 100 us and writes every 500 us over a
+/// 4 ms horizon against a pool whose replica 0 runs the fault schedule.
+/// Returns via EXPECT_* failures; the caller tags with the scenario name.
+void RunLivenessScenario(const LivenessScenario& sc, int replicas,
+                         uint64_t seed) {
+  ClusterConfig cc;
+  cc.node.dram.channel_capacity = 32 * kMiB;
+  cc.node.retry.enabled = true;
+  cc.seed = seed;
+  cc.num_replicas = replicas;
+  cc.node.faults.enabled =
+      sc.crash_at > 0 || sc.region_stall_prob > 0;
+  cc.node.faults.seed = seed;
+  cc.node.faults.node_crash_at = sc.crash_at;
+  cc.node.faults.node_restart_at = sc.restart_at;
+  cc.node.faults.region_stall_prob = sc.region_stall_prob;
+  cc.node.net.faults.enabled =
+      sc.packet_loss_rate > 0 || sc.link_flap_period > 0;
+  cc.node.net.faults.seed = seed;
+  cc.node.net.faults.packet_loss_rate = sc.packet_loss_rate;
+  cc.node.net.faults.link_flap_period = sc.link_flap_period;
+  cc.node.net.faults.link_flap_down = sc.link_flap_down;
+
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  TableGenerator gen(7);
+  Result<Table> t =
+      gen.Uniform(Schema::DefaultWideRow(), (128 * kKiB) / 64, 100);
+  ASSERT_TRUE(t.ok());
+  const Table& rows = t.value();
+  FTable ft;
+  ft.name = "t";
+  ft.schema = rows.schema();
+  ft.num_rows = rows.num_rows();
+  ASSERT_TRUE(client.AllocTableMem(&ft).ok());
+
+  constexpr SimTime kHorizon = 4 * kMillisecond;
+  int issued = 0;
+  std::vector<int> settles;  // per-request settle count; must end at 1
+  auto track = [&settles](int idx) {
+    return [idx, &settles](const Status& s) {
+      // Exactly one terminal state: ok (possibly degraded) or a definitive
+      // error code — never OK-with-missing-payload, never a second settle.
+      settles[static_cast<size_t>(idx)] += 1;
+      if (!s.ok()) {
+        EXPECT_TRUE(s.IsUnavailable() || s.IsDeadlineExceeded() ||
+                    s.IsNotFound() || s.IsFailedPrecondition())
+            << "non-definitive error: " << s.ToString();
+      }
+    };
+  };
+  for (SimTime at = 50 * kMicrosecond; at < kHorizon;
+       at += 100 * kMicrosecond) {
+    const int idx = issued++;
+    settles.push_back(0);
+    engine.ScheduleAt(at, [&, idx]() {
+      client.TableReadAsync(ft, [&, idx](Result<FvResult> r) {
+        if (r.ok()) {
+          EXPECT_EQ(r.value().data.size(), ft.SizeBytes());
+        }
+        track(idx)(r.status());
+      });
+    });
+  }
+  for (SimTime at = 75 * kMicrosecond; at < kHorizon;
+       at += 500 * kMicrosecond) {
+    const int idx = issued++;
+    settles.push_back(0);
+    engine.ScheduleAt(at, [&, idx]() {
+      client.TableWriteAsync(ft, rows, [&, idx](Result<SimTime> w) {
+        track(idx)(w.status());
+      });
+    });
+  }
+  engine.Run();
+
+  for (int i = 0; i < issued; ++i) {
+    EXPECT_EQ(settles[static_cast<size_t>(i)], 1)
+        << "request " << i << " settled " << settles[static_cast<size_t>(i)]
+        << " times";
+  }
+}
+
+TEST(ClusterLivenessTest, EveryRequestTerminatesUnderFaultSweep) {
+  const LivenessScenario scenarios[] = {
+      {"crash_no_restart", 1 * kMillisecond, 0, 0.0, 0.0, 0, 0},
+      {"crash_restart", 1 * kMillisecond, 2 * kMillisecond, 0.0, 0.0, 0, 0},
+      {"region_stalls", 0, 0, 0.3, 0.0, 0, 0},
+      {"lossy_flapping_link", 0, 0, 0.0, 0.01, 500 * kMicrosecond,
+       100 * kMicrosecond},
+      {"crash_restart_lossy", 1 * kMillisecond, 2 * kMillisecond, 0.0, 0.01,
+       0, 0},
+  };
+  const uint64_t base_seed = LivenessSeed();
+  for (const LivenessScenario& sc : scenarios) {
+    for (int replicas = 1; replicas <= 2; ++replicas) {
+      SCOPED_TRACE(std::string(sc.name) + " R=" +
+                   std::to_string(replicas));
+      RunLivenessScenario(sc, replicas, base_seed);
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "benchlib/experiment.h"
 #include "fv/client.h"
+#include "fv/cluster.h"
 #include "fv/farview_node.h"
 #include "table/generator.h"
 
@@ -62,6 +63,56 @@ TEST(FaultIdentityTest, OffloadedScanTimingMatchesSeed) {
   // Golden: 1 MiB offloaded pass-through scan (ingress + region + egress).
   EXPECT_EQ(read.value().Elapsed(), kGoldenOffloadScan1MiB);
   EXPECT_FALSE(fx.node().stats().reliability().AnyNonZero());
+}
+
+TEST(FaultIdentityTest, SingleReplicaClusterIsEventIdenticalToBareNode) {
+  // With num_replicas == 1 and a default config the replication layer must
+  // be invisible: no mirror hops, no breaker draws, no scheduled events —
+  // the same event count, the same clock, the same golden timing as a bare
+  // node driven through FarviewClient.
+  const Table rows = MakeRows(1 * kMiB);
+
+  sim::Engine bare_engine;
+  FarviewNode bare_node(&bare_engine, FarviewConfig());
+  FarviewClient bare_client(&bare_node, 1);
+  ASSERT_TRUE(bare_client.OpenConnection().ok());
+  FTable bare_ft;
+  bare_ft.name = "t";
+  bare_ft.schema = rows.schema();
+  bare_ft.num_rows = rows.num_rows();
+  ASSERT_TRUE(bare_client.AllocTableMem(&bare_ft).ok());
+  ASSERT_TRUE(bare_client.TableWrite(bare_ft, rows).ok());
+  Result<FvResult> bare_read = bare_client.TableRead(bare_ft);
+  ASSERT_TRUE(bare_read.ok());
+
+  sim::Engine pool_engine;
+  FarviewCluster cluster(&pool_engine, ClusterConfig());
+  ClusterClient pool_client(&cluster, 1);
+  ASSERT_TRUE(pool_client.OpenConnection().ok());
+  FTable pool_ft;
+  pool_ft.name = "t";
+  pool_ft.schema = rows.schema();
+  pool_ft.num_rows = rows.num_rows();
+  ASSERT_TRUE(pool_client.AllocTableMem(&pool_ft).ok());
+  ASSERT_TRUE(pool_client.TableWrite(pool_ft, rows).ok());
+  Result<FvResult> pool_read = pool_client.TableRead(pool_ft);
+  ASSERT_TRUE(pool_read.ok());
+
+  EXPECT_EQ(pool_ft.vaddr, bare_ft.vaddr);
+  EXPECT_EQ(pool_read.value().Elapsed(), bare_read.value().Elapsed());
+  EXPECT_EQ(pool_read.value().Elapsed(), kGoldenRawRead1MiB);
+  EXPECT_EQ(pool_read.value().data, bare_read.value().data);
+  EXPECT_EQ(pool_engine.Now(), bare_engine.Now());
+  EXPECT_EQ(pool_engine.executed_events(), bare_engine.executed_events());
+  // Routing is pure bookkeeping: the request counter moves, nothing else.
+  const NodeStats::ReliabilityStats& rel =
+      cluster.node(0).stats().reliability();
+  EXPECT_EQ(rel.cluster_requests, 1u);
+  EXPECT_EQ(rel.failovers, 0u);
+  EXPECT_EQ(rel.fast_fails, 0u);
+  EXPECT_EQ(rel.circuit_opens, 0u);
+  EXPECT_EQ(rel.resyncs, 0u);
+  EXPECT_EQ(rel.resync_bytes, 0u);
 }
 
 TEST(FaultIdentityTest, RetryWrapperIsEventIdenticalWhenDisabled) {

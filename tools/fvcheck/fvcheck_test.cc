@@ -218,5 +218,47 @@ TEST(TreeSelfCheckTest, AllowlistedFilesAreTheOnlyWallClockUsers) {
   EXPECT_EQ(wall_clock_users.count("bench/perf_simcore.cc"), 1u);
 }
 
+// Satellite spot check (ISSUE 5): the replication layer is where a
+// nondeterministic "fix" would be most tempting (jittered breaker reopens,
+// background resync pacing), so its files are pinned determinism-clean by
+// name: banned-api and simtime-mixing must report nothing, without relying
+// on inline suppressions. The existence assertions keep the test from
+// rotting into a vacuous pass if the files are ever moved.
+TEST(TreeSelfCheckTest, ReplicationLayerIsDeterminismClean) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  const std::vector<std::string> pinned = {
+      "src/fv/replication.h",
+      "src/fv/replication.cc",
+      "src/fv/cluster.h",
+      "src/fv/cluster.cc",
+  };
+  std::vector<FileInput> inputs;
+  for (const std::string& f : pinned) {
+    FileInput input;
+    ASSERT_TRUE(ReadFileInput(root, f, &input))
+        << f << " missing — update the pinned replication file list";
+    inputs.push_back(std::move(input));
+  }
+
+  Options opts;
+  opts.enabled_rules = {kRuleBannedApi, kRuleSimtimeMixing};
+  opts.honor_suppressions = false;  // clean outright, not suppressed-clean
+  const std::vector<Diagnostic> diags = Analyze(inputs, opts);
+  EXPECT_TRUE(diags.empty()) << [&] {
+    std::string all;
+    for (const auto& d : diags) all += d.file + ": " + d.message + "\n";
+    return all;
+  }();
+
+  // The resync staging buffer is pool-owned by annotation
+  // (fvcheck:owner=pool); prove the directive is actually present and
+  // lexed, so pool-escape keeps watching that buffer.
+  FileInput repl_h;
+  ASSERT_TRUE(ReadFileInput(root, "src/fv/replication.h", &repl_h));
+  const LexedFile lex = Lex(repl_h.content);
+  EXPECT_FALSE(lex.owner_pool_lines.empty())
+      << "replication.h lost its fvcheck:owner=pool annotation";
+}
+
 }  // namespace
 }  // namespace fvcheck
