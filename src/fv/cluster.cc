@@ -70,10 +70,19 @@ void FarviewCluster::MarkMissed(int r, uint64_t epoch) {
     // serving reads past a missed epoch — and recover it immediately.
     ++replica.rejoin_gen;
     replica.resync->Abort();
+    ReclaimResyncing(replica);
     replica.state = ReplicaState::kResyncing;
     replica.restarted_at = engine_->Now();
     RunRejoinPass(r);
   }
+}
+
+void FarviewCluster::ReclaimResyncing(Replica& replica) {
+  if (replica.resyncing.empty()) return;
+  replica.resyncing.insert(replica.resyncing.end(), replica.missed.begin(),
+                           replica.missed.end());
+  replica.missed.swap(replica.resyncing);
+  replica.resyncing.clear();
 }
 
 int FarviewCluster::AddRejoinHook(RejoinHook hook) {
@@ -87,9 +96,12 @@ void FarviewCluster::RemoveRejoinHook(int id) { rejoin_hooks_.erase(id); }
 void FarviewCluster::OnDownChange(int r, bool down) {
   Replica& replica = replicas_[static_cast<size_t>(r)];
   // Whatever recovery was in flight is void either way: a crash kills it, a
-  // restart starts a fresh one.
+  // restart starts a fresh one. Epochs whose bytes were still streaming go
+  // back to `missed` — they never landed, so the next pass must re-copy
+  // them or the replica would rejoin holding pre-crash bytes.
   ++replica.rejoin_gen;
   replica.resync->Abort();
+  ReclaimResyncing(replica);
   replica.pending_hooks = 0;
   replica.parked = false;
   if (down) {
@@ -161,18 +173,22 @@ void FarviewCluster::RunRejoinPass(int r) {
     replica.parked = true;
     return;
   }
+  FV_CHECK(replica.resyncing.empty())
+      << "rejoin pass started with a resync stream outstanding";
   std::vector<uint64_t> missed;
   missed.swap(replica.missed);
   // Replay missed control entries in log order; collect missed write
   // ranges (deduplicated — a table rewritten ten times is copied once,
-  // with the survivor's *current* bytes).
+  // with the survivor's *current* bytes). Control replays land on the MMU
+  // immediately and are marked applied here; write epochs stay attached to
+  // the replica (`resyncing`) until the stream confirms their bytes landed,
+  // so an abort mid-stream re-queues them instead of losing them.
   std::vector<ResyncScheduler::Range> ranges;
   std::set<std::tuple<int, uint64_t, uint64_t>> seen;
   for (const uint64_t epoch : missed) {
     const LogEntry& entry = log_[static_cast<size_t>(epoch - 1)];
-    replica.applied_epoch = std::max(replica.applied_epoch, epoch);
-    if (entry.aborted) continue;
-    if (entry.kind == LogEntry::Kind::kWrite) {
+    if (!entry.aborted && entry.kind == LogEntry::Kind::kWrite) {
+      replica.resyncing.push_back(epoch);
       const auto key =
           std::make_tuple(entry.client_id, entry.vaddr, entry.bytes);
       if (seen.insert(key).second) {
@@ -180,6 +196,8 @@ void FarviewCluster::RunRejoinPass(int r) {
       }
       continue;
     }
+    replica.applied_epoch = std::max(replica.applied_epoch, epoch);
+    if (entry.aborted) continue;
     const Status replayed = ReplayControlEntry(replica.node.get(), entry);
     FV_CHECK(replayed.ok())
         << "replication log replay diverged: " << replayed.ToString();
@@ -196,6 +214,10 @@ void FarviewCluster::RunRejoinPass(int r) {
         if (gen != rep.rejoin_gen) return;
         FV_CHECK(streamed.ok())
             << "resync stream failed: " << streamed.ToString();
+        for (const uint64_t epoch : rep.resyncing) {
+          rep.applied_epoch = std::max(rep.applied_epoch, epoch);
+        }
+        rep.resyncing.clear();
         // Entries may have been missed while the stream ran; loop until a
         // pass ends with nothing new missed.
         RunRejoinPass(r);
@@ -310,6 +332,10 @@ Status ClusterClient::OpenConnection() {
   if (!clients_.empty()) {
     return Status::FailedPrecondition("connection already open");
   }
+  // Build into a local vector and commit only on full success: a partial
+  // clients_ would make connected() true while data-path methods index it
+  // by replica id past its end.
+  std::vector<std::unique_ptr<FarviewClient>> clients;
   for (int r = 0; r < cluster_->num_replicas(); ++r) {
     auto client =
         std::make_unique<FarviewClient>(&cluster_->node(r), client_id_);
@@ -318,8 +344,9 @@ Status ClusterClient::OpenConnection() {
         [breaker = breakers_[static_cast<size_t>(r)].get()]() {
           return !breaker->BlocksAttempts();
         });
-    clients_.push_back(std::move(client));
+    clients.push_back(std::move(client));
   }
+  clients_ = std::move(clients);
   return Status::OK();
 }
 
@@ -340,13 +367,22 @@ Status ClusterClient::AllocTableMem(FTable* table) {
       continue;
     }
     FTable replica_table = *table;
-    FV_RETURN_IF_ERROR(
-        clients_[static_cast<size_t>(r)]->AllocTableMem(&replica_table));
+    const Status allocated =
+        clients_[static_cast<size_t>(r)]->AllocTableMem(&replica_table);
+    if (!allocated.ok()) {
+      // Control ops are synchronous and deterministic, so the failure is
+      // not replica health: abort the epoch before reporting it, or a
+      // replica that missed it would replay a doomed alloc (vaddr still 0)
+      // on rejoin and crash recovery.
+      cluster_->AbortEntry(epoch);
+      return allocated;
+    }
     if (!have_vaddr) {
       vaddr = replica_table.vaddr;
       have_vaddr = true;
       cluster_->SetEntryVaddr(epoch, vaddr);
     } else if (replica_table.vaddr != vaddr) {
+      cluster_->AbortEntry(epoch);
       return Status::Internal("replica allocators diverged");
     }
     cluster_->MarkApplied(r, epoch);
@@ -373,8 +409,14 @@ Status ClusterClient::FreeTableMem(FTable* table) {
       continue;
     }
     FTable replica_table = *table;
-    FV_RETURN_IF_ERROR(
-        clients_[static_cast<size_t>(r)]->FreeTableMem(&replica_table));
+    const Status freed =
+        clients_[static_cast<size_t>(r)]->FreeTableMem(&replica_table);
+    if (!freed.ok()) {
+      // See AllocTableMem: a request error (e.g. freeing foreign memory)
+      // must not leave a live entry that recovery would replay and fail on.
+      cluster_->AbortEntry(epoch);
+      return freed;
+    }
     cluster_->MarkApplied(r, epoch);
     applied_any = true;
   }
@@ -399,9 +441,14 @@ Result<TableEntry> ClusterClient::ShareTable(const FTable& table) {
       cluster_->MarkMissed(r, epoch);
       continue;
     }
-    FV_ASSIGN_OR_RETURN(TableEntry replica_entry,
-                        clients_[static_cast<size_t>(r)]->ShareTable(table));
-    if (!shared.has_value()) shared = std::move(replica_entry);
+    Result<TableEntry> replica_entry =
+        clients_[static_cast<size_t>(r)]->ShareTable(table);
+    if (!replica_entry.ok()) {
+      // See AllocTableMem: abort so recovery skips the failed epoch.
+      cluster_->AbortEntry(epoch);
+      return replica_entry.status();
+    }
+    if (!shared.has_value()) shared = std::move(replica_entry.value());
     cluster_->MarkApplied(r, epoch);
   }
   if (!shared.has_value()) {
@@ -479,11 +526,23 @@ void ClusterClient::TryPrimaryWrite(std::shared_ptr<MirroredWrite> mw) {
       mw->rows->data(), mw->rows->size_bytes(),
       [this, mw, primary](Result<SimTime> res) {
         if (!res.ok()) {
+          const Status& s = res.status();
+          if (!s.IsUnavailable() && !s.IsDeadlineExceeded()) {
+            // Not a health signal (e.g. an MMU error on a stale vaddr):
+            // the same request would fail on every replica, so fencing
+            // the primary — and then each candidate in turn — would empty
+            // the rotation over one bad write. No bytes landed anywhere;
+            // abort the epoch and report the error to the caller.
+            cluster_->AbortEntry(mw->epoch);
+            auto cb = std::move(mw->done);
+            cb(res.status());
+            return;
+          }
           // The primary died under the write: record the failover and try
           // the next candidate as primary.
           cluster_->MarkMissed(primary, mw->epoch);
           cluster_->node(primary).stats().RecordFailover();
-          if (mw->error.ok()) mw->error = res.status();
+          if (mw->error.ok()) mw->error = s;
           ++mw->primary_pos;
           TryPrimaryWrite(mw);
           return;
@@ -512,6 +571,9 @@ void ClusterClient::TryPrimaryWrite(std::shared_ptr<MirroredWrite> mw) {
                     } else {
                       // Missed mirror: the secondary converges via resync;
                       // the cluster write still committed on the primary.
+                      // No error classification here — whatever the cause,
+                      // the primary holds bytes the secondary lacks, and
+                      // resync from the primary is the repair either way.
                       cluster_->MarkMissed(secondary, mw->epoch);
                     }
                     if (--mw->pending_mirrors == 0) {
@@ -585,6 +647,12 @@ void ClusterClient::OnRejoin(int replica, std::function<void()> done) {
   }
   Result<Pipeline> pipeline = pipeline_factory_();
   if (!pipeline.ok()) {
+    // The replica still rejoins (its bytes are in sync) but keeps a stale
+    // loaded_version_, so PickReplica fences it from operator traffic
+    // until a later LoadPipeline succeeds. Reads are unaffected.
+    FV_LOG(kWarning) << "pipeline factory failed during rejoin of replica "
+                     << replica << ": " << pipeline.status().ToString()
+                     << "; replica serves reads only";
     done();
     return;
   }
@@ -594,17 +662,31 @@ void ClusterClient::OnRejoin(int replica, std::function<void()> done) {
       [alive = alive_, this, replica, version, done](Status loaded) {
         if (*alive && loaded.ok() && version == pipeline_version_) {
           loaded_version_[static_cast<size_t>(replica)] = version;
+        } else if (*alive && !loaded.ok()) {
+          // Same degraded mode as a factory failure: rejoin for reads,
+          // fenced from operator routing while the pipeline is stale.
+          FV_LOG(kWarning) << "pipeline reload failed during rejoin of "
+                           << "replica " << replica << ": "
+                           << loaded.ToString()
+                           << "; replica serves reads only";
         }
         done();
       });
 }
 
-int ClusterClient::PickReplica(uint64_t tried_mask) {
+int ClusterClient::PickReplica(uint64_t tried_mask, Verb verb) {
   const int n = cluster_->num_replicas();
   for (int i = 0; i < n; ++i) {
     const int r = (rr_cursor_ + i) % n;
     if ((tried_mask >> r) & 1u) continue;
     if (!cluster_->InSync(r)) continue;  // epoch fencing
+    if (verb == Verb::kFarview && pipeline_factory_ != nullptr &&
+        loaded_version_[static_cast<size_t>(r)] != pipeline_version_) {
+      // Rejoined without the current pipeline (reload failed or is still
+      // in flight): operator calls would fail non-retryably, so route
+      // them elsewhere; the replica still serves reads.
+      continue;
+    }
     if (!breakers_[static_cast<size_t>(r)]->AllowRequest()) continue;
     rr_cursor_ = (r + 1) % n;
     return r;
@@ -613,7 +695,7 @@ int ClusterClient::PickReplica(uint64_t tried_mask) {
 }
 
 void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
-  const int r = PickReplica(call->tried_mask);
+  const int r = PickReplica(call->tried_mask, call->verb);
   if (r < 0) {
     // Fast-fail: every replica is fenced, tripped, or already tried.
     // Counted on replica 0's stats (the cluster-level sink).

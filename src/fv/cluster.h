@@ -158,6 +158,11 @@ class FarviewCluster {
     uint64_t applied_epoch = 0;
     /// Epochs missed while out of rotation, in append order.
     std::vector<uint64_t> missed;
+    /// Write epochs consumed from `missed` whose bytes are still in flight
+    /// on the resync stream. They move to applied only when the stream
+    /// completes; an aborted stream re-merges them into `missed` so a
+    /// repeated crash can never rejoin holding pre-crash bytes.
+    std::vector<uint64_t> resyncing;
     /// Invalidation token for in-flight recovery steps: bumped on every
     /// crash/restart so stale resync/hook completions are dropped.
     uint64_t rejoin_gen = 0;
@@ -184,6 +189,10 @@ class FarviewCluster {
 
   /// Re-applies one missed control entry on the recovering replica's MMU.
   Status ReplayControlEntry(FarviewNode* node, const LogEntry& entry);
+
+  /// Re-merges epochs whose resync stream was aborted back into `missed`
+  /// (they are older than anything missed since, so they go in front).
+  void ReclaimResyncing(Replica& replica);
 
   /// Lowest-index in-sync replica other than `r`, or -1.
   int PickResyncSource(int r) const;
@@ -284,7 +293,9 @@ class ClusterClient {
   struct MirroredWrite;
 
   /// Next eligible replica (in-sync, breaker admits, not yet tried), or -1.
-  int PickReplica(uint64_t tried_mask);
+  /// Operator calls additionally require the replica's loaded pipeline to be
+  /// current — a replica whose rejoin reload failed serves reads only.
+  int PickReplica(uint64_t tried_mask, Verb verb);
   /// Routes (or re-routes after failover) one call.
   void IssueRouted(std::shared_ptr<RoutedCall> call);
   /// Issues the primary write of `mw`, advancing past dead primaries.

@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "fv/cluster.h"
+#include "operators/pipeline.h"
 #include "table/generator.h"
 
 namespace farview {
@@ -404,6 +405,211 @@ TEST(ClusterTest, SingleReplicaPoolRecoversWithoutSource) {
   ASSERT_TRUE(read.ok());
   const ByteBuffer expect(rows.data(), rows.data() + rows.size_bytes());
   EXPECT_EQ(read.value().data, expect);
+}
+
+TEST(ClusterTest, FailedControlOpDuringOutageDoesNotPoisonRecovery) {
+  // Regression: a control op that fails at request level (bad free, doomed
+  // alloc) while a replica is out of rotation must abort its log epoch.
+  // A live entry would be replayed on rejoin, fail again, and crash
+  // recovery through the replay-divergence check.
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+  client.TableWriteAsync(ft, rows, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+
+  engine.ScheduleAt(1500 * kMicrosecond, [&]() {
+    // Free of memory that was never allocated: fails on the survivor.
+    FTable bogus = ft;
+    bogus.vaddr = ft.vaddr + 1 * kGiB;
+    const Status freed = client.FreeTableMem(&bogus);
+    EXPECT_FALSE(freed.ok());
+    // Alloc doomed by client-side validation (nameless table): the entry
+    // is appended before the first replica rejects it.
+    FTable anon;
+    anon.schema = rows.schema();
+    anon.num_rows = rows.num_rows();
+    EXPECT_FALSE(client.AllocTableMem(&anon).ok());
+  });
+  engine.Run();
+
+  // Rejoin must skip both failed epochs instead of FV_CHECK-aborting.
+  EXPECT_TRUE(cluster.InSync(0)) << "recovery never completed";
+  EXPECT_EQ(cluster.applied_epoch(0), cluster.epoch());
+  Result<FvResult> read = client.TableRead(ft);
+  ASSERT_TRUE(read.ok());
+  const ByteBuffer expect(rows.data(), rows.data() + rows.size_bytes());
+  EXPECT_EQ(read.value().data, expect);
+}
+
+TEST(ClusterTest, RequestErrorWriteDoesNotFenceReplicas) {
+  // Regression: a mirrored write failing for a non-health reason (freed
+  // vaddr -> MMU NotFound) must surface the error to the caller without
+  // fencing the primary — and then, identically, every other candidate —
+  // out of rotation.
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, TestConfig(3));
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+  ASSERT_TRUE(client.TableWrite(ft, rows).ok());
+  FTable stale = ft;  // keeps the vaddr the free below unmaps
+  ASSERT_TRUE(client.FreeTableMem(&ft).ok());
+
+  Result<SimTime> wrote = client.TableWrite(stale, rows);
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_FALSE(wrote.status().IsUnavailable());
+  EXPECT_FALSE(wrote.status().IsDeadlineExceeded());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(cluster.InSync(r)) << "replica " << r << " was fenced";
+    const NodeStats::ReliabilityStats& rel =
+        cluster.node(r).stats().reliability();
+    EXPECT_EQ(rel.failovers, 0u) << "replica " << r;
+    EXPECT_EQ(rel.resyncs, 0u) << "replica " << r;
+  }
+  // The pool still takes writes and serves reads afterwards.
+  FTable again = AllocOnly(client, rows);
+  ASSERT_TRUE(client.TableWrite(again, rows).ok());
+  EXPECT_TRUE(client.TableRead(again).ok());
+}
+
+TEST(ClusterTest, RepeatedCrashMidResyncStillConverges) {
+  // Regression: epochs consumed by an in-flight resync stream must return
+  // to the missed list when the stream is aborted by a second crash —
+  // otherwise the replica rejoins as in-sync while holding pre-crash
+  // bytes, violating epoch fencing.
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 1 * kMillisecond;
+  cc.node.faults.node_restart_at = 2 * kMillisecond;
+  // 256 KiB at 1 Gbps is ~2 ms of resync: the 3 ms crash below lands
+  // squarely inside the stream.
+  cc.replication.resync_rate_bytes_per_sec = GbpsToBytesPerSec(1.0);
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table v1 = MakeRows(256 * kKiB, 7);
+  const Table v2 = MakeRows(256 * kKiB, 8);
+  FTable ft = AllocOnly(client, v1);
+
+  client.TableWriteAsync(ft, v1, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  engine.ScheduleAt(1200 * kMicrosecond, [&]() {
+    client.TableWriteAsync(ft, v2, [](Result<SimTime> w) {
+      EXPECT_TRUE(w.ok());
+    });
+  });
+  // Second outage, injected directly (the config schedule is one-shot),
+  // while the first recovery's stream is still copying v2.
+  engine.ScheduleAt(3 * kMillisecond, [&]() {
+    EXPECT_FALSE(cluster.InSync(0)) << "resync finished before the crash";
+    cluster.node(0).CrashNow();
+  });
+  engine.ScheduleAt(3500 * kMicrosecond, [&]() {
+    cluster.node(0).RestartNow();
+  });
+  engine.Run();
+
+  EXPECT_TRUE(cluster.InSync(0)) << "replica 0 never recovered twice";
+  const ByteBuffer expect(v2.data(), v2.data() + v2.size_bytes());
+  EXPECT_EQ(ReplicaBytes(cluster, 0, 1, ft), expect)
+      << "rejoined holding pre-crash bytes";
+  const NodeStats::ReliabilityStats& rel =
+      cluster.node(0).stats().reliability();
+  // Only the second, completed recovery counts as a resync; the aborted
+  // stream still copied chunks, so total bytes exceed one table copy.
+  EXPECT_GE(rel.resyncs, 1u);
+  EXPECT_GT(rel.resync_bytes, v2.size_bytes());
+}
+
+TEST(ClusterTest, FailedConnectionLeavesClientDisconnected) {
+  // Regression: OpenConnection failing on a later replica must not leave
+  // clients_ partially populated — connected() would report true and the
+  // router would index past the vector's end.
+  ClusterConfig cc = TestConfig(2);
+  cc.faulted_replica = 1;
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 500 * kMicrosecond;  // stays down
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  engine.ScheduleAt(1 * kMillisecond, []() {});
+  engine.Run();  // drive past the crash so replica 1 refuses connections
+
+  ClusterClient client(&cluster, 1);
+  EXPECT_FALSE(client.OpenConnection().ok());
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ClusterTest, RejoinWithFailedPipelineReloadServesReadsOnly) {
+  // Regression: a replica whose rejoin pipeline reload fails re-enters
+  // rotation for reads (its bytes are in sync) but must be fenced from
+  // operator routing — it would run a stale pipeline.
+  // Loads reconfigure for region_reconfig_time (5 ms), so the fault
+  // schedule sits past the initial load and the mid-outage one starts
+  // after the first completes.
+  ClusterConfig cc = TestConfig(2);
+  cc.node.faults.enabled = true;
+  cc.node.faults.node_crash_at = 12 * kMillisecond;
+  cc.node.faults.node_restart_at = 14 * kMillisecond;
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(128 * kKiB);
+  FTable ft = AllocOnly(client, rows);
+  bool fail_factory = false;
+  PipelineFactory factory = [&fail_factory, &ft]() -> Result<Pipeline> {
+    if (fail_factory) return Status::Internal("factory offline");
+    return PipelineBuilder(ft.schema).Build();
+  };
+
+  client.TableWriteAsync(ft, rows, [](Result<SimTime> w) {
+    EXPECT_TRUE(w.ok());
+  });
+  client.LoadPipelineAsync(factory, [](Status s) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  engine.ScheduleAt(13 * kMillisecond, [&]() {
+    // Version bump replica 0 misses. The factory builds the survivor's
+    // copy synchronously inside the call, so it can be failed right after
+    // — replica 0's rejoin reload at 14 ms then has nothing to load.
+    client.LoadPipelineAsync(factory, [](Status s) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    });
+    fail_factory = true;
+  });
+  engine.Run();
+
+  EXPECT_TRUE(cluster.InSync(0)) << "replica 0 never rejoined";
+  const uint64_t routed_before =
+      cluster.node(0).stats().reliability().cluster_requests;
+  for (int i = 0; i < 4; ++i) {
+    Result<FvResult> res = client.FarviewRequest(client.ScanRequest(ft));
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+  }
+  // Every operator call went to the survivor with the current pipeline.
+  EXPECT_EQ(cluster.node(0).stats().reliability().cluster_requests,
+            routed_before)
+      << "operator call routed to a replica with a stale pipeline";
+  // Reads still use the rejoined replica: issue enough that round-robin
+  // must touch it.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(client.TableRead(ft).ok());
+  }
+  EXPECT_GT(cluster.node(0).stats().reliability().cluster_requests,
+            routed_before)
+      << "rejoined replica serves no reads";
 }
 
 }  // namespace
