@@ -1,6 +1,8 @@
 #ifndef FARVIEW_COMMON_BYTES_H_
 #define FARVIEW_COMMON_BYTES_H_
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -23,20 +25,50 @@ namespace farview {
 /// handful of recurring sizes (request streams, table images, read
 /// results), so an exact-size free list converts them to warm-page reuse.
 ///
+/// Blocks below the exact-size threshold recycle through power-of-two size
+/// classes instead: per-burst operator scratch (StreamParser batches,
+/// hash-join emit buffers, group-by key scratch) allocates thousands of
+/// small, similarly-sized ByteBuffers per simulated stream, and even with
+/// malloc's fast bins that is the dominant allocs/event term on fig12
+/// (DESIGN.md §8a). A class free list turns the steady state into pure
+/// pointer pops with zero allocator traffic.
+///
 /// Single-threaded by design, like the rest of the simulator. Pool state
 /// never feeds back into simulated behavior — only wall-clock speed.
 class ByteBlockPool {
  public:
-  /// Blocks below this size go straight to operator new: malloc already
-  /// recycles sub-threshold chunks well, and small vectors are too numerous
-  /// to key by exact size.
+  /// At or above this size blocks are keyed by exact byte count; below it
+  /// they round up to a power-of-two size class. Large payloads recur in a
+  /// handful of exact sizes (so exact keys maximize reuse without waste);
+  /// small scratch comes in many sizes (so classes are needed to hit).
   static constexpr std::size_t kMinPooledBytes = 256 * 1024;
+
+  /// Smallest size class. Requests below it still round up to one class-0
+  /// block; the waste is bounded and tiny vectors are rare on the hot path.
+  static constexpr std::size_t kMinClassBytes = 256;
+
+  /// Classes cover [256 B, 256 KiB] in powers of two; class `c` holds
+  /// blocks of physical size `kMinClassBytes << c`.
+  static constexpr int kNumClasses = 11;
 
   /// Bound on bytes parked in free lists; past it, frees release for real.
   static constexpr std::size_t kMaxHeldBytes = 256ull << 20;
 
+  /// Size class serving a request of `n` bytes (n < kMinPooledBytes).
+  static constexpr int ClassOf(std::size_t n) {
+    return n <= kMinClassBytes ? 0 : std::bit_width(n - 1) - 8;
+  }
+
+  /// Physical byte size of blocks in class `c`.
+  static constexpr std::size_t ClassBytes(int c) {
+    return kMinClassBytes << c;
+  }
+
   ~ByteBlockPool() {
     for (auto& [size, blocks] : free_) {
+      for (void* p : blocks) ::operator delete(p);
+    }
+    for (auto& blocks : class_free_) {
       for (void* p : blocks) ::operator delete(p);
     }
   }
@@ -50,20 +82,48 @@ class ByteBlockPool {
         held_ -= n;
         return p;
       }
+      return ::operator new(n);
     }
-    return ::operator new(n);
+    const int c = ClassOf(n);
+    auto& blocks = class_free_[static_cast<std::size_t>(c)];
+    if (!blocks.empty()) {
+      void* p = blocks.back();
+      blocks.pop_back();
+      held_ -= ClassBytes(c);
+      return p;
+    }
+    // Allocate the full class size so the block can serve any same-class
+    // request on recycle; Deallocate recomputes the class from `n`.
+    return ::operator new(ClassBytes(c));
   }
 
   void Deallocate(void* p, std::size_t n) {
-    if (n >= kMinPooledBytes && held_ + n <= kMaxHeldBytes) {
+    if (n >= kMinPooledBytes) {
+      if (held_ + n <= kMaxHeldBytes) {
 #ifdef FV_POOL_POISON
-      // Parked blocks are handed back verbatim by Allocate; poisoning makes
-      // a use-after-free of recycled payload read 0xFB instead of the
-      // previous request's bytes (see kPoolPoisonByte in common/pool.h).
-      std::memset(p, 0xFB, n);
+        // Parked blocks are handed back verbatim by Allocate; poisoning
+        // makes a use-after-free of recycled payload read 0xFB instead of
+        // the previous request's bytes (see kPoolPoisonByte in
+        // common/pool.h).
+        std::memset(p, 0xFB, n);
 #endif
-      free_[n].push_back(p);
-      held_ += n;
+        free_[n].push_back(p);
+        held_ += n;
+        return;
+      }
+      ::operator delete(p);
+      return;
+    }
+    const int c = ClassOf(n);
+    if (held_ + ClassBytes(c) <= kMaxHeldBytes) {
+#ifdef FV_POOL_POISON
+      // Poison the full physical class size, not just the requested `n`:
+      // a later Allocate from this class may expose up to ClassBytes(c)
+      // bytes, and the tail beyond `n` must read as poison too.
+      std::memset(p, 0xFB, ClassBytes(c));
+#endif
+      class_free_[static_cast<std::size_t>(c)].push_back(p);
+      held_ += ClassBytes(c);
       return;
     }
     ::operator delete(p);
@@ -76,12 +136,14 @@ class ByteBlockPool {
 
  private:
   std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::array<std::vector<void*>, kNumClasses> class_free_;
   std::size_t held_ = 0;
 };
 
 /// Allocator behind ByteBuffer: exact-size recycling through ByteBlockPool
-/// for large blocks, plain operator new below the threshold. Stateless, so
-/// all instances compare equal and container moves steal storage.
+/// for large blocks, power-of-two size-class recycling below the threshold.
+/// Stateless, so all instances compare equal and container moves steal
+/// storage.
 class PooledByteAllocator {
  public:
   using value_type = uint8_t;
@@ -120,6 +182,40 @@ class PooledByteAllocator {
   }
   friend bool operator!=(const PooledByteAllocator&,
                          const PooledByteAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Typed face of the pooled allocator: routes objects of any `T` through
+/// ByteBlockPool's power-of-two size classes. Pair with
+/// `std::allocate_shared` for per-request control blocks (e.g.
+/// ClusterClient's mirrored-write state), so steady-state request traffic
+/// recycles through the pool instead of hitting the global allocator
+/// (DESIGN.md §8a).
+template <typename T>
+class PooledAllocator {
+ public:
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "ByteBlockPool blocks are only new-aligned");
+  using value_type = T;
+
+  PooledAllocator() noexcept = default;
+  template <typename U>
+  PooledAllocator(const PooledAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(ByteBlockPool::Global().Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ByteBlockPool::Global().Deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const PooledAllocator&,
+                         const PooledAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const PooledAllocator&,
+                         const PooledAllocator&) noexcept {
     return false;
   }
 };

@@ -104,6 +104,16 @@ class RingQueue {
     ++size_;
   }
 
+  /// Prepends `v`, so it becomes the next `front()`. Used by the burst-run
+  /// unwind in sim/server.cc to put unserved items back ahead of later
+  /// arrivals; same amortized growth as push_back.
+  void push_front(T v) {
+    if (size_ == slots_.size()) Grow();
+    head_ = (head_ + slots_.size() - 1) & (slots_.size() - 1);
+    slots_[head_] = std::move(v);
+    ++size_;
+  }
+
   T& front() { return slots_[head_]; }
   const T& front() const { return slots_[head_]; }
 

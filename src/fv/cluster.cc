@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/logging.h"
 
 namespace farview {
@@ -480,7 +481,10 @@ void ClusterClient::TableWriteAsync(
     done(Status::InvalidArgument("row count does not match table"));
     return;
   }
-  auto mw = std::make_shared<MirroredWrite>();
+  // Per-write control blocks recycle through the byte-block pool's size
+  // classes (DESIGN.md Â§8a) so a write-heavy steady state stays off the
+  // global allocator.
+  auto mw = std::allocate_shared<MirroredWrite>(PooledAllocator<MirroredWrite>());
   mw->vaddr = table.vaddr;
   mw->rows = &rows;
   mw->done = std::move(done);
@@ -747,7 +751,7 @@ Result<FvResult> ClusterClient::TableRead(const FTable& table) {
 void ClusterClient::TableReadAsync(
     const FTable& table, std::function<void(Result<FvResult>)> done) {
   FV_CHECK(!clients_.empty()) << "not connected";
-  auto call = std::make_shared<RoutedCall>();
+  auto call = std::allocate_shared<RoutedCall>(PooledAllocator<RoutedCall>());
   call->verb = Verb::kRead;
   call->table = table;
   call->done = std::move(done);
@@ -766,7 +770,7 @@ Result<FvResult> ClusterClient::FarviewRequest(const FvRequest& request) {
 void ClusterClient::FarviewRequestAsync(
     const FvRequest& request, std::function<void(Result<FvResult>)> done) {
   FV_CHECK(!clients_.empty()) << "not connected";
-  auto call = std::make_shared<RoutedCall>();
+  auto call = std::allocate_shared<RoutedCall>(PooledAllocator<RoutedCall>());
   call->verb = Verb::kFarview;
   call->request = request;
   call->done = std::move(done);

@@ -67,7 +67,9 @@ struct DynamicRegion::ExecState {
   std::unique_ptr<sim::Server> pipe;
 
   NetworkStack::StreamHandle tx;
-  std::unique_ptr<StreamParser> parser;
+  /// Borrowed from DynamicRegion::parser_ (rebound per request); never
+  /// outlives the region.
+  StreamParser* parser = nullptr;
 
   uint64_t mem_bursts_total = 0;
   uint64_t mem_bursts_done = 0;
@@ -184,7 +186,8 @@ void DynamicRegion::Execute(RequestContextPtr ctx,
 
   EnterBusy(ctx);
   pipeline_->Reset();
-  st->parser = std::make_unique<StreamParser>(&pipeline_->input_schema());
+  parser_.Rebind(&pipeline_->input_schema());
+  st->parser = &parser_;
   st->pipe = std::make_unique<sim::Server>(
       engine_, "region" + std::to_string(region_id_) + "_pipe",
       config_.PipeRate(request.vectorized));

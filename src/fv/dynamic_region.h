@@ -14,6 +14,7 @@
 #include "mem/memory_controller.h"
 #include "mem/mmu.h"
 #include "net/network_stack.h"
+#include "operators/batch.h"
 #include "operators/pipeline.h"
 #include "sim/engine.h"
 #include "sim/server.h"
@@ -126,7 +127,12 @@ class DynamicRegion {
   /// reusing the previous request's buffer makes the same-size resize free
   /// (Execute overwrites every byte through the MMU before reading any).
   ByteBuffer stream_pool_;
-  std::unique_ptr<sim::Server> datapath_;
+  /// Long-lived stream parser, rebound to the loaded pipeline's input schema
+  /// at the start of each request (a region serves one request at a time, so
+  /// reuse is race-free). Like `stream_pool_`, reuse keeps its partial-tuple
+  /// buffer capacity warm instead of heap-allocating a parser per request
+  /// (DESIGN.md §8a).
+  StreamParser parser_{nullptr};
   bool busy_ = false;
   bool reconfiguring_ = false;
   bool faulted_ = false;

@@ -24,9 +24,17 @@ NetworkStack::NetworkStack(sim::Engine* engine, const NetConfig& config)
   FV_CHECK(engine_ != nullptr);
   FV_CHECK(config_.packet_bytes > 0);
   FV_CHECK(config_.credit_window_packets > 0);
+  // Burst-coalescing budget for the link (sim/server.h): every follow-up a
+  // link completion schedules sits at least this far past its logical exit
+  // time, which is exactly the safety condition for serving back-to-back
+  // same-flow packets as one engine event.
+  SimTime budget = std::min(config_.fv_delivery_latency, config_.ack_latency);
+  if (config_.faults.enabled) {
+    budget = std::min(budget, config_.faults.retransmit_timeout);
+  }
   link_ = std::make_unique<sim::Server>(engine_, "fv_link",
                                         config_.link_rate_bytes_per_sec,
-                                        config_.fv_per_packet_overhead);
+                                        config_.fv_per_packet_overhead, budget);
   if (config_.faults.enabled) {
     fault_plan_ = std::make_unique<FaultPlan>(config_.faults);
   }
@@ -66,6 +74,7 @@ NetworkStack::StreamHandle NetworkStack::OpenStream(int qp_id,
                                                     OnDelivered on_delivered) {
   TxStream* s = stream_pool_.Acquire(this, qp_id, std::move(on_delivered));
   s->registry_index_ = live_streams_.size();
+  // fvcheck:allow=hot-path-alloc bounded by pool high-water
   live_streams_.push_back(s);
   return StreamHandle(s);
 }
@@ -156,16 +165,20 @@ void NetworkStack::TxStream::Transmit(uint64_t seq, uint64_t payload,
   // propagate to the client; the ack returns a credit later.
   EventScheduled();
   stack_->link_->Submit(qp_id_, payload,
-                        [this, seq, payload, last, retransmission](SimTime) {
-                          OnLinkExit(seq, payload, last, retransmission);
+                        [this, seq, payload, last, retransmission](SimTime t) {
+                          OnLinkExit(t, seq, payload, last, retransmission);
                           EventDone();
                         });
 }
 
-void NetworkStack::TxStream::OnLinkExit(uint64_t seq, uint64_t payload,
-                                        bool last, bool retransmission) {
+void NetworkStack::TxStream::OnLinkExit(SimTime t, uint64_t seq,
+                                        uint64_t payload, bool last,
+                                        bool retransmission) {
+  // NOTE: with link burst coalescing this callback may run after `t` in
+  // wall order; everything below derives from `t` and schedules at
+  // absolute offsets >= the link's burst budget (see the class comment).
   sim::Engine* eng = stack_->engine_;
-  last_link_exit_ = eng->Now();
+  last_link_exit_ = t;
 
   // Fate is drawn once, at the first transmission; recovery copies
   // always arrive (one timeout bounds each fault's recovery).
@@ -183,23 +196,42 @@ void NetworkStack::TxStream::OnLinkExit(uint64_t seq, uint64_t payload,
     // heavy loss also throttles the window — retry amplification is
     // visible on the wire, not hidden by free retransmissions.
     EventScheduled();
-    eng->ScheduleAfter(stack_->config_.faults.retransmit_timeout,
-                       [this, seq, payload, last]() {
-                         ++stack_->fault_counters_.retransmits;
-                         Transmit(seq, payload, last, /*retransmission=*/true);
-                         EventDone();
-                       });
+    eng->ScheduleAt(t + stack_->config_.faults.retransmit_timeout,
+                    [this, seq, payload, last]() {
+                      ++stack_->fault_counters_.retransmits;
+                      Transmit(seq, payload, last, /*retransmission=*/true);
+                      EventDone();
+                    });
     return;
   }
 
+  if (!last && seq == next_deliver_seq_ && parked_arrivals_ == 0) {
+    // In-order non-final packet: arrivals fire in link-exit order with a
+    // fixed latency, so the delivery event's only effect is invoking the
+    // callback at `t + delivery`. Run it synchronously with that logical
+    // time and account the elided event (delivery callbacks are pure
+    // accumulators until `last`; see OnDelivered). This holds with faults
+    // too: the cursor reaching `seq` means every earlier packet has been
+    // delivered, and no later packet can have exited the link before this
+    // one (first transmissions are FIFO and a retransmission exits after
+    // its first copy), so no arrival event can land before this packet's
+    // logical arrival and observe the early cursor advance.
+    ++next_deliver_seq_;
+    if (on_delivered_) {
+      on_delivered_(payload, false, t + stack_->config_.fv_delivery_latency);
+    }
+    eng->AccountCoalesced(1);
+  } else {
+    EventScheduled();
+    eng->ScheduleAt(t + stack_->config_.fv_delivery_latency,
+                    [this, seq, payload, last]() {
+                      OnArrival(seq, payload, last);
+                      EventDone();
+                    });
+  }
+
   EventScheduled();
-  eng->ScheduleAfter(stack_->config_.fv_delivery_latency,
-                     [this, seq, payload, last]() {
-                       OnArrival(seq, payload, last);
-                       EventDone();
-                     });
-  EventScheduled();
-  eng->ScheduleAfter(stack_->config_.ack_latency, [this]() {
+  eng->ScheduleAt(t + stack_->config_.ack_latency, [this]() {
     --in_flight_packets_;
     TrySend();
     EventDone();
@@ -222,25 +254,78 @@ void NetworkStack::TxStream::OnArrival(uint64_t seq, uint64_t payload,
   FlushArrivals(stack_->engine_->Now());
 }
 
+namespace {
+
+#ifdef FV_POOL_POISON
+/// Word-sized pool poison (kPoolPoisonByte replicated): vacated reorder
+/// slots read loud garbage, matching the recycling discipline of
+/// common/pool.h for the SoA arrays.
+constexpr uint64_t kReorderPoison = 0x0101010101010101ull * kPoolPoisonByte;
+#endif
+
+inline void SetBit(std::vector<uint64_t>& bits, size_t idx) {
+  bits[idx >> 6] |= uint64_t{1} << (idx & 63);
+}
+
+inline void ClearBit(std::vector<uint64_t>& bits, size_t idx) {
+  bits[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+}
+
+inline bool TestBit(const std::vector<uint64_t>& bits, size_t idx) {
+  return (bits[idx >> 6] >> (idx & 63)) & 1u;
+}
+
+}  // namespace
+
+void NetworkStack::TxStream::ReorderResize(size_t cap) {
+  std::vector<uint64_t> old_seq = std::move(reorder_seq_);
+  std::vector<uint64_t> old_payload = std::move(reorder_payload_);
+  std::vector<uint64_t> old_present = std::move(reorder_present_);
+  std::vector<uint64_t> old_last = std::move(reorder_last_);
+  const size_t old_cap = reorder_cap_;
+
+  reorder_cap_ = cap;
+  // Fault-path only (first gap / growth), so these allocations are rare
+  // and bounded by the largest in-flight sequence span.
+  reorder_seq_.assign(cap, 0);      // fvcheck:allow=hot-path-alloc
+  reorder_payload_.assign(cap, 0);  // fvcheck:allow=hot-path-alloc
+  reorder_present_.assign((cap + 63) / 64, 0);
+  reorder_last_.assign((cap + 63) / 64, 0);
+#ifdef FV_POOL_POISON
+  for (size_t i = 0; i < cap; ++i) {
+    reorder_seq_[i] = kReorderPoison;
+    reorder_payload_[i] = kReorderPoison;
+  }
+#endif
+
+  for (size_t i = 0; i < old_cap; ++i) {
+    if (!TestBit(old_present, i)) continue;
+    const size_t idx = old_seq[i] & (cap - 1);
+    reorder_seq_[idx] = old_seq[i];
+    reorder_payload_[idx] = old_payload[i];
+    SetBit(reorder_present_, idx);
+    if (TestBit(old_last, i)) SetBit(reorder_last_, idx);
+  }
+}
+
 void NetworkStack::TxStream::ParkArrival(uint64_t seq, uint64_t payload,
                                          bool last) {
-  if (reorder_.empty()) reorder_.resize(64);
+  if (reorder_cap_ == 0) ReorderResize(64);
   // Grow until the slot for `seq` is free: live sequence numbers span
   // [next_deliver_seq_, next_seq_), which exceeds the credit window only
   // when retransmit timeouts stretch the in-flight span.
   while (true) {
-    Arrival& slot = reorder_[seq & (reorder_.size() - 1)];
-    if (!slot.present) {
-      slot = Arrival{seq, payload, last, /*present=*/true};
+    const size_t idx = seq & (reorder_cap_ - 1);
+    if (!ReorderPresent(idx)) {
+      reorder_seq_[idx] = seq;
+      reorder_payload_[idx] = payload;
+      SetBit(reorder_present_, idx);
+      if (last) SetBit(reorder_last_, idx);
       ++parked_arrivals_;
       return;
     }
-    FV_CHECK(slot.seq != seq) << "duplicate packet " << seq;
-    std::vector<Arrival> grown(reorder_.size() * 2);
-    for (const Arrival& a : reorder_) {
-      if (a.present) grown[a.seq & (grown.size() - 1)] = a;
-    }
-    reorder_ = std::move(grown);
+    FV_CHECK(reorder_seq_[idx] != seq) << "duplicate packet " << seq;
+    ReorderResize(reorder_cap_ * 2);
   }
 }
 
@@ -248,11 +333,16 @@ void NetworkStack::TxStream::FlushArrivals(SimTime t) {
   // In-order release: a missing sequence number holds back everything
   // behind it until its retransmission arrives.
   while (parked_arrivals_ > 0) {
-    Arrival& slot = reorder_[next_deliver_seq_ & (reorder_.size() - 1)];
-    if (!slot.present || slot.seq != next_deliver_seq_) return;
-    const uint64_t payload = slot.payload;
-    const bool last = slot.last;
-    slot.present = false;
+    const size_t idx = next_deliver_seq_ & (reorder_cap_ - 1);
+    if (!ReorderPresent(idx) || reorder_seq_[idx] != next_deliver_seq_) return;
+    const uint64_t payload = reorder_payload_[idx];
+    const bool last = TestBit(reorder_last_, idx);
+    ClearBit(reorder_present_, idx);
+    ClearBit(reorder_last_, idx);
+#ifdef FV_POOL_POISON
+    reorder_seq_[idx] = kReorderPoison;
+    reorder_payload_[idx] = kReorderPoison;
+#endif
     --parked_arrivals_;
     ++next_deliver_seq_;
     if (on_delivered_) {

@@ -42,6 +42,16 @@ namespace farview {
 /// few scalars inside the engine's inline event storage, instead of the
 /// per-packet `shared_ptr` copies and `std::function` heap allocations the
 /// first implementation paid three times per packet.
+///
+/// Event coalescing (DESIGN.md §8a): the egress link opts in to
+/// `sim::Server` burst runs (budget = the smallest follow-up latency any
+/// link completion schedules), and on the fault-free path the per-packet
+/// delivery event is elided entirely — arrivals are guaranteed in-order, so
+/// each non-final packet's delivery callback runs synchronously from link
+/// exit with its exact logical arrival time. `Engine::AccountCoalesced`
+/// keeps the executed-event count identical to the uncoalesced stack. With
+/// faults enabled, deliveries stay real events (loss reorders release
+/// order) and only link-serialization bursts coalesce.
 class NetworkStack {
  public:
   /// Injected-fault event counts (all zero when faults are disabled).
@@ -97,14 +107,6 @@ class NetworkStack {
     SimTime last_link_exit() const { return last_link_exit_; }
 
    private:
-    /// A packet parked in the receiver reorder buffer.
-    struct Arrival {
-      uint64_t seq = 0;
-      uint64_t payload = 0;
-      bool last = false;
-      bool present = false;
-    };
-
     void TrySend();
 
     /// Puts packet `seq` on the wire (deferring while a flap has the link
@@ -114,9 +116,12 @@ class NetworkStack {
     void Transmit(uint64_t seq, uint64_t payload, bool last,
                   bool retransmission);
 
-    /// Link serialization finished for packet `seq`: draw its fate and
-    /// schedule delivery/ack (or the retransmit timer).
-    void OnLinkExit(uint64_t seq, uint64_t payload, bool last,
+    /// Link serialization finished for packet `seq` at simulated instant
+    /// `t`: draw its fate and schedule delivery/ack (or the retransmit
+    /// timer). `t` comes from the link server's completion callback — with
+    /// burst coalescing this may run after `t` in wall order, so all times
+    /// derive from `t`, never `Engine::Now()` (the sim::Server contract).
+    void OnLinkExit(SimTime t, uint64_t seq, uint64_t payload, bool last,
                     bool retransmission);
 
     /// Packet `seq` landed at the receiver.
@@ -155,12 +160,27 @@ class NetworkStack {
     uint64_t next_seq_ = 0;
     /// Receiver cursor: first sequence number not yet released in order.
     uint64_t next_deliver_seq_ = 0;
-    /// Receiver reorder ring, indexed by `seq & (capacity - 1)`. Empty on
-    /// the fault-free path (in-order arrivals deliver directly); allocated
-    /// on the first gap and grown when retransmit latency stretches the
-    /// sequence span past its capacity.
-    std::vector<Arrival> reorder_;
+
+    /// Receiver reorder ring, indexed by `seq & (reorder_cap_ - 1)`, in
+    /// SoA layout: parallel seq/payload arrays plus present/last occupancy
+    /// bitmaps (one bit per slot, same packing as sim/event_queue.h), so
+    /// the in-order release scan touches two cache lines instead of one
+    /// 24-byte record per probe. Empty on the fault-free path (in-order
+    /// arrivals deliver directly); allocated on the first gap and grown
+    /// when retransmit latency stretches the sequence span past capacity.
+    std::vector<uint64_t> reorder_seq_;
+    std::vector<uint64_t> reorder_payload_;
+    std::vector<uint64_t> reorder_present_;  ///< bitmap, reorder_cap_ bits
+    std::vector<uint64_t> reorder_last_;     ///< bitmap, reorder_cap_ bits
+    size_t reorder_cap_ = 0;
     int parked_arrivals_ = 0;
+
+    /// (Re)allocates the reorder ring at `cap` slots (a power of two),
+    /// re-placing present entries on growth.
+    void ReorderResize(size_t cap);
+    bool ReorderPresent(size_t idx) const {
+      return (reorder_present_[idx >> 6] >> (idx & 63)) & 1u;
+    }
 
     /// Lifetime: handles (external owners) + callbacks in flight. The
     /// stream returns to the pool when both reach zero after the last

@@ -55,6 +55,15 @@ class StreamParser {
   /// Discards buffered state (between queries).
   void Reset() { partial_.clear(); }
 
+  /// Retargets the parser at a new row layout and discards buffered state.
+  /// Lets one long-lived parser (and its warm `partial_` capacity) serve
+  /// successive queries with different schemas instead of constructing a
+  /// fresh parser per request (DESIGN.md §8a pool-ownership discipline).
+  void Rebind(const Schema* schema) {
+    schema_ = schema;
+    partial_.clear();
+  }
+
  private:
   const Schema* schema_;
   ByteBuffer partial_;

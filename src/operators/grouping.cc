@@ -49,6 +49,7 @@ Result<std::vector<Column>> AggOutputColumns(
     name += "_" + std::to_string(i);
     const DataType out_type =
         a.kind == AggKind::kAvg ? DataType::kDouble : DataType::kInt64;
+    // fvcheck:allow=hot-path-alloc setup (Create)
     cols.push_back(Column{std::move(name), out_type, 8});
   }
   return cols;
@@ -167,6 +168,7 @@ DistinctOp::DistinctOp(const Schema& input, std::vector<int> key_columns,
                                          config_.slots_per_way, key_width_,
                                          /*payload_width=*/0);
   lru_ = std::make_unique<LruShiftRegister>(config_.lru_depth, key_width_);
+  // fvcheck:allow=hot-path-alloc pooled ByteBuffer scratch
   key_scratch_.resize(key_width_);
 }
 
@@ -233,6 +235,7 @@ GroupByOp::GroupByOp(const Schema& input, std::vector<int> key_columns,
       config_.cuckoo_ways, config_.slots_per_way, key_width_,
       static_cast<uint32_t>(aggs_.size()) * internal::kAggStateBytes);
   lru_ = std::make_unique<LruShiftRegister>(config_.lru_depth, key_width_);
+  // fvcheck:allow=hot-path-alloc pooled ByteBuffer scratch
   key_scratch_.resize(key_width_);
 }
 
@@ -265,6 +268,7 @@ Result<Batch> GroupByOp::Flush() {
   Batch out = Batch::Empty(&output_schema_);
   const uint64_t groups = num_groups();
   const uint32_t out_width = output_schema_.tuple_width();
+  // fvcheck:allow=hot-path-alloc pooled ByteBuffer
   out.data.resize(groups * out_width);
   for (uint64_t g = 0; g < groups; ++g) {
     const uint8_t* key = group_queue_.data() + g * key_width_;
@@ -320,6 +324,7 @@ Result<Batch> AggregateOp::Flush() {
   Batch out = Batch::Empty(&output_schema_);
   if (!flushed_) {
     flushed_ = true;
+    // fvcheck:allow=hot-path-alloc pooled ByteBuffer
     out.data.resize(output_schema_.tuple_width());
     internal::AggFinalize(aggs_, state_.data(), out.data.data());
     out.num_rows = 1;

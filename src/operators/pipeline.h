@@ -51,6 +51,7 @@ class Pipeline {
   std::string Describe() const;
 
   /// Appends an already-constructed operator (used by PipelineBuilder).
+  // fvcheck:allow=hot-path-alloc setup (pipeline build)
   void Append(OperatorPtr op) { ops_.push_back(std::move(op)); }
 
  private:

@@ -62,6 +62,7 @@ class PredicateList {
   explicit PredicateList(std::vector<Predicate> preds)
       : preds_(std::move(preds)) {}
 
+  // fvcheck:allow=hot-path-alloc setup (builder)
   void Add(Predicate p) { preds_.push_back(p); }
 
   bool Eval(const TupleView& row) const {

@@ -68,6 +68,18 @@ class Engine {
   /// Number of events executed so far (for tests and efficiency checks).
   uint64_t executed_events() const { return executed_; }
 
+  /// Adjusts the executed-event count by `delta` without running anything.
+  /// Burst-coalescing components (sim/server.h burst runs, the net stack's
+  /// inline in-order delivery) collapse k timing-equivalent events into one
+  /// engine event, or elide an event entirely; they account the logical
+  /// events here so `executed_events()` stays equal to the uncoalesced
+  /// simulation's count. The perf harness and bench_report.sh pin that
+  /// count, which is what makes the coalescing refactor auditable
+  /// (DESIGN.md §8a).
+  void AccountCoalesced(int64_t delta) {
+    executed_ = static_cast<uint64_t>(static_cast<int64_t>(executed_) + delta);
+  }
+
   /// Number of events currently pending.
   size_t pending_events() const { return queue_.size(); }
 

@@ -59,6 +59,7 @@ void EventQueue::PushToBucket(SimTime t, uint64_t seq, EventFn&& fn) {
   } else {
     // Construct the event in place: the 88-byte Event is never moved
     // through intermediate frames on the append fast path.
+    // fvcheck:allow=hot-path-alloc bucket recycles capacity
     b.events.emplace_back(t, seq, std::move(fn));
   }
   ++window_count_;
@@ -70,6 +71,7 @@ void EventQueue::PushToOverflow(SimTime t, uint64_t seq, EventFn&& fn) {
     overflow_min_time_ = t;
     overflow_min_seq_ = seq;
   }
+  // fvcheck:allow=hot-path-alloc overflow recycles capacity
   overflow_.emplace_back(t, seq, std::move(fn));
 }
 
@@ -91,7 +93,7 @@ void EventQueue::MigrateOverflowIntoWindow() {
     if (kept != i) overflow_[kept] = std::move(ev);
     ++kept;
   }
-  overflow_.resize(kept);
+  overflow_.resize(kept);  // fvcheck:allow=hot-path-alloc shrinking compaction
   overflow_min_time_ = min_t;
   overflow_min_seq_ = min_s;
 }

@@ -7,25 +7,40 @@
 namespace farview::sim {
 
 Server::Server(Engine* engine, std::string name, double rate_bytes_per_sec,
-               SimTime fixed_overhead)
+               SimTime fixed_overhead, SimTime burst_budget)
     : engine_(engine),
       name_(std::move(name)),
       rate_(rate_bytes_per_sec),
-      fixed_overhead_(fixed_overhead) {
+      fixed_overhead_(fixed_overhead),
+      burst_budget_(burst_budget) {
   FV_CHECK(engine != nullptr);
   FV_CHECK(rate_ > 0.0) << "server " << name_ << " needs a positive rate";
   FV_CHECK(fixed_overhead_ >= 0);
+  FV_CHECK(burst_budget_ >= 0);
+}
+
+SimTime Server::ServiceTime(const Item& item) const {
+  return fixed_overhead_ + item.extra_overhead +
+         TransferTime(item.bytes, rate_);
 }
 
 void Server::Submit(int flow_id, uint64_t bytes, SimTime extra_overhead,
                     DoneFn done) {
   FV_CHECK(flow_id >= 0) << "server " << name_ << ": negative flow id "
                          << flow_id;
+  // A submit from a different flow would round-robin interleave with the
+  // items of an active run; unwind the run first so interleaving follows
+  // the exact per-item schedule. Same-flow submits are benign: they queue
+  // behind the run and are served after it, as they would be uncoalesced.
+  if (in_run_ && flow_id != run_flow_) SettleRun();
   if (static_cast<size_t>(flow_id) >= flows_.size()) {
+    // fvcheck:allow=hot-path-alloc first use of a new flow id
     flows_.resize(static_cast<size_t>(flow_id) + 1);
   }
   FlowState& f = flows_[static_cast<size_t>(flow_id)];
+  // fvcheck:allow=hot-path-alloc ring recycles capacity
   if (f.items.empty()) rotation_.push_back(flow_id);
+  // fvcheck:allow=hot-path-alloc ring recycles capacity
   f.items.push_back(Item{bytes, extra_overhead, std::move(done)});
   ++pending_items_;
   MaybeStartNext();
@@ -40,10 +55,19 @@ void Server::MaybeStartNext() {
   FlowState& f = flows_[static_cast<size_t>(flow)];
   FV_CHECK(!f.items.empty());
   Item item = f.items.pop_front();
+
+  // Coalescing opportunity: nothing else is waiting and this flow has more
+  // queued work, so the next items are guaranteed to start back-to-back —
+  // serve them as one run (timing-equivalent; see the class comment).
+  if (burst_budget_ > 0 && rotation_.empty() && !f.items.empty()) {
+    StartRun(flow, std::move(item));
+    return;
+  }
+
+  // fvcheck:allow=hot-path-alloc ring recycles capacity
   if (!f.items.empty()) rotation_.push_back(flow);
 
-  const SimTime service = fixed_overhead_ + item.extra_overhead +
-                          TransferTime(item.bytes, rate_);
+  const SimTime service = ServiceTime(item);
   busy_ = true;
   busy_time_ += service;
   bytes_served_ += item.bytes;
@@ -63,6 +87,121 @@ void Server::OnServiceComplete() {
   // a callback submitting new work observes a consistent queue.
   MaybeStartNext();
   if (done) done(engine_->Now());
+}
+
+void Server::StartRun(int flow, Item first) {
+  run_items_.clear();
+  run_ends_.clear();
+  run_flow_ = flow;
+  FlowState& f = flows_[static_cast<size_t>(flow)];
+  const SimTime start = engine_->Now();
+  SimTime end = start;
+
+  // Admit the first item unconditionally (it is already dequeued — the
+  // uncoalesced server serves it regardless of budget), then extend while
+  // the run's total span stays within the budget.
+  Item item = std::move(first);
+  while (true) {
+    const SimTime service = ServiceTime(item);
+    end += service;
+    busy_time_ += service;
+    bytes_served_ += item.bytes;
+    ++items_served_;
+    run_ends_.push_back(end);  // fvcheck:allow=hot-path-alloc capacity reused
+    run_items_.push_back(std::move(item));  // fvcheck:allow=hot-path-alloc
+    if (f.items.empty()) break;
+    if (end + ServiceTime(f.items.front()) - start > burst_budget_) break;
+    item = f.items.pop_front();
+  }
+
+  // Budget exhausted with items left: the flow stays in the rotation, just
+  // as the uncoalesced server re-queues a flow that still has work.
+  // fvcheck:allow=hot-path-alloc ring recycles capacity
+  if (!f.items.empty()) rotation_.push_back(flow);
+
+  busy_ = true;
+  in_run_ = true;
+  const uint64_t gen = ++run_gen_;
+  engine_->ScheduleAt(end, [this, gen]() { OnRunComplete(gen); });
+}
+
+void Server::OnRunComplete(uint64_t gen) {
+  if (gen != run_gen_) {
+    // The run this event belonged to was settled; its logical completions
+    // were accounted then, so this pop is not a logical event.
+    engine_->AccountCoalesced(-1);
+    return;
+  }
+  in_run_ = false;
+  const size_t k = run_items_.size();
+  // This one event stands for k per-item completion events.
+  engine_->AccountCoalesced(static_cast<int64_t>(k) - 1);
+
+  // Items before the last completed earlier in simulated time; their
+  // callbacks fire late (now) but with exact logical completion times.
+  for (size_t i = 0; i + 1 < k; ++i) {
+    --pending_items_;
+    DoneFn done = std::move(run_items_[i].done);
+    if (done) done(run_ends_[i]);
+  }
+
+  // The last item follows the single-item completion protocol: free the
+  // server and start queued work before its callback runs.
+  DoneFn done = std::move(run_items_[k - 1].done);
+  const SimTime last_end = run_ends_[k - 1];
+  busy_ = false;
+  --pending_items_;
+  run_items_.clear();
+  run_ends_.clear();
+  MaybeStartNext();
+  if (done) done(last_end);
+}
+
+void Server::SettleRun() {
+  FV_CHECK(in_run_);
+  in_run_ = false;
+  ++run_gen_;  // void the pending run-completion event
+  const SimTime now = engine_->Now();
+  const size_t k = run_items_.size();
+
+  // Items whose logical completion is strictly past deliver late, exactly
+  // as OnRunComplete would have. The run event sits at run_ends_[k-1] >=
+  // now (the engine drains in time order), so at least the last item has
+  // not completed and `m < k` below cannot fall off the end.
+  size_t m = 0;
+  while (run_ends_[m] < now) {
+    FV_CHECK(m + 1 < k);
+    engine_->AccountCoalesced(1);
+    --pending_items_;
+    DoneFn done = std::move(run_items_[m].done);
+    if (done) done(run_ends_[m]);
+    ++m;
+  }
+
+  // Item m is the one in service at `now`; restore the per-item protocol
+  // for it. Its completion event pops for real, so no accounting here.
+  in_service_done_ = std::move(run_items_[m].done);
+  engine_->ScheduleAt(run_ends_[m], [this]() { OnServiceComplete(); });
+
+  // Items after m never started: refund their stats and put them back at
+  // the head of the flow queue, ahead of any items submitted mid-run.
+  FlowState& f = flows_[static_cast<size_t>(run_flow_)];
+  const bool flow_was_queued = !f.items.empty();
+  for (size_t i = k; i-- > m + 1;) {
+    Item& item = run_items_[i];
+    busy_time_ -= ServiceTime(item);
+    bytes_served_ -= item.bytes;
+    --items_served_;
+    f.items.push_front(std::move(item));
+  }
+  // Invariant: during a run the flow is in the rotation iff its queue is
+  // non-empty (StartRun pushes it on leftover items; a same-flow Submit on
+  // an empty queue pushes it too). Restore that after the push-backs.
+  // fvcheck:allow=hot-path-alloc ring recycles capacity
+  if (!flow_was_queued && !f.items.empty()) rotation_.push_back(run_flow_);
+
+  run_items_.clear();
+  run_ends_.clear();
 }
 
 double Server::Utilization() const {

@@ -30,6 +30,17 @@ namespace farview::sim {
 /// by flow id and each queue is a capacity-recycling ring — a steady-state
 /// Submit never allocates. The in-service completion callback is parked in a
 /// member so the engine event captures only `this`.
+///
+/// Burst coalescing (DESIGN.md §8a): with a nonzero `burst_budget`, a
+/// back-to-back sequence of same-flow items that no other flow contends with
+/// is served as ONE engine event scheduled at the last item's completion;
+/// the per-item callbacks fire from that event with their exact logical
+/// completion times, and `Engine::AccountCoalesced` keeps the executed-event
+/// count equal to the uncoalesced simulation. Coalescing is
+/// timing-equivalent only under the contract on the `burst_budget`
+/// parameter below; a submit from a different flow mid-run unwinds the run
+/// back to per-item service (SettleRun), so round-robin interleaving is
+/// bit-identical to the budget-0 server.
 class Server {
  public:
   /// Completion callback; invoked with the service completion time.
@@ -37,8 +48,19 @@ class Server {
 
   /// `rate_bytes_per_sec` is the drain rate; `fixed_overhead` is charged per
   /// served item (e.g. a DRAM row activation or a packet header time).
+  ///
+  /// `burst_budget` > 0 opts in to burst coalescing: consecutive same-flow
+  /// items spanning at most `burst_budget` of service time (measured from
+  /// the first item's start) complete in one engine event. Contract — every
+  /// completion callback must (a) derive all times from the SimTime it is
+  /// passed, never `Engine::Now()`, and (b) schedule follow-up events at
+  /// offsets >= `burst_budget` past that time (or perform only synchronous
+  /// state updates), because a coalesced callback runs up to `burst_budget`
+  /// after its logical completion instant and the engine rejects scheduling
+  /// in the past. Callbacks that Submit back into this server synchronously
+  /// remain correct but should not opt in: they defeat the coalescing.
   Server(Engine* engine, std::string name, double rate_bytes_per_sec,
-         SimTime fixed_overhead = 0);
+         SimTime fixed_overhead = 0, SimTime burst_budget = 0);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -83,6 +105,19 @@ class Server {
     DoneFn done;
   };
 
+  /// Service time of one item at this server's rate.
+  SimTime ServiceTime(const Item& item) const;
+  /// Consumes `first` plus as many queued same-flow items as fit in
+  /// `burst_budget_` and schedules one completion event for the whole run.
+  void StartRun(int flow, Item first);
+  /// Completion event of a coalesced run; `gen` detects settled/stale runs.
+  void OnRunComplete(uint64_t gen);
+  /// Unwinds an active run to per-item service: items already past their
+  /// logical completion fire late (with exact logical times), the item
+  /// covering `Now()` becomes a normal in-service item, unserved items go
+  /// back to the head of their flow queue with stats refunded.
+  void SettleRun();
+
   /// Per-flow FIFO. Slots persist across idle periods (dense flow ids), so
   /// a flow's ring capacity is paid for once at its high-water mark.
   struct FlowState {
@@ -93,6 +128,7 @@ class Server {
   std::string name_;
   double rate_;
   SimTime fixed_overhead_;
+  SimTime burst_budget_;
 
   /// Indexed by flow id; grown on first use of a new id.
   std::vector<FlowState> flows_;
@@ -105,6 +141,16 @@ class Server {
   DoneFn in_service_done_;
   bool busy_ = false;
   size_t pending_items_ = 0;
+
+  /// Active coalesced run (burst_budget_ > 0 only). The parallel arrays are
+  /// cleared, never shrunk, so steady-state runs reuse their capacity.
+  bool in_run_ = false;
+  int run_flow_ = -1;
+  /// Voids stale run-completion events after a SettleRun: the event carries
+  /// the generation it was scheduled under and no-ops on mismatch.
+  uint64_t run_gen_ = 0;
+  std::vector<Item> run_items_;
+  std::vector<SimTime> run_ends_;
 
   uint64_t bytes_served_ = 0;
   uint64_t items_served_ = 0;

@@ -11,6 +11,7 @@ namespace farview::sim {
 /// this accumulator for the same reduction.
 class SampleStats {
  public:
+  // fvcheck:allow=hot-path-alloc report-time sink
   void Add(double v) { samples_.push_back(v); }
 
   size_t count() const { return samples_.size(); }

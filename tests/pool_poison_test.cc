@@ -83,13 +83,46 @@ TEST(PoolPoisonTest, ParkedByteBlockReadsAsPoison) {
   pool.Deallocate(again, n);
 }
 
-TEST(PoolPoisonTest, SubThresholdBlocksBypassPoisoning) {
-  // Below kMinPooledBytes the block goes straight back to operator delete —
-  // nothing to poison, and touching freed memory would be a real bug.
+TEST(PoolPoisonTest, ParkedClassBlockPoisonedToFullClassSize) {
+  // Below kMinPooledBytes blocks recycle through power-of-two size classes
+  // (ISSUE 6: operator scratch, SoA queue arrays). Poison-on-park must
+  // cover the full physical class size, not just the requested byte count:
+  // a later Allocate from the same class may expose the tail beyond `n`.
   ByteBlockPool pool;
-  void* p = pool.Allocate(64);
+  const std::size_t n = 300;  // class 1 (512 B physical), 212 B of tail
+  const std::size_t phys = ByteBlockPool::ClassBytes(ByteBlockPool::ClassOf(n));
+  ASSERT_EQ(phys, 512u);
+  auto* block = static_cast<unsigned char*>(pool.Allocate(n));
+  std::memset(block, 0x5A, n);
+  pool.Deallocate(block, n);  // parked in the class free list, poisoned
+  // A same-class request of a different size must recycle the block and see
+  // poison across the whole physical block, tail included.
+  auto* again = static_cast<unsigned char*>(pool.Allocate(phys));
+  ASSERT_EQ(again, block) << "class free list should recycle LIFO";
+  volatile unsigned char* raw = again;
+  for (std::size_t i = 0; i < phys; ++i) {
+    ASSERT_EQ(raw[i], kPoolPoisonByte) << "offset " << i;
+  }
+  pool.Deallocate(again, phys);
+}
+
+TEST(PoolPoisonTest, TinyBlocksRoundUpToClassZeroAndPoison) {
+  // Even a tiny request occupies (and on park, poisons) a whole class-0
+  // block, so no recycled storage below the exact-size threshold escapes
+  // the poisoning contract.
+  ByteBlockPool pool;
+  auto* p = static_cast<unsigned char*>(pool.Allocate(64));
   ASSERT_NE(p, nullptr);
-  pool.Deallocate(p, 64);  // must not crash or poison freed memory
+  std::memset(p, 0x5A, 64);
+  pool.Deallocate(p, 64);
+  auto* again = static_cast<unsigned char*>(
+      pool.Allocate(ByteBlockPool::kMinClassBytes));
+  ASSERT_EQ(again, p) << "64 B rounds up to the 256 B class-0 free list";
+  volatile unsigned char* raw = again;
+  for (std::size_t i = 0; i < ByteBlockPool::kMinClassBytes; ++i) {
+    ASSERT_EQ(raw[i], kPoolPoisonByte) << "offset " << i;
+  }
+  pool.Deallocate(again, ByteBlockPool::kMinClassBytes);
 }
 
 }  // namespace

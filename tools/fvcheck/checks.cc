@@ -16,6 +16,7 @@ const char kRuleUncheckedStatus[] = "unchecked-status";
 const char kRuleSimtimeMixing[] = "simtime-mixing";
 const char kRulePoolEscape[] = "pool-escape";
 const char kRuleDocCoverage[] = "doc-coverage";
+const char kRuleHotPathAlloc[] = "hot-path-alloc";
 
 std::vector<std::string> Options::DefaultWallClockAllowlist() {
   return {
@@ -585,6 +586,65 @@ void CheckDocCoverage(const CheckContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Directories whose code runs per simulated event/packet/batch: the
+/// allocation discipline of DESIGN.md §8a applies in full.
+bool IsHotPathDir(const std::string& path) {
+  return StartsWith(path, "src/sim/") || StartsWith(path, "src/net/") ||
+         StartsWith(path, "src/operators/");
+}
+
+void CheckHotPathAlloc(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleHotPathAlloc)) return;
+  if (!IsHotPathDir(*ctx.path)) return;
+  const auto& toks = ctx.lex->tokens;
+
+  int paren = 0;  // depth of '(' nesting; 0 = outside any parameter list
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Kind::kPunct) {
+      if (t.text == "(") ++paren;
+      else if (t.text == ")" && paren > 0) --paren;
+      continue;
+    }
+    if (t.kind != Kind::kIdent) continue;
+
+    // `std::function` outside a parameter list is a member, alias, or local
+    // — a heap allocation per over-64-B capture on every assignment.
+    // Parameter uses (paren depth > 0) are accepted: the caller chose the
+    // type, and a by-value parameter is a single sink, not per-event churn.
+    if (t.text == "function" && paren == 0 && i >= 2 &&
+        toks[i - 1].kind == Kind::kPunct && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == Kind::kIdent && toks[i - 2].text == "std") {
+      ctx.Report(t.line, kRuleHotPathAlloc,
+                 "std::function stored on the hot path allocates per "
+                 "capture; use InlineFn (64 B inline storage) or park the "
+                 "callback in a member (DESIGN.md §8a)");
+      continue;
+    }
+
+    // Container growth via member call: steady-state code must recycle
+    // capacity (ByteBuffer / RingQueue / cleared-not-shrunk vectors), so a
+    // bare push_back/emplace_back/resize is either a deliberate setup or
+    // warm-growth site (suppress it with a named justification) or a bug.
+    if ((t.text == "push_back" || t.text == "emplace_back" ||
+         t.text == "resize") &&
+        i > 0 && toks[i - 1].kind == Kind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        i + 1 < toks.size() && toks[i + 1].kind == Kind::kPunct &&
+        toks[i + 1].text == "(") {
+      ctx.Report(t.line, kRuleHotPathAlloc,
+                 "'" + t.text + "' grows a container on the hot path; "
+                 "recycle capacity through a pooled buffer, or mark a "
+                 "deliberate setup/warm-growth site with "
+                 "// fvcheck:allow=hot-path-alloc (DESIGN.md §8a)");
+    }
+  }
+}
+
 bool Suppressed(const LexedFile& lex, const Diagnostic& d) {
   for (int l = d.line; l >= d.line - 1; --l) {
     auto it = lex.allows.find(l);
@@ -631,6 +691,7 @@ std::vector<Diagnostic> Analyze(const std::vector<FileInput>& files,
     CheckSimtimeMixing(ctx);
     CheckPoolEscape(ctx);
     CheckDocCoverage(ctx);
+    CheckHotPathAlloc(ctx);
 
     for (Diagnostic& d : file_diags) {
       if (opts.honor_suppressions && Suppressed(lexed[idx], d)) continue;

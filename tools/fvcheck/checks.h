@@ -13,12 +13,15 @@ namespace fvcheck {
 ///  - "simtime-mixing":   SimTime arithmetic with std::chrono or raw literals
 ///  - "pool-escape":      pooled pointers stored beyond the event lifetime
 ///  - "doc-coverage":     undocumented namespace-scope items in headers
+///  - "hot-path-alloc":   std::function members and unpooled container
+///                        growth under src/sim, src/net, src/operators
 /// Kept as plain strings so suppression comments can name them verbatim.
 extern const char kRuleBannedApi[];
 extern const char kRuleUncheckedStatus[];
 extern const char kRuleSimtimeMixing[];
 extern const char kRulePoolEscape[];
 extern const char kRuleDocCoverage[];
+extern const char kRuleHotPathAlloc[];
 
 /// One finding. `file` is the repo-relative path the caller supplied.
 struct Diagnostic {

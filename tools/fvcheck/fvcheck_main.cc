@@ -3,7 +3,9 @@
 // Enforces the invariants the simulator's correctness argument rests on
 // (DESIGN.md §11): determinism (no wall clocks / ambient randomness),
 // Status/Result error discipline, SimTime unit hygiene, pooled-lifetime
-// annotations, and doc coverage on public headers.
+// annotations, doc coverage on public headers, and the hot-path memory
+// discipline (no std::function storage / unpooled container growth under
+// src/sim, src/net, src/operators — DESIGN.md §8a).
 //
 // Usage:
 //   fvcheck [--root <repo_root>] [--rule <name>]... [paths...]

@@ -166,6 +166,34 @@ TEST(DocCoverageTest, OnlyAppliesToSrcAndToolsHeaders) {
           .empty());
 }
 
+TEST(HotPathAllocTest, PositiveFixtureCatchesEveryClass) {
+  auto diags =
+      AnalyzeFixture("hot_path_alloc_bad.cc", "src/sim/hot_path_alloc.cc");
+  // 2 std::function (member + class-scope alias) + 3 growth calls.
+  EXPECT_EQ(CountRule(diags, kRuleHotPathAlloc), 5) << [&] {
+    std::string all;
+    for (const auto& d : diags) all += d.message + "\n";
+    return all;
+  }();
+}
+
+TEST(HotPathAllocTest, NegativeFixtureStaysClean) {
+  auto diags =
+      AnalyzeFixture("hot_path_alloc_ok.cc", "src/net/hot_path_alloc.cc");
+  EXPECT_EQ(CountRule(diags, kRuleHotPathAlloc), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(HotPathAllocTest, OnlyAppliesToHotPathDirs) {
+  // The same violations outside src/sim, src/net, src/operators are fine:
+  // cold-path code (fv control plane, tests, tools) may use std::function
+  // and growing vectors freely.
+  auto diags =
+      AnalyzeFixture("hot_path_alloc_bad.cc", "src/fv/hot_path_alloc.cc");
+  EXPECT_EQ(CountRule(diags, kRuleHotPathAlloc), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
 TEST(SuppressionTest, AllowDirectiveSilencesNamedRuleOnly) {
   auto diags = AnalyzeFixture("suppressed_ok.cc", "src/suppressed.cc");
   EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].message);

@@ -1,0 +1,23 @@
+// Fixture: every hot-path-alloc class fires when the file pretends to live
+// under src/sim (src/net and src/operators are equivalent by path prefix).
+#include <functional>
+#include <vector>
+
+struct EventLoop {
+  // 1: std::function member — allocates per over-64-B capture.
+  std::function<void()> on_tick;
+  // 2: alias at class scope is the same trap with extra steps.
+  using Callback = std::function<void(int)>;
+
+  std::vector<int> queue_;
+  std::vector<int> scratch_;
+
+  void Dispatch(int v) {
+    queue_.push_back(v);      // 3: member-call growth
+    scratch_.resize(64);      // 4: resize growth
+  }
+};
+
+void Drive(EventLoop* loop, std::vector<int>* out) {
+  out->emplace_back(1);  // 5: arrow-call growth
+}

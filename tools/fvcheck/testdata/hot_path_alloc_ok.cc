@@ -1,0 +1,29 @@
+// Fixture: look-alikes that must stay clean under hot-path-alloc, plus a
+// named suppression for a deliberate setup-time site.
+#include <functional>
+#include <vector>
+
+// Parameter-position std::function is the caller's choice, not per-event
+// storage churn: accepted.
+void Register(std::function<void()> cb);
+struct Sink {
+  void Install(int id, std::function<void(int)> handler);
+};
+
+struct Builder {
+  std::vector<int> stages_;
+
+  void Append(int stage) {
+    // fvcheck:allow=hot-path-alloc setup (pipeline build)
+    stages_.push_back(stage);
+  }
+
+  // A free function named like a growth member is not a member call.
+  void Work() {
+    resize(4);
+    push_back(7);
+  }
+
+  void resize(int);
+  void push_back(int);
+};
