@@ -34,7 +34,9 @@
 #include "benchlib/experiment.h"
 #include "common/alloc_counter.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "fv/cluster.h"
+#include "fv/sharding.h"
 #include "table/generator.h"
 
 namespace farview {
@@ -227,6 +229,61 @@ Measurement RunExtFailover() {
   });
 }
 
+/// ext_shardout-style sharded pool: four shards serving 16 closed-loop
+/// readers over hash-homed key-tables — the scatter/gather routing layer's
+/// event mix on top of four independent node stacks (DESIGN.md §13).
+Measurement RunExtShardout() {
+  constexpr uint64_t kBytes = 256 * kKiB;
+  constexpr int kTables = 8;
+  constexpr int kReaders = 16;
+  constexpr SimTime kHorizon = 3 * kMillisecond;
+  ShardedConfig sc;
+  sc.num_shards = 4;
+  sc.cluster.node.dram.channel_capacity = 128 * kMiB;
+  sc.cluster.node.submission_queue_depth = 64;
+
+  sim::Engine engine;
+  ShardedPool pool(&engine, sc);
+  ShardedClient client(&pool, /*client_id=*/1);
+  FV_CHECK(client.OpenConnection().ok());
+  TableGenerator gen(kBytes);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), kBytes / 64, 100);
+  FV_CHECK(t.ok()) << t.status().message();
+  std::vector<FTable> fts(kTables);
+  for (int k = 0; k < kTables; ++k) {
+    fts[static_cast<size_t>(k)].name = "t" + std::to_string(k);
+    fts[static_cast<size_t>(k)].schema = t.value().schema();
+    fts[static_cast<size_t>(k)].num_rows = t.value().num_rows();
+    FV_CHECK(client
+                 .AllocTableMem(&fts[static_cast<size_t>(k)],
+                                /*home_shard=*/k % sc.num_shards)
+                 .ok());
+    FV_CHECK(client.TableWrite(fts[static_cast<size_t>(k)], t.value()).ok());
+  }
+
+  return Measure("ext_shardout", engine, [&] {
+    Rng rng(42);
+    const SimTime end = engine.Now() + kHorizon;
+    int completed = 0;
+    std::function<void()> issue = [&] {
+      client.TableReadAsync(
+          fts[static_cast<size_t>(rng.NextBelow(kTables))],
+          [&](Result<FvResult> r) {
+            if (engine.Now() >= end) return;
+            if (r.ok()) {
+              ++completed;
+              issue();
+            } else {
+              engine.ScheduleAfter(50 * kMicrosecond, issue);
+            }
+          });
+    };
+    for (int c = 0; c < kReaders; ++c) issue();
+    engine.Run();
+    FV_CHECK(completed > 0);
+  });
+}
+
 std::string JsonReport(const std::vector<Measurement>& ms) {
   std::string out = "{\n  \"schema\": \"fv-perf-simcore-v1\",\n";
   out += "  \"alloc_hook\": ";
@@ -290,6 +347,7 @@ void Run() {
   }
   if (Selected("ext_faults")) ms.push_back(BestOf(reps, RunExtFaults));
   if (Selected("ext_failover")) ms.push_back(BestOf(reps, RunExtFailover));
+  if (Selected("ext_shardout")) ms.push_back(BestOf(reps, RunExtShardout));
 
   std::printf("Simulator core performance (wall clock; machine-dependent)\n");
   std::printf("%-20s %12s %10s %12s %10s %12s\n", "workload", "events",

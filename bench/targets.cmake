@@ -30,6 +30,7 @@ fv_add_bench(ext_optimizer fv_optimizer)
 fv_add_bench(ext_compression fv_compress)
 fv_add_bench(ext_faults)
 fv_add_bench(ext_failover)
+fv_add_bench(ext_shardout)
 
 # Wall-clock simulator-core harness (DESIGN.md §8). Links the counting
 # allocator hook so it can report allocs/event; like micro_primitives it is

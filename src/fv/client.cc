@@ -247,12 +247,9 @@ void FarviewClient::HandleAttemptFailure(std::shared_ptr<ReliableCall> call,
     FinishReliable(std::move(call), error);
     return;
   }
-  // Capped exponential backoff: base * 2^(retry-1), clamped to the cap.
-  SimTime backoff = rp.backoff_base;
-  for (int i = 1; i < call->attempts_done && backoff < rp.backoff_cap; ++i) {
-    backoff *= 2;
-  }
-  backoff = std::min(backoff, rp.backoff_cap);
+  // Capped exponential backoff: base * 2^(retry-1), clamped to the cap
+  // (overflow-safe — the policy clamps before each doubling).
+  const SimTime backoff = rp.BackoffForAttempt(call->attempts_done);
   node_->stats().RecordRetry();
   node_->engine()->ScheduleAfter(backoff, [this, call]() {
     if (call->settled) return;

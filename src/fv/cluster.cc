@@ -55,6 +55,29 @@ void FarviewCluster::SetEntryVaddr(uint64_t epoch, uint64_t vaddr) {
 
 void FarviewCluster::AbortEntry(uint64_t epoch) {
   log_[static_cast<size_t>(epoch - 1)].aborted = true;
+  // Purge the epoch from every replica's recovery bookkeeping. A replica
+  // fenced for this entry *before* the abort (e.g. the failed primary of
+  // the very write being aborted) would otherwise keep it in `missed`: the
+  // rejoin pass already ran against the pre-abort log, saw a live write
+  // epoch, found no in-sync source holding bytes that in fact never landed
+  // anywhere, and parked forever. Dropping the epoch here matches how
+  // RunRejoinPass treats entries aborted before the pass (marked applied,
+  // nothing to copy); epochs already consumed into `resyncing` stay with
+  // their in-flight stream — the generation guard voids the stream if the
+  // replica crashes again, and a completed stream just copied the
+  // survivor's current bytes, which is the convergence target regardless.
+  bool purged = false;
+  for (Replica& replica : replicas_) {
+    auto it = std::find(replica.missed.begin(), replica.missed.end(), epoch);
+    if (it == replica.missed.end()) continue;
+    replica.missed.erase(it);
+    replica.applied_epoch = std::max(replica.applied_epoch, epoch);
+    purged = true;
+  }
+  // A purge can turn a parked replica's missed list resyncable (or empty);
+  // re-run those recoveries now instead of waiting for a rejoin that, with
+  // every other replica down, would never come.
+  if (purged) StartParkedRejoins();
 }
 
 void FarviewCluster::MarkApplied(int r, uint64_t epoch) {
@@ -275,6 +298,9 @@ struct ClusterClient::RoutedCall {
   FvRequest request;  ///< kFarview payload
   FTable table;       ///< kRead payload
   uint64_t tried_mask = 0;
+  /// True while the current hop occupies a Half-Open probe slot of its
+  /// replica's breaker; the hop's outcome must settle that slot.
+  bool probe_hop = false;
   std::function<void(Result<FvResult>)> done;
 };
 
@@ -678,7 +704,7 @@ void ClusterClient::OnRejoin(int replica, std::function<void()> done) {
       });
 }
 
-int ClusterClient::PickReplica(uint64_t tried_mask, Verb verb) {
+int ClusterClient::PickReplica(uint64_t tried_mask, Verb verb, bool* probe) {
   const int n = cluster_->num_replicas();
   for (int i = 0; i < n; ++i) {
     const int r = (rr_cursor_ + i) % n;
@@ -691,7 +717,7 @@ int ClusterClient::PickReplica(uint64_t tried_mask, Verb verb) {
       // them elsewhere; the replica still serves reads.
       continue;
     }
-    if (!breakers_[static_cast<size_t>(r)]->AllowRequest()) continue;
+    if (!breakers_[static_cast<size_t>(r)]->AllowRequest(probe)) continue;
     rr_cursor_ = (r + 1) % n;
     return r;
   }
@@ -699,7 +725,8 @@ int ClusterClient::PickReplica(uint64_t tried_mask, Verb verb) {
 }
 
 void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
-  const int r = PickReplica(call->tried_mask, call->verb);
+  bool probe = false;
+  const int r = PickReplica(call->tried_mask, call->verb, &probe);
   if (r < 0) {
     // Fast-fail: every replica is fenced, tripped, or already tried.
     // Counted on replica 0's stats (the cluster-level sink).
@@ -709,11 +736,14 @@ void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
     return;
   }
   call->tried_mask |= uint64_t{1} << r;
+  call->probe_hop = probe;
   cluster_->node(r).stats().RecordClusterRequest();
   auto on_done = [this, call, r](Result<FvResult> res) {
     CircuitBreaker& breaker = *breakers_[static_cast<size_t>(r)];
+    // Read before any re-route: a failover hop overwrites `probe_hop`.
+    const bool probe_hop = call->probe_hop;
     if (res.ok()) {
-      breaker.RecordSuccess();
+      breaker.RecordSuccess(probe_hop);
       auto cb = std::move(call->done);
       cb(std::move(res));
       return;
@@ -721,12 +751,16 @@ void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
     const Status& s = res.status();
     if (!s.IsUnavailable() && !s.IsDeadlineExceeded()) {
       // Not a health signal (bad request, schema mismatch): report it,
-      // don't penalize the replica.
+      // don't penalize the replica. A probe hop still settles its slot as
+      // a success — the replica answered, the error is the request's
+      // fault — otherwise the slot would leak and a breaker whose every
+      // probe drew a bad request would wedge Half-Open forever.
+      if (probe_hop) breaker.RecordSuccess(/*probe=*/true);
       auto cb = std::move(call->done);
       cb(std::move(res));
       return;
     }
-    breaker.RecordFailure();
+    breaker.RecordFailure(probe_hop);
     cluster_->node(r).stats().RecordFailover();
     IssueRouted(call);
   };

@@ -295,7 +295,9 @@ class ClusterClient {
   /// Next eligible replica (in-sync, breaker admits, not yet tried), or -1.
   /// Operator calls additionally require the replica's loaded pipeline to be
   /// current — a replica whose rejoin reload failed serves reads only.
-  int PickReplica(uint64_t tried_mask, Verb verb);
+  /// `probe` reports whether the admission consumed a Half-Open probe slot;
+  /// the hop's outcome must be recorded on the breaker with that flag.
+  int PickReplica(uint64_t tried_mask, Verb verb, bool* probe);
   /// Routes (or re-routes after failover) one call.
   void IssueRouted(std::shared_ptr<RoutedCall> call);
   /// Issues the primary write of `mw`, advancing past dead primaries.

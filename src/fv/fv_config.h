@@ -1,6 +1,9 @@
 #ifndef FARVIEW_FV_FV_CONFIG_H_
 #define FARVIEW_FV_FV_CONFIG_H_
 
+#include <limits>
+
+#include "common/logging.h"
 #include "common/units.h"
 #include "mem/dram_config.h"
 #include "net/net_config.h"
@@ -74,6 +77,26 @@ struct RetryPolicy {
   /// backoff_cap)` — capped exponential.
   SimTime backoff_base = 50 * kMicrosecond;
   SimTime backoff_cap = 400 * kMicrosecond;
+
+  /// Backoff delay before the retry that follows `attempts_done` completed
+  /// attempts (1-based; the first retry follows attempt 1). Clamps *before*
+  /// each doubling: a cap near the SimTime ceiling would otherwise let the
+  /// final doubling overflow the signed picosecond clock (UB, then a
+  /// negative delay handed to the scheduler) before the min() could save
+  /// it. Identical to the naive capped-exponential for any cap that the
+  /// doubling cannot overflow.
+  SimTime BackoffForAttempt(int attempts_done) const {
+    FV_CHECK(attempts_done >= 1)
+        << "backoff is only defined after a completed attempt";
+    SimTime backoff = backoff_base;
+    for (int i = 1; i < attempts_done && backoff < backoff_cap; ++i) {
+      if (backoff > std::numeric_limits<SimTime>::max() / 2) {
+        return backoff_cap;
+      }
+      backoff *= 2;
+    }
+    return backoff < backoff_cap ? backoff : backoff_cap;
+  }
 
   /// Graceful degradation: when a FARVIEW verb keeps failing and the
   /// connection's region is faulted, fall back to a raw one-sided read of

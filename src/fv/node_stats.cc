@@ -167,6 +167,24 @@ std::string NodeStats::FormatReport(SimTime now,
       out << rbuf;
     }
   }
+  // Sharding section only when a ShardedClient routed traffic here: bare
+  // nodes and unsharded clusters keep their reports byte-identical.
+  if (sharding_.AnyNonZero()) {
+    char sbuf[256];
+    std::snprintf(
+        sbuf, sizeof(sbuf),
+        "  sharding: %llu fragment reads, %llu fragment writes, "
+        "%llu fragment offloads\n"
+        "            %llu gather bytes, %llu partial groups, "
+        "%llu repartition bytes\n",
+        static_cast<unsigned long long>(sharding_.fragment_reads),
+        static_cast<unsigned long long>(sharding_.fragment_writes),
+        static_cast<unsigned long long>(sharding_.fragment_offloads),
+        static_cast<unsigned long long>(sharding_.gather_bytes),
+        static_cast<unsigned long long>(sharding_.partial_groups),
+        static_cast<unsigned long long>(sharding_.repartition_bytes));
+    out << sbuf;
+  }
   return out.str();
 }
 

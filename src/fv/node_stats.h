@@ -98,6 +98,25 @@ class NodeStats {
     }
   };
 
+  /// Sharded-pool routing counters (DESIGN.md §13). Recorded on the primary
+  /// node of the shard the traffic was routed to, by `ShardedClient` only —
+  /// bare nodes and unsharded clusters never touch them, so the section is
+  /// omitted from fault-free reports and the seed goldens stay
+  /// byte-identical (same gating discipline as `ReliabilityStats`).
+  struct ShardingStats {
+    uint64_t fragment_reads = 0;   ///< table-fragment reads served here
+    uint64_t fragment_writes = 0;  ///< table-fragment writes applied here
+    uint64_t fragment_offloads = 0;  ///< operator fragments executed here
+    uint64_t gather_bytes = 0;  ///< result bytes gathered at the client
+    uint64_t partial_groups = 0;  ///< partial group rows shipped for merge
+    uint64_t repartition_bytes = 0;  ///< build bytes moved to repartition a join
+
+    bool AnyNonZero() const {
+      return fragment_reads || fragment_writes || fragment_offloads ||
+             gather_bytes || partial_groups || repartition_bytes;
+    }
+  };
+
   /// Per-queue-pair throughput aggregates.
   struct QpStats {
     uint64_t completed = 0;
@@ -160,6 +179,22 @@ class NodeStats {
     reliability_.resync_time += elapsed;
   }
 
+  // --- Sharded-pool routing events (DESIGN.md §13) -------------------------
+
+  void RecordFragmentRead(uint64_t gathered_bytes) {
+    ++sharding_.fragment_reads;
+    sharding_.gather_bytes += gathered_bytes;
+  }
+  void RecordFragmentWrite() { ++sharding_.fragment_writes; }
+  void RecordFragmentOffload(uint64_t gathered_bytes) {
+    ++sharding_.fragment_offloads;
+    sharding_.gather_bytes += gathered_bytes;
+  }
+  void RecordPartialGroups(uint64_t rows) { sharding_.partial_groups += rows; }
+  void RecordRepartitionBytes(uint64_t bytes) {
+    sharding_.repartition_bytes += bytes;
+  }
+
   // --- Queries -------------------------------------------------------------
 
   uint64_t completed_count() const { return completed_.size(); }
@@ -169,6 +204,7 @@ class NodeStats {
   const std::vector<RequestRecord>& completed() const { return completed_; }
   const std::map<int, QpStats>& per_qp() const { return per_qp_; }
   const ReliabilityStats& reliability() const { return reliability_; }
+  const ShardingStats& sharding() const { return sharding_; }
 
   /// Stage distributions (latencies in picoseconds).
   const sim::SampleStats& ingress_latency() const { return ingress_; }
@@ -194,6 +230,7 @@ class NodeStats {
   std::map<int, QpStats> per_qp_;
   std::map<int, SimTime> region_busy_;
   ReliabilityStats reliability_;
+  ShardingStats sharding_;
 
   sim::SampleStats ingress_;
   sim::SampleStats queue_wait_;

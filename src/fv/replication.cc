@@ -17,7 +17,8 @@ CircuitBreaker::CircuitBreaker(sim::Engine* engine,
   FV_CHECK(policy_.probe_successes > 0);
 }
 
-bool CircuitBreaker::AllowRequest() {
+bool CircuitBreaker::AllowRequest(bool* is_probe) {
+  if (is_probe != nullptr) *is_probe = false;
   switch (state_) {
     case State::kClosed:
       return true;
@@ -33,6 +34,7 @@ bool CircuitBreaker::AllowRequest() {
     case State::kHalfOpen:
       if (probes_allowed_ <= 0) return false;
       --probes_allowed_;
+      if (is_probe != nullptr) *is_probe = true;
       return true;
   }
   return true;  // unreachable; silences -Wreturn-type
@@ -42,8 +44,13 @@ bool CircuitBreaker::BlocksAttempts() const {
   return state_ == State::kOpen && engine_->Now() < reopen_at_;
 }
 
-void CircuitBreaker::RecordSuccess() {
+void CircuitBreaker::RecordSuccess(bool probe) {
   if (state_ == State::kHalfOpen) {
+    // Only admitted probes advance the episode: a stale completion routed
+    // before the trip and landing now would otherwise be double-counted as
+    // a probe outcome and close (or keep re-settling) the breaker on
+    // evidence that predates the failure it tripped on.
+    if (!probe) return;
     if (++probe_successes_ >= policy_.probe_successes) {
       state_ = State::kClosed;
       stats_->RecordCircuitClose();
@@ -51,15 +58,21 @@ void CircuitBreaker::RecordSuccess() {
     }
     return;
   }
+  // A probe outcome arriving after its episode settled (another probe
+  // already closed or re-tripped the breaker) carries no information.
+  if (probe) return;
   consecutive_failures_ = 0;
 }
 
-void CircuitBreaker::RecordFailure() {
+void CircuitBreaker::RecordFailure(bool probe) {
   if (state_ == State::kHalfOpen) {
-    // A failed probe: the replica is still sick, back to Open.
+    // Same staleness rule as RecordSuccess: only a failed *probe* proves
+    // the replica is still sick and re-trips to Open.
+    if (!probe) return;
     TripOpen();
     return;
   }
+  if (probe) return;  // episode already settled elsewhere
   if (state_ == State::kOpen) return;
   if (++consecutive_failures_ >= policy_.failure_threshold) TripOpen();
 }

@@ -63,8 +63,12 @@ class CircuitBreaker {
 
   /// Router-side admission check: true when a request may be routed at the
   /// replica. Performs the lazy Open -> Half-Open transition and consumes
-  /// one probe slot while Half-Open.
-  bool AllowRequest();
+  /// one probe slot while Half-Open. When `is_probe` is non-null it is set
+  /// to whether this admission consumed a probe slot — the router must
+  /// report the outcome with the matching `probe` flag so a stale
+  /// completion (routed while Closed, arriving while Half-Open) cannot
+  /// settle or double-count the probe episode.
+  bool AllowRequest(bool* is_probe = nullptr);
 
   /// Attempt-side check for `FarviewClient::SetHealthGate`: true while the
   /// breaker is Open and the reopen instant has not passed. Unlike
@@ -72,9 +76,15 @@ class CircuitBreaker {
   /// to fast-fail their remaining attempts (DESIGN.md §12).
   bool BlocksAttempts() const;
 
-  /// Outcome of a routed request (including Half-Open probes).
-  void RecordSuccess();
-  void RecordFailure();
+  /// Outcome of a routed request. `probe` must echo the `is_probe` flag the
+  /// admitting `AllowRequest` reported: while Half-Open only probe outcomes
+  /// move the breaker (non-probe outcomes are stale pre-trip completions
+  /// and are ignored), and a probe that ends in a non-retryable error must
+  /// still be settled as a probe success (the replica answered; the error
+  /// is the request's fault) or its slot would leak and wedge the breaker
+  /// Half-Open forever.
+  void RecordSuccess(bool probe = false);
+  void RecordFailure(bool probe = false);
 
   /// Trips the breaker immediately — the router observed the replica crash,
   /// so waiting for `failure_threshold` timeouts is pointless.

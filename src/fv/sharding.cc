@@ -1,0 +1,499 @@
+#include "fv/sharding.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "mem/mmu.h"
+
+namespace farview {
+namespace {
+
+/// Golden-ratio mix keeping per-shard breaker jitter streams independent;
+/// shard 0 keeps the template seed unchanged (the 1-shard identity pin).
+constexpr uint64_t kShardSeedMix = 0x9E3779B97F4A7C15ull;
+
+}  // namespace
+
+ShardedPool::ShardedPool(sim::Engine* engine, const ShardedConfig& config)
+    : engine_(engine), config_(config) {
+  FV_CHECK(engine_ != nullptr);
+  FV_CHECK(config_.num_shards >= 1);
+  FV_CHECK(config_.shard_stride > 0 &&
+           config_.shard_stride % Mmu::kPageSize == 0)
+      << "shard stride must be a whole number of pages";
+  FV_CHECK(config_.faulted_shard >= -1 &&
+           config_.faulted_shard < config_.num_shards);
+  shards_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    ClusterConfig cc = config_.cluster;
+    cc.seed += kShardSeedMix * static_cast<uint64_t>(s);
+    if (config_.faulted_shard >= 0 && s != config_.faulted_shard) {
+      cc.node.faults.enabled = false;
+      cc.node.net.faults.enabled = false;
+    }
+    shards_.push_back(std::make_unique<FarviewCluster>(engine_, cc));
+  }
+}
+
+ShardedClient::ShardedClient(ShardedPool* pool, int client_id)
+    : pool_(pool), client_id_(client_id) {
+  FV_CHECK(pool_ != nullptr);
+}
+
+Status ShardedClient::OpenConnection() {
+  if (connected()) return Status::FailedPrecondition("already connected");
+  clients_.reserve(static_cast<size_t>(pool_->num_shards()));
+  for (int s = 0; s < pool_->num_shards(); ++s) {
+    auto client = std::make_unique<ClusterClient>(&pool_->shard(s), client_id_);
+    const Status st = client->OpenConnection();
+    if (!st.ok()) {
+      clients_.clear();
+      return st;
+    }
+    clients_.push_back(std::move(client));
+  }
+  return Status::OK();
+}
+
+void ShardedClient::CloseConnection() {
+  for (auto& c : clients_) c->CloseConnection();
+  clients_.clear();
+  tables_.clear();
+}
+
+NodeStats& ShardedClient::ShardStats(int shard) {
+  // Shard-level counters live on the shard's primary node: the stable home
+  // replica 0 plays for reliability counters in the cluster layer.
+  return pool_->shard(shard).node(0).stats();
+}
+
+Status ShardedClient::AllocTableMem(FTable* table, int home_shard) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  if (table == nullptr || table->name.empty() || table->num_rows == 0 ||
+      table->schema.tuple_width() == 0) {
+    return Status::InvalidArgument(
+        "AllocTableMem requires name, schema and num_rows");
+  }
+  if (home_shard < -1 || home_shard >= pool_->num_shards()) {
+    return Status::InvalidArgument("home shard out of range");
+  }
+
+  // Range-partition the rows into one contiguous fragment per shard (the
+  // leading shards absorb the remainder); a homed table is one fragment.
+  ShardedTable st;
+  st.name = table->name;
+  st.num_rows = table->num_rows;
+  const int width =
+      home_shard >= 0
+          ? 1
+          : static_cast<int>(std::min<uint64_t>(
+                static_cast<uint64_t>(pool_->num_shards()), table->num_rows));
+  const uint64_t base = table->num_rows / static_cast<uint64_t>(width);
+  const uint64_t rem = table->num_rows % static_cast<uint64_t>(width);
+  uint64_t row = 0;
+  for (int i = 0; i < width; ++i) {
+    Fragment frag;
+    frag.shard = home_shard >= 0 ? home_shard : i;
+    frag.row_begin = row;
+    frag.local.name = table->name;
+    frag.local.schema = table->schema;
+    frag.local.num_rows = base + (static_cast<uint64_t>(i) < rem ? 1 : 0);
+    row += frag.local.num_rows;
+    st.fragments.push_back(std::move(frag));
+  }
+
+  // Fast precheck: the shard-local allocator is bump-only starting at the
+  // first page, so a fragment larger than `stride - page` can never fit its
+  // stripe — reject before burning any (unreclaimable) address space.
+  for (const Fragment& f : st.fragments) {
+    if (f.local.SizeBytes() + Mmu::kPageSize > pool_->config().shard_stride) {
+      return Status::OutOfRange(
+          "allocation spans a shard boundary: fragment of '" + table->name +
+          "' does not fit shard " + std::to_string(f.shard) +
+          "'s address stripe");
+    }
+  }
+
+  auto rollback = [&](size_t allocated) {
+    for (size_t i = 0; i < allocated; ++i) {
+      Fragment& f = st.fragments[i];
+      FV_IGNORE_ERROR(
+          clients_[static_cast<size_t>(f.shard)]->FreeTableMem(&f.local),
+          "rolling back a partially allocated sharded table");
+    }
+  };
+
+  for (size_t i = 0; i < st.fragments.size(); ++i) {
+    Fragment& f = st.fragments[i];
+    const Status s =
+        clients_[static_cast<size_t>(f.shard)]->AllocTableMem(&f.local);
+    if (!s.ok()) {
+      rollback(i);
+      return s;
+    }
+    // The stripe contract (DESIGN.md §13): a fragment never crosses its
+    // shard's address stripe. Reject — do not silently split — so the
+    // vaddr arithmetic stays bijective.
+    if (f.local.vaddr + f.local.SizeBytes() > pool_->config().shard_stride) {
+      rollback(i + 1);
+      return Status::OutOfRange(
+          "allocation spans a shard boundary: fragment of '" + table->name +
+          "' does not fit shard " + std::to_string(f.shard) +
+          "'s address stripe");
+    }
+  }
+
+  table->vaddr =
+      pool_->GlobalVaddr(st.fragments[0].shard, st.fragments[0].local.vaddr);
+  tables_[table->vaddr] = std::move(st);
+  return Status::OK();
+}
+
+auto ShardedClient::Lookup(const FTable& table) const
+    -> Result<const ShardedTable*> {
+  auto it = tables_.find(table.vaddr);
+  if (it == tables_.end()) {
+    return Status::NotFound("no sharded table at vaddr " +
+                            std::to_string(table.vaddr));
+  }
+  // Remap guard: a stale handle whose vaddr was freed and handed to a new
+  // table must not operate on the new table's memory.
+  if (it->second.name != table.name || it->second.num_rows != table.num_rows) {
+    return Status::FailedPrecondition(
+        "vaddr remapped: handle '" + table.name + "' does not match the "
+        "table currently registered at its address ('" + it->second.name +
+        "')");
+  }
+  return &it->second;
+}
+
+Status ShardedClient::FreeTableMem(FTable* table) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  FV_ASSIGN_OR_RETURN(const ShardedTable* st, Lookup(*table));
+  for (const Fragment& frag : st->fragments) {
+    FTable local = frag.local;
+    FV_RETURN_IF_ERROR(
+        clients_[static_cast<size_t>(frag.shard)]->FreeTableMem(&local));
+  }
+  tables_.erase(table->vaddr);
+  table->vaddr = 0;
+  return Status::OK();
+}
+
+Result<TableEntry> ShardedClient::ShareTable(const FTable& table) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  FV_ASSIGN_OR_RETURN(const ShardedTable* st, Lookup(table));
+  std::optional<TableEntry> first;
+  for (const Fragment& frag : st->fragments) {
+    FV_ASSIGN_OR_RETURN(
+        TableEntry entry,
+        clients_[static_cast<size_t>(frag.shard)]->ShareTable(frag.local));
+    if (!first.has_value()) first = std::move(entry);
+  }
+  first->virtual_address = table.vaddr;
+  first->num_rows = table.num_rows;
+  first->size_bytes = table.SizeBytes();
+  return *std::move(first);
+}
+
+void ShardedClient::TableWriteAsync(
+    const FTable& table, const Table& rows,
+    std::function<void(Result<SimTime>)> done) {
+  Result<const ShardedTable*> st = Lookup(table);
+  if (!st.ok()) {
+    done(st.status());
+    return;
+  }
+  if (rows.num_rows() != table.num_rows ||
+      !rows.schema().Equals(table.schema)) {
+    done(Status::InvalidArgument("rows do not match the table handle"));
+    return;
+  }
+  const std::vector<Fragment>& frags = st.value()->fragments;
+  if (frags.size() == 1) {
+    // Single fragment: pure delegation, event-identical to the cluster
+    // client (the 1-shard identity pin).
+    const Fragment& frag = frags[0];
+    ShardStats(frag.shard).RecordFragmentWrite();
+    clients_[static_cast<size_t>(frag.shard)]->TableWriteAsync(
+        frag.local, rows, std::move(done));
+    return;
+  }
+
+  // Scatter: each shard gets exactly its row range. The slices live in the
+  // shared state because the mirror hops read them after the primary ack.
+  struct Scatter {
+    std::vector<Table> slices;
+    size_t remaining = 0;
+    Status error;
+    SimTime last_ack = 0;
+    std::function<void(Result<SimTime>)> done;
+  };
+  auto sc = std::make_shared<Scatter>();
+  sc->done = std::move(done);
+  sc->remaining = frags.size();
+  const uint32_t width = rows.schema().tuple_width();
+  for (const Fragment& frag : frags) {
+    const uint8_t* begin = rows.data() + frag.row_begin * width;
+    ByteBuffer bytes(begin, begin + frag.local.num_rows * width);
+    Result<Table> slice = Table::FromBytes(rows.schema(), std::move(bytes));
+    FV_CHECK(slice.ok()) << slice.status().ToString();
+    sc->slices.push_back(std::move(slice).value());
+  }
+  for (size_t i = 0; i < frags.size(); ++i) {
+    const Fragment& frag = frags[i];
+    ShardStats(frag.shard).RecordFragmentWrite();
+    clients_[static_cast<size_t>(frag.shard)]->TableWriteAsync(
+        frag.local, sc->slices[i], [sc](Result<SimTime> r) {
+          if (r.ok()) {
+            sc->last_ack = std::max(sc->last_ack, r.value());
+          } else if (sc->error.ok()) {
+            sc->error = r.status();
+          }
+          if (--sc->remaining > 0) return;
+          if (sc->error.ok()) {
+            sc->done(sc->last_ack);
+          } else {
+            sc->done(sc->error);
+          }
+        });
+  }
+}
+
+Result<SimTime> ShardedClient::TableWrite(const FTable& table,
+                                          const Table& rows) {
+  std::optional<Result<SimTime>> result;
+  TableWriteAsync(table, rows,
+                  [&](Result<SimTime> r) { result.emplace(std::move(r)); });
+  pool_->engine()->Run();
+  FV_CHECK(result.has_value()) << "write did not complete";
+  return *std::move(result);
+}
+
+void ShardedClient::TableReadAsync(
+    const FTable& table, std::function<void(Result<FvResult>)> done) {
+  Result<const ShardedTable*> st = Lookup(table);
+  if (!st.ok()) {
+    done(st.status());
+    return;
+  }
+  const std::vector<Fragment>& frags = st.value()->fragments;
+  if (frags.size() == 1) {
+    const Fragment& frag = frags[0];
+    const int shard = frag.shard;
+    clients_[static_cast<size_t>(shard)]->TableReadAsync(
+        frag.local,
+        [this, shard, done = std::move(done)](Result<FvResult> r) {
+          if (r.ok()) ShardStats(shard).RecordFragmentRead(r.value().data.size());
+          done(std::move(r));
+        });
+    return;
+  }
+
+  // Gather: all fragments in parallel; concatenating in fragment order
+  // restores row order because the partition is a contiguous range split.
+  struct Gather {
+    std::vector<std::optional<FvResult>> parts;
+    size_t remaining = 0;
+    Status error;
+    std::function<void(Result<FvResult>)> done;
+  };
+  auto g = std::make_shared<Gather>();
+  g->done = std::move(done);
+  g->parts.resize(frags.size());
+  g->remaining = frags.size();
+  for (size_t i = 0; i < frags.size(); ++i) {
+    const Fragment& frag = frags[i];
+    const int shard = frag.shard;
+    clients_[static_cast<size_t>(shard)]->TableReadAsync(
+        frag.local, [this, g, i, shard](Result<FvResult> r) {
+          if (r.ok()) {
+            ShardStats(shard).RecordFragmentRead(r.value().data.size());
+            g->parts[i] = std::move(r).value();
+          } else if (g->error.ok()) {
+            g->error = r.status();
+          }
+          if (--g->remaining > 0) return;
+          if (!g->error.ok()) {
+            g->done(g->error);
+            return;
+          }
+          FvResult out;
+          out.issued_at = g->parts[0]->issued_at;
+          out.first_byte_at = g->parts[0]->first_byte_at;
+          for (std::optional<FvResult>& part : g->parts) {
+            out.data.insert(out.data.end(), part->data.begin(),
+                            part->data.end());
+            out.rows += part->rows;
+            out.bytes_on_wire += part->bytes_on_wire;
+            out.completed_at = std::max(out.completed_at, part->completed_at);
+            out.first_byte_at =
+                std::min(out.first_byte_at, part->first_byte_at);
+          }
+          g->done(std::move(out));
+        });
+  }
+}
+
+Result<FvResult> ShardedClient::TableRead(const FTable& table) {
+  std::optional<Result<FvResult>> result;
+  TableReadAsync(table,
+                 [&](Result<FvResult> r) { result.emplace(std::move(r)); });
+  pool_->engine()->Run();
+  FV_CHECK(result.has_value()) << "read did not complete";
+  return *std::move(result);
+}
+
+void ShardedClient::LoadOnShards(std::vector<int> shards,
+                                 PipelineFactory factory,
+                                 std::function<void(Status)> done) {
+  struct Load {
+    size_t remaining = 0;
+    Status error;
+    std::function<void(Status)> done;
+  };
+  auto ld = std::make_shared<Load>();
+  ld->remaining = shards.size();
+  ld->done = std::move(done);
+  for (const int s : shards) {
+    clients_[static_cast<size_t>(s)]->LoadPipelineAsync(
+        factory, [ld](Status st) {
+          if (!st.ok() && ld->error.ok()) ld->error = st;
+          if (--ld->remaining > 0) return;
+          ld->done(ld->error);
+        });
+  }
+}
+
+Result<FvResult> ShardedClient::OffloadGather(const ShardedTable& st,
+                                              PipelineFactory factory,
+                                              bool vectorized,
+                                              PartialMerger* merger) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  std::vector<int> shards;
+  for (const Fragment& frag : st.fragments) shards.push_back(frag.shard);
+
+  struct Offload {
+    std::vector<std::optional<FvResult>> parts;
+    size_t remaining = 0;
+    Status error;
+    bool settled = false;
+  };
+  auto off = std::make_shared<Offload>();
+  off->parts.resize(st.fragments.size());
+  LoadOnShards(shards, std::move(factory), [&, off](Status load) {
+    if (!load.ok()) {
+      off->error = load;
+      off->settled = true;
+      return;
+    }
+    off->remaining = st.fragments.size();
+    for (size_t i = 0; i < st.fragments.size(); ++i) {
+      const Fragment& frag = st.fragments[i];
+      ClusterClient& cc = *clients_[static_cast<size_t>(frag.shard)];
+      cc.FarviewRequestAsync(
+          cc.ScanRequest(frag.local, vectorized),
+          [off, i](Result<FvResult> r) {
+            if (r.ok()) {
+              off->parts[i] = std::move(r).value();
+            } else if (off->error.ok()) {
+              off->error = r.status();
+            }
+            if (--off->remaining == 0) off->settled = true;
+          });
+    }
+  });
+  pool_->engine()->Run();
+  FV_CHECK(off->settled) << "sharded offload did not complete";
+  FV_RETURN_IF_ERROR(off->error);
+
+  FvResult out;
+  out.issued_at = off->parts[0]->issued_at;
+  out.first_byte_at = off->parts[0]->first_byte_at;
+  for (size_t i = 0; i < st.fragments.size(); ++i) {
+    FvResult& part = *off->parts[i];
+    NodeStats& stats = ShardStats(st.fragments[i].shard);
+    stats.RecordFragmentOffload(part.data.size());
+    if (merger != nullptr) {
+      stats.RecordPartialGroups(part.rows);
+      FV_RETURN_IF_ERROR(merger->Consume(part.data.data(), part.data.size()));
+    } else {
+      out.data.insert(out.data.end(), part.data.begin(), part.data.end());
+      out.rows += part.rows;
+    }
+    out.bytes_on_wire += part.bytes_on_wire;
+    out.completed_at = std::max(out.completed_at, part.completed_at);
+    out.first_byte_at = std::min(out.first_byte_at, part.first_byte_at);
+  }
+  if (merger != nullptr) {
+    out.rows = merger->num_groups();
+    out.data = merger->Finalize();
+  }
+  return out;
+}
+
+Result<FvResult> ShardedClient::FvSelect(const FTable& table,
+                                         std::vector<Predicate> predicates,
+                                         std::vector<int> projection,
+                                         bool vectorized) {
+  FV_ASSIGN_OR_RETURN(const ShardedTable* st, Lookup(table));
+  const Schema schema = table.schema;
+  PipelineFactory factory = [schema, predicates, projection]() {
+    PipelineBuilder builder(schema);
+    builder.Select(predicates);
+    if (!projection.empty()) builder.Project(projection);
+    return builder.Build();
+  };
+  return OffloadGather(*st, std::move(factory), vectorized,
+                       /*merger=*/nullptr);
+}
+
+Result<FvResult> ShardedClient::FvGroupBy(const FTable& table,
+                                          std::vector<int> key_columns,
+                                          std::vector<AggSpec> aggs,
+                                          const GroupingConfig& config) {
+  FV_ASSIGN_OR_RETURN(const ShardedTable* st, Lookup(table));
+  FV_ASSIGN_OR_RETURN(PartialMerger merger,
+                      PartialMerger::Create(table.schema, key_columns, aggs));
+  // The shards run the decomposable rewrite (AVG -> SUM + COUNT); the
+  // merge reassembles the requested aggregates at the client.
+  const std::vector<AggSpec> partials = PartialAggSpecs(aggs, nullptr);
+  const Schema schema = table.schema;
+  PipelineFactory factory = [schema, key_columns, partials, config]() {
+    return PipelineBuilder(schema).GroupBy(key_columns, partials, config)
+        .Build();
+  };
+  return OffloadGather(*st, std::move(factory), /*vectorized=*/false,
+                       &merger);
+}
+
+Result<FvResult> ShardedClient::FvJoin(const FTable& probe, int probe_key,
+                                       const FTable& build, int build_key) {
+  FV_ASSIGN_OR_RETURN(const ShardedTable* probe_st, Lookup(probe));
+  FV_ASSIGN_OR_RETURN(const ShardedTable* build_st, Lookup(build));
+  // Repartition: the build side follows the probe data. Gather its
+  // fragments to the client, then broadcast the whole build table to every
+  // probe shard inside the join pipeline (it must fit the region's on-chip
+  // hash structure, as in the single-node FvJoinSmall).
+  FV_ASSIGN_OR_RETURN(FvResult build_read, TableRead(build));
+  for (const Fragment& frag : build_st->fragments) {
+    ShardStats(frag.shard).RecordRepartitionBytes(frag.local.SizeBytes());
+  }
+  FV_ASSIGN_OR_RETURN(Table build_rows,
+                      Table::FromBytes(build.schema,
+                                       std::move(build_read.data)));
+  auto shared_build = std::make_shared<Table>(std::move(build_rows));
+  const Schema schema = probe.schema;
+  PipelineFactory factory = [schema, probe_key, shared_build, build_key]() {
+    return PipelineBuilder(schema)
+        .HashJoinSmall(probe_key, *shared_build, build_key)
+        .Build();
+  };
+  return OffloadGather(*probe_st, std::move(factory), /*vectorized=*/false,
+                       /*merger=*/nullptr);
+}
+
+}  // namespace farview

@@ -1,0 +1,136 @@
+#include "operators/partial_merge.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview {
+
+std::vector<AggSpec> PartialAggSpecs(const std::vector<AggSpec>& aggs,
+                                     std::vector<int>* partial_index) {
+  std::vector<AggSpec> partials;
+  partials.reserve(aggs.size() + 1);
+  if (partial_index != nullptr) {
+    partial_index->clear();
+    partial_index->reserve(aggs.size());
+  }
+  for (const AggSpec& a : aggs) {
+    if (partial_index != nullptr) {
+      // Plan construction, not the data plane.
+      partial_index->push_back(  // fvcheck:allow=hot-path-alloc
+          static_cast<int>(partials.size()));
+    }
+    if (a.kind == AggKind::kAvg) {
+      partials.push_back(AggSpec::Sum(a.col));  // fvcheck:allow=hot-path-alloc
+      partials.push_back(AggSpec::Count());  // fvcheck:allow=hot-path-alloc
+    } else {
+      partials.push_back(a);  // fvcheck:allow=hot-path-alloc
+    }
+  }
+  return partials;
+}
+
+Result<PartialMerger> PartialMerger::Create(const Schema& input,
+                                            std::vector<int> key_columns,
+                                            std::vector<AggSpec> aggs) {
+  for (const int c : key_columns) {
+    if (c < 0 || c >= input.num_columns()) {
+      return Status::InvalidArgument("group-by key column out of range");
+    }
+  }
+  PartialMerger m;
+  m.aggs_ = std::move(aggs);
+  m.partials_ = PartialAggSpecs(m.aggs_, &m.partial_index_);
+  const Schema keys = input.Project(key_columns);
+  m.key_width_ = keys.tuple_width();
+
+  FV_ASSIGN_OR_RETURN(std::vector<Column> partial_cols,
+                      internal::AggOutputColumns(input, m.partials_));
+  std::vector<Column> cols = keys.columns();
+  cols.insert(cols.end(), partial_cols.begin(), partial_cols.end());
+  FV_ASSIGN_OR_RETURN(m.partial_schema_, Schema::Create(std::move(cols)));
+
+  FV_ASSIGN_OR_RETURN(std::vector<Column> final_cols,
+                      internal::AggOutputColumns(input, m.aggs_));
+  cols = keys.columns();
+  cols.insert(cols.end(), final_cols.begin(), final_cols.end());
+  FV_ASSIGN_OR_RETURN(m.final_schema_, Schema::Create(std::move(cols)));
+  return m;
+}
+
+Status PartialMerger::Consume(const uint8_t* rows, uint64_t bytes) {
+  const uint32_t row_width = partial_schema_.tuple_width();
+  if (bytes % row_width != 0) {
+    return Status::InvalidArgument(
+        "partial group-by buffer is not a whole number of rows");
+  }
+  const uint64_t n = bytes / row_width;
+  for (uint64_t r = 0; r < n; ++r) {
+    const uint8_t* row = rows + r * row_width;
+    std::string key(reinterpret_cast<const char*>(row), key_width_);
+    auto [it, inserted] = group_index_.emplace(std::move(key), groups_.size());
+    if (inserted) {
+      // First sight of a key: the merger runs on the compute node, per
+      // gathered result — growth here is client-side, outside the pooled
+      // on-chip data plane (DESIGN.md §13).
+      group_keys_.push_back(it->first);  // fvcheck:allow=hot-path-alloc
+      groups_.emplace_back(partials_.size(), 0);  // fvcheck:allow=hot-path-alloc
+      std::vector<int64_t>& acc = groups_.back();
+      for (size_t p = 0; p < partials_.size(); ++p) {
+        acc[p] = LoadLE64Signed(row + key_width_ + 8 * p);
+      }
+      continue;
+    }
+    std::vector<int64_t>& acc = groups_[it->second];
+    for (size_t p = 0; p < partials_.size(); ++p) {
+      const int64_t v = LoadLE64Signed(row + key_width_ + 8 * p);
+      switch (partials_[p].kind) {
+        case AggKind::kCount:
+        case AggKind::kSum:
+          acc[p] += v;
+          break;
+        case AggKind::kMin:
+          acc[p] = std::min(acc[p], v);
+          break;
+        case AggKind::kMax:
+          acc[p] = std::max(acc[p], v);
+          break;
+        case AggKind::kAvg:
+          FV_CHECK(false) << "AVG cannot appear in a partial plan";
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ByteBuffer PartialMerger::Finalize() {
+  const uint32_t row_width = final_schema_.tuple_width();
+  ByteBuffer out;
+  // One result buffer per query, sized exactly once.
+  out.resize(groups_.size() * row_width);  // fvcheck:allow=hot-path-alloc
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    uint8_t* row = out.data() + g * row_width;
+    std::copy(group_keys_[g].begin(), group_keys_[g].end(), row);
+    const std::vector<int64_t>& acc = groups_[g];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      uint8_t* slot = row + key_width_ + 8 * i;
+      const size_t p = static_cast<size_t>(partial_index_[i]);
+      if (aggs_[i].kind == AggKind::kAvg) {
+        const int64_t sum = acc[p];
+        const int64_t count = acc[p + 1];
+        StoreDouble(slot, count > 0 ? static_cast<double>(sum) /
+                                          static_cast<double>(count)
+                                    : 0.0);
+      } else {
+        StoreLE64Signed(slot, acc[p]);
+      }
+    }
+  }
+  group_index_.clear();
+  group_keys_.clear();
+  groups_.clear();
+  return out;
+}
+
+}  // namespace farview

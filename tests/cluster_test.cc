@@ -45,9 +45,10 @@ ClusterConfig TestConfig(int replicas) {
 
 /// Allocates without running the engine (pure bookkeeping), so tests can
 /// position requests relative to config-scheduled fault instants.
-FTable AllocOnly(ClusterClient& client, const Table& rows) {
+FTable AllocOnly(ClusterClient& client, const Table& rows,
+                 const std::string& name = "t") {
   FTable ft;
-  ft.name = "t";
+  ft.name = name;
   ft.schema = rows.schema();
   ft.num_rows = rows.num_rows();
   EXPECT_TRUE(client.AllocTableMem(&ft).ok());
@@ -202,23 +203,112 @@ TEST(ClusterTest, CircuitBreakerLifecycle) {
   engine.ScheduleAt(policy.open_duration + policy.open_jitter, []() {});
   engine.Run();
   EXPECT_FALSE(breaker.BlocksAttempts());
-  EXPECT_TRUE(breaker.AllowRequest());
+  bool probe = false;
+  EXPECT_TRUE(breaker.AllowRequest(&probe));
+  EXPECT_TRUE(probe);
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
   EXPECT_EQ(stats.reliability().circuit_half_opens, 1u);
 
   // A failed probe re-trips; another cool-down, then successful probes
   // close it.
-  breaker.RecordFailure();
+  breaker.RecordFailure(/*probe=*/true);
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
   engine.ScheduleAt(2 * (policy.open_duration + policy.open_jitter), []() {});
   engine.Run();
   for (int i = 0; i < policy.probe_successes; ++i) {
-    EXPECT_TRUE(breaker.AllowRequest());
-    breaker.RecordSuccess();
+    probe = false;
+    EXPECT_TRUE(breaker.AllowRequest(&probe));
+    EXPECT_TRUE(probe);
+    breaker.RecordSuccess(probe);
   }
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(stats.reliability().circuit_closes, 1u);
   EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(ClusterTest, StaleCompletionsDoNotSettleHalfOpenProbes) {
+  sim::Engine engine;
+  NodeStats stats;
+  CircuitBreakerPolicy policy;
+  CircuitBreaker breaker(&engine, policy, TestSeed(), &stats);
+
+  // Trip, then reopen Half-Open with one probe in flight.
+  for (int i = 0; i < policy.failure_threshold; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  engine.ScheduleAt(policy.open_duration + policy.open_jitter, []() {});
+  engine.Run();
+  bool probe = false;
+  ASSERT_TRUE(breaker.AllowRequest(&probe));
+  ASSERT_TRUE(probe);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // Completions of requests routed while the breaker was still Closed now
+  // land. Under the pre-fix accounting each would count as a probe
+  // outcome: two stale successes would close the breaker without a single
+  // probe ever completing, and a stale failure would re-trip it. Both must
+  // be ignored.
+  breaker.RecordSuccess(/*probe=*/false);
+  breaker.RecordSuccess(/*probe=*/false);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(stats.reliability().circuit_closes, 0u);
+  breaker.RecordFailure(/*probe=*/false);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // The real probe outcomes still drive the episode.
+  breaker.RecordSuccess(/*probe=*/true);
+  ASSERT_TRUE(breaker.AllowRequest(&probe));
+  ASSERT_TRUE(probe);
+  breaker.RecordSuccess(/*probe=*/true);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(stats.reliability().circuit_closes, 1u);
+}
+
+TEST(ClusterTest, NonRetryableProbeOutcomeDoesNotLeakProbeSlots) {
+  // A Half-Open probe that draws a non-retryable error (bad request, not
+  // replica health) must settle its slot: the router records it as a probe
+  // success. Before the fix the slot was consumed and never returned, so a
+  // breaker whose every probe drew a bad request wedged Half-Open with no
+  // slots — permanently excluding a healthy replica from routing.
+  ClusterConfig cc = TestConfig(2);
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table rows = MakeRows(256 * kKiB, 3);
+  FTable ft = AllocOnly(client, rows);
+  ASSERT_TRUE(client.TableWrite(ft, rows).ok());
+
+  // Trip replica 0's breaker, then wait out the cool-down.
+  for (int i = 0; i < cc.breaker.failure_threshold; ++i) {
+    client.breaker(0).RecordFailure();
+  }
+  ASSERT_EQ(client.breaker(0).state(), CircuitBreaker::State::kOpen);
+  engine.ScheduleAt(engine.Now() + cc.breaker.open_duration +
+                        cc.breaker.open_jitter,
+                    []() {});
+  engine.Run();
+
+  // Exhaust every probe slot with reads of a bogus table (MMU NotFound —
+  // non-retryable). Round-robin alternates replicas; issue enough requests
+  // that at least `probe_successes` of them probe replica 0.
+  FTable bogus = ft;
+  bogus.vaddr = 0xDEAD0000;
+  for (int i = 0; i < 2 * cc.breaker.probe_successes; ++i) {
+    Result<FvResult> res = client.TableRead(bogus);
+    EXPECT_FALSE(res.ok());
+    EXPECT_FALSE(res.status().IsUnavailable());
+  }
+
+  // The probes settled as successes, so the breaker closed instead of
+  // wedging Half-Open with zero slots; replica 0 serves reads again.
+  EXPECT_EQ(client.breaker(0).state(), CircuitBreaker::State::kClosed);
+  const uint64_t served_before =
+      cluster.node(0).stats().reliability().cluster_requests;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.TableRead(ft).ok());
+  }
+  EXPECT_GT(cluster.node(0).stats().reliability().cluster_requests,
+            served_before);
 }
 
 TEST(ClusterTest, RestartResyncsMissedWritesFromSurvivor) {
@@ -610,6 +700,92 @@ TEST(ClusterTest, RejoinWithFailedPipelineReloadServesReadsOnly) {
   EXPECT_GT(cluster.node(0).stats().reliability().cluster_requests,
             routed_before)
       << "rejoined replica serves no reads";
+}
+
+TEST(ClusterTest, AbortedEpochUnparksLoneFencedReplica) {
+  // A mirror hop failing on an in-sync replica fences it immediately
+  // (MarkMissed), and with no other in-sync replica the rejoin pass parks
+  // it waiting for a resync source. If that write epoch is then aborted
+  // (it landed nowhere), there is nothing to resync — the abort must purge
+  // the epoch and restart the parked recovery, or the lone replica stays
+  // fenced forever and the pool is dead.
+  ClusterConfig cc = TestConfig(1);
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  FarviewCluster::LogEntry entry;
+  entry.kind = FarviewCluster::LogEntry::Kind::kWrite;
+  entry.client_id = 1;
+  entry.vaddr = 0x1000;
+  entry.bytes = 4 * kKiB;
+  const uint64_t epoch = cluster.AppendEntry(entry);
+  cluster.MarkMissed(0, epoch);
+  ASSERT_FALSE(cluster.InSync(0)) << "missed epoch must fence the replica";
+  cluster.AbortEntry(epoch);
+  EXPECT_TRUE(cluster.InSync(0))
+      << "aborted epoch left the lone replica parked";
+}
+
+TEST(ClusterTest, RepeatCrashWithAbortedEpochConvergesAndRejoins) {
+  // Repeat-crash regression for the abort/generation bookkeeping: replica
+  // 0 crashes, misses a write, restarts, crashes *again* mid-resync (the
+  // generation guard must void the first stream and re-queue its epochs),
+  // and while both replicas are down a write is aborted — the abort must
+  // purge that epoch from both replicas' missed lists so neither recovery
+  // ever waits on (or replays) an epoch whose bytes never existed. Replica
+  // 1 in particular rejoins instantly: its only missed epoch is the
+  // aborted one.
+  ClusterConfig cc = TestConfig(2);
+  sim::Engine engine;
+  FarviewCluster cluster(&engine, cc);
+  ClusterClient client(&cluster, 1);
+  ASSERT_TRUE(client.OpenConnection().ok());
+  const Table v1 = MakeRows(1 * kMiB, 5);
+  const Table v2 = MakeRows(1 * kMiB, 6);
+  FTable ft = AllocOnly(client, v1);
+  ASSERT_TRUE(client.TableWrite(ft, v1).ok());
+
+  std::optional<Result<SimTime>> missed_write;
+  std::optional<Result<SimTime>> aborted_write;
+  engine.ScheduleAt(1 * kMillisecond, [&]() { cluster.node(0).CrashNow(); });
+  engine.ScheduleAt(1100 * kMicrosecond, [&]() {
+    // Lands on replica 1 only; replica 0 misses the epoch.
+    client.TableWriteAsync(ft, v2,
+                           [&](Result<SimTime> w) { missed_write.emplace(w); });
+  });
+  engine.ScheduleAt(2 * kMillisecond, [&]() { cluster.node(0).RestartNow(); });
+  // The 1 MiB resync at 20 Gbps takes ~420 us; crash again mid-stream.
+  engine.ScheduleAt(2100 * kMicrosecond, [&]() {
+    EXPECT_FALSE(cluster.InSync(0));
+    cluster.node(0).CrashNow();
+  });
+  engine.ScheduleAt(3 * kMillisecond, [&]() { cluster.node(1).CrashNow(); });
+  engine.ScheduleAt(3100 * kMicrosecond, [&]() {
+    // Both replicas down: the write applies nowhere and must be aborted.
+    client.TableWriteAsync(
+        ft, v1, [&](Result<SimTime> w) { aborted_write.emplace(w); });
+  });
+  engine.ScheduleAt(4 * kMillisecond, [&]() { cluster.node(1).RestartNow(); });
+  engine.ScheduleAt(4500 * kMicrosecond, [&]() {
+    // Replica 1 applied every live epoch; the aborted one must not block
+    // its rejoin (there is no in-sync resync source to wait for).
+    EXPECT_TRUE(cluster.InSync(1))
+        << "aborted epoch blocked the survivor's rejoin";
+  });
+  engine.ScheduleAt(5 * kMillisecond, [&]() { cluster.node(0).RestartNow(); });
+  engine.Run();
+
+  ASSERT_TRUE(missed_write.has_value() && aborted_write.has_value());
+  EXPECT_TRUE(missed_write->ok());
+  ASSERT_FALSE(aborted_write->ok());
+  EXPECT_TRUE(aborted_write->status().IsUnavailable());
+  EXPECT_TRUE(cluster.InSync(0)) << "repeat-crashed replica never rejoined";
+  EXPECT_TRUE(cluster.InSync(1));
+  // Replica 0 converged to the survivor's bytes despite the aborted
+  // stream of the first recovery attempt.
+  EXPECT_EQ(ReplicaBytes(cluster, 0, 1, ft), ReplicaBytes(cluster, 1, 1, ft));
+  // The pool still serves both verbs.
+  EXPECT_TRUE(client.TableWrite(ft, v2).ok());
+  EXPECT_TRUE(client.TableRead(ft).ok());
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "fv/client.h"
 #include "fv/cluster.h"
 #include "fv/farview_node.h"
+#include "fv/sharding.h"
 #include "table/generator.h"
 
 namespace farview {
@@ -113,6 +114,56 @@ TEST(FaultIdentityTest, SingleReplicaClusterIsEventIdenticalToBareNode) {
   EXPECT_EQ(rel.circuit_opens, 0u);
   EXPECT_EQ(rel.resyncs, 0u);
   EXPECT_EQ(rel.resync_bytes, 0u);
+}
+
+TEST(FaultIdentityTest, SingleShardSingleReplicaPoolIsEventIdenticalToBareNode) {
+  // One more layer up: a 1-shard × 1-replica ShardedPool must also be
+  // invisible — no address translation (shard 0's stripe starts at 0), one
+  // fragment per table, pure delegation to the single cluster. Same event
+  // count, same clock, same vaddr, same golden timing as a bare node.
+  const Table rows = MakeRows(1 * kMiB);
+
+  sim::Engine bare_engine;
+  FarviewNode bare_node(&bare_engine, FarviewConfig());
+  FarviewClient bare_client(&bare_node, 1);
+  ASSERT_TRUE(bare_client.OpenConnection().ok());
+  FTable bare_ft;
+  bare_ft.name = "t";
+  bare_ft.schema = rows.schema();
+  bare_ft.num_rows = rows.num_rows();
+  ASSERT_TRUE(bare_client.AllocTableMem(&bare_ft).ok());
+  ASSERT_TRUE(bare_client.TableWrite(bare_ft, rows).ok());
+  Result<FvResult> bare_read = bare_client.TableRead(bare_ft);
+  ASSERT_TRUE(bare_read.ok());
+
+  sim::Engine pool_engine;
+  ShardedPool pool(&pool_engine, ShardedConfig());
+  ShardedClient pool_client(&pool, 1);
+  ASSERT_TRUE(pool_client.OpenConnection().ok());
+  FTable pool_ft;
+  pool_ft.name = "t";
+  pool_ft.schema = rows.schema();
+  pool_ft.num_rows = rows.num_rows();
+  ASSERT_TRUE(pool_client.AllocTableMem(&pool_ft).ok());
+  ASSERT_TRUE(pool_client.TableWrite(pool_ft, rows).ok());
+  Result<FvResult> pool_read = pool_client.TableRead(pool_ft);
+  ASSERT_TRUE(pool_read.ok());
+
+  EXPECT_EQ(pool_ft.vaddr, bare_ft.vaddr);
+  EXPECT_EQ(pool_read.value().Elapsed(), bare_read.value().Elapsed());
+  EXPECT_EQ(pool_read.value().Elapsed(), kGoldenRawRead1MiB);
+  EXPECT_EQ(pool_read.value().data, bare_read.value().data);
+  EXPECT_EQ(pool_engine.Now(), bare_engine.Now());
+  EXPECT_EQ(pool_engine.executed_events(), bare_engine.executed_events());
+  // Fragment routing is pure bookkeeping on the shard's primary: the
+  // sharding counters move, nothing in the reliability layer does.
+  const NodeStats& stats = pool.shard(0).node(0).stats();
+  EXPECT_EQ(stats.sharding().fragment_writes, 1u);
+  EXPECT_EQ(stats.sharding().fragment_reads, 1u);
+  EXPECT_EQ(stats.reliability().cluster_requests, 1u);
+  EXPECT_EQ(stats.reliability().failovers, 0u);
+  EXPECT_EQ(stats.reliability().fast_fails, 0u);
+  EXPECT_EQ(stats.reliability().circuit_opens, 0u);
 }
 
 TEST(FaultIdentityTest, RetryWrapperIsEventIdenticalWhenDisabled) {

@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -411,6 +412,37 @@ TEST(RetryTest, TimeoutExhaustsAttemptsAndCountsLateCompletions) {
   EXPECT_EQ(rel.retries, 2u);  // max_attempts - 1
   // Abandoned attempts still complete inside the node and are dropped.
   EXPECT_GE(rel.late_completions, 1u);
+}
+
+TEST(RetryTest, BackoffClampsBeforeTheShiftInsteadOfOverflowing) {
+  RetryPolicy rp;
+  // Defaults: the helper reproduces base * 2^(k-1), clamped to the cap.
+  EXPECT_EQ(rp.BackoffForAttempt(1), rp.backoff_base);
+  EXPECT_EQ(rp.BackoffForAttempt(2), 2 * rp.backoff_base);
+  EXPECT_EQ(rp.BackoffForAttempt(3), 4 * rp.backoff_base);
+  EXPECT_EQ(rp.BackoffForAttempt(4), rp.backoff_cap);
+  EXPECT_EQ(rp.BackoffForAttempt(64), rp.backoff_cap);
+
+  // A cap near the SimTime ceiling: the pre-fix computation doubled past
+  // the cap before clamping, so around attempt 63 the doubling overflowed
+  // the signed picosecond clock into a negative delay — which the engine
+  // death-checks at ScheduleAfter. The fixed helper clamps before the
+  // shift and never leaves [base, cap].
+  rp.backoff_cap = std::numeric_limits<SimTime>::max() - 1;
+  for (int attempts = 1; attempts <= 80; ++attempts) {
+    const SimTime backoff = rp.BackoffForAttempt(attempts);
+    EXPECT_GT(backoff, 0) << "attempt " << attempts;
+    EXPECT_LE(backoff, rp.backoff_cap) << "attempt " << attempts;
+  }
+  EXPECT_EQ(rp.BackoffForAttempt(80), rp.backoff_cap);
+}
+
+TEST(RetryDeathTest, BackoffBeforeAnyCompletedAttemptIsAContractViolation) {
+  // The overflow regression above exists because attempt counts larger
+  // than expected reached the computation unchecked; the helper now also
+  // rejects the other out-of-contract input (no completed attempt yet).
+  RetryPolicy rp;
+  EXPECT_DEATH(rp.BackoffForAttempt(0), "completed attempt");
 }
 
 TEST(RetryTest, DisabledPolicyIsSingleShot) {
