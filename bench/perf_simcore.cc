@@ -36,7 +36,9 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "fv/cluster.h"
+#include "fv/megaclient.h"
 #include "fv/sharding.h"
+#include "net/net_config.h"
 #include "table/generator.h"
 
 namespace farview {
@@ -44,6 +46,12 @@ namespace {
 
 struct Measurement {
   std::string name;
+  /// Worker threads used by the workload's engine. Single-engine workloads
+  /// are inherently 1; partitioned workloads repeat under several thread
+  /// counts, and scripts/bench_report.sh keys baseline rows by
+  /// (name, threads) so the multi-thread rows gate against their own
+  /// baselines and report speedup against the 1-thread row.
+  int threads = 1;
   uint64_t events = 0;
   uint64_t allocs = 0;
   uint64_t alloc_bytes = 0;
@@ -284,6 +292,41 @@ Measurement RunExtShardout() {
   });
 }
 
+/// Partitioned many-tenant workload (DESIGN.md §14): 20k closed-loop
+/// sessions over 8 client + 4 node domains with seeded drops — the
+/// conservative-window/mailbox/flow-aggregation event mix. Runs under
+/// `threads` workers; the event count is thread-invariant (the differential
+/// determinism suite pins this), so the 1- and 4-thread rows gate the same
+/// simulation while their wall clocks expose parallel speedup.
+Measurement RunMegaclient(int threads) {
+  const NetConfig net;
+  MegaclientConfig cfg;
+  cfg.sessions = 20000;
+  cfg.client_domains = 8;
+  cfg.node_domains = 4;
+  cfg.node_units = 64;
+  cfg.seed = 1;
+  cfg.horizon = 20 * kMillisecond;
+  cfg.request_latency = net.fv_request_latency;
+  cfg.response_latency = net.fv_delivery_latency;
+  cfg.drop_rate = 2e-3;
+
+  const uint64_t allocs0 = alloc_counter::allocations();
+  const uint64_t bytes0 = alloc_counter::bytes();
+  const auto wall0 = std::chrono::steady_clock::now();
+  const MegaclientReport r = farview::RunMegaclient(cfg, threads);
+  const auto wall1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.name = "megaclient";
+  m.threads = threads;
+  m.events = r.executed_events;
+  m.allocs = alloc_counter::allocations() - allocs0;
+  m.alloc_bytes = alloc_counter::bytes() - bytes0;
+  m.wall_ns = std::chrono::duration<double, std::nano>(wall1 - wall0).count();
+  FV_CHECK(r.completed > 0);
+  return m;
+}
+
 std::string JsonReport(const std::vector<Measurement>& ms) {
   std::string out = "{\n  \"schema\": \"fv-perf-simcore-v1\",\n";
   out += "  \"alloc_hook\": ";
@@ -294,12 +337,13 @@ std::string JsonReport(const std::vector<Measurement>& ms) {
     const Measurement& m = ms[i];
     std::snprintf(
         buf, sizeof(buf),
-        "    {\"name\": \"%s\", \"events\": %llu, \"wall_ns\": %.0f, "
+        "    {\"name\": \"%s\", \"threads\": %d, \"events\": %llu, "
+        "\"wall_ns\": %.0f, "
         "\"events_per_sec\": %.0f, \"ns_per_event\": %.1f, "
         "\"allocs\": %llu, \"alloc_bytes\": %llu, \"allocs_per_event\": "
         "%.3f}%s\n",
-        m.name.c_str(), static_cast<unsigned long long>(m.events), m.wall_ns,
-        m.events_per_sec(), m.ns_per_event(),
+        m.name.c_str(), m.threads, static_cast<unsigned long long>(m.events),
+        m.wall_ns, m.events_per_sec(), m.ns_per_event(),
         static_cast<unsigned long long>(m.allocs),
         static_cast<unsigned long long>(m.alloc_bytes), m.allocs_per_event(),
         i + 1 < ms.size() ? "," : "");
@@ -348,12 +392,17 @@ void Run() {
   if (Selected("ext_faults")) ms.push_back(BestOf(reps, RunExtFaults));
   if (Selected("ext_failover")) ms.push_back(BestOf(reps, RunExtFailover));
   if (Selected("ext_shardout")) ms.push_back(BestOf(reps, RunExtShardout));
+  if (Selected("megaclient")) {
+    ms.push_back(BestOf(reps, [] { return RunMegaclient(1); }));
+    ms.push_back(BestOf(reps, [] { return RunMegaclient(4); }));
+  }
 
   std::printf("Simulator core performance (wall clock; machine-dependent)\n");
-  std::printf("%-20s %12s %10s %12s %10s %12s\n", "workload", "events",
-              "wall ms", "events/sec", "ns/event", "allocs/evt");
+  std::printf("%-20s %3s %12s %10s %12s %10s %12s\n", "workload", "thr",
+              "events", "wall ms", "events/sec", "ns/event", "allocs/evt");
   for (const Measurement& m : ms) {
-    std::printf("%-20s %12llu %10.1f %12.0f %10.1f %12.3f\n", m.name.c_str(),
+    std::printf("%-20s %3d %12llu %10.1f %12.0f %10.1f %12.3f\n",
+                m.name.c_str(), m.threads,
                 static_cast<unsigned long long>(m.events), m.wall_ns / 1e6,
                 m.events_per_sec(), m.ns_per_event(), m.allocs_per_event());
   }

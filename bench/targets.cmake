@@ -31,6 +31,10 @@ fv_add_bench(ext_compression fv_compress)
 fv_add_bench(ext_faults)
 fv_add_bench(ext_failover)
 fv_add_bench(ext_shardout)
+# Partitioned-core tenant sweep (DESIGN.md §14): stdout is deterministic and
+# golden-checked at any FV_SIM_THREADS; its wall-clock speedup section goes
+# to stderr only.
+fv_add_bench(ext_megaclient)
 
 # Wall-clock simulator-core harness (DESIGN.md §8). Links the counting
 # allocator hook so it can report allocs/event; like micro_primitives it is

@@ -1,11 +1,14 @@
 #include "common/logging.h"
 
-#include <atomic>
+// The log level must be readable from worker threads while a test or tool
+// mutates it; a relaxed atomic carries no event-ordering role, so this is
+// outside the src/sim/parallel threading confinement by design.
+#include <atomic>  // fvcheck:allow=banned-api
 
 namespace farview {
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};  // fvcheck:allow=banned-api
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -1,0 +1,365 @@
+#include "fv/megaclient.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fv/node_stats.h"
+#include "sim/parallel/flow_agg.h"
+#include "sim/parallel/partition.h"
+#include "sim/stats.h"
+
+namespace farview {
+namespace {
+
+using sim::Domain;
+using sim::FlowAggregator;
+using sim::ParallelEngine;
+
+/// Uniform draw in [mean/2, 3*mean/2) — same mean as an exponential think
+/// model without pulling libm (and its cross-platform last-ulp drift) into
+/// the deterministic event path.
+SimTime UniformAround(Rng& rng, SimTime mean) {
+  if (mean <= 0) return 0;
+  return mean / 2 + static_cast<SimTime>(
+                        rng.NextBelow(static_cast<uint64_t>(mean)));
+}
+
+/// Decorrelated per-domain stream seed: role/index salt under a stride
+/// wider than any domain count, so distinct (seed, domain) pairs never
+/// collide and the Rng constructor's splitmix expansion decorrelates them.
+uint64_t StreamSeed(uint64_t seed, uint64_t salt) {
+  return seed * 0x1000000ULL + salt;
+}
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Per-session closed-loop state, owned by the session's client domain.
+struct Session {
+  uint32_t gen = 0;      ///< bumps on every transition; stales old events
+  uint32_t attempt = 0;  ///< current attempt (0 = idle/thinking)
+  SimTime first_issue = 0;  ///< submission time of attempt 1
+  uint32_t completions = 0;
+};
+
+/// All state owned by one client-host domain. Only this domain's events
+/// touch it — the partitioning rule that makes parallel execution safe.
+struct ClientPart {
+  ClientPart(Domain* d, uint64_t stream_seed, SimTime quantum,
+             FlowAggregator::WakeFn wake)
+      : domain(d), rng(stream_seed),
+        agg(&d->engine(), quantum, std::move(wake)) {}
+
+  Domain* domain;
+  Rng rng;
+  FlowAggregator agg;
+  std::vector<Session> sessions;  ///< local index i -> global i*P + c
+  std::vector<double> lat_interactive;  ///< completion latencies [ps]
+  std::vector<double> lat_batch;
+  NodeStats stats;  ///< timeouts/retries/late, merged post-run
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t give_ups = 0;
+  uint64_t parks = 0;
+  std::string trace;
+};
+
+/// All state owned by one Farview-node domain: a bank of FIFO service
+/// units with round-robin dispatch (the node's region parallelism).
+struct NodePart {
+  NodePart(Domain* d, uint64_t stream_seed, uint32_t units)
+      : domain(d), rng(stream_seed), busy_until(units, 0) {}
+
+  Domain* domain;
+  Rng rng;
+  std::vector<SimTime> busy_until;
+  uint64_t arrivals = 0;  ///< round-robin dispatch cursor
+  uint64_t drops = 0;
+  NodeStats stats;  ///< served/dropped counts, merged post-run
+  std::string trace;
+};
+
+/// Builds the topology, seeds the sessions, runs the partitioned engine,
+/// and folds per-domain results into a MegaclientReport.
+class Harness {
+ public:
+  Harness(const MegaclientConfig& cfg, int threads)
+      : cfg_(cfg), engine_(threads) {
+    FV_CHECK(cfg_.client_domains >= 1 && cfg_.node_domains >= 1 &&
+             cfg_.node_units >= 1 && cfg_.max_attempts >= 1)
+        << "degenerate megaclient config";
+    const uint32_t p = cfg_.client_domains;
+    for (uint32_t c = 0; c < p; ++c) {
+      Domain* d = engine_.AddDomain();
+      clients_.push_back(std::make_unique<ClientPart>(
+          d, StreamSeed(cfg_.seed, c), cfg_.agg_quantum,
+          FlowAggregator::WakeFn([this, c](uint32_t i) { Wake(c, i); })));
+    }
+    for (uint32_t n = 0; n < cfg_.node_domains; ++n) {
+      Domain* d = engine_.AddDomain();
+      nodes_.push_back(std::make_unique<NodePart>(
+          d, StreamSeed(cfg_.seed, 0x800000ULL + n), cfg_.node_units));
+    }
+    for (uint32_t c = 0; c < p; ++c) {
+      for (uint32_t n = 0; n < cfg_.node_domains; ++n) {
+        engine_.Connect(c, p + n, cfg_.request_latency);
+        engine_.Connect(p + n, c, cfg_.response_latency);
+      }
+    }
+    // Distribute sessions and park each until its first wake. Draw order —
+    // client domains ascending, local sessions ascending — is part of the
+    // deterministic contract.
+    for (uint32_t c = 0; c < p; ++c) {
+      const uint32_t local =
+          cfg_.sessions / p + (c < cfg_.sessions % p ? 1 : 0);
+      ClientPart& cp = *clients_[c];
+      cp.sessions.resize(local);
+      cp.agg.Reserve(local);
+      cp.lat_interactive.reserve(local);
+      cp.lat_batch.reserve(local);
+      for (uint32_t i = 0; i < local; ++i) ParkNext(cp, c, i);
+    }
+  }
+
+  MegaclientReport Run() {
+    MegaclientReport rep;
+    rep.threads = engine_.threads();
+    rep.end_time = engine_.Run();
+    rep.executed_events = engine_.executed_events();
+    rep.cross_events = engine_.cross_events();
+    rep.windows = engine_.windows();
+
+    // Deterministic fold: ascending domain order everywhere.
+    NodeStats merged;
+    sim::SampleStats interactive;
+    sim::SampleStats batch;
+    double comp_sum = 0;
+    double comp_sq = 0;
+    uint64_t batch_sessions = 0;
+    for (const auto& cp : clients_) {
+      rep.issued += cp->issued;
+      rep.completed += cp->completed;
+      rep.give_ups += cp->give_ups;
+      rep.parks += cp->parks;
+      rep.timer_events += cp->agg.timer_events();
+      for (double v : cp->lat_interactive) interactive.Add(v);
+      for (double v : cp->lat_batch) batch.Add(v);
+      // Fairness only over the batch class: its sessions share one offered
+      // load, so Jain's index measures service fairness; mixing in the
+      // interactive class would conflate class imbalance with unfairness.
+      const uint32_t c = cp->domain->id();
+      for (uint32_t i = 0; i < cp->sessions.size(); ++i) {
+        if (Interactive(GlobalId(c, i))) continue;
+        const double x = cp->sessions[i].completions;
+        comp_sum += x;
+        comp_sq += x * x;
+        ++batch_sessions;
+      }
+      merged.MergeFrom(cp->stats);
+      rep.trace += cp->trace;
+    }
+    for (const auto& np : nodes_) {
+      rep.drops += np->drops;
+      merged.MergeFrom(np->stats);
+      rep.trace += np->trace;
+    }
+    rep.timeouts = merged.reliability().timeouts;
+    rep.retries = merged.reliability().retries;
+    rep.late = merged.reliability().late_completions;
+    FV_CHECK(rep.drops == merged.failed_count())
+        << "per-partition drop counts diverged from the merged registry";
+    rep.p50_interactive_us =
+        ToMicros(static_cast<SimTime>(interactive.Percentile(50)));
+    rep.p99_interactive_us =
+        ToMicros(static_cast<SimTime>(interactive.Percentile(99)));
+    rep.p50_batch_us = ToMicros(static_cast<SimTime>(batch.Percentile(50)));
+    rep.p99_batch_us = ToMicros(static_cast<SimTime>(batch.Percentile(99)));
+    rep.fairness = comp_sq > 0 ? comp_sum * comp_sum /
+                                     (static_cast<double>(batch_sessions) *
+                                      comp_sq)
+                               : 1.0;
+    return rep;
+  }
+
+ private:
+  uint32_t GlobalId(uint32_t c, uint32_t i) const {
+    return i * cfg_.client_domains + c;
+  }
+  bool Interactive(uint32_t global_id) const { return global_id % 11 == 0; }
+
+  /// Parks the session until its next think-time expiry; retires it when
+  /// the wake would land past the horizon.
+  void ParkNext(ClientPart& cp, uint32_t c, uint32_t i) {
+    const uint32_t g = GlobalId(c, i);
+    const SimTime think = UniformAround(
+        cp.rng, Interactive(g) ? cfg_.think_mean_interactive
+                               : cfg_.think_mean_batch);
+    const SimTime wake = cp.domain->engine().Now() + think;
+    if (wake >= cfg_.horizon) return;  // retired
+    ++cp.parks;
+    cp.agg.Park(i, wake);
+  }
+
+  void Wake(uint32_t c, uint32_t i) {
+    ClientPart& cp = *clients_[c];
+    Session& st = cp.sessions[i];
+    st.attempt = 1;
+    st.first_issue = cp.domain->engine().Now();
+    ++st.gen;
+    IssueAttempt(cp, c, i);
+  }
+
+  /// Sends the current attempt to the session's node domain and arms its
+  /// timeout. Shared by fresh issues and retries.
+  void IssueAttempt(ClientPart& cp, uint32_t c, uint32_t i) {
+    Session& st = cp.sessions[i];
+    const uint32_t g = GlobalId(c, i);
+    const uint32_t n = g % cfg_.node_domains;
+    const uint32_t gen = st.gen;
+    ++cp.issued;
+    if (cfg_.trace) {
+      AppendF(cp.trace, "c%u s%u t=%lld issue a=%u\n", c, g,
+              static_cast<long long>(cp.domain->engine().Now()), st.attempt);
+    }
+    cp.domain->Send(cfg_.client_domains + n, cfg_.request_latency,
+                    [this, n, c, i, gen] { HandleRequest(n, c, i, gen); });
+    cp.domain->engine().ScheduleAfter(
+        cfg_.timeout, [this, c, i, gen] { HandleTimeout(c, i, gen); });
+  }
+
+  /// Node-domain arrival: drop draw, then FIFO service on a round-robin
+  /// unit; the response needs no extra node event — its delivery time is
+  /// computed arithmetically and sent in one hop.
+  void HandleRequest(uint32_t n, uint32_t c, uint32_t i, uint32_t gen) {
+    NodePart& np = *nodes_[n];
+    const SimTime now = np.domain->engine().Now();
+    if (np.rng.NextBernoulli(cfg_.drop_rate)) {
+      ++np.drops;
+      np.stats.RecordFailure(0);
+      if (cfg_.trace) {
+        AppendF(np.trace, "n%u t=%lld drop s=%u\n", n,
+                static_cast<long long>(now), GlobalId(c, i));
+      }
+      return;
+    }
+    const uint32_t unit =
+        static_cast<uint32_t>(np.arrivals++ % np.busy_until.size());
+    const SimTime start = std::max(now, np.busy_until[unit]);
+    const SimTime service = UniformAround(np.rng, cfg_.service_mean);
+    np.busy_until[unit] = start + service;
+    np.stats.RecordClusterRequest();
+    if (cfg_.trace) {
+      AppendF(np.trace, "n%u t=%lld serve s=%u u=%u fin=%lld\n", n,
+              static_cast<long long>(now), GlobalId(c, i), unit,
+              static_cast<long long>(np.busy_until[unit]));
+    }
+    const SimTime delay = (np.busy_until[unit] - now) + cfg_.response_latency;
+    np.domain->Send(c, delay,
+                    [this, c, i, gen] { HandleResponse(c, i, gen); });
+  }
+
+  void HandleResponse(uint32_t c, uint32_t i, uint32_t gen) {
+    ClientPart& cp = *clients_[c];
+    Session& st = cp.sessions[i];
+    const SimTime now = cp.domain->engine().Now();
+    if (st.gen != gen) {
+      // The client timed out (and maybe retried) before this landed.
+      cp.stats.RecordLateCompletion();
+      if (cfg_.trace) {
+        AppendF(cp.trace, "c%u s%u t=%lld late\n", c, GlobalId(c, i),
+                static_cast<long long>(now));
+      }
+      return;
+    }
+    const SimTime lat = now - st.first_issue;
+    (Interactive(GlobalId(c, i)) ? cp.lat_interactive : cp.lat_batch)
+        .push_back(static_cast<double>(lat));
+    ++cp.completed;
+    ++st.completions;
+    st.attempt = 0;
+    ++st.gen;
+    if (cfg_.trace) {
+      AppendF(cp.trace, "c%u s%u t=%lld done lat=%lld\n", c, GlobalId(c, i),
+              static_cast<long long>(now), static_cast<long long>(lat));
+    }
+    ParkNext(cp, c, i);
+  }
+
+  void HandleTimeout(uint32_t c, uint32_t i, uint32_t gen) {
+    ClientPart& cp = *clients_[c];
+    Session& st = cp.sessions[i];
+    if (st.gen != gen) return;  // attempt already completed
+    cp.stats.RecordTimeout();
+    if (cfg_.trace) {
+      AppendF(cp.trace, "c%u s%u t=%lld tmo a=%u\n", c, GlobalId(c, i),
+              static_cast<long long>(cp.domain->engine().Now()), st.attempt);
+    }
+    if (st.attempt < cfg_.max_attempts) {
+      ++st.attempt;
+      ++st.gen;
+      cp.stats.RecordRetry();
+      IssueAttempt(cp, c, i);
+      return;
+    }
+    ++cp.give_ups;
+    st.attempt = 0;
+    ++st.gen;
+    ParkNext(cp, c, i);
+  }
+
+  MegaclientConfig cfg_;
+  ParallelEngine engine_;
+  std::vector<std::unique_ptr<ClientPart>> clients_;
+  std::vector<std::unique_ptr<NodePart>> nodes_;
+};
+
+}  // namespace
+
+std::string MegaclientReport::Summary() const {
+  std::string out;
+  AppendF(out,
+          "megaclient: issued=%llu completed=%llu timeouts=%llu "
+          "retries=%llu giveups=%llu drops=%llu late=%llu\n",
+          static_cast<unsigned long long>(issued),
+          static_cast<unsigned long long>(completed),
+          static_cast<unsigned long long>(timeouts),
+          static_cast<unsigned long long>(retries),
+          static_cast<unsigned long long>(give_ups),
+          static_cast<unsigned long long>(drops),
+          static_cast<unsigned long long>(late));
+  AppendF(out,
+          "latency[us]: interactive p50=%.3f p99=%.3f | batch p50=%.3f "
+          "p99=%.3f | fairness=%.4f\n",
+          p50_interactive_us, p99_interactive_us, p50_batch_us, p99_batch_us,
+          fairness);
+  AppendF(out,
+          "core: events=%llu cross=%llu windows=%llu parks=%llu "
+          "timers=%llu end=%.3f ms\n",
+          static_cast<unsigned long long>(executed_events),
+          static_cast<unsigned long long>(cross_events),
+          static_cast<unsigned long long>(windows),
+          static_cast<unsigned long long>(parks),
+          static_cast<unsigned long long>(timer_events), ToMillis(end_time));
+  return out;
+}
+
+MegaclientReport RunMegaclient(const MegaclientConfig& cfg, int threads) {
+  Harness harness(cfg, threads);
+  return harness.Run();
+}
+
+}  // namespace farview

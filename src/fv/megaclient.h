@@ -1,0 +1,129 @@
+#ifndef FARVIEW_FV_MEGACLIENT_H_
+#define FARVIEW_FV_MEGACLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace farview {
+
+/// Configuration of the partitioned many-tenant workload (DESIGN.md §14;
+/// ROADMAP "million-client" item). The workload models `sessions` closed-
+/// loop tenants spread over `client_domains` host domains, issuing requests
+/// to `node_domains` Farview node domains across links with the given
+/// one-way latencies; each tenant thinks (idle, flow-aggregated), issues,
+/// and waits with a timeout/retry loop, while node domains serve arrivals
+/// on a bank of FIFO service units and optionally drop requests (seeded
+/// fault injection).
+///
+/// Everything is deterministic: all draws are integer-uniform or Bernoulli
+/// from per-domain `Rng` streams (decorrelated from `seed`), so the run —
+/// including its event trace — is a pure function of this config,
+/// regardless of thread count.
+struct MegaclientConfig {
+  /// Total tenant sessions. Session s lives on client domain `s %
+  /// client_domains`, targets node domain `s % node_domains`, and is
+  /// interactive-class when `s % 11 == 0` (shorter think time; 11 is
+  /// coprime to the usual domain counts, so the class spreads over every
+  /// client domain), else batch.
+  uint32_t sessions = 1000;
+
+  /// Client-host event domains (>= 1).
+  uint32_t client_domains = 8;
+
+  /// Farview node event domains (>= 1).
+  uint32_t node_domains = 4;
+
+  /// Parallel FIFO service units per node domain (round-robin dispatch) —
+  /// the region parallelism of one Farview node.
+  uint32_t node_units = 64;
+
+  /// Master seed; per-domain streams are decorrelated from it.
+  uint64_t seed = 1;
+
+  /// Sessions stop starting new requests at this simulated time; in-flight
+  /// work drains naturally afterwards.
+  SimTime horizon = 20 * kMillisecond;
+
+  /// Mean think (idle) time of batch sessions; draws are uniform in
+  /// [mean/2, 3*mean/2) so no libm enters the event path.
+  SimTime think_mean_batch = 2 * kMillisecond;
+
+  /// Mean think time of interactive sessions.
+  SimTime think_mean_interactive = 500 * kMicrosecond;
+
+  /// Flow-aggregation grid for parked sessions (sim/parallel/flow_agg.h).
+  /// 0 disables aggregation (exact per-session timers) — the ablation
+  /// baseline for event counts.
+  SimTime agg_quantum = 1 * kMicrosecond;
+
+  /// One-way client→node link latency (also the candidate lookahead;
+  /// net/net_config.h `CrossDomainLookahead` derives both from a
+  /// `NetConfig`).
+  SimTime request_latency = 900 * kNanosecond;
+
+  /// One-way node→client link latency.
+  SimTime response_latency = 1000 * kNanosecond;
+
+  /// Mean service time per request on a node unit (uniform draw as above).
+  SimTime service_mean = 2 * kMicrosecond;
+
+  /// Client-side completion deadline per attempt.
+  SimTime timeout = 100 * kMicrosecond;
+
+  /// Attempts per request before the client gives up (>= 1).
+  uint32_t max_attempts = 3;
+
+  /// Probability a node drops an arrival (seeded fault injection; dropped
+  /// requests are only recovered by the client's timeout/retry loop).
+  double drop_rate = 0.0;
+
+  /// Record a per-event text trace (tests only — O(events) memory).
+  bool trace = false;
+};
+
+/// Deterministic results of one megaclient run. All fields except
+/// `threads` depend only on the config — the differential determinism test
+/// asserts `Summary()` and `trace` are byte-identical across {1,2,4,8}
+/// threads.
+struct MegaclientReport {
+  uint64_t issued = 0;       ///< request attempts sent (incl. retries)
+  uint64_t completed = 0;    ///< requests completed within their deadline
+  uint64_t timeouts = 0;     ///< attempts abandoned at deadline
+  uint64_t retries = 0;      ///< re-issued attempts
+  uint64_t give_ups = 0;     ///< requests abandoned after max_attempts
+  uint64_t drops = 0;        ///< arrivals dropped by nodes
+  uint64_t late = 0;         ///< completions after the client moved on
+
+  uint64_t executed_events = 0;  ///< engine events across all domains
+  uint64_t cross_events = 0;     ///< mailbox messages delivered
+  uint64_t windows = 0;          ///< conservative windows executed
+  uint64_t timer_events = 0;     ///< aggregator timers armed (vs parks)
+  uint64_t parks = 0;            ///< sessions parked (idle periods)
+
+  double p50_interactive_us = 0;  ///< interactive-class completion p50
+  double p99_interactive_us = 0;  ///< interactive-class completion p99
+  double p50_batch_us = 0;        ///< batch-class completion p50
+  double p99_batch_us = 0;        ///< batch-class completion p99
+  double fairness = 1.0;  ///< Jain index, batch-class per-session completions
+  SimTime end_time = 0;   ///< max domain clock at drain
+
+  int threads = 1;    ///< worker threads used (not part of Summary())
+  std::string trace;  ///< per-event trace when cfg.trace, domain order
+
+  /// Multi-line deterministic digest of every field above except
+  /// `threads`/`trace` — the byte-identity token of the differential test
+  /// and the deterministic part of bench/ext_megaclient's stdout.
+  std::string Summary() const;
+};
+
+/// Runs the workload on a `sim::ParallelEngine` with `threads` workers
+/// (<= 0 reads FV_SIM_THREADS). Client and node domains each record into
+/// their own `NodeStats`, merged in domain order via `NodeStats::MergeFrom`
+/// at the end — the per-partition telemetry pattern of DESIGN.md §14.
+MegaclientReport RunMegaclient(const MegaclientConfig& cfg, int threads);
+
+}  // namespace farview
+
+#endif  // FARVIEW_FV_MEGACLIENT_H_

@@ -39,31 +39,84 @@ void NodeStats::RecordCompletion(const RequestContext& ctx) {
   rec.bytes_on_wire = ctx.bytes_on_wire;
   rec.packets = ctx.packets;
   rec.rows = ctx.rows;
+  FoldRecord(rec);
+}
+
+void NodeStats::FoldRecord(const RequestRecord& rec) {
   completed_.push_back(rec);
 
-  if (ctx.ingress_done > 0) {
-    ingress_.Add(static_cast<double>(ctx.ingress_done - ctx.submitted));
+  if (rec.ingress_done > 0) {
+    ingress_.Add(static_cast<double>(rec.ingress_done - rec.submitted));
   }
-  if (ctx.region_start > 0) {
-    queue_wait_.Add(static_cast<double>(ctx.region_start - ctx.ingress_done));
+  if (rec.region_start > 0) {
+    queue_wait_.Add(static_cast<double>(rec.region_start - rec.ingress_done));
   }
-  if (ctx.operator_done > 0 && ctx.region_start > 0) {
-    execute_.Add(static_cast<double>(ctx.operator_done - ctx.region_start));
+  if (rec.operator_done > 0 && rec.region_start > 0) {
+    execute_.Add(static_cast<double>(rec.operator_done - rec.region_start));
   }
-  if (ctx.delivered > 0 && ctx.operator_done > 0) {
-    egress_.Add(static_cast<double>(ctx.delivered - ctx.operator_done));
+  if (rec.delivered > 0 && rec.operator_done > 0) {
+    egress_.Add(static_cast<double>(rec.delivered - rec.operator_done));
   }
-  if (ctx.delivered > 0) {
-    total_.Add(static_cast<double>(ctx.delivered - ctx.submitted));
+  if (rec.delivered > 0) {
+    total_.Add(static_cast<double>(rec.delivered - rec.submitted));
   }
 
-  QpStats& qp = per_qp_[ctx.qp_id];
+  QpStats& qp = per_qp_[rec.qp_id];
   ++qp.completed;
-  qp.bytes_delivered += ctx.bytes_on_wire;
-  if (qp.first_submitted == 0 || ctx.submitted < qp.first_submitted) {
-    qp.first_submitted = ctx.submitted;
+  qp.bytes_delivered += rec.bytes_on_wire;
+  if (qp.first_submitted == 0 || rec.submitted < qp.first_submitted) {
+    qp.first_submitted = rec.submitted;
   }
-  qp.last_delivered = std::max(qp.last_delivered, ctx.delivered);
+  qp.last_delivered = std::max(qp.last_delivered, rec.delivered);
+}
+
+void NodeStats::MergeFrom(const NodeStats& other) {
+  // Completion records re-fold through the exact single-registry path, so
+  // a merged registry reports identically to one that observed every
+  // completion directly (pinned by fv_node_test MergeFrom tests).
+  for (const RequestRecord& rec : other.completed_) FoldRecord(rec);
+  failed_ += other.failed_;
+  rejected_ += other.rejected_;
+  last_request_id_ = std::max(last_request_id_, other.last_request_id_);
+  for (const auto& [qp_id, oqp] : other.per_qp_) {
+    // completed / bytes / first / last were rebuilt by FoldRecord above;
+    // only the aggregates with no per-record source remain.
+    QpStats& qp = per_qp_[qp_id];
+    qp.failed += oqp.failed;
+    qp.rejected += oqp.rejected;
+    qp.queue_high_water = std::max(qp.queue_high_water, oqp.queue_high_water);
+  }
+  for (const auto& [region_id, busy] : other.region_busy_) {
+    region_busy_[region_id] += busy;
+  }
+
+  const ReliabilityStats& r = other.reliability_;
+  reliability_.region_stalls += r.region_stalls;
+  reliability_.region_faults += r.region_faults;
+  reliability_.node_crashes += r.node_crashes;
+  reliability_.node_restarts += r.node_restarts;
+  reliability_.crash_failures += r.crash_failures;
+  reliability_.timeouts += r.timeouts;
+  reliability_.retries += r.retries;
+  reliability_.fallbacks += r.fallbacks;
+  reliability_.late_completions += r.late_completions;
+  reliability_.failovers += r.failovers;
+  reliability_.fast_fails += r.fast_fails;
+  reliability_.circuit_opens += r.circuit_opens;
+  reliability_.circuit_half_opens += r.circuit_half_opens;
+  reliability_.circuit_closes += r.circuit_closes;
+  reliability_.cluster_requests += r.cluster_requests;
+  reliability_.resyncs += r.resyncs;
+  reliability_.resync_bytes += r.resync_bytes;
+  reliability_.resync_time += r.resync_time;
+
+  const ShardingStats& s = other.sharding_;
+  sharding_.fragment_reads += s.fragment_reads;
+  sharding_.fragment_writes += s.fragment_writes;
+  sharding_.fragment_offloads += s.fragment_offloads;
+  sharding_.gather_bytes += s.gather_bytes;
+  sharding_.partial_groups += s.partial_groups;
+  sharding_.repartition_bytes += s.repartition_bytes;
 }
 
 void NodeStats::RecordFailure(int qp_id) {

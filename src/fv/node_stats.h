@@ -139,6 +139,17 @@ class NodeStats {
   /// Folds a finished request into the distributions and appends its record.
   void RecordCompletion(const RequestContext& ctx);
 
+  /// Per-partition merge (DESIGN.md §14): folds `other`'s telemetry into
+  /// this registry. When a simulation is partitioned into event domains,
+  /// each domain records into its own NodeStats — no shared mutable state
+  /// crosses a domain boundary — and the driver merges the registries in
+  /// ascending domain order after the run, so the merged report depends
+  /// only on the simulation, never on the thread schedule. Completion
+  /// records are re-folded (distributions and per-qp aggregates rebuild
+  /// exactly as if recorded here); counters add; high-water marks take the
+  /// max. `other` is left untouched.
+  void MergeFrom(const NodeStats& other);
+
   /// Counts a request that reached the node but failed with a Status.
   void RecordFailure(int qp_id);
 
@@ -222,6 +233,10 @@ class NodeStats {
   std::string FormatReport(SimTime now, double link_utilization) const;
 
  private:
+  /// Shared tail of RecordCompletion and MergeFrom: appends `rec` and folds
+  /// it into the stage distributions and per-qp aggregates.
+  void FoldRecord(const RequestRecord& rec);
+
   uint64_t last_request_id_ = 0;
   uint64_t failed_ = 0;
   uint64_t rejected_ = 0;

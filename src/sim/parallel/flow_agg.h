@@ -1,0 +1,151 @@
+#ifndef FARVIEW_SIM_PARALLEL_FLOW_AGG_H_
+#define FARVIEW_SIM_PARALLEL_FLOW_AGG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/inline_fn.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace farview::sim {
+
+/// Flow aggregation for idle sessions (ROADMAP "million-client" item):
+/// collapses the per-session wake-up timers of parked (between-requests)
+/// clients into one engine timer per aggregator, so a domain hosting 100k
+/// mostly-idle tenants keeps O(active) events in its calendar queue instead
+/// of O(sessions).
+///
+/// `Park(session, wake_at)` quantizes the wake time *up* to the aggregation
+/// grid (`quantum`) and stores the session in a min-heap keyed by
+/// (quantized wake, park order); only the earliest heap entry has a real
+/// engine timer armed. When that timer fires, every session due at the
+/// current instant wakes — in park order, so the wake sequence is a pure
+/// function of the simulated history — and the timer re-arms for the next
+/// batch. Generation guards make superseded timers (a later Park with an
+/// earlier deadline) inert without needing event cancellation.
+///
+/// Quantization is a modeling choice, not an approximation smuggled in: a
+/// parked client's think time simply rounds up to the grid (<= one quantum
+/// of added idle, default 1 µs against millisecond think times). `quantum
+/// == 0` disables aggregation — every Park arms its own exact engine timer
+/// — which is the ablation baseline `bench/ext_megaclient` reports event
+/// counts against.
+class FlowAggregator {
+ public:
+  /// Callback invoked with the session index when its park expires.
+  using WakeFn = InlineFn<void(uint32_t)>;
+
+  /// `engine` must outlive the aggregator. `quantum` is the aggregation
+  /// grid in simulated time (>= 0; 0 = per-session timers).
+  FlowAggregator(Engine* engine, SimTime quantum, WakeFn on_wake)
+      : engine_(engine), quantum_(quantum), on_wake_(std::move(on_wake)) {
+    FV_CHECK(engine_ != nullptr) << "FlowAggregator needs an engine";
+    FV_CHECK(quantum_ >= 0) << "negative aggregation quantum";
+  }
+
+  FlowAggregator(const FlowAggregator&) = delete;
+  FlowAggregator& operator=(const FlowAggregator&) = delete;
+
+  /// Pre-sizes the heap for `n` parked sessions (hot-path discipline,
+  /// DESIGN.md §8a: steady-state Park must not grow the vector).
+  void Reserve(size_t n) {
+    heap_.reserve(n);  // fvcheck:allow=hot-path-alloc
+  }
+
+  /// Parks `session` until `wake_at` (absolute, >= Now()). The wake
+  /// callback runs at `wake_at` rounded up to the aggregation grid.
+  void Park(uint32_t session, SimTime wake_at) {
+    ++parked_;
+    if (quantum_ == 0) {
+      // Ablation mode: exact per-session timer, one engine event each.
+      ++timer_events_;
+      engine_->ScheduleAt(wake_at, [this, session] {
+        --parked_;
+        on_wake_(session);
+      });
+      return;
+    }
+    const SimTime wake_q = QuantizeUp(wake_at);
+    // fvcheck:allow=hot-path-alloc — amortized; Reserve pre-sizes.
+    heap_.push_back(Entry{wake_q, order_++, session});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+    // Arm only when this entry beats the armed deadline; Fire() re-arms
+    // after a batch, so mid-fire parks never need their own timer.
+    if (!in_fire_ && (!armed_ || wake_q < armed_at_)) Arm(wake_q);
+  }
+
+  /// Sessions currently parked (aggregated or ablation mode).
+  uint64_t parked() const { return parked_; }
+
+  /// Engine timer events armed so far — the cost the aggregation collapses
+  /// (compare against one event per Park in ablation mode).
+  uint64_t timer_events() const { return timer_events_; }
+
+ private:
+  struct Entry {
+    SimTime wake;    ///< quantized absolute wake time
+    uint64_t order;  ///< park sequence — deterministic same-instant order
+    uint32_t session;
+  };
+
+  /// std::*_heap comparator: max-heap on "later", i.e. min-heap on
+  /// (wake, order).
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.wake != b.wake) return a.wake > b.wake;
+    return a.order > b.order;
+  }
+
+  SimTime QuantizeUp(SimTime t) const {
+    const SimTime rem = t % quantum_;
+    return rem == 0 ? t : t + (quantum_ - rem);
+  }
+
+  /// Arms the engine timer for `at`, superseding any armed timer via the
+  /// generation guard.
+  void Arm(SimTime at) {
+    const uint64_t gen = ++arm_gen_;
+    armed_ = true;
+    armed_at_ = at;
+    ++timer_events_;
+    engine_->ScheduleAt(at, [this, gen] { Fire(gen); });
+  }
+
+  /// Timer body: wakes every session due at Now() in park order, then
+  /// re-arms for the next batch. `gen` mismatches mean a later Park armed
+  /// an earlier timer and this one is stale.
+  void Fire(uint64_t gen) {
+    if (gen != arm_gen_) return;
+    armed_ = false;
+    const SimTime now = engine_->Now();
+    in_fire_ = true;
+    while (!heap_.empty() && heap_.front().wake <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later);
+      const uint32_t session = heap_.back().session;
+      heap_.pop_back();
+      --parked_;
+      // May Park() again re-entrantly; in_fire_ defers re-arming to below.
+      on_wake_(session);
+    }
+    in_fire_ = false;
+    if (!heap_.empty()) Arm(heap_.front().wake);
+  }
+
+  Engine* engine_;
+  SimTime quantum_;
+  WakeFn on_wake_;
+  std::vector<Entry> heap_;  ///< min-heap via std::push_heap/pop_heap
+  uint64_t order_ = 0;
+  uint64_t parked_ = 0;
+  uint64_t timer_events_ = 0;
+  uint64_t arm_gen_ = 0;
+  SimTime armed_at_ = 0;
+  bool armed_ = false;
+  bool in_fire_ = false;
+};
+
+}  // namespace farview::sim
+
+#endif  // FARVIEW_SIM_PARALLEL_FLOW_AGG_H_

@@ -1,0 +1,111 @@
+#ifndef FARVIEW_SIM_PARALLEL_MAILBOX_H_
+#define FARVIEW_SIM_PARALLEL_MAILBOX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace farview::sim {
+
+/// One event crossing a domain boundary: the callback runs in the
+/// *receiving* domain's engine at `recv_time`. The (send_time, send_seq)
+/// stamp is the sender-side total order of the message — it is what makes
+/// the merged event order reproducible at any thread count: receivers drain
+/// mailboxes in ascending source-domain order, and within one mailbox
+/// messages are already in (send_time, send_seq) order (the producer is a
+/// single deterministic engine), so every receiving engine assigns local
+/// sequence numbers in an order that depends only on the simulation, never
+/// on the host schedule (DESIGN.md §14).
+struct CrossEvent {
+  /// Absolute receive time in the destination domain; always >= the send
+  /// time plus the link's lookahead latency.
+  SimTime recv_time = 0;
+  /// Sender clock at Send() — diagnostic / ordering stamp.
+  SimTime send_time = 0;
+  /// Sender-local monotone send counter — breaks send-time ties.
+  uint64_t send_seq = 0;
+  /// Callback executed in the destination domain at `recv_time`.
+  EventFn fn;
+};
+
+/// Single-producer / single-consumer mailbox for one directed domain link,
+/// phase-separated by the conservative window barrier (DESIGN.md §14).
+///
+/// The producer (the worker executing the source domain) appends during a
+/// window; the coordinator calls `Publish()` at the barrier, flipping the
+/// produced batch to the consumer side; the consumer (the worker executing
+/// the destination domain, possibly a different thread in the next window)
+/// drains the published batch before running its engine. The window barrier
+/// provides the happens-before edge, so no per-message synchronization is
+/// needed — unlike a bounded lock-free ring, an unbounded two-phase buffer
+/// can never require backpressure *inside* a window (a producer blocking on
+/// a full ring mid-window would deadlock the barrier).
+///
+/// Capacity is recycled across windows: steady-state Push is an append into
+/// reserved storage (hot-path discipline, DESIGN.md §8a).
+class SpscMailbox {
+ public:
+  SpscMailbox() {
+    produced_.reserve(kInitialCapacity);  // fvcheck:allow=hot-path-alloc
+    published_.reserve(kInitialCapacity);  // fvcheck:allow=hot-path-alloc
+  }
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side, during a window: enqueues a message. `send_time` /
+  /// `send_seq` must be non-decreasing across pushes (the sending engine's
+  /// clock and send counter enforce this), which keeps the batch sorted by
+  /// construction.
+  void Push(SimTime recv_time, SimTime send_time, uint64_t send_seq,
+            EventFn&& fn) {
+    // fvcheck:allow=hot-path-alloc — amortized growth; capacity recycles.
+    produced_.push_back(
+        CrossEvent{recv_time, send_time, send_seq, std::move(fn)});
+  }
+
+  /// Coordinator side, at the window barrier: flips the produced batch to
+  /// the consumer. The previous published batch must have been fully
+  /// drained (the conservative protocol guarantees the consumer ran).
+  void Publish() {
+    FV_CHECK(published_.empty()) << "published cross-events were not drained";
+    std::swap(produced_, published_);
+  }
+
+  /// Consumer side, at window start: invokes `fn(CrossEvent&)` for every
+  /// published message in send order, then recycles the batch's capacity.
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    for (CrossEvent& ev : published_) fn(ev);
+    published_.clear();
+  }
+
+  /// Receive time of the earliest published-but-undrained message, or
+  /// `kNoPending` when none. Link latency is constant per mailbox and send
+  /// times are monotone, so the earliest message is the first one. Used by
+  /// the coordinator to find the global next event time.
+  SimTime PendingRecvTime() const {
+    return published_.empty() ? kNoPending : published_.front().recv_time;
+  }
+
+  /// Sentinel returned by `PendingRecvTime` for an empty mailbox.
+  static constexpr SimTime kNoPending = INT64_MAX;
+
+  /// Messages currently buffered on the producer side (pre-Publish).
+  size_t produced_size() const { return produced_.size(); }
+
+ private:
+  /// Initial batch capacity; grows on demand and is then recycled.
+  static constexpr size_t kInitialCapacity = 64;
+
+  std::vector<CrossEvent> produced_;   ///< written by the producer
+  std::vector<CrossEvent> published_;  ///< drained by the consumer
+};
+
+}  // namespace farview::sim
+
+#endif  // FARVIEW_SIM_PARALLEL_MAILBOX_H_

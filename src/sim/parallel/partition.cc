@@ -1,0 +1,242 @@
+#include "sim/parallel/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace farview::sim {
+
+int SimThreadsFromEnv() {
+  // Reading the environment is deterministic per run (same env -> same
+  // value); FV_SIM_THREADS never changes event order, only which thread
+  // executes a domain.
+  const char* env = std::getenv("FV_SIM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 1;
+  if (v > 64) return 64;
+  return static_cast<int>(v);
+}
+
+void Domain::Send(uint32_t dst, SimTime delay, EventFn fn) {
+  FV_CHECK(dst < out_.size() && out_[dst] != nullptr)
+      << "Send to unconnected domain " << dst << " from domain " << id_;
+  FV_CHECK(delay >= owner_->lookahead_)
+      << "cross-domain delay " << delay << "ps undercuts lookahead "
+      << owner_->lookahead_ << "ps (causality: the receiver may already "
+      << "have executed past the delivery time)";
+  const SimTime now = engine_.Now();
+  out_[dst]->Push(now + delay, now, send_seq_++, std::move(fn));
+}
+
+ParallelEngine::ParallelEngine(int threads)
+    : threads_(threads > 0 ? threads : SimThreadsFromEnv()) {
+  // Spinning at the barrier only pays off when every requested thread can
+  // make progress simultaneously; oversubscribed hosts (or unknown
+  // concurrency) go straight to the condvar.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_budget_ =
+      (hw != 0 && static_cast<unsigned>(threads_) <= hw) ? 4096 : 0;
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Domain* ParallelEngine::AddDomain() {
+  FV_CHECK(!started_) << "topology is frozen after the first Run";
+  // Topology setup, frozen before the first Run — not per-event growth.
+  domains_.push_back(std::unique_ptr<Domain>(  // fvcheck:allow=hot-path-alloc
+      new Domain(this, static_cast<uint32_t>(domains_.size()))));
+  return domains_.back().get();
+}
+
+void ParallelEngine::Connect(uint32_t src, uint32_t dst, SimTime latency) {
+  FV_CHECK(!started_) << "topology is frozen after the first Run";
+  FV_CHECK(src < domains_.size() && dst < domains_.size() && src != dst)
+      << "Connect(" << src << ", " << dst << ") with " << domains_.size()
+      << " domains";
+  FV_CHECK(latency > 0) << "zero-latency links have no lookahead; merge the "
+                        << "two endpoints into one domain instead";
+  Domain& s = *domains_[src];
+  Domain& d = *domains_[dst];
+  // Topology setup (frozen before Run): dense out-edge table and the
+  // link's mailbox — not per-event growth.
+  if (s.out_.size() <= dst) {
+    s.out_.resize(domains_.size(), nullptr);  // fvcheck:allow=hot-path-alloc
+  }
+  FV_CHECK(s.out_[dst] == nullptr)
+      << "link " << src << " -> " << dst << " declared twice";
+  mailboxes_.push_back(std::make_unique<SpscMailbox>());  // fvcheck:allow=hot-path-alloc
+  SpscMailbox* box = mailboxes_.back().get();
+  s.out_[dst] = box;
+  // Keep in-edges sorted by source id: receivers drain in ascending source
+  // order, which fixes the merged sequence assignment independent of
+  // Connect call order at runtime.
+  const auto pos = std::lower_bound(
+      d.in_.begin(), d.in_.end(), src,
+      [](const Domain::InEdge& e, uint32_t id) { return e.src < id; });
+  d.in_.insert(pos, Domain::InEdge{src, box});
+  lookahead_ = std::min(lookahead_, latency);
+}
+
+SimTime ParallelEngine::Run() {
+  started_ = true;
+  if (threads_ > 1 && workers_.empty() && domains_.size() > 1) StartWorkers();
+  for (;;) {
+    // Barrier phase (single-threaded): flip every mailbox, then find the
+    // globally earliest pending work item across engine queues and
+    // just-published cross-events.
+    for (const auto& box : mailboxes_) box->Publish();
+    SimTime next = Engine::kNoPendingEvent;
+    for (const auto& d : domains_) {
+      next = std::min(next, d->engine_.NextEventTime());
+    }
+    for (const auto& box : mailboxes_) {
+      next = std::min(next, box->PendingRecvTime());
+    }
+    if (next == Engine::kNoPendingEvent) break;  // fully drained
+    // Window [next, next + L): a message sent at t >= next arrives at
+    // >= next + L, so everything < next + L is already visible. RunUntil's
+    // deadline is inclusive, hence the -1. No links -> no peer can inject
+    // events -> each domain may run to completion in one window.
+    SimTime deadline;
+    if (lookahead_ == kNoLookahead || next > kNoLookahead - lookahead_) {
+      deadline = kNoLookahead;
+    } else {
+      deadline = next + lookahead_ - 1;
+    }
+    ++windows_;
+    ExecuteWindow(deadline);
+  }
+  SimTime end = 0;
+  for (const auto& d : domains_) end = std::max(end, d->engine_.Now());
+  return end;
+}
+
+uint64_t ParallelEngine::executed_events() const {
+  uint64_t total = 0;
+  for (const auto& d : domains_) total += d->engine_.executed_events();
+  return total;
+}
+
+uint64_t ParallelEngine::cross_events() const {
+  uint64_t total = 0;
+  for (const auto& d : domains_) total += d->cross_delivered_;
+  return total;
+}
+
+void ParallelEngine::RunDomainWindow(Domain& d, SimTime deadline) {
+  // Drain in ascending source order. Within a mailbox, messages are in
+  // (send_time, send_seq) order by construction, so the ScheduleAt calls —
+  // and therefore the receiving engine's tie-breaking sequence numbers —
+  // happen in an order fully determined by the simulation itself. Delivery
+  // times are strictly beyond the previous window's deadline (recv_time >=
+  // window start + lookahead), so ScheduleAt never lands in the past.
+  for (const Domain::InEdge& e : d.in_) {
+    e.box->Drain([&d](CrossEvent& ev) {
+      d.engine_.ScheduleAt(ev.recv_time, std::move(ev.fn));
+      ++d.cross_delivered_;
+    });
+  }
+  d.engine_.RunUntil(deadline);
+}
+
+void ParallelEngine::ExecuteWindow(SimTime deadline) {
+  if (workers_.empty()) {
+    // Sequential path (threads == 1, or a single domain): identical event
+    // execution, zero synchronization.
+    for (const auto& d : domains_) RunDomainWindow(*d, deadline);
+    return;
+  }
+  // Publish the window to the pool. The release bump of window_gen_ (and
+  // the acquire load in WorkerLoop) orders window_deadline_ and the mailbox
+  // flips above it; the mutex covers the condvar sleepers.
+  window_deadline_ = deadline;
+  next_domain_.store(0, std::memory_order_relaxed);
+  done_workers_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_gen_.fetch_add(1, std::memory_order_release);
+  }
+  cv_work_.notify_all();
+  // The coordinator is the threads_-th worker.
+  RunClaimedDomains(deadline);
+  // Barrier: wait until every worker arrived. The acquire load pairs with
+  // the workers' release increments, making all their domain/mailbox writes
+  // visible before the next barrier phase reads them.
+  const int target = static_cast<int>(workers_.size());
+  for (int i = 0; i < spin_budget_; ++i) {
+    if (done_workers_.load(std::memory_order_acquire) == target) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this, target] {
+    return done_workers_.load(std::memory_order_acquire) == target;
+  });
+}
+
+void ParallelEngine::RunClaimedDomains(SimTime deadline) {
+  // Dynamic claiming: which thread runs a domain is a pure scheduling
+  // choice — domain execution is deterministic either way — so simple
+  // fetch_add load balancing is safe.
+  for (;;) {
+    const uint32_t i = next_domain_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= domains_.size()) return;
+    RunDomainWindow(*domains_[i], deadline);
+  }
+}
+
+void ParallelEngine::StartWorkers() {
+  const int spawn = std::min(threads_ - 1,
+                             static_cast<int>(domains_.size()) - 1);
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    // One-time pool spawn at the first Run — not per-event growth.
+    workers_.emplace_back([this] { WorkerLoop(); });  // fvcheck:allow=hot-path-alloc
+  }
+}
+
+void ParallelEngine::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    // Wait for a new window (or shutdown): spin briefly on the generation
+    // counter, then park on the condvar.
+    uint64_t gen = seen_gen;
+    for (int i = 0; i < spin_budget_; ++i) {
+      gen = window_gen_.load(std::memory_order_acquire);
+      if (gen != seen_gen) break;
+      std::this_thread::yield();
+    }
+    if (gen == seen_gen) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this, seen_gen] {
+        return shutdown_ ||
+               window_gen_.load(std::memory_order_acquire) != seen_gen;
+      });
+      if (shutdown_) return;
+      gen = window_gen_.load(std::memory_order_acquire);
+    }
+    seen_gen = gen;
+    RunClaimedDomains(window_deadline_);
+    const int arrived =
+        done_workers_.fetch_add(1, std::memory_order_release) + 1;
+    if (arrived == static_cast<int>(workers_.size())) {
+      // Empty critical section serializes with the coordinator's predicate
+      // check, closing the check-then-sleep race before the notify.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace farview::sim

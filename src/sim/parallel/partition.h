@@ -1,0 +1,204 @@
+#ifndef FARVIEW_SIM_PARALLEL_PARTITION_H_
+#define FARVIEW_SIM_PARALLEL_PARTITION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/parallel/mailbox.h"
+
+namespace farview::sim {
+
+/// Worker-thread count requested via the `FV_SIM_THREADS` environment
+/// variable, clamped to [1, 64]; 1 when unset or unparsable. 1 selects the
+/// sequential window loop (no threads, no atomics touched), which executes
+/// the byte-identical event order — thread count is a pure wall-clock knob
+/// (DESIGN.md §14).
+int SimThreadsFromEnv();
+
+class ParallelEngine;
+
+/// One conservatively synchronized event domain: a private `Engine` (clock,
+/// calendar queue, sequence numbers) plus the SPSC mailboxes linking it to
+/// its neighbors. All simulation state a domain's events touch must be
+/// owned by that domain; the only way state crosses a domain boundary is
+/// `Send`, which costs at least the link's lookahead latency (DESIGN.md
+/// §14 partitioning rules).
+class Domain {
+ public:
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// The domain-private engine. Schedule intra-domain events here exactly
+  /// as in a single-threaded simulation.
+  Engine& engine() { return engine_; }
+
+  /// Identifier assigned by `ParallelEngine::AddDomain` (dense from 0).
+  uint32_t id() const { return id_; }
+
+  /// Cross-domain send: runs `fn` in domain `dst` at `Now() + delay`. The
+  /// domains must be connected and `delay` must be >= the link latency
+  /// declared in `Connect` — the latency is the lookahead that makes
+  /// conservative windows safe, so undercutting it is a causality error
+  /// (FV_CHECK). May only be called from this domain's own events.
+  void Send(uint32_t dst, SimTime delay, EventFn fn);
+
+  /// Cross-domain messages delivered *into* this domain so far.
+  uint64_t cross_delivered() const { return cross_delivered_; }
+
+ private:
+  friend class ParallelEngine;
+
+  Domain(ParallelEngine* owner, uint32_t id) : owner_(owner), id_(id) {}
+
+  ParallelEngine* owner_;
+  uint32_t id_;
+  Engine engine_;
+  uint64_t send_seq_ = 0;         ///< monotone per-domain send counter
+  uint64_t cross_delivered_ = 0;  ///< messages drained into engine_
+
+  /// One incoming link: the source domain id and its mailbox.
+  struct InEdge {
+    uint32_t src;
+    SpscMailbox* box;
+  };
+
+  /// Outgoing mailboxes, dense by destination id (null when unlinked).
+  std::vector<SpscMailbox*> out_;
+  /// Incoming mailboxes kept in ascending source-domain order — the drain
+  /// order that makes merged sequence assignment deterministic.
+  std::vector<InEdge> in_;
+};
+
+/// Deterministic parallel discrete-event engine: partitions a simulation
+/// into per-node event domains and executes them under conservative
+/// synchronization (DESIGN.md §14).
+///
+/// Time advances in windows. Each round the coordinator publishes all
+/// mailboxes, finds the globally earliest pending event time `N` (engine
+/// queues and undrained mailboxes), and opens the window [N, N + L) where
+/// `L` is the lookahead — the minimum link latency between any two
+/// connected domains. Every domain may execute its events inside the
+/// window without seeing its neighbors' clocks: any message a neighbor
+/// sends while executing the same window arrives at >= N + L, i.e. in a
+/// later window. Cross-domain messages carry exact (send_time, send_seq)
+/// stamps and are drained in fixed source order, so the merged event order
+/// — and therefore every bench stdout — is byte-identical at any thread
+/// count (`tests/parallel_sim_test.cc` differential suite).
+///
+/// `threads == 1` runs the window loop inline on the calling thread: no
+/// worker threads are spawned and no synchronization is touched, so the
+/// single-threaded path stays as allocation- and overhead-free as a bare
+/// `Engine`. With `threads > 1` a worker pool claims domains dynamically
+/// per window (domain execution is deterministic regardless of which
+/// worker runs it) and meets at a hybrid spin/condvar barrier.
+class ParallelEngine {
+ public:
+  /// `threads` <= 0 reads FV_SIM_THREADS (see `SimThreadsFromEnv`).
+  explicit ParallelEngine(int threads = 1);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Creates the next domain (ids are dense from 0). All domains and links
+  /// must be declared before the first `Run`.
+  Domain* AddDomain();
+
+  /// Declares the directed link src -> dst with one-way latency `latency`
+  /// (> 0). The minimum latency over all links is the engine's lookahead
+  /// and thus the conservative window length; `Domain::Send` over this
+  /// link must use delay >= `latency`.
+  void Connect(uint32_t src, uint32_t dst, SimTime latency);
+
+  /// Runs all domains to completion (every engine drained, every mailbox
+  /// empty). Returns the maximum domain clock. May be called repeatedly as
+  /// components schedule more work between calls.
+  SimTime Run();
+
+  /// Total events executed across all domain engines.
+  uint64_t executed_events() const;
+
+  /// Cross-domain messages delivered across all domains.
+  uint64_t cross_events() const;
+
+  /// Conservative windows executed by `Run` so far.
+  uint64_t windows() const { return windows_; }
+
+  /// Worker threads used by `Run` (1 = sequential inline loop).
+  int threads() const { return threads_; }
+
+  /// Current lookahead: minimum declared link latency (kNoLookahead when
+  /// no links exist — disconnected domains run to completion in one
+  /// window).
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Sentinel lookahead while no link has been declared.
+  static constexpr SimTime kNoLookahead = INT64_MAX;
+
+  /// Number of domains created so far.
+  size_t num_domains() const { return domains_.size(); }
+
+  /// Domain accessor (id < num_domains()).
+  Domain* domain(uint32_t id) { return domains_[id].get(); }
+
+ private:
+  friend class Domain;
+
+  /// Drains domain `d`'s incoming mailboxes into its engine, then executes
+  /// the domain up to `deadline` (inclusive). Runs on whichever thread
+  /// claimed the domain this window.
+  void RunDomainWindow(Domain& d, SimTime deadline);
+
+  /// Executes one window over all domains with the configured thread pool.
+  void ExecuteWindow(SimTime deadline);
+
+  /// Claims domains off `next_domain_` until none remain, running each one
+  /// for the current window. Called by workers and by the coordinator
+  /// (which participates as the threads_-th worker).
+  void RunClaimedDomains(SimTime deadline);
+
+  /// Lazily starts the worker pool (threads_ > 1 only).
+  void StartWorkers();
+
+  /// Worker thread body: waits for a window, claims domains, runs them,
+  /// and reports at the barrier.
+  void WorkerLoop();
+
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;
+  SimTime lookahead_ = kNoLookahead;
+  int threads_ = 1;
+  bool started_ = false;  ///< first Run happened; topology is frozen
+  uint64_t windows_ = 0;
+
+  // --- Worker-pool state (untouched when threads_ == 1) ------------------
+  //
+  // Plain per-domain and mailbox state needs no per-access synchronization:
+  // within a window exactly one worker touches a domain (claimed via
+  // next_domain_), and across windows the generation/done handshake below
+  // provides the happens-before chain worker -> coordinator -> worker.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< coordinator -> workers: new window
+  std::condition_variable cv_done_;  ///< workers -> coordinator: all done
+  std::atomic<uint64_t> window_gen_{0};  ///< bumps per window (release)
+  std::atomic<uint32_t> next_domain_{0};  ///< work-claiming cursor
+  std::atomic<int> done_workers_{0};      ///< barrier arrival count
+  SimTime window_deadline_ = 0;  ///< published before window_gen_ bump
+  bool shutdown_ = false;        ///< guarded by mu_
+  /// Barrier spin iterations before falling back to the condvar. Zero when
+  /// the requested thread count oversubscribes the host (spinning on a
+  /// single hardware thread only delays the peer being spun on).
+  int spin_budget_ = 0;
+};
+
+}  // namespace farview::sim
+
+#endif  // FARVIEW_SIM_PARALLEL_PARTITION_H_

@@ -660,5 +660,124 @@ TEST_F(FvQueueTest, StageStampsMonotoneForEveryCompletedRequest) {
   EXPECT_GT(node_.stats().queue_wait().Max(), 0.0);
 }
 
+// --- NodeStats::MergeFrom (DESIGN.md §14 per-partition merge) --------------
+
+/// Builds a completed-request context with stamps derived from `i` so every
+/// stage latency, byte count and qp id is distinct and deterministic.
+RequestContext MergeTestCtx(uint64_t i, int qp_id) {
+  RequestContext ctx;
+  ctx.request_id = i + 1;
+  ctx.qp_id = qp_id;
+  ctx.client_id = static_cast<int>(i % 3);
+  ctx.verb = Verb::kFarview;
+  const SimTime base = static_cast<SimTime>(i + 1) * kMicrosecond;
+  ctx.submitted = base;
+  ctx.ingress_done = base + 100 * kNanosecond;
+  ctx.region_start = base + (200 + static_cast<SimTime>(i)) * kNanosecond;
+  ctx.first_memory_beat = base + 300 * kNanosecond;
+  ctx.operator_done = base + 400 * kNanosecond;
+  ctx.egress_finished = base + 500 * kNanosecond;
+  ctx.delivered = base + (600 + 7 * static_cast<SimTime>(i)) * kNanosecond;
+  ctx.bytes_on_wire = 1000 + 13 * i;
+  ctx.packets = 2 + i % 4;
+  ctx.rows = 10 * i;
+  return ctx;
+}
+
+TEST(NodeStatsMergeTest, MergedRegistriesMatchDirectRecording) {
+  // Two partition registries record disjoint halves of a request stream;
+  // `direct` records the identical stream in the same (domain-major) order
+  // through the ordinary single-registry path. Merging in ascending domain
+  // order must then reproduce `direct` exactly — including the full text
+  // report, which covers the stage distributions, per-qp table and region
+  // busy fractions in one comparison.
+  NodeStats parts[2];
+  NodeStats direct;
+  for (int d = 0; d < 2; ++d) {
+    for (uint64_t k = 0; k < 8; ++k) {
+      const uint64_t i = static_cast<uint64_t>(d) * 8 + k;
+      // qp 1 appears in both partitions; qp 2/3 are partition-local.
+      const int qp = (i % 2 == 0) ? 1 : 2 + d;
+      const RequestContext ctx = MergeTestCtx(i, qp);
+      parts[d].RecordCompletion(ctx);
+      direct.RecordCompletion(ctx);
+    }
+  }
+  parts[0].RecordFailure(2);
+  direct.RecordFailure(2);
+  parts[1].RecordRejection(3);
+  direct.RecordRejection(3);
+  parts[0].RecordQueueDepth(1, 5);
+  parts[1].RecordQueueDepth(1, 9);
+  direct.RecordQueueDepth(1, 5);
+  direct.RecordQueueDepth(1, 9);
+  parts[0].RecordRegionBusy(0, 3 * kMicrosecond);
+  parts[1].RecordRegionBusy(0, 4 * kMicrosecond);
+  parts[1].RecordRegionBusy(1, 5 * kMicrosecond);
+  direct.RecordRegionBusy(0, 7 * kMicrosecond);
+  direct.RecordRegionBusy(1, 5 * kMicrosecond);
+
+  NodeStats merged;
+  merged.MergeFrom(parts[0]);
+  merged.MergeFrom(parts[1]);
+
+  EXPECT_EQ(merged.completed_count(), direct.completed_count());
+  EXPECT_EQ(merged.failed_count(), direct.failed_count());
+  EXPECT_EQ(merged.rejected_count(), direct.rejected_count());
+  ASSERT_EQ(merged.per_qp().size(), direct.per_qp().size());
+  for (const auto& [qp, d] : direct.per_qp()) {
+    ASSERT_EQ(merged.per_qp().count(qp), 1u) << "qp " << qp;
+    const NodeStats::QpStats& m = merged.per_qp().at(qp);
+    EXPECT_EQ(m.completed, d.completed) << "qp " << qp;
+    EXPECT_EQ(m.failed, d.failed) << "qp " << qp;
+    EXPECT_EQ(m.rejected, d.rejected) << "qp " << qp;
+    EXPECT_EQ(m.bytes_delivered, d.bytes_delivered) << "qp " << qp;
+    EXPECT_EQ(m.queue_high_water, d.queue_high_water) << "qp " << qp;
+    EXPECT_EQ(m.first_submitted, d.first_submitted) << "qp " << qp;
+    EXPECT_EQ(m.last_delivered, d.last_delivered) << "qp " << qp;
+  }
+  const SimTime now = 100 * kMicrosecond;
+  EXPECT_EQ(merged.FormatReport(now, 0.5), direct.FormatReport(now, 0.5));
+}
+
+TEST(NodeStatsMergeTest, ReliabilityShardingAndIdsAccumulate) {
+  NodeStats a;
+  NodeStats b;
+  a.RecordTimeout();
+  a.RecordRetry();
+  a.RecordRetry();
+  a.RecordLateCompletion();
+  a.RecordResyncBytes(100);
+  a.RecordFragmentRead(64);
+  b.RecordTimeout();
+  b.RecordFallback();
+  b.RecordResyncDone(3 * kMicrosecond);
+  b.RecordFragmentWrite();
+  b.RecordPartialGroups(17);
+  // Distinct id high-water marks: the merged registry must continue above
+  // the maximum so ids stay node-unique after a partition fold.
+  for (int i = 0; i < 3; ++i) a.NextRequestId();
+  for (int i = 0; i < 5; ++i) b.NextRequestId();
+
+  NodeStats merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+
+  const NodeStats::ReliabilityStats& rel = merged.reliability();
+  EXPECT_EQ(rel.timeouts, 2u);
+  EXPECT_EQ(rel.retries, 2u);
+  EXPECT_EQ(rel.late_completions, 1u);
+  EXPECT_EQ(rel.fallbacks, 1u);
+  EXPECT_EQ(rel.resyncs, 1u);
+  EXPECT_EQ(rel.resync_bytes, 100u);
+  EXPECT_EQ(rel.resync_time, 3 * kMicrosecond);
+  const NodeStats::ShardingStats& sh = merged.sharding();
+  EXPECT_EQ(sh.fragment_reads, 1u);
+  EXPECT_EQ(sh.fragment_writes, 1u);
+  EXPECT_EQ(sh.gather_bytes, 64u);
+  EXPECT_EQ(sh.partial_groups, 17u);
+  EXPECT_EQ(merged.NextRequestId(), 6u);
+}
+
 }  // namespace
 }  // namespace farview

@@ -1,0 +1,327 @@
+// Deterministic parallel event core (DESIGN.md §14): mailbox ordering,
+// conservative windows, flow aggregation, and the differential determinism
+// suite — a fault-injected megaclient workload must produce byte-identical
+// traces and reports at every thread count, for any seed (joined to the CI
+// FV_FAULT_SEED sweep via the `parallel` label).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fv/megaclient.h"
+#include "net/net_config.h"
+#include "sim/engine.h"
+#include "sim/parallel/flow_agg.h"
+#include "sim/parallel/mailbox.h"
+#include "sim/parallel/partition.h"
+
+namespace farview {
+namespace {
+
+using sim::CrossEvent;
+using sim::Domain;
+using sim::Engine;
+using sim::FlowAggregator;
+using sim::ParallelEngine;
+using sim::SpscMailbox;
+
+/// Seed under test: FV_FAULT_SEED when set (the CI seed sweep), else 1.
+uint64_t TestSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+// --- SpscMailbox ----------------------------------------------------------
+
+TEST(SpscMailboxTest, DrainsPublishedBatchInPushOrder) {
+  SpscMailbox box;
+  int hits = 0;
+  box.Push(100, 10, 0, [&hits] { hits += 1; });
+  box.Push(120, 10, 1, [&hits] { hits += 10; });
+  EXPECT_EQ(box.produced_size(), 2u);
+  EXPECT_EQ(box.PendingRecvTime(), SpscMailbox::kNoPending);  // pre-publish
+
+  box.Publish();
+  EXPECT_EQ(box.produced_size(), 0u);
+  EXPECT_EQ(box.PendingRecvTime(), 100);
+
+  std::vector<uint64_t> seqs;
+  box.Drain([&seqs](CrossEvent& ev) {
+    seqs.push_back(ev.send_seq);
+    ev.fn();
+  });
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(hits, 11);
+  EXPECT_EQ(box.PendingRecvTime(), SpscMailbox::kNoPending);
+}
+
+TEST(SpscMailboxTest, PublishRequiresDrainedConsumerSide) {
+  SpscMailbox box;
+  int hits = 0;
+  box.Push(100, 10, 0, [&hits] { ++hits; });
+  box.Publish();
+  EXPECT_DEATH(box.Publish(), "not drained");
+}
+
+// --- ParallelEngine -------------------------------------------------------
+
+/// Two domains ping-pong a token N times over 1 µs links. The final clock
+/// and event counts are exact arithmetic, so any ordering or window bug
+/// shows up as a hard mismatch.
+void RunPingPong(int threads, int hops, uint64_t* events, SimTime* end) {
+  ParallelEngine pe(threads);
+  Domain* a = pe.AddDomain();
+  Domain* b = pe.AddDomain();
+  pe.Connect(a->id(), b->id(), 1 * kMicrosecond);
+  pe.Connect(b->id(), a->id(), 1 * kMicrosecond);
+  EXPECT_EQ(pe.lookahead(), 1 * kMicrosecond);
+
+  // A single token hops a -> b -> a -> ... `hops` times over the 1 µs
+  // links; one shared countdown decides when it stops.
+  struct Relay {
+    Domain* ends[2];
+    int remaining;
+  };
+  static Relay relay;
+  relay = {{a, b}, hops};
+  struct Hop {
+    static void Bounce(int side) {
+      if (--relay.remaining < 0) return;
+      relay.ends[side]->Send(relay.ends[1 - side]->id(), 1 * kMicrosecond,
+                             [side] { Bounce(1 - side); });
+    }
+  };
+  a->engine().ScheduleAt(0, [] { Hop::Bounce(0); });
+  *end = pe.Run();
+  *events = pe.executed_events();
+  // Token crossed `hops` times; every crossing is one cross event.
+  EXPECT_EQ(pe.cross_events(), static_cast<uint64_t>(hops));
+  EXPECT_EQ(*end, static_cast<SimTime>(hops) * kMicrosecond);
+}
+
+TEST(ParallelEngineTest, PingPongExactClockAndEvents) {
+  uint64_t events = 0;
+  SimTime end = 0;
+  RunPingPong(/*threads=*/1, /*hops=*/100, &events, &end);
+  EXPECT_EQ(events, 101u);  // initial kick + one event per hop
+}
+
+TEST(ParallelEngineTest, PingPongIdenticalAcrossThreadCounts) {
+  uint64_t base_events = 0;
+  SimTime base_end = 0;
+  RunPingPong(1, 100, &base_events, &base_end);
+  for (int threads : {2, 4, 8}) {
+    uint64_t events = 0;
+    SimTime end = 0;
+    RunPingPong(threads, 100, &events, &end);
+    EXPECT_EQ(events, base_events) << "threads=" << threads;
+    EXPECT_EQ(end, base_end) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngineTest, DisconnectedDomainsRunInOneWindow) {
+  ParallelEngine pe(1);
+  Domain* a = pe.AddDomain();
+  Domain* b = pe.AddDomain();
+  int ran = 0;
+  a->engine().ScheduleAt(5 * kMillisecond, [&ran] { ++ran; });
+  b->engine().ScheduleAt(7 * kMillisecond, [&ran] { ++ran; });
+  EXPECT_EQ(pe.Run(), 7 * kMillisecond);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(pe.windows(), 1u);  // no links -> unbounded window
+}
+
+TEST(ParallelEngineTest, SendBelowLookaheadDies) {
+  ParallelEngine pe(1);
+  Domain* a = pe.AddDomain();
+  Domain* b = pe.AddDomain();
+  pe.Connect(a->id(), b->id(), 1 * kMicrosecond);
+  a->engine().ScheduleAt(0, [a, b] {
+    a->Send(b->id(), 500 * kNanosecond, [] {});
+  });
+  EXPECT_DEATH(pe.Run(), "undercuts lookahead");
+}
+
+TEST(ParallelEngineTest, RunResumesAfterNewWork) {
+  ParallelEngine pe(1);
+  Domain* a = pe.AddDomain();
+  int ran = 0;
+  a->engine().ScheduleAt(1 * kMicrosecond, [&ran] { ++ran; });
+  pe.Run();
+  EXPECT_EQ(ran, 1);
+  a->engine().ScheduleAfter(1 * kMicrosecond, [&ran] { ++ran; });
+  pe.Run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(pe.executed_events(), 2u);
+}
+
+TEST(SimThreadsFromEnvTest, ParsesAndClamps) {
+  ASSERT_EQ(setenv("FV_SIM_THREADS", "4", 1), 0);
+  EXPECT_EQ(sim::SimThreadsFromEnv(), 4);
+  ASSERT_EQ(setenv("FV_SIM_THREADS", "0", 1), 0);
+  EXPECT_EQ(sim::SimThreadsFromEnv(), 1);
+  ASSERT_EQ(setenv("FV_SIM_THREADS", "9999", 1), 0);
+  EXPECT_EQ(sim::SimThreadsFromEnv(), 64);
+  ASSERT_EQ(setenv("FV_SIM_THREADS", "junk", 1), 0);
+  EXPECT_EQ(sim::SimThreadsFromEnv(), 1);
+  ASSERT_EQ(unsetenv("FV_SIM_THREADS"), 0);
+  EXPECT_EQ(sim::SimThreadsFromEnv(), 1);
+}
+
+// --- FlowAggregator -------------------------------------------------------
+
+TEST(FlowAggregatorTest, BatchesSameSlotWakesInParkOrder) {
+  Engine e;
+  std::vector<uint32_t> woke;
+  FlowAggregator agg(&e, 1 * kMicrosecond,
+                     [&woke](uint32_t s) { woke.push_back(s); });
+  // Three parks landing in the same 1 µs grid slot: one timer, park order.
+  agg.Park(7, 100 * kNanosecond);
+  agg.Park(3, 900 * kNanosecond);
+  agg.Park(9, 450 * kNanosecond);
+  EXPECT_EQ(agg.parked(), 3u);
+  e.Run();
+  EXPECT_EQ(woke, (std::vector<uint32_t>{7, 3, 9}));
+  EXPECT_EQ(agg.parked(), 0u);
+  EXPECT_EQ(agg.timer_events(), 1u);
+  EXPECT_EQ(e.executed_events(), 1u);
+}
+
+TEST(FlowAggregatorTest, EarlierParkSupersedesArmedTimer) {
+  Engine e;
+  std::vector<uint32_t> woke;
+  FlowAggregator agg(&e, 1 * kMicrosecond,
+                     [&woke](uint32_t s) { woke.push_back(s); });
+  agg.Park(1, 10 * kMicrosecond);
+  agg.Park(2, 2 * kMicrosecond);  // earlier: re-arms; first timer goes stale
+  e.Run();
+  EXPECT_EQ(woke, (std::vector<uint32_t>{2, 1}));
+  // Timers: initial arm (stale), re-arm at 2 µs, re-arm at 10 µs.
+  EXPECT_EQ(agg.timer_events(), 3u);
+}
+
+TEST(FlowAggregatorTest, ReentrantParkDuringFire) {
+  Engine e;
+  FlowAggregator* agg_ptr = nullptr;
+  std::vector<uint32_t> woke;
+  FlowAggregator agg(&e, 1 * kMicrosecond, [&](uint32_t s) {
+    woke.push_back(s);
+    if (s == 1) agg_ptr->Park(5, e.Now() + 3 * kMicrosecond);
+  });
+  agg_ptr = &agg;
+  agg.Park(1, 1 * kMicrosecond);
+  e.Run();
+  EXPECT_EQ(woke, (std::vector<uint32_t>{1, 5}));
+  EXPECT_EQ(agg.parked(), 0u);
+}
+
+TEST(FlowAggregatorTest, QuantumZeroIsExactPerSessionTimers) {
+  Engine e;
+  std::vector<SimTime> at;
+  FlowAggregator agg(&e, 0, [&](uint32_t) { at.push_back(e.Now()); });
+  agg.Park(1, 333 * kNanosecond);
+  agg.Park(2, 777 * kNanosecond);
+  e.Run();
+  EXPECT_EQ(at, (std::vector<SimTime>{333 * kNanosecond,
+                                      777 * kNanosecond}));
+  EXPECT_EQ(agg.timer_events(), 2u);  // ablation: one engine event per park
+}
+
+// --- NetConfig lookahead --------------------------------------------------
+
+TEST(CrossDomainLookaheadTest, MinimumOneWayLatency) {
+  NetConfig cfg;
+  EXPECT_EQ(CrossDomainLookahead(cfg), 650 * kNanosecond);
+  cfg.rnic_request_latency = 2 * kMicrosecond;
+  cfg.rnic_delivery_latency = 2 * kMicrosecond;
+  EXPECT_EQ(CrossDomainLookahead(cfg), 900 * kNanosecond);
+}
+
+// --- Differential determinism suite ---------------------------------------
+
+/// Fault-injected cluster workload, small enough to sweep seeds × threads:
+/// drops force the timeout/retry loop, both session classes are present,
+/// and the full event trace is recorded.
+MegaclientConfig DifferentialConfig(uint64_t seed) {
+  MegaclientConfig cfg;
+  cfg.sessions = 320;
+  cfg.client_domains = 4;
+  cfg.node_domains = 2;
+  cfg.node_units = 8;
+  cfg.seed = seed;
+  cfg.horizon = 4 * kMillisecond;
+  cfg.think_mean_batch = 400 * kMicrosecond;
+  cfg.think_mean_interactive = 100 * kMicrosecond;
+  cfg.service_mean = 2 * kMicrosecond;
+  cfg.timeout = 30 * kMicrosecond;
+  cfg.max_attempts = 3;
+  cfg.drop_rate = 0.08;
+  cfg.trace = true;
+  return cfg;
+}
+
+TEST(ParallelDeterminismTest, TraceByteIdenticalAcrossSeedsAndThreads) {
+  for (uint64_t seed : {TestSeed(), TestSeed() + 17, TestSeed() + 40}) {
+    const MegaclientConfig cfg = DifferentialConfig(seed);
+    const MegaclientReport base = RunMegaclient(cfg, 1);
+    // The workload must actually exercise the machinery under every seed.
+    ASSERT_GT(base.completed, 0u) << "seed=" << seed;
+    ASSERT_GT(base.timeouts, 0u) << "seed=" << seed;
+    ASSERT_GT(base.retries, 0u) << "seed=" << seed;
+    ASSERT_GT(base.cross_events, 0u) << "seed=" << seed;
+    ASSERT_FALSE(base.trace.empty());
+    for (int threads : {2, 4, 8}) {
+      const MegaclientReport rep = RunMegaclient(cfg, threads);
+      EXPECT_EQ(rep.executed_events, base.executed_events)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(rep.windows, base.windows)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(rep.Summary(), base.Summary())
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(rep.trace, base.trace)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, DistinctSeedsDiverge) {
+  const MegaclientReport a = RunMegaclient(DifferentialConfig(TestSeed()), 1);
+  const MegaclientReport b =
+      RunMegaclient(DifferentialConfig(TestSeed() + 1000), 1);
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(MegaclientTest, FlowAggregationCollapsesIdleTimers) {
+  MegaclientConfig cfg = DifferentialConfig(TestSeed());
+  cfg.trace = false;
+  const MegaclientReport agg = RunMegaclient(cfg, 1);
+  cfg.agg_quantum = 0;  // ablation: exact per-session timers
+  const MegaclientReport exact = RunMegaclient(cfg, 1);
+  EXPECT_EQ(exact.timer_events, exact.parks);
+  EXPECT_LT(agg.timer_events, agg.parks);
+  EXPECT_LT(agg.executed_events, exact.executed_events);
+  // Aggregation only re-grids idle wake-ups; the load must stay comparable.
+  EXPECT_GT(agg.completed, exact.completed * 9 / 10);
+  EXPECT_LT(agg.completed, exact.completed * 11 / 10 + 1);
+}
+
+TEST(MegaclientTest, FaultFreeRunHasNoRetryActivity) {
+  MegaclientConfig cfg = DifferentialConfig(TestSeed());
+  cfg.trace = false;
+  cfg.drop_rate = 0.0;
+  const MegaclientReport rep = RunMegaclient(cfg, 1);
+  EXPECT_EQ(rep.drops, 0u);
+  EXPECT_EQ(rep.timeouts, 0u);
+  EXPECT_EQ(rep.retries, 0u);
+  EXPECT_EQ(rep.give_ups, 0u);
+  EXPECT_EQ(rep.late, 0u);
+  EXPECT_EQ(rep.issued, rep.completed);
+  EXPECT_GT(rep.fairness, 0.9);
+  EXPECT_LE(rep.fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace farview

@@ -21,9 +21,17 @@ const char kRuleHotPathAlloc[] = "hot-path-alloc";
 std::vector<std::string> Options::DefaultWallClockAllowlist() {
   return {
       "bench/perf_simcore.cc",          // wall-clock perf harness by design
+      "bench/ext_megaclient.cc",        // stderr-only speedup section
       "src/common/alloc_counter.cc",    // alloc accounting (host-side only)
       "src/common/alloc_counter_hook.cc",
   };
+}
+
+std::vector<std::string> Options::DefaultThreadingAllowlist() {
+  // The conservative parallel core is the project's complete set of code
+  // allowed to synchronize: every mutex/atomic/condvar lives behind its
+  // window barrier, where determinism is argued once (DESIGN.md §14).
+  return {"src/sim/parallel/"};
 }
 
 namespace {
@@ -126,11 +134,42 @@ const std::set<std::string>& WallClockHeaders() {
   return kSet;
 }
 
+/// std::-qualified names whose presence means raw threading: a second clock
+/// and scheduler-dependent interleavings, i.e. nondeterminism — banned
+/// outside the conservative parallel core (lock_guard/unique_lock need no
+/// entries; they are unusable without one of the mutex types below).
+const std::set<std::string>& ThreadingIdents() {
+  static const std::set<std::string> kSet = {
+      "thread",       "jthread",      "this_thread",
+      "mutex",        "timed_mutex",  "recursive_mutex",
+      "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+      "atomic",       "atomic_flag",  "atomic_ref",
+      "condition_variable", "condition_variable_any",
+  };
+  return kSet;
+}
+
+/// Headers whose inclusion implies threading-primitive use.
+const std::set<std::string>& ThreadingHeaders() {
+  static const std::set<std::string> kSet = {
+      "<thread>", "<mutex>", "<shared_mutex>", "<atomic>",
+      "<condition_variable>"};
+  return kSet;
+}
+
+bool IsThreadingAllowlisted(const CheckContext& ctx) {
+  for (const std::string& prefix : ctx.opts->threading_allowlist_prefixes) {
+    if (StartsWith(*ctx.path, prefix)) return true;
+  }
+  return false;
+}
+
 void CheckBannedApi(const CheckContext& ctx) {
   if (!ctx.RuleEnabled(kRuleBannedApi)) return;
   const auto& toks = ctx.lex->tokens;
   const bool in_src = StartsWith(*ctx.path, "src/");
   const bool wall_ok = IsWallClockAllowlisted(ctx);
+  const bool threading_ok = IsThreadingAllowlisted(ctx);
 
   auto prev_punct = [&](std::size_t i, const char* p) {
     return i > 0 && toks[i - 1].kind == Kind::kPunct && toks[i - 1].text == p;
@@ -193,6 +232,21 @@ void CheckBannedApi(const CheckContext& ctx) {
       }
     }
 
+    // Threading primitives: scheduler-dependent interleavings break the
+    // deterministic-event contract, so raw std:: threading is confined to
+    // the conservative parallel core. Only the std::-qualified spelling is
+    // the banned API — `my::mutex` or a member named `thread` is not.
+    if (!threading_ok && ThreadingIdents().count(t) > 0 && i >= 2 &&
+        prev_punct(i, "::") && toks[i - 2].kind == Kind::kIdent &&
+        toks[i - 2].text == "std") {
+      ctx.Report(toks[i].line, kRuleBannedApi,
+                 "threading primitive 'std::" + t + "' outside "
+                 "src/sim/parallel/; deterministic simulation code must not "
+                 "synchronize — route parallelism through the conservative "
+                 "core (DESIGN.md §14)");
+      continue;
+    }
+
     // Exceptions: src/ is Status/Result-only (CLAUDE.md).
     if (in_src && (t == "throw" || t == "try" || t == "catch")) {
       ctx.Report(toks[i].line, kRuleBannedApi,
@@ -202,13 +256,22 @@ void CheckBannedApi(const CheckContext& ctx) {
     }
   }
 
-  if (!wall_ok) {
-    for (const auto& [line, text] : ctx.lex->preproc) {
-      if (text.find("include") == std::string::npos) continue;
+  for (const auto& [line, text] : ctx.lex->preproc) {
+    if (text.find("include") == std::string::npos) continue;
+    if (!wall_ok) {
       for (const std::string& hdr : WallClockHeaders()) {
         if (text.find(hdr) != std::string::npos) {
           ctx.Report(line, kRuleBannedApi,
                      "#include " + hdr + " outside the wall-clock allowlist");
+        }
+      }
+    }
+    if (!threading_ok) {
+      for (const std::string& hdr : ThreadingHeaders()) {
+        if (text.find(hdr) != std::string::npos) {
+          ctx.Report(line, kRuleBannedApi,
+                     "threading header #include " + hdr + " outside "
+                     "src/sim/parallel/ (DESIGN.md §14)");
         }
       }
     }

@@ -8,7 +8,9 @@
 namespace fvcheck {
 
 /// Names of the project-invariant rules (DESIGN.md §11):
-///  - "banned-api":       wall clocks, randomness, exceptions in src/
+///  - "banned-api":       wall clocks, randomness, exceptions in src/, and
+///                        raw threading primitives (std::thread/mutex/atomic
+///                        &c.) outside the parallel-core allowlist
 ///  - "unchecked-status": discarded Status/Result<T> call results
 ///  - "simtime-mixing":   SimTime arithmetic with std::chrono or raw literals
 ///  - "pool-escape":      pooled pointers stored beyond the event lifetime
@@ -47,6 +49,16 @@ struct Options {
   /// the only users).
   std::vector<std::string> wall_clock_allowlist = DefaultWallClockAllowlist();
 
+  /// Repo-relative path prefixes allowed to use raw threading primitives
+  /// (std::thread, std::mutex, std::atomic, std::condition_variable and
+  /// their headers). Everything else must stay single-threaded — event
+  /// determinism (DESIGN.md §14) is enforced by keeping synchronization
+  /// confined to the conservative parallel core. Exact files with a vetted
+  /// one-off (e.g. the log-level atomic) carry a named inline suppression
+  /// instead of an entry here.
+  std::vector<std::string> threading_allowlist_prefixes =
+      DefaultThreadingAllowlist();
+
   /// When non-empty, only these rules run (used by the CLI's --rule flag
   /// and by the allowlist self-check).
   std::set<std::string> enabled_rules;
@@ -56,6 +68,7 @@ struct Options {
   bool honor_suppressions = true;
 
   static std::vector<std::string> DefaultWallClockAllowlist();
+  static std::vector<std::string> DefaultThreadingAllowlist();
 };
 
 /// Runs all (enabled) checks over `files` and returns findings sorted by

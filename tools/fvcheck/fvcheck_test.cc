@@ -108,6 +108,33 @@ TEST(BannedApiTest, WallClockAllowlistSkipsWallClockOnly) {
   EXPECT_GE(CountRule(diags, kRuleBannedApi), 3);
 }
 
+TEST(ThreadingBanTest, PositiveFixtureCatchesEveryClass) {
+  auto diags = AnalyzeFixture("threading_bad.cc", "src/fv/threading_bad.cc");
+  // 5 std::-qualified idents (thread, this_thread, mutex, atomic,
+  // condition_variable) + 4 banned headers.
+  EXPECT_EQ(CountRule(diags, kRuleBannedApi), 9) << [&] {
+    std::string all;
+    for (const auto& d : diags) all += d.message + "\n";
+    return all;
+  }();
+}
+
+TEST(ThreadingBanTest, NegativeFixtureStaysClean) {
+  auto diags = AnalyzeFixture("threading_ok.cc", "src/fv/threading_ok.cc");
+  EXPECT_EQ(CountRule(diags, kRuleBannedApi), 0)
+      << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(ThreadingBanTest, ParallelCoreIsAllowlisted) {
+  auto diags = AnalyzeFixture("threading_bad.cc",
+                              "src/sim/parallel/threading_bad.cc");
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.message.find("threading"), std::string::npos)
+        << "threading ban must not apply under src/sim/parallel/: "
+        << d.message;
+  }
+}
+
 TEST(UncheckedStatusTest, PositiveFixture) {
   auto diags =
       AnalyzeFixture("unchecked_status_bad.cc", "src/unchecked_status.cc");
@@ -241,9 +268,54 @@ TEST(TreeSelfCheckTest, AllowlistedFilesAreTheOnlyWallClockUsers) {
     EXPECT_NE(std::find(allow.begin(), allow.end(), user), allow.end())
         << user << " uses wall-clock APIs but is not allowlisted";
   }
-  // The detector provably sees the known user (guards against the check
+  // The detector provably sees the known users (guards against the check
   // rotting into a vacuous pass).
   EXPECT_EQ(wall_clock_users.count("bench/perf_simcore.cc"), 1u);
+  EXPECT_EQ(wall_clock_users.count("bench/ext_megaclient.cc"), 1u);
+}
+
+// Threading-ban self-check (DESIGN.md §14): with the allowlist emptied and
+// suppressions audited through, every threading finding in the real tree
+// must land under src/sim/parallel/ — or in src/common/logging.cc, whose
+// single log-level atomic carries a named inline suppression. Nobody can
+// sneak a mutex into the simulation without editing the allowlist or this
+// test.
+TEST(TreeSelfCheckTest, ParallelCoreIsTheOnlyThreadingUser) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  const std::vector<std::string> files = CollectSourceFiles(
+      root, {"src", "tests", "bench", "tools", "examples"});
+  ASSERT_GT(files.size(), 100u) << "tree walk found implausibly few files";
+
+  std::vector<FileInput> inputs;
+  for (const std::string& f : files) {
+    FileInput input;
+    ASSERT_TRUE(ReadFileInput(root, f, &input)) << f;
+    inputs.push_back(std::move(input));
+  }
+
+  Options opts;
+  opts.enabled_rules = {kRuleBannedApi};
+  opts.threading_allowlist_prefixes.clear();
+  opts.honor_suppressions = false;
+
+  std::set<std::string> threading_users;
+  for (const Diagnostic& d : Analyze(inputs, opts)) {
+    if (d.message.find("threading") != std::string::npos) {
+      threading_users.insert(d.file);
+    }
+  }
+
+  const std::set<std::string> suppressed_ok = {"src/common/logging.cc"};
+  for (const std::string& user : threading_users) {
+    EXPECT_TRUE(user.rfind("src/sim/parallel/", 0) == 0 ||
+                suppressed_ok.count(user) > 0)
+        << user << " uses threading primitives but is neither under "
+        << "src/sim/parallel/ nor a named suppression carrier";
+  }
+  // Non-vacuous: the detector provably sees the parallel core and the
+  // suppressed one-off.
+  EXPECT_EQ(threading_users.count("src/sim/parallel/partition.h"), 1u);
+  EXPECT_EQ(threading_users.count("src/common/logging.cc"), 1u);
 }
 
 // Satellite spot check (ISSUE 5): the replication layer is where a

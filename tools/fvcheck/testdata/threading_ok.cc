@@ -1,0 +1,25 @@
+// Negative fixture for the threading-primitive ban: look-alikes that merely
+// share a name with the banned std:: APIs must stay clean.
+
+namespace fake {
+struct mutex {};   // own-namespace type sharing the name
+struct thread {
+  void join() {}
+};
+}  // namespace fake
+
+namespace ok {
+
+struct Worker {
+  fake::thread thread;  // member of a non-std type
+  int atomic = 0;       // plain identifier, not std::-qualified
+};
+
+void Use() {
+  fake::mutex m;   // qualified by a namespace other than std
+  (void)m;
+  Worker w;
+  w.thread.join();  // member access, not the banned API
+}
+
+}  // namespace ok
