@@ -58,6 +58,12 @@ class FlowAggregator {
   /// Parks `session` until `wake_at` (absolute, >= Now()). The wake
   /// callback runs at `wake_at` rounded up to the aggregation grid.
   void Park(uint32_t session, SimTime wake_at) {
+    // Checked here so a past wake fails at the offending call site instead
+    // of surfacing later as the engine's generic past-event failure (or a
+    // silently never-woken heap entry behind an already-fired batch).
+    FV_CHECK(wake_at >= engine_->Now())
+        << "Park(session=" << session << ") with wake_at " << wake_at
+        << "ps in the past (now " << engine_->Now() << "ps)";
     ++parked_;
     if (quantum_ == 0) {
       // Ablation mode: exact per-session timer, one engine event each.

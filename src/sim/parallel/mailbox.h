@@ -1,6 +1,7 @@
 #ifndef FARVIEW_SIM_PARALLEL_MAILBOX_H_
 #define FARVIEW_SIM_PARALLEL_MAILBOX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -59,13 +60,17 @@ class SpscMailbox {
 
   /// Producer side, during a window: enqueues a message. `send_time` /
   /// `send_seq` must be non-decreasing across pushes (the sending engine's
-  /// clock and send counter enforce this), which keeps the batch sorted by
-  /// construction.
+  /// clock and send counter enforce this), which keeps the batch in send
+  /// order by construction. Receive times carry no such guarantee — a later
+  /// send with a smaller delay (e.g. a queue-dependent response) lands
+  /// earlier — so the batch minimum is tracked explicitly for
+  /// `PendingRecvTime`.
   void Push(SimTime recv_time, SimTime send_time, uint64_t send_seq,
             EventFn&& fn) {
     // fvcheck:allow=hot-path-alloc — amortized growth; capacity recycles.
     produced_.push_back(
         CrossEvent{recv_time, send_time, send_seq, std::move(fn)});
+    produced_min_recv_ = std::min(produced_min_recv_, recv_time);
   }
 
   /// Coordinator side, at the window barrier: flips the produced batch to
@@ -74,6 +79,8 @@ class SpscMailbox {
   void Publish() {
     FV_CHECK(published_.empty()) << "published cross-events were not drained";
     std::swap(produced_, published_);
+    published_min_recv_ = produced_min_recv_;
+    produced_min_recv_ = kNoPending;
   }
 
   /// Consumer side, at window start: invokes `fn(CrossEvent&)` for every
@@ -82,15 +89,18 @@ class SpscMailbox {
   void Drain(Fn&& fn) {
     for (CrossEvent& ev : published_) fn(ev);
     published_.clear();
+    published_min_recv_ = kNoPending;
   }
 
   /// Receive time of the earliest published-but-undrained message, or
-  /// `kNoPending` when none. Link latency is constant per mailbox and send
-  /// times are monotone, so the earliest message is the first one. Used by
-  /// the coordinator to find the global next event time.
-  SimTime PendingRecvTime() const {
-    return published_.empty() ? kNoPending : published_.front().recv_time;
-  }
+  /// `kNoPending` when none. This is the true batch minimum (maintained by
+  /// `Push`), NOT the front message's time: per-send delays vary (e.g.
+  /// queue-dependent responses), so recv times within a batch are not
+  /// monotone. The coordinator takes the min over all mailboxes to find the
+  /// global next event time — underestimating here would open a window past
+  /// a buried earlier message and break the causality argument
+  /// (DESIGN.md §14).
+  SimTime PendingRecvTime() const { return published_min_recv_; }
 
   /// Sentinel returned by `PendingRecvTime` for an empty mailbox.
   static constexpr SimTime kNoPending = INT64_MAX;
@@ -104,6 +114,8 @@ class SpscMailbox {
 
   std::vector<CrossEvent> produced_;   ///< written by the producer
   std::vector<CrossEvent> published_;  ///< drained by the consumer
+  SimTime produced_min_recv_ = kNoPending;   ///< min recv in produced_
+  SimTime published_min_recv_ = kNoPending;  ///< min recv in published_
 };
 
 }  // namespace farview::sim

@@ -22,14 +22,16 @@ int SimThreadsFromEnv() {
 }
 
 void Domain::Send(uint32_t dst, SimTime delay, EventFn fn) {
-  FV_CHECK(dst < out_.size() && out_[dst] != nullptr)
+  FV_CHECK(dst < out_.size() && out_[dst].box != nullptr)
       << "Send to unconnected domain " << dst << " from domain " << id_;
-  FV_CHECK(delay >= owner_->lookahead_)
-      << "cross-domain delay " << delay << "ps undercuts lookahead "
-      << owner_->lookahead_ << "ps (causality: the receiver may already "
-      << "have executed past the delivery time)";
+  const OutEdge& edge = out_[dst];
+  FV_CHECK(delay >= edge.latency)
+      << "cross-domain delay " << delay << "ps undercuts link latency "
+      << edge.latency << "ps on link " << id_ << " -> " << dst
+      << " (causality: the receiver may already have executed past the "
+      << "delivery time)";
   const SimTime now = engine_.Now();
-  out_[dst]->Push(now + delay, now, send_seq_++, std::move(fn));
+  edge.box->Push(now + delay, now, send_seq_++, std::move(fn));
 }
 
 ParallelEngine::ParallelEngine(int threads)
@@ -72,13 +74,13 @@ void ParallelEngine::Connect(uint32_t src, uint32_t dst, SimTime latency) {
   // Topology setup (frozen before Run): dense out-edge table and the
   // link's mailbox — not per-event growth.
   if (s.out_.size() <= dst) {
-    s.out_.resize(domains_.size(), nullptr);  // fvcheck:allow=hot-path-alloc
+    s.out_.resize(domains_.size());  // fvcheck:allow=hot-path-alloc
   }
-  FV_CHECK(s.out_[dst] == nullptr)
+  FV_CHECK(s.out_[dst].box == nullptr)
       << "link " << src << " -> " << dst << " declared twice";
   mailboxes_.push_back(std::make_unique<SpscMailbox>());  // fvcheck:allow=hot-path-alloc
   SpscMailbox* box = mailboxes_.back().get();
-  s.out_[dst] = box;
+  s.out_[dst] = Domain::OutEdge{box, latency};
   // Keep in-edges sorted by source id: receivers drain in ascending source
   // order, which fixes the merged sequence assignment independent of
   // Connect call order at runtime.

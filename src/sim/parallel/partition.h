@@ -69,8 +69,15 @@ class Domain {
     SpscMailbox* box;
   };
 
-  /// Outgoing mailboxes, dense by destination id (null when unlinked).
-  std::vector<SpscMailbox*> out_;
+  /// One outgoing link: its mailbox and the latency declared in `Connect`
+  /// — the floor `Send` enforces on every delay over this link.
+  struct OutEdge {
+    SpscMailbox* box = nullptr;
+    SimTime latency = 0;
+  };
+
+  /// Outgoing links, dense by destination id (null box when unlinked).
+  std::vector<OutEdge> out_;
   /// Incoming mailboxes kept in ascending source-domain order — the drain
   /// order that makes merged sequence assignment deterministic.
   std::vector<InEdge> in_;

@@ -66,6 +66,24 @@ TEST(SpscMailboxTest, PublishRequiresDrainedConsumerSide) {
   EXPECT_DEATH(box.Publish(), "not drained");
 }
 
+// Variable per-send delays make recv times non-monotone within a batch:
+// PendingRecvTime must report the buried minimum, not the front message.
+TEST(SpscMailboxTest, PendingRecvTimeIsBatchMinimumNotFront) {
+  SpscMailbox box;
+  box.Push(900, 10, 0, [] {});  // early send, large delay
+  box.Push(200, 20, 1, [] {});  // later send, small delay: lands first
+  box.Push(500, 30, 2, [] {});
+  box.Publish();
+  EXPECT_EQ(box.PendingRecvTime(), 200);
+  box.Drain([](CrossEvent&) {});
+  EXPECT_EQ(box.PendingRecvTime(), SpscMailbox::kNoPending);
+  // The tracked minimum resets per batch (capacity recycling must not
+  // carry a stale minimum forward).
+  box.Push(700, 40, 3, [] {});
+  box.Publish();
+  EXPECT_EQ(box.PendingRecvTime(), 700);
+}
+
 // --- ParallelEngine -------------------------------------------------------
 
 /// Two domains ping-pong a token N times over 1 µs links. The final clock
@@ -134,7 +152,7 @@ TEST(ParallelEngineTest, DisconnectedDomainsRunInOneWindow) {
   EXPECT_EQ(pe.windows(), 1u);  // no links -> unbounded window
 }
 
-TEST(ParallelEngineTest, SendBelowLookaheadDies) {
+TEST(ParallelEngineTest, SendBelowLinkLatencyDies) {
   ParallelEngine pe(1);
   Domain* a = pe.AddDomain();
   Domain* b = pe.AddDomain();
@@ -142,7 +160,84 @@ TEST(ParallelEngineTest, SendBelowLookaheadDies) {
   a->engine().ScheduleAt(0, [a, b] {
     a->Send(b->id(), 500 * kNanosecond, [] {});
   });
-  EXPECT_DEATH(pe.Run(), "undercuts lookahead");
+  EXPECT_DEATH(pe.Run(), "undercuts link latency");
+}
+
+// The floor is each link's own declared latency, not the global minimum:
+// a delay above the engine lookahead but below the sending link's latency
+// is still a causality error and must be rejected.
+TEST(ParallelEngineTest, SendBelowOwnLinkLatencyDiesEvenAboveLookahead) {
+  ParallelEngine pe(1);
+  Domain* a = pe.AddDomain();
+  Domain* b = pe.AddDomain();
+  pe.Connect(a->id(), b->id(), 1 * kMicrosecond);  // lookahead = 1 µs
+  pe.Connect(b->id(), a->id(), 5 * kMicrosecond);
+  EXPECT_EQ(pe.lookahead(), 1 * kMicrosecond);
+  b->engine().ScheduleAt(0, [a, b] {
+    b->Send(a->id(), 2 * kMicrosecond, [] {});  // >= lookahead, < link
+  });
+  EXPECT_DEATH(pe.Run(), "undercuts link latency");
+}
+
+// Regression for the front-of-mailbox PendingRecvTime bug: one window
+// pushes two messages with decreasing recv times into the same mailbox.
+// With the front (later) time, the coordinator overestimated the next
+// window start; the buried message then executed "before" the window, its
+// response crossed back, and the receiver — already run past the delivery
+// time — died in Engine::ScheduleAt. With the true batch minimum the
+// windows stay causal and the schedule is exact at every thread count.
+TEST(ParallelEngineTest, VariableDelaySendsKeepWindowsCausal) {
+  struct Obs {
+    SimTime end = 0;
+    // Domain-owned records (the partitioning rule: only that domain's
+    // events touch them), merged by the test after Run.
+    std::vector<SimTime> a_times;
+    std::vector<SimTime> b_times;
+  };
+  auto run = [](int threads) {
+    Obs obs;
+    ParallelEngine pe(threads);
+    Domain* a = pe.AddDomain();
+    Domain* b = pe.AddDomain();
+    pe.Connect(a->id(), b->id(), 1 * kMicrosecond);
+    pe.Connect(b->id(), a->id(), 1 * kMicrosecond);
+    // Both sends happen in the first window [0, 1 µs), same mailbox:
+    // m1 (sent at 0, recv 10 µs) is pushed before m2 (sent at 0.5 µs,
+    // recv 1.5 µs) — recv order inverts send order.
+    a->engine().ScheduleAt(0, [a, b, &obs] {
+      a->Send(b->id(), 10 * kMicrosecond,
+              [b, &obs] { obs.b_times.push_back(b->engine().Now()); });
+    });
+    a->engine().ScheduleAt(500 * kNanosecond, [a, b, &obs] {
+      a->Send(b->id(), 1 * kMicrosecond, [a, b, &obs] {
+        obs.b_times.push_back(b->engine().Now());
+        // The buried message responds; the reply must land in a window
+        // A has not run past yet.
+        b->Send(a->id(), 1 * kMicrosecond,
+                [a, &obs] { obs.a_times.push_back(a->engine().Now()); });
+      });
+    });
+    // Keeps A busy late: under the overestimated window A executed this
+    // before the 2.5 µs reply was delivered, tripping ScheduleAt.
+    a->engine().ScheduleAt(10500 * kNanosecond, [a, &obs] {
+      obs.a_times.push_back(a->engine().Now());
+    });
+    obs.end = pe.Run();
+    EXPECT_EQ(pe.cross_events(), 3u) << "threads=" << threads;
+    return obs;
+  };
+  const Obs base = run(1);
+  EXPECT_EQ(base.b_times,
+            (std::vector<SimTime>{1500 * kNanosecond, 10 * kMicrosecond}));
+  EXPECT_EQ(base.a_times,
+            (std::vector<SimTime>{2500 * kNanosecond, 10500 * kNanosecond}));
+  EXPECT_EQ(base.end, 10500 * kNanosecond);
+  for (int threads : {2, 4}) {
+    const Obs obs = run(threads);
+    EXPECT_EQ(obs.a_times, base.a_times) << "threads=" << threads;
+    EXPECT_EQ(obs.b_times, base.b_times) << "threads=" << threads;
+    EXPECT_EQ(obs.end, base.end) << "threads=" << threads;
+  }
 }
 
 TEST(ParallelEngineTest, RunResumesAfterNewWork) {
@@ -216,6 +311,15 @@ TEST(FlowAggregatorTest, ReentrantParkDuringFire) {
   e.Run();
   EXPECT_EQ(woke, (std::vector<uint32_t>{1, 5}));
   EXPECT_EQ(agg.parked(), 0u);
+}
+
+TEST(FlowAggregatorTest, ParkInThePastDiesAtTheCallSite) {
+  Engine e;
+  FlowAggregator agg(&e, 1 * kMicrosecond, [](uint32_t) {});
+  e.ScheduleAt(5 * kMicrosecond, [] {});
+  e.Run();
+  ASSERT_EQ(e.Now(), 5 * kMicrosecond);
+  EXPECT_DEATH(agg.Park(1, 2 * kMicrosecond), "in the past");
 }
 
 TEST(FlowAggregatorTest, QuantumZeroIsExactPerSessionTimers) {
