@@ -19,7 +19,7 @@
 // which is FV_CHECKed here on every execution.
 
 #include <algorithm>
-#include <chrono>  // fvcheck:allow=wall-clock
+#include <chrono>  // wall-clock allowlisted: stderr-only speedup section
 #include <cstdio>
 #include <string>
 #include <vector>

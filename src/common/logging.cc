@@ -8,7 +8,10 @@
 namespace farview {
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};  // fvcheck:allow=banned-api
+// Process-wide log threshold: host-side, set once at startup, and an
+// atomic precisely so concurrent domain reads are race-free.
+// fvcheck:allow=banned-api,domain-confinement
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

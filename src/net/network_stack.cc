@@ -287,8 +287,8 @@ void NetworkStack::TxStream::ReorderResize(size_t cap) {
   reorder_cap_ = cap;
   // Fault-path only (first gap / growth), so these allocations are rare
   // and bounded by the largest in-flight sequence span.
-  reorder_seq_.assign(cap, 0);      // fvcheck:allow=hot-path-alloc
-  reorder_payload_.assign(cap, 0);  // fvcheck:allow=hot-path-alloc
+  reorder_seq_.assign(cap, 0);
+  reorder_payload_.assign(cap, 0);
   reorder_present_.assign((cap + 63) / 64, 0);
   reorder_last_.assign((cap + 63) / 64, 0);
 #ifdef FV_POOL_POISON

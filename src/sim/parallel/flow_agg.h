@@ -52,7 +52,7 @@ class FlowAggregator {
   /// Pre-sizes the heap for `n` parked sessions (hot-path discipline,
   /// DESIGN.md §8a: steady-state Park must not grow the vector).
   void Reserve(size_t n) {
-    heap_.reserve(n);  // fvcheck:allow=hot-path-alloc
+    heap_.reserve(n);
   }
 
   /// Parks `session` until `wake_at` (absolute, >= Now()). The wake

@@ -51,8 +51,8 @@ struct CrossEvent {
 class SpscMailbox {
  public:
   SpscMailbox() {
-    produced_.reserve(kInitialCapacity);  // fvcheck:allow=hot-path-alloc
-    published_.reserve(kInitialCapacity);  // fvcheck:allow=hot-path-alloc
+    produced_.reserve(kInitialCapacity);
+    published_.reserve(kInitialCapacity);
   }
 
   SpscMailbox(const SpscMailbox&) = delete;

@@ -1,12 +1,16 @@
 #include "checks.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
+#include <thread>  // --jobs worker pool; tools/fvcheck/ is threading-allowlisted
 #include <utility>
 #include <vector>
 
+#include "index.h"
 #include "lexer.h"
 
 namespace fvcheck {
@@ -17,6 +21,21 @@ const char kRuleSimtimeMixing[] = "simtime-mixing";
 const char kRulePoolEscape[] = "pool-escape";
 const char kRuleDocCoverage[] = "doc-coverage";
 const char kRuleHotPathAlloc[] = "hot-path-alloc";
+const char kRuleDomainConfinement[] = "domain-confinement";
+const char kRuleStatsMergeCoverage[] = "stats-merge-coverage";
+const char kRuleConfigCoupling[] = "config-coupling";
+const char kRuleStaleSuppression[] = "stale-suppression";
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> kNames = {
+      kRuleBannedApi,         kRuleUncheckedStatus,
+      kRuleSimtimeMixing,     kRulePoolEscape,
+      kRuleDocCoverage,       kRuleHotPathAlloc,
+      kRuleDomainConfinement, kRuleStatsMergeCoverage,
+      kRuleConfigCoupling,    kRuleStaleSuppression,
+  };
+  return kNames;
+}
 
 std::vector<std::string> Options::DefaultWallClockAllowlist() {
   return {
@@ -24,14 +43,27 @@ std::vector<std::string> Options::DefaultWallClockAllowlist() {
       "bench/ext_megaclient.cc",        // stderr-only speedup section
       "src/common/alloc_counter.cc",    // alloc accounting (host-side only)
       "src/common/alloc_counter_hook.cc",
+      "tools/fvcheck/fvcheck_main.cc",  // --timings instrumentation (host tool)
   };
 }
 
 std::vector<std::string> Options::DefaultThreadingAllowlist() {
-  // The conservative parallel core is the project's complete set of code
-  // allowed to synchronize: every mutex/atomic/condvar lives behind its
-  // window barrier, where determinism is argued once (DESIGN.md §14).
-  return {"src/sim/parallel/"};
+  // The conservative parallel core is the project's complete set of
+  // *simulation* code allowed to synchronize: every mutex/atomic/condvar
+  // lives behind its window barrier, where determinism is argued once
+  // (DESIGN.md §14). fvcheck itself is a host-side tool whose --jobs pool
+  // never touches simulated state; its output order is pinned by the
+  // per-file merge + sort in Analyze (and by the JobsDeterminismTest pair).
+  return {"src/sim/parallel/", "tools/fvcheck/"};
+}
+
+std::vector<std::string> Options::CalibratedConfigHeaders() {
+  return {
+      "src/fv/fv_config.h",
+      "src/net/net_config.h",
+      "src/mem/dram_config.h",
+      "src/baseline/cpu_model.h",
+  };
 }
 
 namespace {
@@ -46,20 +78,15 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Context shared by the per-file checks.
+/// Context shared by the per-file checks. `index` is the whole-batch pass-1
+/// symbol index (read-only here, so the per-file pass can run on --jobs
+/// worker threads without synchronization).
 struct CheckContext {
   const std::string* path = nullptr;
   const LexedFile* lex = nullptr;
   const Options* opts = nullptr;
+  const SymbolIndex* index = nullptr;
   std::vector<Diagnostic>* out = nullptr;
-
-  /// CamelCase function names declared (anywhere in the batch) to return
-  /// Status / Result<T> by value...
-  const std::set<std::string>* status_fns = nullptr;
-  /// ...minus names that are also declared with some other return type —
-  /// name-based matching cannot tell overloads apart, so ambiguous names
-  /// are never flagged (false negatives over false positives).
-  const std::set<std::string>* ambiguous_fns = nullptr;
 
   bool RuleEnabled(const char* rule) const {
     return opts->enabled_rules.empty() || opts->enabled_rules.count(rule) > 0;
@@ -282,73 +309,8 @@ void CheckBannedApi(const CheckContext& ctx) {
 // unchecked-status
 // ---------------------------------------------------------------------------
 
-bool IsUpperCamel(const std::string& s) {
-  return !s.empty() && s[0] >= 'A' && s[0] <= 'Z';
-}
-
-/// Keywords that may precede a call expression without being a return type
-/// (collection must not treat `return Foo(...)` as "Foo returns something
-/// other than Status").
-const std::set<std::string>& NonTypeKeywords() {
-  static const std::set<std::string> kSet = {
-      "return", "new",    "delete", "throw",  "else",     "case",
-      "goto",   "co_return", "co_await", "co_yield", "operator", "not",
-      "and",    "or",     "do",     "in",
-  };
-  return kSet;
-}
-
-/// First pass over the whole batch: gather CamelCase function names by
-/// declared return type. Name-based (a tokenizer cannot resolve overloads),
-/// so the caller subtracts names that also appear with non-Status returns.
-void CollectReturnTypes(const LexedFile& lex, std::set<std::string>* status,
-                        std::set<std::string>* other) {
-  const auto& toks = lex.tokens;
-  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != Kind::kIdent) continue;
-    const std::string& t = toks[i].text;
-    std::size_t name_idx = 0;
-    bool is_status = false;
-    if (t == "Status" || t == "Result") {
-      // Skip the type's own declaration (`class Status {`).
-      if (i > 0 && toks[i - 1].kind == Kind::kIdent &&
-          (toks[i - 1].text == "class" || toks[i - 1].text == "struct")) {
-        continue;
-      }
-      std::size_t j = i + 1;
-      if (t == "Result") {
-        if (toks[j].kind != Kind::kPunct || toks[j].text != "<") continue;
-        j = SkipBalanced(toks, j, toks.size(), "<", ">");
-      }
-      // By-reference / by-pointer accessors are cheap to re-query; only
-      // by-value returns are flagged when dropped.
-      if (j < toks.size() && toks[j].kind == Kind::kPunct &&
-          (toks[j].text == "&" || toks[j].text == "*")) {
-        continue;
-      }
-      if (j >= toks.size() || toks[j].kind != Kind::kIdent) continue;
-      name_idx = j;
-      is_status = true;
-    } else if (IsUpperCamel(toks[i + 1].text) &&
-               toks[i + 1].kind == Kind::kIdent &&
-               NonTypeKeywords().count(t) == 0 && t != "Status" &&
-               t != "Result") {
-      // `<ident> <CamelName> (` with a non-Status leading ident: a
-      // declaration with some other return type.
-      name_idx = i + 1;
-    } else {
-      continue;
-    }
-    const std::string& name = toks[name_idx].text;
-    if (!IsUpperCamel(name)) continue;
-    if (name_idx + 1 >= toks.size() ||
-        toks[name_idx + 1].kind != Kind::kPunct ||
-        toks[name_idx + 1].text != "(") {
-      continue;
-    }
-    (is_status ? status : other)->insert(name);
-  }
-}
+// (Return-type collection lives in index.cc — the SymbolIndex carries the
+// status_fns / ambiguous_fns sets for the whole batch.)
 
 void CheckUncheckedStatus(const CheckContext& ctx) {
   if (!ctx.RuleEnabled(kRuleUncheckedStatus)) return;
@@ -400,8 +362,8 @@ void CheckUncheckedStatus(const CheckContext& ctx) {
       break;
     }
     if (!shape_ok || last_call.empty()) continue;
-    if (ctx.status_fns->count(last_call) == 0) continue;
-    if (ctx.ambiguous_fns->count(last_call) > 0) continue;
+    if (ctx.index->status_fns.count(last_call) == 0) continue;
+    if (ctx.index->ambiguous_fns.count(last_call) > 0) continue;
     ctx.Report(last_call_line, kRuleUncheckedStatus,
                "result of '" + last_call +
                    "' (returns Status/Result) is discarded; propagate with "
@@ -708,58 +670,401 @@ void CheckHotPathAlloc(const CheckContext& ctx) {
   }
 }
 
-bool Suppressed(const LexedFile& lex, const Diagnostic& d) {
+// ---------------------------------------------------------------------------
+// domain-confinement (cross-file; DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// True when the token after member index `i` mutates it: plain assignment
+/// (not `==`, which the lexer emits as two '=' tokens), compound assignment,
+/// or postfix increment/decrement.
+bool IsWriteAfter(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 >= toks.size() || toks[i + 1].kind != Kind::kPunct) return false;
+  const std::string& a = toks[i + 1].text;
+  const bool b_punct = i + 2 < toks.size() && toks[i + 2].kind == Kind::kPunct;
+  const std::string b = b_punct ? toks[i + 2].text : "";
+  if (a == "=") return b != "=";
+  if ((a == "+" || a == "-" || a == "*" || a == "/" || a == "%" ||
+       a == "&" || a == "|" || a == "^") &&
+      b == "=") {
+    return true;
+  }
+  if (a == "+" && b == "+") return true;
+  if (a == "-" && b == "-") return true;
+  return false;
+}
+
+/// Per-file half of domain-confinement: SpscMailbox plumbing outside the
+/// parallel core, and writes to members the index attributes exclusively to
+/// src/sim/parallel/ types. (The mutable-global half walks the index once,
+/// in AppendDomainConfinementGlobals.)
+void CheckDomainConfinement(const CheckContext& ctx) {
+  if (!ctx.RuleEnabled(kRuleDomainConfinement)) return;
+  const std::string& path = *ctx.path;
+  if (!StartsWith(path, "src/")) return;
+  const bool in_core = StartsWith(path, "src/sim/parallel/");
+  if (in_core) return;  // the core is where crossing is legal, argued once
+  const auto& toks = ctx.lex->tokens;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent) continue;
+    const std::string& t = toks[i].text;
+
+    // Mailbox plumbing is the cross-domain mechanism itself; only the core
+    // (and the coordinator living there) may touch it.
+    if (t == "SpscMailbox") {
+      ctx.Report(toks[i].line, kRuleDomainConfinement,
+                 "SpscMailbox outside src/sim/parallel/; cross-domain "
+                 "messaging must go through Domain::Send so lookahead "
+                 "windows stay conservative (DESIGN.md §14)");
+      continue;
+    }
+
+    // `expr.member_ = ...` where `member_` belongs exclusively to types
+    // declared in src/sim/parallel/: domain-private bookkeeping mutated
+    // from outside the core, i.e. a statically visible confinement break.
+    // Names declared by types in more than one directory never decide
+    // ownership (false negatives over false positives).
+    if (EndsWith(t, "_") && i > 0 && toks[i - 1].kind == Kind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        IsWriteAfter(toks, i)) {
+      auto it = ctx.index->member_owner_dirs.find(t);
+      if (it != ctx.index->member_owner_dirs.end() &&
+          it->second.size() == 1 &&
+          *it->second.begin() == "src/sim/parallel") {
+        ctx.Report(toks[i].line, kRuleDomainConfinement,
+                   "write to '" + t + "', a member owned by the parallel "
+                   "core, from outside src/sim/parallel/; domain state may "
+                   "only change inside its own domain (DESIGN.md §14)");
+      }
+    }
+  }
+}
+
+/// Index-walking half of domain-confinement: mutable namespace-scope state
+/// and non-const function-local statics anywhere under src/ are reachable
+/// from every domain at once and therefore race under FV_SIM_THREADS > 1.
+void AppendDomainConfinementGlobals(
+    const SymbolIndex& index, const Options& opts,
+    const std::map<std::string, std::size_t>& file_idx,
+    std::vector<std::vector<Diagnostic>>* per_file) {
+  if (!opts.enabled_rules.empty() &&
+      opts.enabled_rules.count(kRuleDomainConfinement) == 0) {
+    return;
+  }
+  for (const IndexVar& v : index.vars) {
+    if (!StartsWith(v.file, "src/")) continue;
+    if (v.is_const || v.is_extern_decl) continue;
+    auto it = file_idx.find(v.file);
+    if (it == file_idx.end()) continue;
+    const std::string what = v.is_static_local
+                                 ? "function-local static '"
+                                 : "mutable namespace-scope variable '";
+    (*per_file)[it->second].push_back(Diagnostic{
+        v.file, v.line, kRuleDomainConfinement,
+        what + v.name + "' is shared across event domains and races under "
+        "FV_SIM_THREADS > 1; make it const, move it into domain-owned "
+        "state, or carry a named suppression arguing why it is host-side "
+        "only (DESIGN.md §14)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stats-merge-coverage (cross-file)
+// ---------------------------------------------------------------------------
+
+std::string Unqualify(const std::string& qual) {
+  const std::size_t pos = qual.rfind("::");
+  return pos == std::string::npos ? qual : qual.substr(pos + 2);
+}
+
+/// For every indexed type declaring a MergeFrom member: each of its data
+/// members, and each field of its nested *Stats structs, must be referenced
+/// somewhere in the MergeFrom closure (MergeFrom's body plus the bodies of
+/// member functions it transitively calls, e.g. NodeStats::FoldRecord).
+/// A field outside the closure is telemetry the byte-equal parallel merge
+/// (DESIGN.md §14) silently drops.
+void AppendStatsMergeCoverage(
+    const SymbolIndex& index, const Options& opts,
+    const std::map<std::string, std::size_t>& file_idx,
+    std::vector<std::vector<Diagnostic>>* per_file) {
+  if (!opts.enabled_rules.empty() &&
+      opts.enabled_rules.count(kRuleStatsMergeCoverage) == 0) {
+    return;
+  }
+  for (const auto& [qual, ty] : index.types) {
+    if (!ty.HasMemberFn("MergeFrom")) continue;
+    const std::string unqual = Unqualify(qual);
+
+    // Closure of identifiers MergeFrom may reference, following calls into
+    // the type's own member functions (depth-first, cycle-safe).
+    std::set<std::string> closure;
+    std::set<std::string> visited;
+    std::vector<std::string> work = {"MergeFrom"};
+    bool any_body = false;
+    while (!work.empty()) {
+      const std::string fn = work.back();
+      work.pop_back();
+      if (!visited.insert(fn).second) continue;
+      const IndexMethodBody* body = index.FindMethod(unqual, fn);
+      if (body == nullptr) continue;
+      any_body = true;
+      closure.insert(body->idents.begin(), body->idents.end());
+      for (const std::string& callee : body->called) {
+        if (ty.HasMemberFn(callee)) work.push_back(callee);
+      }
+    }
+    // Declaration-only batch (e.g. the header without its .cc): coverage
+    // cannot be judged, so stay silent rather than guess.
+    if (!any_body) continue;
+
+    auto report = [&](const IndexType& owner, const IndexMember& m) {
+      if (m.is_function || m.is_static || m.is_const) return;
+      if (closure.count(m.name) > 0) return;
+      auto it = file_idx.find(owner.file);
+      if (it == file_idx.end()) return;
+      (*per_file)[it->second].push_back(Diagnostic{
+          owner.file, m.line, kRuleStatsMergeCoverage,
+          "data member '" + m.name + "' of '" + owner.qual_name +
+              "' is never folded by " + qual + "::MergeFrom (or a member "
+              "function it calls); the per-partition merge would silently "
+              "drop it and the parallel report would diverge from the "
+              "sequential one (DESIGN.md §14)"});
+    };
+
+    for (const IndexMember& m : ty.members) report(ty, m);
+    for (const std::string& nested : ty.nested) {
+      if (!EndsWith(Unqualify(nested), "Stats")) continue;
+      const IndexType* nt = index.FindType(nested);
+      if (nt == nullptr) continue;
+      for (const IndexMember& m : nt->members) report(*nt, m);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// config-coupling (cross-file; mechanizes the CLAUDE.md constants contract)
+// ---------------------------------------------------------------------------
+
+/// Every calibrated constant declared in the four config headers must be
+/// named by EXPERIMENTS.md or by an identifier in some tests/ file of the
+/// batch — renaming or adding a constant without coupling it to a shape
+/// expectation fires here.
+void AppendConfigCoupling(
+    const std::vector<FileInput>& files, const std::vector<LexedFile>& lexed,
+    const SymbolIndex& index, const Options& opts,
+    const std::map<std::string, std::size_t>& file_idx,
+    std::vector<std::vector<Diagnostic>>* per_file) {
+  if (!opts.enabled_rules.empty() &&
+      opts.enabled_rules.count(kRuleConfigCoupling) == 0) {
+    return;
+  }
+  const std::vector<std::string> headers = Options::CalibratedConfigHeaders();
+  bool any_header = false;
+  for (const std::string& h : headers) any_header |= file_idx.count(h) > 0;
+  if (!any_header) return;
+
+  // Reference corpus: identifiers in the batch's tests/ files plus words in
+  // the reference docs. An empty corpus means the caller gave the rule
+  // nothing to couple against (e.g. a bare-header scan) — skip rather than
+  // flag everything.
+  std::set<std::string> corpus;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!StartsWith(files[i].path, "tests/")) continue;
+    for (const Token& t : lexed[i].tokens) {
+      if (t.kind == Kind::kIdent) corpus.insert(t.text);
+    }
+  }
+  for (const FileInput& doc : opts.reference_docs) {
+    std::string word;
+    for (const char c : doc.content) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        word.push_back(c);
+      } else if (!word.empty()) {
+        corpus.insert(word);
+        word.clear();
+      }
+    }
+    if (!word.empty()) corpus.insert(word);
+  }
+  if (corpus.empty()) return;
+
+  auto report = [&](const std::string& file, int line,
+                    const std::string& name) {
+    if (corpus.count(name) > 0) return;
+    auto it = file_idx.find(file);
+    if (it == file_idx.end()) return;
+    (*per_file)[it->second].push_back(Diagnostic{
+        file, line, kRuleConfigCoupling,
+        "calibrated constant '" + name + "' is referenced by neither "
+        "EXPERIMENTS.md nor any test; couple timing-model changes to a "
+        "shape expectation (CLAUDE.md calibration contract)"});
+  };
+
+  for (const std::string& h : headers) {
+    if (file_idx.count(h) == 0) continue;
+    for (const auto& [qual, ty] : index.types) {
+      if (ty.file != h) continue;
+      for (const IndexMember& m : ty.members) {
+        if (m.is_function || !m.calibrated_init) continue;
+        report(h, m.line, m.name);
+      }
+    }
+    for (const IndexVar& v : index.vars) {
+      if (v.file != h || !v.calibrated_init || v.is_extern_decl) continue;
+      report(h, v.line, v.name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// suppressions + stale-suppression
+// ---------------------------------------------------------------------------
+
+/// Line+rule pairs of allow= directives that actually absorbed a
+/// diagnostic; feeds stale-suppression.
+using UsedSuppressions = std::set<std::pair<int, std::string>>;
+
+bool Suppressed(const LexedFile& lex, const Diagnostic& d,
+                UsedSuppressions* used) {
   for (int l = d.line; l >= d.line - 1; --l) {
     auto it = lex.allows.find(l);
-    if (it != lex.allows.end() &&
-        (it->second.count(d.rule) > 0 || it->second.count("all") > 0)) {
+    if (it == lex.allows.end()) continue;
+    if (it->second.count(d.rule) > 0) {
+      used->insert({l, d.rule});
+      return true;
+    }
+    if (it->second.count("all") > 0) {
+      used->insert({l, "all"});
       return true;
     }
   }
   return false;
 }
 
+/// A directive that absorbed nothing is itself a diagnostic: either the
+/// code was fixed (delete the directive) or the rule drifted past it (the
+/// suppression hides nothing but would hide a future regression). Runs
+/// after the suppression filter and is deliberately not suppressible —
+/// silencing the janitor defeats it. Unknown rule names always fire; known
+/// rules are judged only when they actually ran this invocation.
+void CheckStaleSuppressions(const std::string& path, const LexedFile& lex,
+                            const Options& opts,
+                            const UsedSuppressions& used,
+                            std::vector<Diagnostic>* out) {
+  if (!opts.honor_suppressions) return;
+  if (!opts.enabled_rules.empty() &&
+      opts.enabled_rules.count(kRuleStaleSuppression) == 0) {
+    return;
+  }
+  static const std::set<std::string> kKnown = [] {
+    return std::set<std::string>(AllRuleNames().begin(), AllRuleNames().end());
+  }();
+  for (const auto& [line, rules] : lex.allows) {
+    for (const std::string& r : rules) {
+      if (r == "all") {
+        if (opts.enabled_rules.empty() && used.count({line, "all"}) == 0) {
+          out->push_back(Diagnostic{
+              path, line, kRuleStaleSuppression,
+              "'fvcheck:allow=all' suppresses nothing; delete the "
+              "directive (or name the one rule it is actually for)"});
+        }
+        continue;
+      }
+      if (kKnown.count(r) == 0) {
+        out->push_back(Diagnostic{
+            path, line, kRuleStaleSuppression,
+            "'fvcheck:allow=" + r + "' names an unknown rule; the "
+            "directive suppresses nothing (rule catalog: DESIGN.md §11)"});
+        continue;
+      }
+      if (!opts.enabled_rules.empty() && opts.enabled_rules.count(r) == 0) {
+        continue;  // rule did not run; staleness cannot be judged
+      }
+      if (used.count({line, r}) == 0) {
+        out->push_back(Diagnostic{
+            path, line, kRuleStaleSuppression,
+            "'fvcheck:allow=" + r + "' suppresses nothing on this or the "
+            "next line; delete the stale directive (DESIGN.md §11)"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> Analyze(const std::vector<FileInput>& files,
                                 const Options& opts) {
-  std::vector<LexedFile> lexed;
-  lexed.reserve(files.size());
-  for (const FileInput& f : files) lexed.push_back(Lex(f.content));
+  const std::size_t jobs = static_cast<std::size_t>(
+      std::max(1, std::min(opts.jobs, 64)));
 
-  // Cross-file pass: function return types by name.
-  std::set<std::string> status_fns;
-  std::set<std::string> other_fns;
-  for (const LexedFile& lf : lexed) {
-    CollectReturnTypes(lf, &status_fns, &other_fns);
-  }
-  std::set<std::string> ambiguous;
-  for (const std::string& n : status_fns) {
-    if (other_fns.count(n) > 0) ambiguous.insert(n);
-  }
+  // Shards [0, files.size()) across the worker pool; with jobs == 1 this is
+  // a plain loop on the calling thread. Workers touch disjoint slots, so
+  // no synchronization beyond join() is needed and the result is the same
+  // at any thread count.
+  auto run_sharded = [&](const std::function<void(std::size_t)>& fn) {
+    const std::size_t n = std::min(jobs, files.size());
+    if (n <= 1) {
+      for (std::size_t i = 0; i < files.size(); ++i) fn(i);
+      return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t i = t; i < files.size(); i += n) fn(i);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  };
 
-  std::vector<Diagnostic> out;
-  for (std::size_t idx = 0; idx < files.size(); ++idx) {
+  // Pass 0: lex (parallel, per-file independent).
+  std::vector<LexedFile> lexed(files.size());
+  run_sharded([&](std::size_t i) { lexed[i] = Lex(files[i].content); });
+
+  // Pass 1: whole-batch symbol/ownership index (sequential; cheap relative
+  // to lexing and inherently order-dependent).
+  std::vector<std::string> paths;
+  paths.reserve(files.size());
+  for (const FileInput& f : files) paths.push_back(f.path);
+  const SymbolIndex index = BuildIndex(paths, lexed);
+
+  std::map<std::string, std::size_t> file_idx;
+  for (std::size_t i = 0; i < files.size(); ++i) file_idx[files[i].path] = i;
+
+  // Pass 2a: per-file rules (parallel; the index is read-only here).
+  std::vector<std::vector<Diagnostic>> per_file(files.size());
+  run_sharded([&](std::size_t i) {
     CheckContext ctx;
-    ctx.path = &files[idx].path;
-    ctx.lex = &lexed[idx];
+    ctx.path = &files[i].path;
+    ctx.lex = &lexed[i];
     ctx.opts = &opts;
-    ctx.status_fns = &status_fns;
-    ctx.ambiguous_fns = &ambiguous;
-
-    std::vector<Diagnostic> file_diags;
-    ctx.out = &file_diags;
+    ctx.index = &index;
+    ctx.out = &per_file[i];
     CheckBannedApi(ctx);
     CheckUncheckedStatus(ctx);
     CheckSimtimeMixing(ctx);
     CheckPoolEscape(ctx);
     CheckDocCoverage(ctx);
     CheckHotPathAlloc(ctx);
+    CheckDomainConfinement(ctx);
+  });
 
-    for (Diagnostic& d : file_diags) {
-      if (opts.honor_suppressions && Suppressed(lexed[idx], d)) continue;
+  // Pass 2b: cross-file rules walk the index once and file their findings
+  // into the owning file's list, so suppressions apply uniformly.
+  AppendDomainConfinementGlobals(index, opts, file_idx, &per_file);
+  AppendStatsMergeCoverage(index, opts, file_idx, &per_file);
+  AppendConfigCoupling(files, lexed, index, opts, file_idx, &per_file);
+
+  // Suppression filter + stale-suppression audit, in batch order; the
+  // final sort pins the output order regardless of jobs.
+  std::vector<Diagnostic> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    UsedSuppressions used;
+    for (Diagnostic& d : per_file[i]) {
+      if (opts.honor_suppressions && Suppressed(lexed[i], d, &used)) continue;
       out.push_back(std::move(d));
     }
+    CheckStaleSuppressions(files[i].path, lexed[i], opts, used, &out);
   }
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {

@@ -17,6 +17,19 @@ namespace fvcheck {
 ///  - "doc-coverage":     undocumented namespace-scope items in headers
 ///  - "hot-path-alloc":   std::function members and unpooled container
 ///                        growth under src/sim, src/net, src/operators
+/// Cross-file rules (run against the pass-1 symbol index, index.h):
+///  - "domain-confinement":   mutable namespace-scope state / function-local
+///                            statics under src/, SpscMailbox plumbing, and
+///                            writes to parallel-core-owned members outside
+///                            src/sim/parallel/ (DESIGN.md §14)
+///  - "stats-merge-coverage": every data member of a MergeFrom-bearing type
+///                            (and of its nested *Stats structs) must be
+///                            folded in the MergeFrom closure
+///  - "config-coupling":      calibrated constants in the four config
+///                            headers must be referenced by EXPERIMENTS.md
+///                            or a test (the CLAUDE.md constants contract)
+///  - "stale-suppression":    an fvcheck:allow= directive that suppresses
+///                            nothing (or names an unknown rule)
 /// Kept as plain strings so suppression comments can name them verbatim.
 extern const char kRuleBannedApi[];
 extern const char kRuleUncheckedStatus[];
@@ -24,6 +37,16 @@ extern const char kRuleSimtimeMixing[];
 extern const char kRulePoolEscape[];
 extern const char kRuleDocCoverage[];
 extern const char kRuleHotPathAlloc[];
+extern const char kRuleDomainConfinement[];
+extern const char kRuleStatsMergeCoverage[];
+extern const char kRuleConfigCoupling[];
+extern const char kRuleStaleSuppression[];
+
+/// Every rule name, in catalog order (DESIGN.md §11). The CLI validates
+/// --rule arguments and drives per-rule timing from this list, and
+/// stale-suppression treats any other name in an allow= directive as a
+/// diagnostic.
+const std::vector<std::string>& AllRuleNames();
 
 /// One finding. `file` is the repo-relative path the caller supplied.
 struct Diagnostic {
@@ -67,8 +90,22 @@ struct Options {
   /// to see through suppressions when auditing wall-clock users).
   bool honor_suppressions = true;
 
+  /// Worker threads for the lex + per-file check passes (clamped to
+  /// [1, 64]). Diagnostic output is byte-identical at any value: results
+  /// are collected per file and merged in batch order before sorting.
+  int jobs = 1;
+
+  /// Reference documents (EXPERIMENTS.md) whose words count as references
+  /// for the config-coupling rule, alongside identifiers in tests/ files of
+  /// the batch. The CLI loads <root>/EXPERIMENTS.md here.
+  std::vector<FileInput> reference_docs;
+
   static std::vector<std::string> DefaultWallClockAllowlist();
   static std::vector<std::string> DefaultThreadingAllowlist();
+
+  /// The four calibrated config headers the config-coupling rule audits —
+  /// the exact set CLAUDE.md's constants-change contract names.
+  static std::vector<std::string> CalibratedConfigHeaders();
 };
 
 /// Runs all (enabled) checks over `files` and returns findings sorted by

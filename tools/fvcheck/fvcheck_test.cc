@@ -5,11 +5,13 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "checks.h"
+#include "index.h"
 #include "lexer.h"
 
 namespace fvcheck {
@@ -38,6 +40,31 @@ int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
   return static_cast<int>(
       std::count_if(diags.begin(), diags.end(),
                     [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+/// Multi-file variant for the cross-file rules: each (fixture, pretend
+/// path) pair joins one batch, so the pass-1 index sees them together.
+std::vector<Diagnostic> AnalyzeFixtureBatch(
+    const std::vector<std::pair<std::string, std::string>>& fixtures,
+    Options opts = Options()) {
+  std::vector<FileInput> inputs;
+  for (const auto& [fixture, pretend] : fixtures) {
+    FileInput input;
+    EXPECT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, fixture, &input))
+        << "missing fixture " << fixture;
+    input.path = pretend;
+    inputs.push_back(std::move(input));
+  }
+  return Analyze(inputs, opts);
+}
+
+std::string Dump(const std::vector<Diagnostic>& diags) {
+  std::string all;
+  for (const auto& d : diags) {
+    all += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+           d.message + "\n";
+  }
+  return all;
 }
 
 TEST(LexerTest, TokensCommentsAndDirectives) {
@@ -308,13 +335,16 @@ TEST(TreeSelfCheckTest, ParallelCoreIsTheOnlyThreadingUser) {
   const std::set<std::string> suppressed_ok = {"src/common/logging.cc"};
   for (const std::string& user : threading_users) {
     EXPECT_TRUE(user.rfind("src/sim/parallel/", 0) == 0 ||
+                user.rfind("tools/fvcheck/", 0) == 0 ||  // --jobs worker pool
                 suppressed_ok.count(user) > 0)
         << user << " uses threading primitives but is neither under "
-        << "src/sim/parallel/ nor a named suppression carrier";
+        << "src/sim/parallel/, tools/fvcheck/, nor a named suppression "
+        << "carrier";
   }
-  // Non-vacuous: the detector provably sees the parallel core and the
-  // suppressed one-off.
+  // Non-vacuous: the detector provably sees the parallel core, fvcheck's
+  // own worker pool, and the suppressed one-off.
   EXPECT_EQ(threading_users.count("src/sim/parallel/partition.h"), 1u);
+  EXPECT_EQ(threading_users.count("tools/fvcheck/checks.cc"), 1u);
   EXPECT_EQ(threading_users.count("src/common/logging.cc"), 1u);
 }
 
@@ -358,6 +388,345 @@ TEST(TreeSelfCheckTest, ReplicationLayerIsDeterminismClean) {
   const LexedFile lex = Lex(repl_h.content);
   EXPECT_FALSE(lex.owner_pool_lines.empty())
       << "replication.h lost its fvcheck:owner=pool annotation";
+}
+
+// --- Lexer hardening (raw-string prefixes, separators, splices) -----------
+
+TEST(LexerTest, EncodingPrefixedLiterals) {
+  LexedFile lex = Lex(
+      "auto a = u8\"utf8 rand()\";\n"
+      "auto b = L\"wide\";\n"
+      "auto c = uR\"(raw u rand())\";\n"
+      "auto d = u'x';\n"
+      "uint64_t uR_not_a_literal = 0;\n");
+  // Literal bodies never leak identifier tokens.
+  for (const Token& t : lex.tokens) EXPECT_NE(t.text, "rand");
+  int strings = 0;
+  int chars = 0;
+  bool saw_ident = false;
+  for (const Token& t : lex.tokens) {
+    strings += t.kind == Token::Kind::kString;
+    chars += t.kind == Token::Kind::kChar;
+    saw_ident |= t.kind == Token::Kind::kIdent && t.text == "uR_not_a_literal";
+  }
+  EXPECT_EQ(strings, 3);
+  EXPECT_EQ(chars, 1);
+  // A 'u'/'L'/'R'-leading identifier is not mistaken for a prefix.
+  EXPECT_TRUE(saw_ident);
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumber) {
+  LexedFile lex = Lex("long n = 1'000'000; int m = 0x1F'FF; char c = 'a';\n");
+  std::vector<std::string> numbers;
+  int chars = 0;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Token::Kind::kNumber) numbers.push_back(t.text);
+    chars += t.kind == Token::Kind::kChar;
+  }
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "1'000'000");
+  EXPECT_EQ(numbers[1], "0x1F'FF");
+  EXPECT_EQ(chars, 1);  // the separators did not eat the 'a' literal
+}
+
+TEST(LexerTest, BackslashSplices) {
+  LexedFile lex = Lex(
+      "// comment continues \\\n"
+      "rand(); still comment\n"
+      "const char* s = \"split \\\n"
+      "string\";\n"
+      "int after = 1;\n");
+  // Code "hidden" behind a spliced line comment is comment, not tokens.
+  for (const Token& t : lex.tokens) EXPECT_NE(t.text, "rand");
+  EXPECT_EQ(lex.comment_lines.count(1), 1u);
+  EXPECT_EQ(lex.comment_lines.count(2), 1u);
+  bool saw_string = false;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Token::Kind::kString) {
+      EXPECT_EQ(t.text, "split string");  // splice joins, contributes nothing
+      EXPECT_EQ(t.line, 3);
+      saw_string = true;
+    }
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 5);  // line accounting survives the splices
+    }
+  }
+  EXPECT_TRUE(saw_string);
+}
+
+// --- Symbol index (pass 1) -------------------------------------------------
+
+TEST(IndexTest, CrossFileTypesMembersAndOwnership) {
+  FileInput core;
+  FileInput stats;
+  ASSERT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, "domain_confinement_core.h",
+                            &core));
+  ASSERT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, "stats_merge_ok.cc",
+                            &stats));
+  const std::vector<std::string> paths = {"src/sim/parallel/fake_core.h",
+                                          "src/fv/stats_merge_ok.cc"};
+  const std::vector<LexedFile> lexed = {Lex(core.content), Lex(stats.content)};
+  const SymbolIndex index = BuildIndex(paths, lexed);
+
+  const IndexType* domain = index.FindType("FakeDomain");
+  ASSERT_NE(domain, nullptr);
+  EXPECT_EQ(domain->file, "src/sim/parallel/fake_core.h");
+  const IndexMember* seq = domain->FindMember("fake_send_seq_");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_FALSE(seq->is_function);
+  EXPECT_TRUE(domain->HasMemberFn("Tick"));
+
+  // Ownership: the core's members map to exactly its directory.
+  auto own = index.member_owner_dirs.find("fake_send_seq_");
+  ASSERT_NE(own, index.member_owner_dirs.end());
+  ASSERT_EQ(own->second.size(), 1u);
+  EXPECT_EQ(*own->second.begin(), "src/sim/parallel");
+
+  // Nesting + method bodies from the second file.
+  const IndexType* good = index.FindType("GoodStats");
+  ASSERT_NE(good, nullptr);
+  EXPECT_NE(std::find(good->nested.begin(), good->nested.end(),
+                      std::string("GoodStats::InnerStats")),
+            good->nested.end());
+  const IndexMethodBody* merge = index.FindMethod("GoodStats", "MergeFrom");
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->called.count("FoldInner"), 1u);
+  EXPECT_EQ(merge->idents.count("completed"), 1u);
+  EXPECT_EQ(index.file_dir.at("src/fv/stats_merge_ok.cc"), "src/fv");
+}
+
+// --- domain-confinement ----------------------------------------------------
+
+TEST(DomainConfinementTest, PositiveFixtureCatchesEveryClass) {
+  Options opts;
+  opts.enabled_rules = {kRuleDomainConfinement};
+  auto diags = AnalyzeFixtureBatch(
+      {{"domain_confinement_core.h", "src/sim/parallel/fake_core.h"},
+       {"domain_confinement_bad.cc", "src/fv/domain_confinement_bad.cc"}},
+      opts);
+  // 1 mutable global + 1 function-local static + 1 SpscMailbox
+  // + 3 member writes (plain =, +=, ++).
+  EXPECT_EQ(CountRule(diags, kRuleDomainConfinement), 6) << Dump(diags);
+  // The core file itself carries none of them.
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/fv/domain_confinement_bad.cc") << Dump(diags);
+  }
+}
+
+TEST(DomainConfinementTest, NegativeFixtureStaysClean) {
+  Options opts;
+  opts.enabled_rules = {kRuleDomainConfinement};
+  auto diags = AnalyzeFixtureBatch(
+      {{"domain_confinement_core.h", "src/sim/parallel/fake_core.h"},
+       {"domain_confinement_ok.cc", "src/fv/domain_confinement_ok.cc"}},
+      opts);
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+}
+
+TEST(DomainConfinementTest, OnlyAppliesUnderSrc) {
+  Options opts;
+  opts.enabled_rules = {kRuleDomainConfinement};
+  // The same breaks under tests/ are fine — harnesses are host-side.
+  auto diags = AnalyzeFixtureBatch(
+      {{"domain_confinement_core.h", "src/sim/parallel/fake_core.h"},
+       {"domain_confinement_bad.cc", "tests/domain_confinement_bad.cc"}},
+      opts);
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+}
+
+// --- stats-merge-coverage --------------------------------------------------
+
+TEST(StatsMergeCoverageTest, PositiveFixtureFindsBothGaps) {
+  Options opts;
+  opts.enabled_rules = {kRuleStatsMergeCoverage};
+  auto diags = AnalyzeFixture("stats_merge_bad.cc",
+                              "src/fv/stats_merge_bad.cc", opts);
+  EXPECT_EQ(CountRule(diags, kRuleStatsMergeCoverage), 2) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("'lost'"), std::string::npos);
+  EXPECT_NE(Dump(diags).find("'misses'"), std::string::npos);
+}
+
+TEST(StatsMergeCoverageTest, NegativeFixtureCoversViaClosure) {
+  Options opts;
+  opts.enabled_rules = {kRuleStatsMergeCoverage};
+  // Folding through a called helper counts; non-*Stats nested types are
+  // exempt (copied whole, like NodeStats::RequestRecord).
+  auto diags = AnalyzeFixture("stats_merge_ok.cc",
+                              "src/fv/stats_merge_ok.cc", opts);
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+}
+
+// --- config-coupling -------------------------------------------------------
+
+TEST(ConfigCouplingTest, PositiveFixtureFlagsUncoupledConstants) {
+  Options opts;
+  opts.enabled_rules = {kRuleConfigCoupling};
+  opts.reference_docs.push_back(
+      FileInput{"EXPERIMENTS.md", "the table names coupled_depth only"});
+  FileInput input;
+  ASSERT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, "config_coupling_bad.h",
+                            &input));
+  input.path = Options::CalibratedConfigHeaders()[0];
+  auto diags = Analyze({input}, opts);
+  // tuned_rate (member) and kTunedGain (namespace scope); coupled_depth is
+  // named by the doc and plain_flag's 0 initializer is not calibrated.
+  EXPECT_EQ(CountRule(diags, kRuleConfigCoupling), 2) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("'tuned_rate'"), std::string::npos);
+  EXPECT_NE(Dump(diags).find("'kTunedGain'"), std::string::npos);
+}
+
+TEST(ConfigCouplingTest, NegativeFixtureAndTestCorpusStayClean) {
+  Options opts;
+  opts.enabled_rules = {kRuleConfigCoupling};
+  opts.reference_docs.push_back(
+      FileInput{"EXPERIMENTS.md", "the table names coupled_depth only"});
+  FileInput input;
+  ASSERT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, "config_coupling_ok.h",
+                            &input));
+  input.path = Options::CalibratedConfigHeaders()[0];
+  EXPECT_TRUE(Analyze({input}, opts).empty());
+
+  // A tests/ file naming the constant couples it too (shape tests count).
+  Options no_doc;
+  no_doc.enabled_rules = {kRuleConfigCoupling};
+  FileInput bad;
+  ASSERT_TRUE(ReadFileInput(FVCHECK_TESTDATA_DIR, "config_coupling_bad.h",
+                            &bad));
+  bad.path = Options::CalibratedConfigHeaders()[0];
+  FileInput test_file{
+      "tests/fixture_shape_test.cc",
+      "TEST(Shape, Pins) { use(cfg.tuned_rate + kTunedGain); "
+      "use(cfg.coupled_depth); }"};
+  auto diags = Analyze({bad, test_file}, no_doc);
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+
+  // No corpus at all (bare-header scan): stay silent rather than flag
+  // everything.
+  auto bare = Analyze({bad}, no_doc);
+  EXPECT_TRUE(bare.empty()) << Dump(bare);
+}
+
+// --- stale-suppression -----------------------------------------------------
+
+TEST(StaleSuppressionTest, PositiveFixtureFlagsUnusedAndUnknown) {
+  auto diags = AnalyzeFixture("stale_suppression_bad.cc",
+                              "src/fv/stale_suppression_bad.cc");
+  EXPECT_EQ(CountRule(diags, kRuleStaleSuppression), 2) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("suppresses nothing"), std::string::npos);
+  EXPECT_NE(Dump(diags).find("unknown rule"), std::string::npos);
+}
+
+TEST(StaleSuppressionTest, NegativeFixtureUsedDirectiveIsSilent) {
+  auto diags = AnalyzeFixture("stale_suppression_ok.cc",
+                              "src/fv/stale_suppression_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+}
+
+TEST(StaleSuppressionTest, NotJudgedWhenTheRuleDidNotRun) {
+  // Under --rule simtime-mixing the banned-api directive cannot be judged
+  // stale: its rule never ran this invocation.
+  Options opts;
+  opts.enabled_rules = {kRuleSimtimeMixing, kRuleStaleSuppression};
+  auto diags = AnalyzeFixture("stale_suppression_bad.cc",
+                              "src/fv/stale_suppression_bad.cc", opts);
+  // Only the unknown-rule directive fires (unknown names are always wrong).
+  EXPECT_EQ(CountRule(diags, kRuleStaleSuppression), 1) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("unknown rule"), std::string::npos);
+}
+
+// --- Acceptance demos over the real tree (ISSUE 9) -------------------------
+
+// Deleting any fold line from NodeStats::MergeFrom (or its FoldRecord
+// closure) must fail the tree: the rule is the tripwire for telemetry the
+// parallel merge would silently drop.
+TEST(TreeSelfCheckTest, StatsMergeCoverageGuardsNodeStats) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  FileInput header;
+  FileInput impl;
+  ASSERT_TRUE(ReadFileInput(root, "src/fv/node_stats.h", &header));
+  ASSERT_TRUE(ReadFileInput(root, "src/fv/node_stats.cc", &impl));
+
+  Options opts;
+  opts.enabled_rules = {kRuleStatsMergeCoverage};
+  auto clean = Analyze({header, impl}, opts);
+  EXPECT_TRUE(clean.empty()) << Dump(clean);
+
+  const std::string fold = "reliability_.timeouts += r.timeouts;";
+  const std::size_t pos = impl.content.find(fold);
+  ASSERT_NE(pos, std::string::npos)
+      << "node_stats.cc no longer folds reliability_.timeouts by that "
+      << "spelling — update this mutation test";
+  FileInput mutated = impl;
+  mutated.content.erase(pos, fold.size());
+  auto diags = Analyze({header, mutated}, opts);
+  EXPECT_EQ(CountRule(diags, kRuleStatsMergeCoverage), 1) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("'timeouts'"), std::string::npos) << Dump(diags);
+}
+
+// Renaming a calibrated constant without touching EXPERIMENTS.md or a test
+// must fail the tree (the CLAUDE.md constants contract, mechanized).
+TEST(TreeSelfCheckTest, ConfigCouplingGuardsCalibratedConstants) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  std::vector<FileInput> inputs;
+  for (const std::string& h : Options::CalibratedConfigHeaders()) {
+    FileInput input;
+    ASSERT_TRUE(ReadFileInput(root, h, &input)) << h;
+    inputs.push_back(std::move(input));
+  }
+  Options opts;
+  opts.enabled_rules = {kRuleConfigCoupling};
+  FileInput experiments;
+  ASSERT_TRUE(ReadFileInput(root, "EXPERIMENTS.md", &experiments));
+  opts.reference_docs.push_back(std::move(experiments));
+
+  // EXPERIMENTS.md's calibration tables alone cover every constant.
+  auto clean = Analyze(inputs, opts);
+  EXPECT_TRUE(clean.empty()) << Dump(clean);
+
+  // Rename one constant's declaration in the header only: now uncoupled.
+  const std::string decl = "SimTime retransmit_timeout =";
+  std::vector<FileInput> mutated = inputs;
+  bool renamed = false;
+  for (FileInput& f : mutated) {
+    const std::size_t pos = f.content.find(decl);
+    if (pos != std::string::npos && f.path == "src/net/net_config.h") {
+      f.content.replace(pos, decl.size(), "SimTime retransmit_timeout_v2 =");
+      renamed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(renamed) << "net_config.h lost retransmit_timeout — update "
+                       << "this mutation test";
+  auto diags = Analyze(mutated, opts);
+  EXPECT_EQ(CountRule(diags, kRuleConfigCoupling), 1) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("'retransmit_timeout_v2'"), std::string::npos)
+      << Dump(diags);
+}
+
+// --jobs N must never change what fvcheck reports: same files, same
+// diagnostics, same order, at any worker count.
+TEST(TreeSelfCheckTest, JobsDeterminism) {
+  const std::string root = FVCHECK_SOURCE_ROOT;
+  const std::vector<std::string> files = CollectSourceFiles(
+      root, {"src", "tests", "bench", "tools", "examples"});
+  ASSERT_GT(files.size(), 100u);
+  std::vector<FileInput> inputs;
+  for (const std::string& f : files) {
+    FileInput input;
+    ASSERT_TRUE(ReadFileInput(root, f, &input)) << f;
+    inputs.push_back(std::move(input));
+  }
+
+  // See through suppressions so the comparison is over a non-empty set.
+  Options opts;
+  opts.honor_suppressions = false;
+  opts.jobs = 1;
+  const std::string serial = Dump(Analyze(inputs, opts));
+  EXPECT_FALSE(serial.empty());
+  for (int jobs : {2, 4, 8}) {
+    opts.jobs = jobs;
+    EXPECT_EQ(serial, Dump(Analyze(inputs, opts))) << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

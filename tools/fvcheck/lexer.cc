@@ -22,7 +22,9 @@ void RecordComment(const std::string& text, int line, int body_lines,
   if (text.rfind("///", 0) == 0 || text.rfind("//!", 0) == 0) {
     out->doc_lines.insert(line);
   }
-  // Directives: "fvcheck:allow=rule1,rule2" and "fvcheck:owner=pool".
+  // Directives: "fvcheck:allow=<rules>" (comma-separated) and
+  // "fvcheck:owner=pool". Prose mentioning the directive (like this comment)
+  // never registers: a non-name character discards the candidate rule.
   std::size_t pos = 0;
   while ((pos = text.find("fvcheck:", pos)) != std::string::npos) {
     std::size_t p = pos + 8;
@@ -35,8 +37,14 @@ void RecordComment(const std::string& text, int line, int body_lines,
           if (!rule.empty()) out->allows[line].insert(rule);
           rule.clear();
           if (c != ',') break;
-        } else {
+        } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                   c == '_') {
           rule.push_back(c);
+        } else {
+          // Not a rule name (e.g. prose like `allow=<rule>`): this is
+          // documentation talking about the directive, not a directive.
+          rule.clear();
+          break;
         }
         ++p;
       }
@@ -72,6 +80,15 @@ LexedFile Lex(const std::string& content) {
       ++i;
       continue;
     }
+    // Backslash-newline splice outside literals: the two physical lines form
+    // one logical line. Consume it without emitting a token (phase-2 of
+    // translation); `at_line_start` is deliberately left alone so a spliced
+    // '#' keeps directive status.
+    if (c == '\\' && i + 1 < n && content[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      continue;
+    }
 
     // Preprocessor directive: consume the whole logical line.
     if (c == '#' && at_line_start) {
@@ -99,15 +116,25 @@ LexedFile Lex(const std::string& content) {
     }
     at_line_start = false;
 
-    // Comments.
+    // Comments. A backslash immediately before the newline splices the next
+    // physical line into the comment (same as the compiler), so code "hidden"
+    // behind a spliced // comment is not tokenized.
     if (c == '/' && i + 1 < n && content[i + 1] == '/') {
       const int start_line = line;
       std::string text;
-      while (i < n && content[i] != '\n') {
+      int body_lines = 1;
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          ++body_lines;
+          continue;
+        }
+        if (content[i] == '\n') break;
         text.push_back(content[i]);
         ++i;
       }
-      RecordComment(text, start_line, 1, &out);
+      RecordComment(text, start_line, body_lines, &out);
       continue;
     }
     if (c == '/' && i + 1 < n && content[i + 1] == '*') {
@@ -128,7 +155,28 @@ LexedFile Lex(const std::string& content) {
       continue;
     }
 
-    // Raw string literal R"delim(...)delim".
+    // Literal encoding prefix (u8, u, U, L) directly attached to a quote or
+    // to R": skip the prefix so the literal branches below see the quote.
+    // `uR`/`LR` followed by anything but '"' stays an ordinary identifier.
+    std::size_t pfx = 0;
+    if (c == 'u' && i + 1 < n && content[i + 1] == '8') {
+      pfx = 2;
+    } else if (c == 'u' || c == 'U' || c == 'L') {
+      pfx = 1;
+    }
+    if (pfx > 0) {
+      const std::size_t after = i + pfx;
+      const bool quoted =
+          after < n && (content[after] == '"' || content[after] == '\'');
+      const bool raw = after + 1 < n && content[after] == 'R' &&
+                       content[after + 1] == '"';
+      if (quoted || raw) {
+        i = after;
+        c = content[i];
+      }
+    }
+
+    // Raw string literal R"delim(...)delim": no escapes, no splices.
     if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
       std::size_t p = i + 2;
       std::string delim;
@@ -150,9 +198,17 @@ LexedFile Lex(const std::string& content) {
     // String / char literals.
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int start_line = line;
       std::string text;
       ++i;
       while (i < n && content[i] != quote) {
+        // Backslash-newline inside a literal is a splice: the lines join and
+        // the backslash pair contributes nothing to the value.
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
         if (content[i] == '\\' && i + 1 < n) {
           text.push_back(content[i]);
           text.push_back(content[i + 1]);
@@ -165,7 +221,7 @@ LexedFile Lex(const std::string& content) {
       }
       ++i;  // closing quote
       push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
-           std::move(text), line);
+           std::move(text), start_line);
       continue;
     }
 
@@ -176,6 +232,13 @@ LexedFile Lex(const std::string& content) {
       std::string text;
       while (i < n) {
         char d = content[i];
+        // A digit separator belongs to the number only when digits continue
+        // after it; otherwise the quote starts a character literal.
+        if (d == '\'' &&
+            !(i + 1 < n &&
+              std::isalnum(static_cast<unsigned char>(content[i + 1])))) {
+          break;
+        }
         if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
             d == '\'') {
           text.push_back(d);

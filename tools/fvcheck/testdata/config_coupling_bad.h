@@ -1,0 +1,10 @@
+// Fixture: analyzed under a pretend calibrated-config-header path. Two
+// calibrated constants, of which only `coupled_depth` is named by the
+// test's reference doc -> `tuned_rate` and `kTunedGain` fire.
+inline constexpr double kTunedGain = 1.75;
+
+struct FixtureConfig {
+  double tuned_rate = 9.5e9;
+  int plain_flag = 0;  // 0/1 initializers are not "calibrated"
+  int coupled_depth = 42;
+};

@@ -1,0 +1,7 @@
+// Fixture: the only calibrated constant is named by the reference doc;
+// bools and 0/1 defaults carry no calibration and need no coupling.
+struct FixtureConfig {
+  bool enabled = false;
+  int plain_flag = 1;
+  int coupled_depth = 42;
+};

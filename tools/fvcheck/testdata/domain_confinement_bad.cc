@@ -1,0 +1,14 @@
+// Fixture: every class of confinement break outside src/sim/parallel/ —
+// a mutable namespace-scope counter, a function-local static, mailbox
+// plumbing, and writes (plain, compound, increment) to core-owned members.
+int g_tick_count = 0;
+
+SpscMailbox* StealMailbox();
+
+void Touch(FakeDomain* d) {
+  static int cached_calls = 0;
+  d->fake_send_seq_ = 7;
+  d->fake_cross_count_ += 1;
+  d->fake_send_seq_++;
+  cached_calls = cached_calls + 1;
+}

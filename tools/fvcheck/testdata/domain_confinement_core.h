@@ -1,0 +1,10 @@
+// Fixture: a parallel-core type (analyzed under a pretend
+// src/sim/parallel/ path) declaring domain-private members. The index
+// attributes the trailing-underscore names to src/sim/parallel, which is
+// what lets domain-confinement spot writes to them from outside the core.
+class FakeDomain {
+ public:
+  void Tick();
+  unsigned fake_send_seq_ = 0;
+  unsigned fake_cross_count_ = 0;
+};

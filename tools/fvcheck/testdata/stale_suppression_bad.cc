@@ -1,0 +1,8 @@
+// Fixture: directives that suppress nothing — one names a rule that never
+// fires here, one names a rule that does not exist.
+void Clean() {
+  int x = 2;  // fvcheck:allow=banned-api
+  // fvcheck:allow=no-such-rule
+  int y = x + 1;
+  (void)y;
+}

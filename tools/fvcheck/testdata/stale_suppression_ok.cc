@@ -1,0 +1,5 @@
+// Fixture: every directive absorbs a diagnostic, so stale-suppression
+// stays silent.
+void Used() {
+  srand(1);  // fvcheck:allow=banned-api
+}

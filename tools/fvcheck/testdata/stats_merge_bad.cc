@@ -1,0 +1,17 @@
+// Fixture: MergeFrom with coverage gaps — one direct member and one field
+// of a nested *Stats struct are never folded.
+struct BadStats {
+  struct InnerStats {
+    long hits = 0;
+    long misses = 0;  // never folded -> diagnostic
+  };
+  long completed = 0;
+  long lost = 0;  // never folded -> diagnostic
+  InnerStats inner;
+  void MergeFrom(const BadStats& o);
+};
+
+void BadStats::MergeFrom(const BadStats& o) {
+  completed += o.completed;
+  inner.hits += o.inner.hits;
+}

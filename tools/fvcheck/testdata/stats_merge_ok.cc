@@ -1,0 +1,30 @@
+// Fixture: complete coverage through the call closure — MergeFrom folds
+// two members directly, delegates the nested InnerStats to a helper, and
+// copies a non-Stats record whole (the RequestRecord exemption).
+struct GoodStats {
+  struct InnerStats {
+    long hits = 0;
+    long misses = 0;
+  };
+  struct RequestRecord {
+    long id = 0;  // copied whole below; not a *Stats, so exempt
+  };
+  long completed = 0;
+  long lost = 0;
+  InnerStats inner;
+  RequestRecord last;
+  void MergeFrom(const GoodStats& o);
+  void FoldInner(const InnerStats& i);
+};
+
+void GoodStats::MergeFrom(const GoodStats& o) {
+  completed += o.completed;
+  lost += o.lost;
+  last = o.last;
+  FoldInner(o.inner);
+}
+
+void GoodStats::FoldInner(const InnerStats& i) {
+  inner.hits += i.hits;
+  inner.misses += i.misses;
+}

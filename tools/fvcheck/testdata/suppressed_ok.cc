@@ -5,5 +5,5 @@ void Suppressed() {
   // fvcheck:allow=banned-api
   srand(2);
   // fvcheck:allow=banned-api,simtime-mixing
-  srand(3);
+  SimTime jitter = 3; srand(3);
 }
