@@ -37,6 +37,7 @@
 #include "common/rng.h"
 #include "fv/cluster.h"
 #include "fv/megaclient.h"
+#include "fv/region_scheduler.h"
 #include "fv/sharding.h"
 #include "net/net_config.h"
 #include "table/generator.h"
@@ -292,6 +293,101 @@ Measurement RunExtShardout() {
   });
 }
 
+/// ext_overload-style admission storm (DESIGN.md §15): four closed-loop
+/// latency-class tenants plus a 256-job batch burst through a
+/// RegionScheduler with admission enabled — the token-bucket/EWMA gate and
+/// the deficit-weighted drain on every submit/dispatch, the admission
+/// layer's event mix.
+Measurement RunExtOverload() {
+  constexpr uint64_t kVictimLen = 256 * kKiB;
+  constexpr uint64_t kStormLen = 64 * kKiB;
+  constexpr int kVictims = 4;
+  constexpr int kVictimRequests = 25;
+  constexpr int kStorm = 256;
+
+  FarviewConfig config;
+  config.admission.enabled = true;
+  config.admission.tenant_queue_cap = 24;
+  config.admission.tenant_burst = 64.0;
+  config.admission.tenant_rate_per_sec = 2e6;
+  sim::Engine engine;
+  FarviewNode node(&engine, config);
+  RegionScheduler scheduler(&node);
+
+  TableGenerator gen(7);
+  Result<Table> t = gen.Uniform(Schema::DefaultWideRow(), kVictimLen / 64, 100);
+  FV_CHECK(t.ok()) << t.status().message();
+  Result<QPair*> owner = node.ConnectShared(1);
+  FV_CHECK(owner.ok());
+  Result<uint64_t> vaddr =
+      node.AllocTableMem(*owner.value(), t.value().size_bytes());
+  FV_CHECK(vaddr.ok());
+  FV_CHECK(node.mmu()
+               .Write(1, vaddr.value(), t.value().size_bytes(),
+                      t.value().data())
+               .ok());
+  FV_CHECK(node.ShareTableMem(*owner.value(), vaddr.value()).ok());
+
+  const std::string key = "select<50";
+  auto factory = []() {
+    return PipelineBuilder(Schema::DefaultWideRow())
+        .Select({Predicate::Int(0, CompareOp::kLt, 50)})
+        .Build();
+  };
+
+  // Warm-up (pipeline reconfiguration) stays outside the measured region.
+  Result<QPair*> warm_qp = node.ConnectShared(99);
+  FV_CHECK(warm_qp.ok());
+  FvRequest warm;
+  warm.vaddr = vaddr.value();
+  warm.len = kStormLen;
+  warm.tuple_bytes = 64;
+  for (int r = 0; r < node.config().num_regions; ++r) {
+    scheduler.Submit(99, warm_qp.value()->qp_id, key, factory, warm,
+                     [](Result<FvResult> res) { FV_CHECK(res.ok()); });
+  }
+  engine.Run();
+
+  Result<QPair*> hot_qp = node.ConnectShared(7);
+  FV_CHECK(hot_qp.ok());
+  std::vector<QPair*> victim_qps;
+  for (int v = 0; v < kVictims; ++v) {
+    Result<QPair*> qp = node.ConnectShared(100 + v);
+    FV_CHECK(qp.ok());
+    victim_qps.push_back(qp.value());
+  }
+
+  return Measure("ext_overload", engine, [&] {
+    uint64_t settled = 0;
+    FvRequest hot_req = warm;
+    hot_req.slo = SloClass::kBatch;
+    for (int s = 0; s < kStorm; ++s) {
+      scheduler.Submit(7, hot_qp.value()->qp_id, key, factory, hot_req,
+                       [&settled](Result<FvResult>) { ++settled; });
+    }
+    FvRequest victim_req = warm;
+    victim_req.len = kVictimLen;
+    victim_req.slo = SloClass::kLatencySensitive;
+    int done = 0;
+    std::vector<int> remaining(kVictims, kVictimRequests);
+    std::function<void(int)> issue = [&](int v) {
+      scheduler.Submit(100 + v, victim_qps[static_cast<size_t>(v)]->qp_id,
+                       key, factory, victim_req,
+                       [&, v](Result<FvResult> res) {
+                         FV_CHECK(res.ok()) << res.status().ToString();
+                         if (--remaining[static_cast<size_t>(v)] > 0) {
+                           issue(v);
+                         } else {
+                           ++done;
+                         }
+                       });
+    };
+    for (int v = 0; v < kVictims; ++v) issue(v);
+    engine.Run();
+    FV_CHECK(done == kVictims && settled == kStorm);
+  });
+}
+
 /// Partitioned many-tenant workload (DESIGN.md §14): 20k closed-loop
 /// sessions over 8 client + 4 node domains with seeded drops — the
 /// conservative-window/mailbox/flow-aggregation event mix. Runs under
@@ -392,6 +488,7 @@ void Run() {
   if (Selected("ext_faults")) ms.push_back(BestOf(reps, RunExtFaults));
   if (Selected("ext_failover")) ms.push_back(BestOf(reps, RunExtFailover));
   if (Selected("ext_shardout")) ms.push_back(BestOf(reps, RunExtShardout));
+  if (Selected("ext_overload")) ms.push_back(BestOf(reps, RunExtOverload));
   if (Selected("megaclient")) {
     ms.push_back(BestOf(reps, [] { return RunMegaclient(1); }));
     ms.push_back(BestOf(reps, [] { return RunMegaclient(4); }));

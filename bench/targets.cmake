@@ -35,6 +35,10 @@ fv_add_bench(ext_shardout)
 # golden-checked at any FV_SIM_THREADS; its wall-clock speedup section goes
 # to stderr only.
 fv_add_bench(ext_megaclient)
+# Overload protection (DESIGN.md §15): hot-tenant storm through the
+# RegionScheduler plus a megaclient storm with admission shaping; stdout is
+# deterministic at any FV_SIM_THREADS and golden-checked.
+fv_add_bench(ext_overload)
 
 # Wall-clock simulator-core harness (DESIGN.md §8). Links the counting
 # allocator hook so it can report allocs/event; like micro_primitives it is

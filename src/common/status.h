@@ -2,6 +2,7 @@
 #define FARVIEW_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@ enum class StatusCode {
   kOutOfMemory,
   kOutOfRange,
   kUnavailable,
+  kResourceExhausted,
   kDeadlineExceeded,
   kFailedPrecondition,
   kUnimplemented,
@@ -65,6 +67,12 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  /// Admission-control rejection: the server is healthy but is shedding
+  /// load (DESIGN.md §15). Distinct from `Unavailable` (down / faulted) so
+  /// circuit breakers never count shed load toward trip thresholds.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
@@ -87,6 +95,9 @@ class [[nodiscard]] Status {
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
@@ -96,12 +107,26 @@ class [[nodiscard]] Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
+  /// Attaches a server-suggested retry delay (simulated picoseconds) to a
+  /// `ResourceExhausted` rejection. Builder style so factory call sites
+  /// read `Status::ResourceExhausted(...).WithRetryAfter(hint)`.
+  Status&& WithRetryAfter(int64_t retry_after_ps) && {
+    retry_after_ps_ = retry_after_ps;
+    return std::move(*this);
+  }
+
+  /// Server-suggested retry delay in simulated picoseconds; 0 when the
+  /// status carries no hint. Clients treat the hint as a floor on their
+  /// own backoff (`RetryPolicy::BackoffForAttempt`), never a ceiling.
+  int64_t retry_after_ps() const { return retry_after_ps_; }
+
   /// Renders "Code: message" for logs and test failure output.
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_ps_ = 0;
 };
 
 /// Outcome of a fallible operation that produces a `T` on success.

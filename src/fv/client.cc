@@ -207,7 +207,10 @@ void FarviewClient::StartReliableAttempt(std::shared_ptr<ReliableCall> call) {
       return;
     }
     const Status s = res.status();
-    if (s.IsUnavailable() || s.IsDeadlineExceeded()) {
+    // `ResourceExhausted` is retryable too: the node is healthy but
+    // shedding, and its retry-after hint floors the backoff below.
+    if (s.IsUnavailable() || s.IsDeadlineExceeded() ||
+        s.IsResourceExhausted()) {
       HandleAttemptFailure(call, s);
     } else {
       FinishReliable(call, std::move(res));  // not retryable
@@ -248,8 +251,11 @@ void FarviewClient::HandleAttemptFailure(std::shared_ptr<ReliableCall> call,
     return;
   }
   // Capped exponential backoff: base * 2^(retry-1), clamped to the cap
-  // (overflow-safe — the policy clamps before each doubling).
-  const SimTime backoff = rp.BackoffForAttempt(call->attempts_done);
+  // (overflow-safe — the policy clamps before each doubling). A shedding
+  // server's retry-after hint floors the backoff (DESIGN.md §15): retrying
+  // sooner than the server asked would only be shed again.
+  SimTime backoff = rp.BackoffForAttempt(call->attempts_done);
+  if (error.retry_after_ps() > backoff) backoff = error.retry_after_ps();
   node_->stats().RecordRetry();
   node_->engine()->ScheduleAfter(backoff, [this, call]() {
     if (call->settled) return;

@@ -136,9 +136,11 @@ class FarviewClient {
 
   /// When `FarviewConfig::retry.enabled`, both async verbs run under the
   /// reliability layer (DESIGN.md §7): each attempt carries a completion
-  /// timeout; `Unavailable`/`DeadlineExceeded` attempts retry with capped
-  /// exponential backoff up to `max_attempts`; and when the region is
-  /// faulted the call degrades to a raw read (`FvResult::degraded_raw`).
+  /// timeout; `Unavailable`/`DeadlineExceeded`/`ResourceExhausted`
+  /// attempts retry with capped exponential backoff up to `max_attempts`
+  /// (a shed's retry-after hint floors the backoff, DESIGN.md §15); and
+  /// when the region is faulted the call degrades to a raw read
+  /// (`FvResult::degraded_raw`).
   /// With the policy disabled (the default) they issue exactly one attempt,
   /// event-identical to the pre-reliability client.
   void FarviewRequestAsync(const FvRequest& request,

@@ -301,6 +301,11 @@ struct ClusterClient::RoutedCall {
   /// True while the current hop occupies a Half-Open probe slot of its
   /// replica's breaker; the hop's outcome must settle that slot.
   bool probe_hop = false;
+  /// Last `ResourceExhausted` seen while rotating (DESIGN.md §15). When the
+  /// rotation exhausts, the call settles with this typed status (retry-after
+  /// hint intact) instead of the generic fast-fail, so the caller's backoff
+  /// can honor the server's hint.
+  Status shed_error;
   std::function<void(Result<FvResult>)> done;
 };
 
@@ -729,9 +734,16 @@ void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
   const int r = PickReplica(call->tried_mask, call->verb, &probe);
   if (r < 0) {
     // Fast-fail: every replica is fenced, tripped, or already tried.
-    // Counted on replica 0's stats (the cluster-level sink).
+    // Counted on replica 0's stats (the cluster-level sink). When at least
+    // one replica shed the call, report that typed status instead — the
+    // pool is healthy but saturated, and the retry-after hint must survive
+    // to the caller's backoff (DESIGN.md §15).
     cluster_->node(0).stats().RecordFastFail();
     auto cb = std::move(call->done);
+    if (!call->shed_error.ok()) {
+      cb(std::move(call->shed_error));
+      return;
+    }
     cb(Status::Unavailable("no in-sync replica available (fast-fail)"));
     return;
   }
@@ -749,6 +761,17 @@ void ClusterClient::IssueRouted(std::shared_ptr<RoutedCall> call) {
       return;
     }
     const Status& s = res.status();
+    if (s.IsResourceExhausted()) {
+      // Shed load (DESIGN.md §15): the replica is healthy, just refusing
+      // work — no breaker penalty, no failover count. Rotate to another
+      // replica that may have headroom; remember the typed status so an
+      // exhausted rotation reports the shed (with its retry-after hint)
+      // rather than a generic fast-fail.
+      breaker.RecordShed(probe_hop);
+      call->shed_error = s;
+      IssueRouted(call);
+      return;
+    }
     if (!s.IsUnavailable() && !s.IsDeadlineExceeded()) {
       // Not a health signal (bad request, schema mismatch): report it,
       // don't penalize the replica. A probe hop still settles its slot as

@@ -7,7 +7,9 @@
 namespace farview {
 
 FarviewNode::FarviewNode(sim::Engine* engine, const FarviewConfig& config)
-    : engine_(engine), config_(config) {
+    : engine_(engine),
+      config_(config),
+      admission_(engine, config.admission, &stats_) {
   FV_CHECK(engine_ != nullptr);
   FV_CHECK(config_.submission_queue_depth >= 1)
       << "submission_queue_depth must be at least 1";
@@ -376,6 +378,7 @@ void FarviewNode::FarviewRequest(int qp_id, const FvRequest& request,
   ctx->client_id = qp->client_id;
   ctx->verb = Verb::kFarview;
   ctx->request = request;
+  ctx->slo = request.slo;
   ctx->submitted = engine_->Now();
   ctx->done = std::move(done);
   net_->DeliverRequest([this, ctx]() { OnArrival(ctx); });
@@ -493,6 +496,22 @@ void FarviewNode::OnArrival(RequestContextPtr ctx) {
     });
     return;
   }
+  // Admission control in front of the submission queue (DESIGN.md §15):
+  // token-bucket/overload sheds reject with a typed `ResourceExhausted`
+  // carrying a retry-after hint, never `Unavailable` (a shedding node is
+  // healthy; circuit breakers must not trip on shed load). Inert while
+  // `AdmissionConfig::enabled` is false.
+  if (admission_.enabled()) {
+    ctx->slo = ctx->request.slo;
+    Status verdict = admission_.Admit(ctx->client_id, ctx->slo);
+    if (!verdict.ok()) {
+      stats_.RecordRejection(ctx->qp_id);
+      engine_->ScheduleAfter(0, [done = std::move(ctx->done), verdict]() {
+        done(verdict);
+      });
+      return;
+    }
+  }
   SubmissionQueue& q = it->second;
   if (!q.CanAccept()) {
     stats_.RecordRejection(ctx->qp_id);
@@ -532,6 +551,7 @@ void FarviewNode::MaybeDispatch(int qp_id) {
   // completion callback and LoadPipeline both re-enter here).
   if (r->busy() || r->reconfiguring()) return;
   RequestContextPtr ctx = it->second.PopForDispatch();
+  admission_.ObserveQueueWait(engine_->Now() - ctx->ingress_done);
   auto on_result = [this, ctx](Result<FvResult> res) {
     FinishRequest(ctx, std::move(res));
   };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fv/admission.h"
 #include "fv/dynamic_region.h"
 #include "fv/fv_config.h"
 #include "fv/node_stats.h"
@@ -151,6 +152,11 @@ class FarviewNode {
   NodeStats& stats() { return stats_; }
   const NodeStats& stats() const { return stats_; }
 
+  /// Per-tenant admission controller (DESIGN.md §15). Inert while
+  /// `AdmissionConfig::enabled` is false; the region scheduler consults it
+  /// for shared connections, `OnArrival` for dedicated ones.
+  AdmissionController& admission() { return admission_; }
+
   /// Submission queue of a dedicated connection (nullptr when unknown or
   /// shared). For tests and introspection.
   const SubmissionQueue* submission_queue(int qp_id) const;
@@ -194,6 +200,7 @@ class FarviewNode {
   /// Ingress link (client→node data for writes); separate from egress.
   std::unique_ptr<sim::Server> ingress_;
   NodeStats stats_;
+  AdmissionController admission_;
   std::vector<std::unique_ptr<DynamicRegion>> regions_;
   std::vector<bool> region_taken_;
   std::map<int, std::unique_ptr<QPair>> qpairs_;

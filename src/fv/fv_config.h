@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "fv/request.h"
 #include "mem/dram_config.h"
 #include "net/net_config.h"
 
@@ -70,7 +71,9 @@ struct RetryPolicy {
   SimTime completion_timeout = 250 * kMicrosecond;
 
   /// Total attempts (first try + retries). Retryable failures are
-  /// `Unavailable` and `DeadlineExceeded`; other codes fail immediately.
+  /// `Unavailable`, `DeadlineExceeded` and `ResourceExhausted` (shed load;
+  /// its retry-after hint floors the backoff); other codes fail
+  /// immediately.
   int max_attempts = 4;
 
   /// Backoff before retry k (1-based) is `min(backoff_base * 2^(k-1),
@@ -105,6 +108,58 @@ struct RetryPolicy {
   bool raw_read_fallback = true;
 };
 
+/// Per-tenant admission control and SLO-aware fair scheduling
+/// (DESIGN.md §15): deterministic token buckets per tenant, a node-wide
+/// queue-delay shed threshold fed by `RequestContext::QueueWait()`, and
+/// deficit-weighted round-robin drain of the region scheduler. Disabled by
+/// default — the node then admits exactly like the pre-admission node and
+/// the region scheduler drains strict FIFO, preserving byte-identity of
+/// every seed bench golden.
+struct AdmissionConfig {
+  /// Master switch; when false no bucket is consulted, no request is shed,
+  /// and the scheduler drains FIFO.
+  bool enabled = false;
+
+  /// Token-bucket refill rate per tenant, in admitted requests per
+  /// simulated second. Tokens accrue lazily off the engine clock (no
+  /// refill events), so the bucket is exactly deterministic.
+  double tenant_rate_per_sec = 100000.0;
+
+  /// Bucket capacity in tokens — the burst a tenant may issue above its
+  /// sustained rate before the bucket rejects.
+  double tenant_burst = 32.0;
+
+  /// Per-tenant cap on jobs waiting in the region scheduler; a tenant at
+  /// its cap is shed even with tokens left (backlog bound).
+  int tenant_queue_cap = 64;
+
+  /// Node-wide queue-delay shed thresholds, compared against the EWMA of
+  /// observed `RequestContext::QueueWait()`. Batch requests are shed first
+  /// (lower threshold); latency-sensitive ones only under deeper overload.
+  SimTime shed_delay_batch = 150 * kMicrosecond;
+  SimTime shed_delay_latency = 600 * kMicrosecond;
+
+  /// Floor of the retry-after hint attached to `ResourceExhausted`
+  /// rejections; overload sheds add the current queue-delay EWMA so the
+  /// hint tracks how far behind the node actually is.
+  SimTime retry_after_base = 100 * kMicrosecond;
+
+  /// Deficit-weighted round-robin weights per SLO class (quanta granted
+  /// per rotation; a tenant's class is the class of its queued head job).
+  int weight_latency = 4;
+  int weight_batch = 1;
+
+  /// DWRR weight for the SLO class.
+  int WeightFor(SloClass slo) const {
+    return slo == SloClass::kBatch ? weight_batch : weight_latency;
+  }
+
+  /// Class-dependent shed threshold.
+  SimTime ShedDelayFor(SloClass slo) const {
+    return slo == SloClass::kBatch ? shed_delay_batch : shed_delay_latency;
+  }
+};
+
 /// Top-level configuration of a Farview node, defaults matching the paper's
 /// prototype (Alveo u250, 2 DRAM channels, 6 dynamic regions, 100 Gbps).
 struct FarviewConfig {
@@ -116,6 +171,15 @@ struct FarviewConfig {
 
   /// Client-side timeout/retry/degradation policy (disabled by default).
   RetryPolicy retry;
+
+  /// Per-tenant admission control + fair scheduling (disabled by default).
+  AdmissionConfig admission;
+
+  /// Node-wide cap on jobs waiting in the region scheduler, enforced even
+  /// with admission disabled (the deque must never grow without bound —
+  /// DESIGN.md §15). Overflow is rejected with a typed `Unavailable`.
+  /// Large enough that no seed workload ever reaches it.
+  int scheduler_queue_cap = 4096;
 
   /// Number of virtual dynamic regions ("We use six dynamic regions in our
   /// experiments; Farview has been tested with up to ten", Section 6.1).

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "fv/node_stats.h"
+#include "fv/request.h"
 #include "sim/parallel/flow_agg.h"
 #include "sim/parallel/partition.h"
 #include "sim/stats.h"
@@ -75,6 +76,7 @@ struct ClientPart {
   uint64_t completed = 0;
   uint64_t give_ups = 0;
   uint64_t parks = 0;
+  uint64_t shed_retries = 0;  ///< re-issues after a node shed hint
   std::string trace;
 };
 
@@ -89,6 +91,7 @@ struct NodePart {
   std::vector<SimTime> busy_until;
   uint64_t arrivals = 0;  ///< round-robin dispatch cursor
   uint64_t drops = 0;
+  uint64_t sheds = 0;  ///< arrivals refused by admission shaping
   NodeStats stats;  ///< served/dropped counts, merged post-run
   std::string trace;
 };
@@ -155,6 +158,7 @@ class Harness {
       rep.completed += cp->completed;
       rep.give_ups += cp->give_ups;
       rep.parks += cp->parks;
+      rep.shed_retries += cp->shed_retries;
       rep.timer_events += cp->agg.timer_events();
       for (double v : cp->lat_interactive) interactive.Add(v);
       for (double v : cp->lat_batch) batch.Add(v);
@@ -174,6 +178,7 @@ class Harness {
     }
     for (const auto& np : nodes_) {
       rep.drops += np->drops;
+      rep.sheds += np->sheds;
       merged.MergeFrom(np->stats);
       rep.trace += np->trace;
     }
@@ -182,6 +187,9 @@ class Harness {
     rep.late = merged.reliability().late_completions;
     FV_CHECK(rep.drops == merged.failed_count())
         << "per-partition drop counts diverged from the merged registry";
+    FV_CHECK(rep.sheds == merged.admission().shed_overload_latency +
+                              merged.admission().shed_overload_batch)
+        << "per-partition shed counts diverged from the merged registry";
     rep.p50_interactive_us =
         ToMicros(static_cast<SimTime>(interactive.Percentile(50)));
     rep.p99_interactive_us =
@@ -257,7 +265,27 @@ class Harness {
       return;
     }
     const uint32_t unit =
-        static_cast<uint32_t>(np.arrivals++ % np.busy_until.size());
+        static_cast<uint32_t>(np.arrivals % np.busy_until.size());
+    if (cfg_.shed_backlog > 0 && np.busy_until[unit] - now > cfg_.shed_backlog) {
+      // Admission shaping (DESIGN.md §15): the unit this arrival would land
+      // on is backlogged past the bound, so shed it now with a retry-after
+      // hint instead of letting the client discover the overload via its
+      // timeout. The arrival cursor does not advance — a shed consumes no
+      // service capacity.
+      ++np.sheds;
+      np.stats.RecordShed(
+          Interactive(GlobalId(c, i)) ? SloClass::kLatencySensitive
+                                      : SloClass::kBatch,
+          /*overload=*/true, cfg_.shed_retry_after);
+      if (cfg_.trace) {
+        AppendF(np.trace, "n%u t=%lld shed s=%u u=%u\n", n,
+                static_cast<long long>(now), GlobalId(c, i), unit);
+      }
+      np.domain->Send(c, cfg_.response_latency,
+                      [this, c, i, gen] { HandleShed(c, i, gen); });
+      return;
+    }
+    ++np.arrivals;
     const SimTime start = std::max(now, np.busy_until[unit]);
     const SimTime service = UniformAround(np.rng, cfg_.service_mean);
     np.busy_until[unit] = start + service;
@@ -297,6 +325,42 @@ class Harness {
               static_cast<long long>(now), static_cast<long long>(lat));
     }
     ParkNext(cp, c, i);
+  }
+
+  /// Client-side shed handling: honor the node's retry-after hint by
+  /// parking the session for exactly that long, then re-issue the *same*
+  /// attempt — a shed burns no attempt (the node is healthy, merely
+  /// saturated), unlike a timeout. Sessions whose re-issue would land past
+  /// the horizon give up instead, bounding the run even under a permanent
+  /// storm.
+  void HandleShed(uint32_t c, uint32_t i, uint32_t gen) {
+    ClientPart& cp = *clients_[c];
+    Session& st = cp.sessions[i];
+    const SimTime now = cp.domain->engine().Now();
+    if (st.gen != gen) {
+      // The client already timed out (and maybe retried) this attempt.
+      cp.stats.RecordLateCompletion();
+      return;
+    }
+    if (cfg_.trace) {
+      AppendF(cp.trace, "c%u s%u t=%lld shed a=%u\n", c, GlobalId(c, i),
+              static_cast<long long>(now), st.attempt);
+    }
+    ++st.gen;  // stales the pending timeout for the shed attempt
+    if (now + cfg_.shed_retry_after >= cfg_.horizon) {
+      ++cp.give_ups;
+      st.attempt = 0;
+      ParkNext(cp, c, i);
+      return;
+    }
+    ++cp.shed_retries;
+    const uint32_t regen = st.gen;
+    cp.domain->engine().ScheduleAfter(
+        cfg_.shed_retry_after, [this, c, i, regen] {
+          ClientPart& rcp = *clients_[c];
+          if (rcp.sessions[i].gen != regen) return;
+          IssueAttempt(rcp, c, i);
+        });
   }
 
   void HandleTimeout(uint32_t c, uint32_t i, uint32_t gen) {
@@ -341,6 +405,13 @@ std::string MegaclientReport::Summary() const {
           static_cast<unsigned long long>(give_ups),
           static_cast<unsigned long long>(drops),
           static_cast<unsigned long long>(late));
+  if (sheds > 0 || shed_retries > 0) {
+    // Zero-gated (DESIGN.md §15): shaping off means this line never prints,
+    // so pre-admission goldens stay byte-identical.
+    AppendF(out, "admission: sheds=%llu shed_retries=%llu\n",
+            static_cast<unsigned long long>(sheds),
+            static_cast<unsigned long long>(shed_retries));
+  }
   AppendF(out,
           "latency[us]: interactive p50=%.3f p99=%.3f | batch p50=%.3f "
           "p99=%.3f | fairness=%.4f\n",

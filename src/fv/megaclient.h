@@ -79,6 +79,19 @@ struct MegaclientConfig {
   /// requests are only recovered by the client's timeout/retry loop).
   double drop_rate = 0.0;
 
+  /// Node-side admission shaping (DESIGN.md §15): when > 0, an arrival
+  /// whose round-robin service unit is already backlogged past this bound
+  /// is shed instead of queued — the node answers immediately with a
+  /// retry-after hint rather than letting the client burn its timeout.
+  /// 0 (the default) disables shaping entirely: no draw, no extra events,
+  /// byte-identical to the pre-admission megaclient.
+  SimTime shed_backlog = 0;
+
+  /// Retry-after hint attached to a shed: the client parks the session for
+  /// this long and re-issues the same attempt (a shed burns no attempt —
+  /// the node is healthy, merely saturated).
+  SimTime shed_retry_after = 50 * kMicrosecond;
+
   /// Record a per-event text trace (tests only — O(events) memory).
   bool trace = false;
 };
@@ -95,6 +108,8 @@ struct MegaclientReport {
   uint64_t give_ups = 0;     ///< requests abandoned after max_attempts
   uint64_t drops = 0;        ///< arrivals dropped by nodes
   uint64_t late = 0;         ///< completions after the client moved on
+  uint64_t sheds = 0;        ///< arrivals shed by node admission shaping
+  uint64_t shed_retries = 0; ///< client re-issues after a shed hint
 
   uint64_t executed_events = 0;  ///< engine events across all domains
   uint64_t cross_events = 0;     ///< mailbox messages delivered

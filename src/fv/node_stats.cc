@@ -117,6 +117,21 @@ void NodeStats::MergeFrom(const NodeStats& other) {
   sharding_.gather_bytes += s.gather_bytes;
   sharding_.partial_groups += s.partial_groups;
   sharding_.repartition_bytes += s.repartition_bytes;
+
+  const AdmissionStats& a = other.admission_;
+  admission_.admitted_latency += a.admitted_latency;
+  admission_.admitted_batch += a.admitted_batch;
+  admission_.shed_bucket_latency += a.shed_bucket_latency;
+  admission_.shed_bucket_batch += a.shed_bucket_batch;
+  admission_.shed_overload_latency += a.shed_overload_latency;
+  admission_.shed_overload_batch += a.shed_overload_batch;
+  admission_.scheduler_overflows += a.scheduler_overflows;
+  for (int i = 0; i < AdmissionStats::kShedDelayBuckets; ++i) {
+    admission_.shed_delay_hist[i] += a.shed_delay_hist[i];
+  }
+  admission_.tenant_backlog_high_water =
+      std::max(admission_.tenant_backlog_high_water,
+               a.tenant_backlog_high_water);
 }
 
 void NodeStats::RecordFailure(int qp_id) {
@@ -132,6 +147,43 @@ void NodeStats::RecordRejection(int qp_id) {
 void NodeStats::RecordQueueDepth(int qp_id, size_t outstanding) {
   QpStats& qp = per_qp_[qp_id];
   qp.queue_high_water = std::max(qp.queue_high_water, outstanding);
+}
+
+void NodeStats::RecordAdmitted(SloClass slo) {
+  if (slo == SloClass::kBatch) {
+    ++admission_.admitted_batch;
+  } else {
+    ++admission_.admitted_latency;
+  }
+}
+
+void NodeStats::RecordShed(SloClass slo, bool overload, SimTime retry_after) {
+  if (overload) {
+    if (slo == SloClass::kBatch) {
+      ++admission_.shed_overload_batch;
+    } else {
+      ++admission_.shed_overload_latency;
+    }
+  } else {
+    if (slo == SloClass::kBatch) {
+      ++admission_.shed_bucket_batch;
+    } else {
+      ++admission_.shed_bucket_latency;
+    }
+  }
+  // log2 bucket of the hint in whole microseconds; <1 µs shares bucket 0.
+  int bucket = 0;
+  for (SimTime us = retry_after / kMicrosecond; us > 1 &&
+       bucket + 1 < AdmissionStats::kShedDelayBuckets;
+       us /= 2) {
+    ++bucket;
+  }
+  ++admission_.shed_delay_hist[bucket];
+}
+
+void NodeStats::RecordTenantBacklog(size_t backlog) {
+  admission_.tenant_backlog_high_water =
+      std::max(admission_.tenant_backlog_high_water, backlog);
 }
 
 void NodeStats::RecordRegionBusy(int region_id, SimTime busy) {
@@ -237,6 +289,30 @@ std::string NodeStats::FormatReport(SimTime now,
         static_cast<unsigned long long>(sharding_.partial_groups),
         static_cast<unsigned long long>(sharding_.repartition_bytes));
     out << sbuf;
+  }
+  // Admission section only when the controller or the scheduler cap acted:
+  // seed workloads (admission off, cap never reached) keep their reports
+  // byte-identical (DESIGN.md §15).
+  if (admission_.AnyNonZero()) {
+    char abuf[320];
+    std::snprintf(
+        abuf, sizeof(abuf),
+        "  admission: %llu/%llu admitted (latency/batch), "
+        "%llu/%llu bucket shed, %llu/%llu overload shed, "
+        "%llu scheduler overflows\n"
+        "             tenant backlog high-water %zu, shed retry-after "
+        "hist [us, log2]",
+        static_cast<unsigned long long>(admission_.admitted_latency),
+        static_cast<unsigned long long>(admission_.admitted_batch),
+        static_cast<unsigned long long>(admission_.shed_bucket_latency),
+        static_cast<unsigned long long>(admission_.shed_bucket_batch),
+        static_cast<unsigned long long>(admission_.shed_overload_latency),
+        static_cast<unsigned long long>(admission_.shed_overload_batch),
+        static_cast<unsigned long long>(admission_.scheduler_overflows),
+        admission_.tenant_backlog_high_water);
+    out << abuf;
+    for (uint64_t h : admission_.shed_delay_hist) out << ' ' << h;
+    out << '\n';
   }
   return out.str();
 }

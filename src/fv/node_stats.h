@@ -117,6 +117,41 @@ class NodeStats {
     }
   };
 
+  /// Admission-control and fair-scheduling telemetry (DESIGN.md §15).
+  /// Recorded only when `AdmissionConfig::enabled` (plus the always-on
+  /// scheduler overflow counter), so the report section is omitted on seed
+  /// workloads and their goldens stay byte-identical.
+  struct AdmissionStats {
+    uint64_t admitted_latency = 0;  ///< admitted latency-sensitive requests
+    uint64_t admitted_batch = 0;    ///< admitted batch requests
+    uint64_t shed_bucket_latency = 0;  ///< token-bucket / tenant-cap sheds
+    uint64_t shed_bucket_batch = 0;
+    uint64_t shed_overload_latency = 0;  ///< queue-delay overload sheds
+    uint64_t shed_overload_batch = 0;
+    uint64_t scheduler_overflows = 0;  ///< node-wide scheduler-cap bounces
+
+    /// Retry-after hints attached to sheds, bucketed by log2 of the hint
+    /// in microseconds: bucket i counts hints in [2^i, 2^(i+1)) µs; bucket
+    /// 0 also takes sub-microsecond hints and the last bucket everything
+    /// larger.
+    static constexpr int kShedDelayBuckets = 8;
+    uint64_t shed_delay_hist[kShedDelayBuckets] = {};
+
+    /// Fairness high-water mark: the deepest per-tenant backlog the region
+    /// scheduler ever held (bounded by AdmissionConfig::tenant_queue_cap
+    /// when admission is on).
+    size_t tenant_backlog_high_water = 0;
+
+    bool AnyNonZero() const {
+      uint64_t hist = 0;
+      for (uint64_t h : shed_delay_hist) hist += h;
+      return admitted_latency || admitted_batch || shed_bucket_latency ||
+             shed_bucket_batch || shed_overload_latency ||
+             shed_overload_batch || scheduler_overflows || hist ||
+             tenant_backlog_high_water;
+    }
+  };
+
   /// Per-queue-pair throughput aggregates.
   struct QpStats {
     uint64_t completed = 0;
@@ -206,6 +241,22 @@ class NodeStats {
     sharding_.repartition_bytes += bytes;
   }
 
+  // --- Admission / fair-scheduling events (DESIGN.md §15) ------------------
+
+  /// Counts a request the admission controller let through.
+  void RecordAdmitted(SloClass slo);
+
+  /// Counts a shed request: `overload` distinguishes queue-delay overload
+  /// sheds from token-bucket/tenant-cap sheds; `retry_after` is the hint
+  /// attached to the rejection (folded into the shed-delay histogram).
+  void RecordShed(SloClass slo, bool overload, SimTime retry_after);
+
+  /// Counts a job bounced by the node-wide scheduler queue cap.
+  void RecordSchedulerOverflow() { ++admission_.scheduler_overflows; }
+
+  /// Updates the fairness high-water mark with an observed tenant backlog.
+  void RecordTenantBacklog(size_t backlog);
+
   // --- Queries -------------------------------------------------------------
 
   uint64_t completed_count() const { return completed_.size(); }
@@ -216,6 +267,7 @@ class NodeStats {
   const std::map<int, QpStats>& per_qp() const { return per_qp_; }
   const ReliabilityStats& reliability() const { return reliability_; }
   const ShardingStats& sharding() const { return sharding_; }
+  const AdmissionStats& admission() const { return admission_; }
 
   /// Stage distributions (latencies in picoseconds).
   const sim::SampleStats& ingress_latency() const { return ingress_; }
@@ -246,6 +298,7 @@ class NodeStats {
   std::map<int, SimTime> region_busy_;
   ReliabilityStats reliability_;
   ShardingStats sharding_;
+  AdmissionStats admission_;
 
   sim::SampleStats ingress_;
   sim::SampleStats queue_wait_;

@@ -1,8 +1,10 @@
 #ifndef FARVIEW_FV_REGION_SCHEDULER_H_
 #define FARVIEW_FV_REGION_SCHEDULER_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,12 +21,21 @@ namespace farview {
 /// lifetime, shared connections (FarviewNode::ConnectShared) submit jobs to
 /// the scheduler, which multiplexes all regions:
 ///
-///  - jobs wait in a FIFO queue when every region is busy, so any number
-///    of clients can share the node;
+///  - waiting jobs live in bounded per-tenant queues (keyed by client id;
+///    DESIGN.md §15) under a node-wide cap
+///    (`FarviewConfig::scheduler_queue_cap`) — overflow is rejected with a
+///    typed `Unavailable`, never queued without bound;
+///  - with admission disabled (default) the queues drain in strict global
+///    FIFO order — every job carries an arrival sequence number, and the
+///    drain replays the single-queue scheduler exactly, byte for byte;
+///  - with `AdmissionConfig::enabled` the drain is deficit-weighted
+///    round-robin across tenants (the SLO class of a tenant's head job
+///    sets its weight), so a hot tenant's backlog can no longer starve the
+///    others behind head-of-line blocking;
 ///  - each region remembers which pipeline it has loaded (keyed by a
 ///    caller-supplied signature); a job whose pipeline is already resident
 ///    on a free region skips the milliseconds-scale partial
-///    reconfiguration — the scheduler prefers such affinity matches;
+///    reconfiguration — both drain modes prefer such affinity matches;
 ///  - pipelines are built lazily (via a factory) only when a region
 ///    actually needs reconfiguring.
 ///
@@ -45,13 +56,19 @@ class RegionScheduler {
   /// Submits a job on behalf of the shared connection `qp_id` owned by
   /// `client_id`. `pipeline_key` identifies the pipeline configuration for
   /// affinity scheduling (same key ⇒ same bitstream). `done` is called with
-  /// the result (or the error) when the job finishes.
+  /// the result (or the error) when the job finishes. Arrival at the node
+  /// passes admission (DESIGN.md §15): the node-wide queue cap bounces
+  /// with `Unavailable`; with admission enabled, the tenant's token bucket
+  /// and the overload shed threshold reject with `ResourceExhausted`.
   void Submit(int client_id, int qp_id, const std::string& pipeline_key,
               PipelineFactory factory, const FvRequest& request,
               std::function<void(Result<FvResult>)> done);
 
-  /// Jobs currently waiting for a region.
-  size_t queued_jobs() const { return queue_.size(); }
+  /// Jobs currently waiting for a region (all tenants).
+  size_t queued_jobs() const { return total_waiting_; }
+
+  /// Jobs `client_id` currently has waiting.
+  size_t tenant_queued_jobs(int client_id) const;
 
   /// Completed jobs and reconfigurations performed.
   uint64_t jobs_completed() const { return jobs_completed_; }
@@ -66,6 +83,17 @@ class RegionScheduler {
     RequestContextPtr ctx;
     std::string pipeline_key;
     PipelineFactory factory;
+    /// Global arrival order; the FIFO drain serves ascending seq.
+    uint64_t seq = 0;
+  };
+
+  /// One tenant's bounded backlog plus its DWRR state.
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    /// DWRR deficit in job units; reset when the backlog empties.
+    int64_t deficit = 0;
+    /// True while the tenant sits in the `rotation_` deque.
+    bool active = false;
   };
 
   struct RegionSlot {
@@ -74,8 +102,32 @@ class RegionScheduler {
     bool busy = false;
   };
 
+  /// Admission + enqueue at node arrival (after the ingress hop).
+  void OnArrival(Job job);
+
   /// Starts queued jobs on free regions (affinity first).
   void Dispatch();
+
+  /// Strict-FIFO drain (admission disabled): replays the single-queue
+  /// scheduler — affinity pass over all waiting jobs in ascending seq,
+  /// then oldest-first onto any free region.
+  void DispatchFifo();
+
+  /// Deficit-weighted round-robin drain (admission enabled).
+  void DispatchFair();
+
+  /// Removes and returns the waiting job with the smallest seq.
+  Job PopOldest();
+
+  /// Index of the first free region, or `regions_.size()` when all busy.
+  size_t FirstFreeSlot() const;
+
+  /// Free region preferring `pipeline_key` residency (affinity hit), else
+  /// the first free one; `regions_.size()` when all busy.
+  size_t PreferredFreeSlot(const std::string& pipeline_key);
+
+  /// Removes the job at `pos` of `tenant`'s queue and maintains counters.
+  Job TakeJob(TenantQueue& tenant, size_t pos);
 
   /// Runs `job` on slot `s` (which is free and reserved by the caller).
   void RunOn(size_t slot_index, Job job);
@@ -87,7 +139,13 @@ class RegionScheduler {
 
   FarviewNode* node_;
   std::vector<RegionSlot> regions_;
-  std::deque<Job> queue_;
+  /// Bounded per-tenant backlogs, keyed by client id (map: deterministic
+  /// iteration in tenant order).
+  std::map<int, TenantQueue> tenants_;
+  /// DWRR rotation of tenants with waiting jobs (client ids).
+  std::deque<int> rotation_;
+  size_t total_waiting_ = 0;
+  uint64_t next_seq_ = 0;
   uint64_t jobs_completed_ = 0;
   uint64_t reconfigurations_ = 0;
   uint64_t affinity_hits_ = 0;

@@ -86,6 +86,14 @@ class CircuitBreaker {
   void RecordSuccess(bool probe = false);
   void RecordFailure(bool probe = false);
 
+  /// Outcome of a routed request the replica *shed* (`ResourceExhausted`,
+  /// DESIGN.md §15). A shedding replica is healthy, not dead: the shed
+  /// carries no health signal, so it never counts toward the trip
+  /// threshold and never resets the consecutive-failure count — but a shed
+  /// probe must still settle its slot as a success (the replica answered)
+  /// or the slot would leak and wedge the breaker Half-Open forever.
+  void RecordShed(bool probe = false);
+
   /// Trips the breaker immediately — the router observed the replica crash,
   /// so waiting for `failure_threshold` timeouts is pointless.
   void ForceOpen();

@@ -8,6 +8,19 @@
 
 namespace farview {
 
+/// Service-level objective class of a request (DESIGN.md §15). Admission
+/// control and the fair scheduler treat the classes differently: latency-
+/// sensitive flows get the larger DWRR weight and the later shed threshold;
+/// batch flows are shed first under overload. Default latency-sensitive —
+/// the paper's workloads (§6) are interactive analytic queries.
+enum class SloClass : uint8_t {
+  kLatencySensitive = 0,
+  kBatch = 1,
+};
+
+/// Canonical short name for reports ("latency" / "batch").
+const char* SloClassName(SloClass slo);
+
 /// Parameters of the Farview one-sided verb (Section 4.2's
 /// `farviewRequest(QPair* qp, FTable *ft, int n_param, int* params)`): where
 /// to read, how tuples are laid out, and how the region should drive memory.
@@ -34,6 +47,10 @@ struct FvRequest {
   bool smart_addressing = false;
   uint32_t sa_access_bytes = 0;
   uint32_t sa_offset = 0;
+
+  /// SLO class the issuing tenant tagged the request with (§4.3 flows carry
+  /// it to the node; admission + fair scheduling read it there).
+  SloClass slo = SloClass::kLatencySensitive;
 };
 
 /// Completion record of a Farview request, as observed by the client.

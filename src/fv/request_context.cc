@@ -7,6 +7,10 @@
 
 namespace farview {
 
+const char* SloClassName(SloClass slo) {
+  return slo == SloClass::kBatch ? "batch" : "latency";
+}
+
 bool LifecycleStampsMonotone(std::initializer_list<SimTime> stamps) {
   SimTime prev = 0;
   for (SimTime s : stamps) {

@@ -46,6 +46,11 @@ struct RequestContext {
   /// Verb parameters (meaningful for FARVIEW; READ/WRITE use vaddr/len).
   FvRequest request;
 
+  /// SLO class, mirrored from `request.slo` at submission so READ/WRITE
+  /// verbs (which fill only vaddr/len) still carry a class the admission
+  /// controller and fair scheduler can read (DESIGN.md §15).
+  SloClass slo = SloClass::kLatencySensitive;
+
   // --- Lifecycle stamps (simulated time, ps; 0 = stage not reached) -------
   SimTime submitted = 0;          ///< client posted the verb
   SimTime ingress_done = 0;       ///< request arrived at the node

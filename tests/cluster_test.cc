@@ -226,6 +226,68 @@ TEST(ClusterTest, CircuitBreakerLifecycle) {
   EXPECT_TRUE(breaker.AllowRequest());
 }
 
+TEST(ClusterTest, ShedLoadNeverTripsTheBreaker) {
+  // Regression (DESIGN.md §15): a replica shedding load with
+  // `ResourceExhausted` is healthy, not dead. Sheds must neither count
+  // toward the trip threshold nor mask real failures between them.
+  sim::Engine engine;
+  NodeStats stats;
+  CircuitBreakerPolicy policy;
+  CircuitBreaker breaker(&engine, policy, TestSeed(), &stats);
+
+  // Any volume of shed load leaves the breaker Closed...
+  for (int i = 0; i < 100; ++i) breaker.RecordShed();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(stats.reliability().circuit_opens, 0u);
+
+  // ...and sheds interleaved with real failures do not reset the
+  // consecutive-failure count the way a success would: the threshold-th
+  // failure still trips.
+  for (int i = 0; i < policy.failure_threshold - 1; ++i) {
+    breaker.RecordFailure();
+    breaker.RecordShed();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(stats.reliability().circuit_opens, 1u);
+}
+
+TEST(ClusterTest, ShedProbeSettlesItsHalfOpenSlot) {
+  // A Half-Open probe answered with a shed proves liveness: it must settle
+  // the probe slot like a success (else the slot leaks and the breaker
+  // wedges Half-Open), while stale non-probe sheds stay ignored.
+  sim::Engine engine;
+  NodeStats stats;
+  CircuitBreakerPolicy policy;
+  CircuitBreaker breaker(&engine, policy, TestSeed(), &stats);
+
+  for (int i = 0; i < policy.failure_threshold; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  engine.ScheduleAt(policy.open_duration + policy.open_jitter, []() {});
+  engine.Run();
+
+  // Stale sheds (routed pre-trip, landing now) must not advance the
+  // episode.
+  bool probe = false;
+  ASSERT_TRUE(breaker.AllowRequest(&probe));
+  ASSERT_TRUE(probe);
+  breaker.RecordShed(/*probe=*/false);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(stats.reliability().circuit_closes, 0u);
+
+  // Shed probes close the breaker exactly like successful ones.
+  breaker.RecordShed(/*probe=*/true);
+  for (int i = 1; i < policy.probe_successes; ++i) {
+    probe = false;
+    ASSERT_TRUE(breaker.AllowRequest(&probe));
+    ASSERT_TRUE(probe);
+    breaker.RecordShed(/*probe=*/true);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(stats.reliability().circuit_closes, 1u);
+}
+
 TEST(ClusterTest, StaleCompletionsDoNotSettleHalfOpenProbes) {
   sim::Engine engine;
   NodeStats stats;

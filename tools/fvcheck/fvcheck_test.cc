@@ -556,6 +556,28 @@ TEST(StatsMergeCoverageTest, NegativeFixtureCoversViaClosure) {
   EXPECT_TRUE(diags.empty()) << Dump(diags);
 }
 
+TEST(StatsMergeCoverageTest, AdmissionShapePositiveFindsDeletedFolds) {
+  // The AdmissionStats shape (histogram array + high-water max): deleting
+  // the array fold loop or the max line from MergeFrom must fail the rule,
+  // while the static constexpr bucket count stays exempt.
+  Options opts;
+  opts.enabled_rules = {kRuleStatsMergeCoverage};
+  auto diags = AnalyzeFixture("stats_merge_admission_bad.cc",
+                              "src/fv/stats_merge_admission_bad.cc", opts);
+  EXPECT_EQ(CountRule(diags, kRuleStatsMergeCoverage), 2) << Dump(diags);
+  EXPECT_NE(Dump(diags).find("'shed_hist'"), std::string::npos);
+  EXPECT_NE(Dump(diags).find("'backlog_high_water'"), std::string::npos);
+  EXPECT_EQ(Dump(diags).find("'kBuckets'"), std::string::npos);
+}
+
+TEST(StatsMergeCoverageTest, AdmissionShapeNegativeIsClean) {
+  Options opts;
+  opts.enabled_rules = {kRuleStatsMergeCoverage};
+  auto diags = AnalyzeFixture("stats_merge_admission_ok.cc",
+                              "src/fv/stats_merge_admission_ok.cc", opts);
+  EXPECT_TRUE(diags.empty()) << Dump(diags);
+}
+
 // --- config-coupling -------------------------------------------------------
 
 TEST(ConfigCouplingTest, PositiveFixtureFlagsUncoupledConstants) {

@@ -219,8 +219,16 @@ class FileWalker {
     const std::size_t span_end = eq != kNpos ? eq : end;
     std::string name;
     int idents = 0;
+    int brackets = 0;
     for (std::size_t k = begin; k < span_end; ++k) {
-      if (toks_[k].kind == Kind::kIdent) {
+      // Array declarators: `hist[kBuckets]` names `hist`, not the extent
+      // identifier inside the brackets.
+      if (toks_[k].kind == Kind::kPunct) {
+        if (toks_[k].text == "[") ++brackets;
+        if (toks_[k].text == "]" && brackets > 0) --brackets;
+        continue;
+      }
+      if (brackets == 0 && toks_[k].kind == Kind::kIdent) {
         ++idents;
         name = toks_[k].text;
         *line = toks_[k].line;

@@ -1,0 +1,22 @@
+// Fixture: the AdmissionStats shape with two fold lines deleted — the
+// histogram-array loop and the high-water max. Exactly what a careless
+// edit to NodeStats::MergeFrom would look like; both members must be
+// flagged (the static constexpr bucket count must not be).
+struct ShapedStats {
+  struct AdmissionStats {
+    static constexpr int kBuckets = 8;  // exempt: static
+    long admitted = 0;
+    long shed = 0;
+    long shed_hist[kBuckets] = {};          // never folded -> diagnostic
+    unsigned long backlog_high_water = 0;   // never folded -> diagnostic
+  };
+  long completed = 0;
+  AdmissionStats admission;
+  void MergeFrom(const ShapedStats& o);
+};
+
+void ShapedStats::MergeFrom(const ShapedStats& o) {
+  completed += o.completed;
+  admission.admitted += o.admission.admitted;
+  admission.shed += o.admission.shed;
+}

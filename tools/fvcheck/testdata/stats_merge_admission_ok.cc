@@ -1,0 +1,31 @@
+// Fixture: the AdmissionStats shape (src/fv/node_stats.h) — a fixed-size
+// histogram array folded in a loop, a high-water mark folded via max, a
+// static constexpr bucket count (exempt: not instance state), and plain
+// counters. Complete coverage must produce no diagnostics.
+struct ShapedStats {
+  struct AdmissionStats {
+    static constexpr int kBuckets = 8;  // exempt: static
+    long admitted = 0;
+    long shed = 0;
+    long shed_hist[kBuckets] = {};
+    unsigned long backlog_high_water = 0;
+  };
+  long completed = 0;
+  AdmissionStats admission;
+  void MergeFrom(const ShapedStats& o);
+};
+
+static unsigned long MaxOf(unsigned long a, unsigned long b) {
+  return a > b ? a : b;
+}
+
+void ShapedStats::MergeFrom(const ShapedStats& o) {
+  completed += o.completed;
+  admission.admitted += o.admission.admitted;
+  admission.shed += o.admission.shed;
+  for (int i = 0; i < AdmissionStats::kBuckets; ++i) {
+    admission.shed_hist[i] += o.admission.shed_hist[i];
+  }
+  admission.backlog_high_water =
+      MaxOf(admission.backlog_high_water, o.admission.backlog_high_water);
+}
